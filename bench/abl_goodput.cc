@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Link-layer goodput ablation: what the SoftPHY hints buy at the MAC
+ * layer. Compares, over the same 20 Hz Rayleigh / 10 dB AWGN channel:
+ *  - fixed-rate ARQ at every 802.11a/g rate (the conventional
+ *    baseline: any bit error retransmits the whole packet),
+ *  - SoftRate (PBER-driven rate adaptation + ARQ),
+ *  - PPR at a fixed rate (retransmit only the flagged chunks).
+ *
+ * The paper's conclusion cites SoftRate's "2x to 4x" gain "depending
+ * on the base of comparison": the base is a badly chosen fixed rate
+ * -- adaptation wins big against a too-high fixed rate (constant
+ * losses in fades) and against a too-low one (wasted airtime).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "mac/ppr.hh"
+#include "mac/softrate.hh"
+#include "sim/testbench.hh"
+#include "softphy/softphy.hh"
+
+using namespace wilis;
+using namespace wilis::bench;
+
+namespace {
+
+constexpr size_t kPayloadBits = 1704;
+constexpr double kOverheadUs = 100.0; // preamble + SIFS + ACK
+constexpr int kMaxTries = 8;
+
+double
+airtimeUs(phy::RateIndex rate)
+{
+    phy::OfdmTransmitter tx(rate);
+    return static_cast<double>(tx.numSamples(kPayloadBits)) / 20.0 +
+           kOverheadUs;
+}
+
+struct GoodputResult {
+    double goodputMbps = 0.0;
+    double perPct = 0.0;
+    double avgTries = 0.0;
+};
+
+/** Fixed-rate ARQ baseline. */
+GoodputResult
+runFixed(phy::RateIndex rate, std::uint64_t packets,
+         const li::Config &chan_cfg)
+{
+    sim::TestbenchConfig cfg;
+    cfg.rate = rate;
+    cfg.rx.decoder = "viterbi";
+    cfg.channel = "rayleigh";
+    cfg.channelCfg = chan_cfg;
+    sim::Testbench tb(cfg);
+
+    double airtime_us = 0.0;
+    std::uint64_t delivered = 0;
+    std::uint64_t tries_total = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t slot = 0;
+    for (std::uint64_t p = 0; p < packets; ++p) {
+        bool ok = false;
+        int tries = 0;
+        while (tries < kMaxTries && !ok) {
+            ++tries;
+            ok = tb.runPacket(kPayloadBits, slot++).ok;
+            airtime_us += airtimeUs(rate);
+        }
+        tries_total += static_cast<std::uint64_t>(tries);
+        if (ok)
+            delivered += kPayloadBits;
+        else
+            ++failures;
+    }
+    GoodputResult r;
+    r.goodputMbps = static_cast<double>(delivered) / airtime_us;
+    r.perPct = 100.0 * static_cast<double>(failures) /
+               static_cast<double>(packets);
+    r.avgTries = static_cast<double>(tries_total) /
+                 static_cast<double>(packets);
+    return r;
+}
+
+/** SoftRate: per-rate PBER estimates drive the rate between tries. */
+GoodputResult
+runSoftRate(std::uint64_t packets, const li::Config &chan_cfg,
+            const softphy::BerEstimator &est)
+{
+    std::array<std::unique_ptr<sim::Testbench>, phy::kNumRates>
+        benches;
+    for (int r = 0; r < phy::kNumRates; ++r) {
+        sim::TestbenchConfig cfg;
+        cfg.rate = r;
+        cfg.rx.decoder = "bcjr";
+        cfg.channel = "rayleigh";
+        cfg.channelCfg = chan_cfg;
+        benches[static_cast<size_t>(r)] =
+            std::make_unique<sim::Testbench>(cfg);
+    }
+
+    mac::SoftRateMac::Config mc;
+    mc.pberLo = 1e-6;
+    mc.pberHi = 1e-4;
+    mac::SoftRateMac softrate(mc);
+
+    double airtime_us = 0.0;
+    std::uint64_t delivered = 0;
+    std::uint64_t tries_total = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t slot = 0;
+    for (std::uint64_t p = 0; p < packets; ++p) {
+        bool ok = false;
+        int tries = 0;
+        while (tries < kMaxTries && !ok) {
+            ++tries;
+            phy::RateIndex rate = softrate.currentRate();
+            auto res = benches[static_cast<size_t>(rate)]->runPacket(
+                kPayloadBits, slot++);
+            airtime_us += airtimeUs(rate);
+            softrate.onFeedback(
+                est.packetBerForRate(rate, res.rx.soft));
+            ok = res.ok;
+        }
+        tries_total += static_cast<std::uint64_t>(tries);
+        if (ok)
+            delivered += kPayloadBits;
+        else
+            ++failures;
+    }
+    GoodputResult r;
+    r.goodputMbps = static_cast<double>(delivered) / airtime_us;
+    r.perPct = 100.0 * static_cast<double>(failures) /
+               static_cast<double>(packets);
+    r.avgTries = static_cast<double>(tries_total) /
+                 static_cast<double>(packets);
+    return r;
+}
+
+/** PPR at a fixed rate: partial retransmissions of flagged chunks. */
+GoodputResult
+runPpr(phy::RateIndex rate, std::uint64_t packets,
+       const li::Config &chan_cfg, const softphy::BerEstimator &est)
+{
+    sim::TestbenchConfig cfg;
+    cfg.rate = rate;
+    cfg.rx.decoder = "bcjr";
+    cfg.channel = "rayleigh";
+    cfg.channelCfg = chan_cfg;
+    sim::Testbench tb(cfg);
+    mac::PprPolicy ppr(&est, 1e-3, 64);
+    phy::Modulation mod = phy::rateTable(rate).modulation;
+
+    double airtime_us = 0.0;
+    std::uint64_t delivered = 0;
+    std::uint64_t tries_total = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t slot = 0;
+    const double full_us = airtimeUs(rate);
+    for (std::uint64_t p = 0; p < packets; ++p) {
+        auto res = tb.runPacket(kPayloadBits, slot++);
+        airtime_us += full_us;
+        int tries = 1;
+        bool ok = res.ok;
+        if (!ok) {
+            mac::PprOutcome out =
+                ppr.evaluate(mod, res.rx.soft, res.txPayload);
+            if (out.recoverable()) {
+                // One partial retransmission of the flagged chunks
+                // (modeled as delivered reliably at low rate cost).
+                airtime_us +=
+                    kOverheadUs +
+                    out.retransmitFraction() * (full_us - kOverheadUs);
+                ++tries;
+                ok = true;
+            } else {
+                // Fall back to full ARQ.
+                while (tries < kMaxTries && !ok) {
+                    ++tries;
+                    ok = tb.runPacket(kPayloadBits, slot++).ok;
+                    airtime_us += full_us;
+                }
+            }
+        }
+        tries_total += static_cast<std::uint64_t>(tries);
+        if (ok)
+            delivered += kPayloadBits;
+        else
+            ++failures;
+    }
+    GoodputResult r;
+    r.goodputMbps = static_cast<double>(delivered) / airtime_us;
+    r.perPct = 100.0 * static_cast<double>(failures) /
+               static_cast<double>(packets);
+    r.avgTries = static_cast<double>(tries_total) /
+                 static_cast<double>(packets);
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Link-layer goodput: fixed-rate ARQ vs SoftRate vs PPR "
+           "(20 Hz fading, 10 dB AWGN)");
+
+    li::Config chan_cfg = li::Config::fromString(
+        "snr_db=10,doppler_hz=20,seed=4242,packet_interval_us=200,"
+        "block_fading=true");
+    std::uint64_t packets = scaled(200, 40);
+
+    softphy::CalibrationSpec spec;
+    spec.rx.decoder = "bcjr";
+    spec.packets = scaled(200, 50);
+    spec.threads = 0;
+    softphy::BerEstimator est = calibrateRateEstimator(spec);
+    // PPR needs per-modulation dispatch too.
+    for (phy::Modulation m :
+         {phy::Modulation::BPSK, phy::Modulation::QPSK,
+          phy::Modulation::QAM16, phy::Modulation::QAM64})
+        est.setTable(m, calibrateTable(m, spec));
+
+    Table t({"policy", "goodput (Mb/s)", "PER %", "avg tries"});
+    double best_fixed = 0.0;
+    double robust_fixed = 0.0; // BPSK 1/2: the safe static choice
+    double lossy_fixed = 0.0;  // QAM-16 3/4: too aggressive here
+    for (int r = 0; r < phy::kNumRates; r += 1) {
+        GoodputResult g = runFixed(r, packets, chan_cfg);
+        best_fixed = std::max(best_fixed, g.goodputMbps);
+        if (r == 0)
+            robust_fixed = g.goodputMbps;
+        if (r == 5)
+            lossy_fixed = g.goodputMbps;
+        t.addRow({"fixed " + phy::rateTable(r).name(),
+                  strprintf("%.2f", g.goodputMbps),
+                  strprintf("%.1f", g.perPct),
+                  strprintf("%.2f", g.avgTries)});
+    }
+    GoodputResult sr = runSoftRate(packets, chan_cfg, est);
+    t.addRow({"SoftRate (adaptive)",
+              strprintf("%.2f", sr.goodputMbps),
+              strprintf("%.1f", sr.perPct),
+              strprintf("%.2f", sr.avgTries)});
+    // PPR helps where whole-packet ARQ pays for sparse errors: run
+    // it at the lossy fixed rate.
+    GoodputResult pp = runPpr(5, packets, chan_cfg, est);
+    t.addRow({"PPR @ QAM16 3/4", strprintf("%.2f", pp.goodputMbps),
+              strprintf("%.1f", pp.perPct),
+              strprintf("%.2f", pp.avgTries)});
+    t.print();
+
+    std::printf("\nSoftRate vs best fixed rate:         %.2fx\n",
+                sr.goodputMbps / best_fixed);
+    std::printf("SoftRate vs robust fixed (BPSK 1/2): %.2fx\n",
+                sr.goodputMbps / robust_fixed);
+    std::printf("SoftRate vs lossy fixed (QAM16 3/4): %.2fx\n",
+                sr.goodputMbps / lossy_fixed);
+    std::printf("PPR vs whole-packet ARQ at QAM16 3/4: %.2fx\n",
+                pp.goodputMbps / lossy_fixed);
+    std::printf("(the paper cites SoftRate's \"2x to 4x\" gain "
+                "\"depending on the base of comparison\" -- the base "
+                "is a\nbadly chosen fixed rate)\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Decoded BER waterfalls: BER vs SNR for every 802.11a/g rate
+ * (BCJR), plus a decoder comparison at one rate. Not a figure of the
+ * paper, but the baseline characterization any user of the simulator
+ * needs, and the data behind the "few dB per modulation band"
+ * observation that justifies the fixed SNR constant of section 4.2.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "sim/sweep.hh"
+
+using namespace wilis;
+using namespace wilis::bench;
+
+int
+main()
+{
+    banner("Decoded BER vs SNR, all rates (BCJR, 1000-bit packets)");
+
+    std::uint64_t packets = scaled(60, 20);
+    Table t({"SNR (dB)", "BPSK1/2", "BPSK3/4", "QPSK1/2", "QPSK3/4",
+             "QAM16-1/2", "QAM16-3/4", "QAM64-2/3", "QAM64-3/4"});
+    for (double snr = -2.0; snr <= 18.01; snr += 2.0) {
+        std::vector<std::string> row;
+        row.push_back(strprintf("%.0f", snr));
+        for (int r = 0; r < phy::kNumRates; ++r) {
+            sim::TestbenchConfig cfg;
+            cfg.rate = r;
+            cfg.rx.decoder = "bcjr";
+            cfg.channelCfg = li::Config::fromString(
+                strprintf("snr_db=%f,seed=77", snr));
+            ErrorStats s = sim::measureBer(cfg, 1000, packets, 0);
+            row.push_back(s.errors ? strprintf("%.1e", s.ber())
+                                   : std::string("-"));
+        }
+        t.addRow(row);
+    }
+    t.print();
+
+    banner("Decoder comparison at QPSK 1/2");
+    Table d({"SNR (dB)", "viterbi", "sova", "bcjr", "bcjr-logmap"});
+    for (double snr = 1.0; snr <= 5.01; snr += 1.0) {
+        std::vector<std::string> row;
+        row.push_back(strprintf("%.0f", snr));
+        for (const char *dec :
+             {"viterbi", "sova", "bcjr", "bcjr-logmap"}) {
+            sim::TestbenchConfig cfg;
+            cfg.rate = 2;
+            cfg.rx.decoder = dec;
+            cfg.channelCfg = li::Config::fromString(
+                strprintf("snr_db=%f,seed=78", snr));
+            ErrorStats s = sim::measureBer(cfg, 1000, packets, 0);
+            row.push_back(s.errors ? strprintf("%.1e", s.ber())
+                                   : std::string("-"));
+        }
+        d.addRow(row);
+    }
+    d.print();
+    std::printf("\neach modulation's waterfall spans only a few dB "
+                "(the section 4.2 observation); the decoders\ntrack "
+                "each other closely on hard decisions, differing in "
+                "soft-output quality (Figure 5).\n");
+    return 0;
+}

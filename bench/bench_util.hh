@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries: workload scaling via the
+ * WILIS_BENCH_SCALE environment variable (default 1.0; raise it on
+ * faster machines to tighten the statistics) and wall-clock timing.
+ */
+
+#ifndef WILIS_BENCH_BENCH_UTIL_HH
+#define WILIS_BENCH_BENCH_UTIL_HH
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace wilis {
+namespace bench {
+
+/** Workload multiplier from WILIS_BENCH_SCALE (default 1.0). */
+inline double
+benchScale()
+{
+    const char *env = std::getenv("WILIS_BENCH_SCALE");
+    if (!env)
+        return 1.0;
+    double v = std::atof(env);
+    return v > 0.0 ? v : 1.0;
+}
+
+/** @return count scaled by benchScale(), at least @p min_count. */
+inline std::uint64_t
+scaled(std::uint64_t count, std::uint64_t min_count = 1)
+{
+    auto v = static_cast<std::uint64_t>(
+        static_cast<double>(count) * benchScale());
+    return v < min_count ? min_count : v;
+}
+
+/** Simple wall-clock stopwatch. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start(clock::now()) {}
+
+    /** Seconds since construction or last reset. */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(clock::now() - start)
+            .count();
+    }
+
+    void reset() { start = clock::now(); }
+
+  private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start;
+};
+
+/** Section banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+} // namespace bench
+} // namespace wilis
+
+#endif // WILIS_BENCH_BENCH_UTIL_HH

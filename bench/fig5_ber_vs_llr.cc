@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Figure 5 reproduction: BER as a function of the LLR hints emitted
+ * by the hardware BCJR (5a) and SOVA (5b) decoders, for the paper's
+ * three configurations: QAM-16 @ 6 dB, QPSK @ 6 dB, QAM-16 @ 8 dB
+ * over AWGN.
+ *
+ * The paper's claims to verify:
+ *  - log10(BER) is linear in the LLR hint for both decoders,
+ *  - the slope varies with SNR, modulation and decoder (the three
+ *    scaling factors of eq. 5),
+ *  - BCJR's usable hint range covers low BERs across a wider set of
+ *    SNRs than SOVA's.
+ *
+ * The paper simulated 1e12 bits on the FPGA to resolve BER 1e-8;
+ * this host build resolves down to ~1e-6 by default (raise
+ * WILIS_BENCH_SCALE to push deeper).
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "sim/sweep.hh"
+#include "softphy/llr_ber.hh"
+#include "softphy/softphy.hh"
+
+using namespace wilis;
+using namespace wilis::bench;
+
+namespace {
+
+struct Curve {
+    const char *label;
+    phy::RateIndex rate;
+    double snrDb;
+};
+
+// The paper's operating points, shifted onto this pipeline's
+// waterfall. Our receiver is idealized (perfect synchronization and
+// CSI, no implementation loss), so its decoded-BER waterfalls sit a
+// few dB left of the paper's hardware pipeline; QPSK at the paper's
+// 6 dB label is error-free here and is evaluated at the equivalent
+// 3 dB point instead (see EXPERIMENTS.md). The figure's claims --
+// log-linearity and slope dependence on SNR/modulation/decoder --
+// are unaffected by the shift.
+
+void
+runDecoder(const char *decoder, const std::vector<Curve> &curves,
+           std::uint64_t bits_per_curve)
+{
+    banner(strprintf("Figure 5 (%s): BER vs LLR hints", decoder));
+    for (const auto &c : curves) {
+        softphy::CalibrationSpec spec;
+        spec.rx.decoder = decoder;
+        spec.payloadBits = 1704;
+        spec.packets = bits_per_curve / spec.payloadBits + 1;
+        spec.threads = 0;
+
+        softphy::LlrCalibrator cal =
+            measureLlrCurve(c.rate, c.snrDb, spec);
+        double scale = cal.fitScale();
+
+        std::printf("\n--- %s, AWGN SNR %.0f dB (%llu bits, fitted "
+                    "eq.5 scale %.4f) ---\n",
+                    c.label, c.snrDb,
+                    static_cast<unsigned long long>(
+                        cal.totalObservations()),
+                    scale);
+        Table t({"LLR hint", "bits", "errors", "BER",
+                 "model 1/(1+e^(s*L))"});
+        for (const auto &pt : cal.curve()) {
+            if (pt.total < 200)
+                continue;
+            t.addRow({strprintf("%6.1f", pt.llr),
+                      strprintf("%llu",
+                                static_cast<unsigned long long>(
+                                    pt.total)),
+                      strprintf("%llu",
+                                static_cast<unsigned long long>(
+                                    pt.errors)),
+                      pt.errors ? strprintf("%.3e", pt.ber)
+                                : std::string("< resolution"),
+                      strprintf("%.3e",
+                                softphy::berFromHint(pt.llr, scale))});
+        }
+        t.print();
+
+        // Log-linearity check over well-populated bins.
+        auto curve = cal.curve();
+        double min_ber = 1.0;
+        double max_llr_with_errors = 0.0;
+        for (const auto &pt : curve) {
+            if (pt.errors >= 5 && pt.ber < min_ber)
+                min_ber = pt.ber;
+            if (pt.errors >= 5)
+                max_llr_with_errors =
+                    std::max(max_llr_with_errors, pt.llr);
+        }
+        std::printf("lowest resolved BER: %.2e (hints up to %.0f)\n",
+                    min_ber, max_llr_with_errors);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<Curve> curves = {
+        {"QAM-16 (paper: 6 dB)", 4, 6.0},
+        {"QPSK (paper: 6 dB, here 3 dB)", 2, 3.0},
+        {"QAM-16 (paper: 8 dB)", 4, 8.0},
+    };
+    std::uint64_t bits = scaled(2000000, 200000);
+    runDecoder("bcjr", curves, bits);
+    runDecoder("sova", curves, bits);
+
+    banner("Summary: eq. 5 slope depends on SNR, modulation, decoder");
+    Table t({"Decoder", "Config", "fitted scale"});
+    for (const char *dec : {"bcjr", "sova"}) {
+        for (const auto &c : curves) {
+            softphy::CalibrationSpec spec;
+            spec.rx.decoder = dec;
+            spec.payloadBits = 1704;
+            spec.packets = bits / 4 / spec.payloadBits + 1;
+            spec.threads = 0;
+            auto cal = measureLlrCurve(c.rate, c.snrDb, spec);
+            t.addRow({dec,
+                      strprintf("%s %.0f dB", c.label, c.snrDb),
+                      strprintf("%.4f", cal.fitScale())});
+        }
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the compute kernels: FFT,
+ * mapper/demapper, interleaver, scrambler, AWGN noise generation,
+ * and the three decoders. These quantify why the paper concludes a
+ * pure-software simulator cannot reach line rate (section 5: "a
+ * well-tuned software radio will be able to achieve a few tens to
+ * hundreds of Kbps" for BCJR-class algorithms; our optimized kernels
+ * reach a few Mb/s per core -- still 10-50x short of the 54 Mb/s
+ * line rate WiLIS sustains on the FPGA).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "channel/awgn.hh"
+#include "common/random.hh"
+#include "decode/soft_decoder.hh"
+#include "phy/conv_code.hh"
+#include "phy/demapper.hh"
+#include "phy/fft.hh"
+#include "phy/interleaver.hh"
+#include "phy/mapper.hh"
+#include "phy/ofdm_rx.hh"
+#include "phy/ofdm_tx.hh"
+#include "phy/scrambler.hh"
+
+using namespace wilis;
+using namespace wilis::phy;
+
+namespace {
+
+BitVec
+randomBits(size_t n, std::uint64_t seed)
+{
+    SplitMix64 rng(seed);
+    BitVec v(n);
+    for (auto &b : v)
+        b = rng.nextBit();
+    return v;
+}
+
+void
+BM_Fft64(benchmark::State &state)
+{
+    Fft fft(64);
+    SplitMix64 rng(1);
+    SampleVec x(64);
+    for (auto &v : x)
+        v = Sample(rng.nextDouble(), rng.nextDouble());
+    for (auto _ : state) {
+        fft.forward(x);
+        benchmark::DoNotOptimize(x.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_Fft64);
+
+void
+BM_Scrambler(benchmark::State &state)
+{
+    Scrambler s(0x5D);
+    BitVec data = randomBits(4096, 2);
+    for (auto _ : state) {
+        BitVec out = s.process(data);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_Scrambler);
+
+void
+BM_ConvEncode(benchmark::State &state)
+{
+    BitVec data = randomBits(4096, 3);
+    for (auto _ : state) {
+        BitVec out = convCode().encode(data, true);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_ConvEncode);
+
+void
+BM_Interleave(benchmark::State &state)
+{
+    Interleaver il(Modulation::QAM16);
+    BitVec data = randomBits(static_cast<size_t>(il.blockSize()) * 16,
+                             4);
+    for (auto _ : state) {
+        BitVec out = il.interleaveStream(data);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_Interleave);
+
+void
+BM_MapDemap(benchmark::State &state)
+{
+    auto mod = static_cast<Modulation>(state.range(0));
+    Mapper m(mod);
+    Demapper dm(mod);
+    BitVec bits = randomBits(
+        static_cast<size_t>(bitsPerSubcarrier(mod)) * 1024, 5);
+    for (auto _ : state) {
+        SampleVec symbols = m.mapStream(bits);
+        SoftVec soft = dm.demapStream(symbols);
+        benchmark::DoNotOptimize(soft.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(bits.size()));
+}
+BENCHMARK(BM_MapDemap)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void
+BM_AwgnNoise(benchmark::State &state)
+{
+    channel::AwgnChannel ch(10.0, 1, static_cast<int>(state.range(0)));
+    SampleVec buf(1 << 14, Sample(1.0, 0.0));
+    std::uint64_t p = 0;
+    for (auto _ : state) {
+        ch.apply(buf, p++);
+        benchmark::DoNotOptimize(buf.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_AwgnNoise)->Arg(1)->Arg(2);
+
+void
+BM_Decoder(benchmark::State &state, const char *name)
+{
+    auto dec = decode::makeDecoder(name);
+    BitVec data = randomBits(2048, 7);
+    BitVec coded = convCode().encode(data, true);
+    GaussianSource g(11);
+    SoftVec soft(coded.size());
+    for (size_t i = 0; i < coded.size(); ++i)
+        soft[i] = static_cast<SoftBit>(
+            std::lround((coded[i] ? 12.0 : -12.0) + 8.0 * g.next()));
+    for (auto _ : state) {
+        auto out = dec->decodeBlock(soft);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK_CAPTURE(BM_Decoder, viterbi, "viterbi");
+BENCHMARK_CAPTURE(BM_Decoder, sova, "sova");
+BENCHMARK_CAPTURE(BM_Decoder, bcjr, "bcjr");
+BENCHMARK_CAPTURE(BM_Decoder, bcjr_logmap, "bcjr-logmap");
+
+void
+BM_FullPipeline(benchmark::State &state)
+{
+    OfdmTransmitter tx(4);
+    OfdmReceiver::Config rxc;
+    rxc.decoder = "bcjr";
+    OfdmReceiver rx(4, rxc);
+    channel::AwgnChannel ch(9.0, 1);
+    BitVec payload = randomBits(1704, 8);
+    std::uint64_t p = 0;
+    for (auto _ : state) {
+        SampleVec s = tx.modulate(payload);
+        ch.apply(s, p++);
+        RxResult res = rx.demodulate(s, payload.size());
+        benchmark::DoNotOptimize(res.payload.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 1704);
+}
+BENCHMARK(BM_FullPipeline);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+#include "channel/awgn.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace wilis {
+namespace channel {
+
+AwgnChannel::AwgnChannel(const li::Config &cfg)
+    : AwgnChannel(cfg.getDouble("snr_db", 10.0),
+                  static_cast<std::uint64_t>(cfg.getInt("seed", 1)),
+                  static_cast<int>(cfg.getInt("threads", 1)),
+                  cfg.getBool("common_noise", false))
+{}
+
+AwgnChannel::AwgnChannel(double snr_db, std::uint64_t seed_,
+                         int threads, bool common_noise)
+    : seed(seed_), common_noise_(common_noise)
+{
+    setSnrDb(snr_db);
+    if (threads != 1)
+        pool = std::make_unique<ThreadPool>(threads);
+}
+
+void
+AwgnChannel::setSnrDb(double snr_db)
+{
+    snr_db_ = snr_db;
+    // Unit average symbol energy and unitary FFTs make the
+    // per-subcarrier Es/N0 equal to 1/N0 with N0 the per-sample
+    // time-domain noise variance.
+    n0 = std::pow(10.0, -snr_db / 10.0);
+    sigma = std::sqrt(n0 / 2.0);
+}
+
+void
+AwgnChannel::addNoiseBlock(SampleVec &samples,
+                           std::uint64_t packet_index,
+                           size_t block) const
+{
+    CounterRng rng = CounterRng(seed)
+                         .fork(common_noise_ ? 0 : packet_index)
+                         .fork(0x40E5 + block);
+    const size_t begin = block * kBlockSize;
+    const size_t end = std::min(begin + kBlockSize, samples.size());
+    for (size_t i = begin; i < end; ++i) {
+        double g0, g1;
+        GaussianSource::pairAt(rng, i - begin, g0, g1);
+        samples[i] += Sample(sigma * g0, sigma * g1);
+    }
+}
+
+Sample
+AwgnChannel::impairSample(Sample s, std::uint64_t packet_index,
+                          std::uint64_t sample_index) const
+{
+    // Reproduce exactly the draw apply() makes for this position.
+    const std::uint64_t block = sample_index / kBlockSize;
+    CounterRng rng = CounterRng(seed)
+                         .fork(common_noise_ ? 0 : packet_index)
+                         .fork(0x40E5 + block);
+    double g0, g1;
+    GaussianSource::pairAt(rng, sample_index % kBlockSize, g0, g1);
+    return s + Sample(sigma * g0, sigma * g1);
+}
+
+void
+AwgnChannel::apply(SampleVec &samples, std::uint64_t packet_index)
+{
+    const size_t blocks =
+        (samples.size() + kBlockSize - 1) / kBlockSize;
+    if (pool && blocks > 1) {
+        pool->parallelFor(blocks, [&](std::uint64_t b) {
+            addNoiseBlock(samples, packet_index,
+                          static_cast<size_t>(b));
+        });
+    } else {
+        for (size_t b = 0; b < blocks; ++b)
+            addNoiseBlock(samples, packet_index, b);
+    }
+}
+
+} // namespace channel
+} // namespace wilis

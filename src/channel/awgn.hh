@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Additive White Gaussian Noise channel with a variable SNR
+ * (section 3: "we implement an AWGN channel with a variable
+ * Signal-to-Noise-Ratio; our software channel implementation is
+ * multi-threaded").
+ *
+ * Noise is generated per 1024-sample block from a counter-based
+ * generator, so output is bit-identical for any worker thread count
+ * and any packet replay order.
+ */
+
+#ifndef WILIS_CHANNEL_AWGN_HH
+#define WILIS_CHANNEL_AWGN_HH
+
+#include <memory>
+
+#include "channel/channel.hh"
+#include "common/random.hh"
+#include "common/thread_pool.hh"
+
+namespace wilis {
+namespace channel {
+
+/** Multi-threaded AWGN channel. */
+class AwgnChannel : public Channel
+{
+  public:
+    /**
+     * Config keys:
+     *  - snr_db:  per-subcarrier Es/N0 in dB (default 10)
+     *  - seed:    noise stream seed (default 1)
+     *  - threads: noise-generation worker threads (default 1;
+     *             0 = hardware concurrency)
+     *  - common_noise: if true, every packet sees the *same*
+     *    pseudo-noise sequence (keyed by sample position only).
+     *    This is the paper's section 4.4.2 "pseudo-random noise
+     *    model": with noise fixed across time, whether a given rate
+     *    survives becomes a deterministic function of the fading
+     *    level, which makes the optimal-rate oracle well-posed.
+     *    Default false (independent noise per packet).
+     */
+    explicit AwgnChannel(const li::Config &cfg = li::Config());
+
+    /** Direct constructor. */
+    AwgnChannel(double snr_db, std::uint64_t seed, int threads = 1,
+                bool common_noise = false);
+
+    std::string name() const override { return "awgn"; }
+    void apply(SampleVec &samples, std::uint64_t packet_index) override;
+    Sample impairSample(Sample s, std::uint64_t packet_index,
+                        std::uint64_t sample_index) const override;
+    double noiseVariance() const override { return n0; }
+
+    /** Configured SNR in dB. */
+    double snrDb() const { return snr_db_; }
+
+    /** Change the SNR (the "variable SNR" knob). */
+    void setSnrDb(double snr_db);
+
+    /** Noise-generation block size (samples per RNG stream). */
+    static constexpr size_t kBlockSize = 1024;
+
+  private:
+    void addNoiseBlock(SampleVec &samples, std::uint64_t packet_index,
+                       size_t block) const;
+
+    double snr_db_;
+    double n0;     // noise variance per complex sample
+    double sigma;  // per-dimension standard deviation
+    std::uint64_t seed;
+    bool common_noise_;
+    std::unique_ptr<ThreadPool> pool; // null => single-threaded
+};
+
+} // namespace channel
+} // namespace wilis
+
+#endif // WILIS_CHANNEL_AWGN_HH

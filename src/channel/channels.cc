@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Channel registry entries and factory helper.
+ */
+
+#include "channel/channel.hh"
+
+#include "channel/awgn.hh"
+#include "channel/fading.hh"
+#include "channel/interference.hh"
+#include "channel/multipath.hh"
+
+namespace wilis {
+namespace channel {
+
+namespace {
+
+const bool registered = [] {
+    auto &reg = ChannelRegistry::global();
+    reg.add("awgn", [](const li::Config &cfg) {
+        return std::unique_ptr<Channel>(
+            std::make_unique<AwgnChannel>(cfg));
+    });
+    reg.add("rayleigh", [](const li::Config &cfg) {
+        return std::unique_ptr<Channel>(
+            std::make_unique<RayleighChannel>(cfg));
+    });
+    reg.add("multipath", [](const li::Config &cfg) {
+        return std::unique_ptr<Channel>(
+            std::make_unique<MultipathChannel>(cfg));
+    });
+    reg.add("interference", [](const li::Config &cfg) {
+        return std::unique_ptr<Channel>(
+            std::make_unique<InterferenceChannel>(cfg));
+    });
+    return true;
+}();
+
+} // namespace
+
+std::unique_ptr<Channel>
+makeChannel(const std::string &name, const li::Config &cfg)
+{
+    (void)registered;
+    return ChannelRegistry::global().create(name, cfg);
+}
+
+} // namespace channel
+} // namespace wilis

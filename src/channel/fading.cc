@@ -1,0 +1,106 @@
+#include "channel/fading.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.hh"
+#include "phy/ofdm_symbol.hh"
+
+namespace wilis {
+namespace channel {
+
+RayleighChannel::RayleighChannel(const li::Config &cfg)
+    : RayleighChannel(
+          cfg.getDouble("snr_db", 10.0),
+          cfg.getDouble("doppler_hz", 20.0),
+          static_cast<std::uint64_t>(cfg.getInt("seed", 1)),
+          cfg.getDouble("packet_interval_us", 2000.0),
+          static_cast<int>(cfg.getInt("threads", 1)),
+          cfg.getBool("common_noise", false),
+          cfg.getBool("block_fading", false))
+{}
+
+RayleighChannel::RayleighChannel(double snr_db, double doppler_hz,
+                                 std::uint64_t seed,
+                                 double packet_interval_us_,
+                                 int threads, bool common_noise,
+                                 bool block_fading)
+    : awgn(snr_db, seed, threads, common_noise), doppler(doppler_hz),
+      packet_interval_us(packet_interval_us_),
+      block_fading_(block_fading)
+{
+    wilis_assert(doppler_hz >= 0.0, "negative Doppler %f", doppler_hz);
+    // Deterministic oscillator bank (Clarke model): arrival angles
+    // uniformly spread with a random rotation, independent random
+    // phases for the in-phase and quadrature processes.
+    SplitMix64 rng(seed ^ 0xFAD1116ull);
+    double rot = rng.nextDouble() * 2.0 * std::numbers::pi;
+    for (int m = 0; m < kOscillators; ++m) {
+        double angle =
+            2.0 * std::numbers::pi * (m + 0.5) / kOscillators + rot;
+        freq_scale[static_cast<size_t>(m)] = std::cos(angle);
+        phase_i[static_cast<size_t>(m)] =
+            rng.nextDouble() * 2.0 * std::numbers::pi;
+        phase_q[static_cast<size_t>(m)] =
+            rng.nextDouble() * 2.0 * std::numbers::pi;
+    }
+}
+
+Sample
+RayleighChannel::gainAt(double t_us) const
+{
+    // Clarke sum-of-sinusoids with independent I/Q phase banks:
+    // each component has variance M/2 before normalization, so
+    // dividing by sqrt(M) yields E[|h|^2] = 1 and Rayleigh |h|.
+    double t_s = t_us * 1e-6;
+    double re = 0.0;
+    double im = 0.0;
+    for (int m = 0; m < kOscillators; ++m) {
+        double w = 2.0 * std::numbers::pi * doppler *
+                   freq_scale[static_cast<size_t>(m)] * t_s;
+        re += std::cos(w + phase_i[static_cast<size_t>(m)]);
+        im += std::cos(w + phase_q[static_cast<size_t>(m)]);
+    }
+    double norm = 1.0 / std::sqrt(static_cast<double>(kOscillators));
+    return Sample(re * norm, im * norm);
+}
+
+Sample
+RayleighChannel::gain(std::uint64_t packet_index,
+                      int symbol_index) const
+{
+    // Block fading holds the gain for the whole packet (sampled at
+    // the packet start); otherwise it evolves per OFDM symbol.
+    double t_us = static_cast<double>(packet_index) *
+                  packet_interval_us;
+    if (!block_fading_)
+        t_us += symbol_index * phy::OfdmGeometry::kSymbolUs;
+    return gainAt(t_us);
+}
+
+void
+RayleighChannel::apply(SampleVec &samples, std::uint64_t packet_index)
+{
+    // Flat fading: scale each OFDM symbol by its gain, then add
+    // white noise at the configured level.
+    const int sym_len = phy::OfdmGeometry::kSymbolLen;
+    for (size_t i = 0; i < samples.size(); ++i) {
+        int symbol = static_cast<int>(i / static_cast<size_t>(sym_len));
+        samples[i] *= gain(packet_index, symbol);
+    }
+    awgn.apply(samples, packet_index);
+}
+
+Sample
+RayleighChannel::impairSample(Sample s, std::uint64_t packet_index,
+                              std::uint64_t sample_index) const
+{
+    int symbol = static_cast<int>(
+        sample_index /
+        static_cast<std::uint64_t>(phy::OfdmGeometry::kSymbolLen));
+    return awgn.impairSample(s * gain(packet_index, symbol),
+                             packet_index, sample_index);
+}
+
+} // namespace channel
+} // namespace wilis

@@ -1,0 +1,64 @@
+#include "channel/interference.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "phy/ofdm_symbol.hh"
+
+namespace wilis {
+namespace channel {
+
+InterferenceChannel::InterferenceChannel(const li::Config &cfg)
+    : awgn(cfg.getDouble("snr_db", 10.0),
+           static_cast<std::uint64_t>(cfg.getInt("seed", 1)),
+           static_cast<int>(cfg.getInt("threads", 1)),
+           cfg.getBool("common_noise", false)),
+      bin(static_cast<int>(cfg.getInt("interferer_bin", 10))),
+      seed(static_cast<std::uint64_t>(cfg.getInt("seed", 1)))
+{
+    wilis_assert(bin >= -26 && bin <= 26,
+                 "interferer bin %d out of range", bin);
+    double sir_db = cfg.getDouble("sir_db", 10.0);
+    // Signal power is 1 (normalized constellations); the tone
+    // carries all its power on one subcarrier.
+    amp = std::sqrt(std::pow(10.0, -sir_db / 10.0));
+}
+
+Sample
+InterferenceChannel::toneAt(std::uint64_t packet_index,
+                            std::uint64_t sample_index) const
+{
+    // A complex exponential at the interferer subcarrier frequency,
+    // with a random-but-replayable phase per packet.
+    CounterRng rng = CounterRng(seed ^ 0x1F2E3D4Cull);
+    double phase0 = rng.doubleAt(packet_index) * 2.0 *
+                    std::numbers::pi;
+    double ang = 2.0 * std::numbers::pi * bin *
+                     static_cast<double>(sample_index) /
+                     phy::OfdmGeometry::kFftSize +
+                 phase0;
+    return amp * Sample(std::cos(ang), std::sin(ang));
+}
+
+void
+InterferenceChannel::apply(SampleVec &samples,
+                           std::uint64_t packet_index)
+{
+    for (size_t i = 0; i < samples.size(); ++i)
+        samples[i] += toneAt(packet_index, i);
+    awgn.apply(samples, packet_index);
+}
+
+Sample
+InterferenceChannel::impairSample(Sample s,
+                                  std::uint64_t packet_index,
+                                  std::uint64_t sample_index) const
+{
+    return awgn.impairSample(s + toneAt(packet_index, sample_index),
+                             packet_index, sample_index);
+}
+
+} // namespace channel
+} // namespace wilis

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * AWGN plus narrowband interference: a complex tone of configurable
+ * power and frequency (an adjacent-channel leak or a non-WiFi
+ * emitter). Interference is the third impairment the paper's
+ * introduction names (after noise and fading); it concentrates on a
+ * few subcarriers, so the interleaver's job -- scattering the hits
+ * across the codeword -- is visible in the decoded BER.
+ */
+
+#ifndef WILIS_CHANNEL_INTERFERENCE_HH
+#define WILIS_CHANNEL_INTERFERENCE_HH
+
+#include "channel/awgn.hh"
+#include "channel/channel.hh"
+
+namespace wilis {
+namespace channel {
+
+/** AWGN + complex-tone interferer. */
+class InterferenceChannel : public Channel
+{
+  public:
+    /**
+     * Config keys:
+     *  - snr_db: Es/N0 of the background noise (default 10)
+     *  - sir_db: signal-to-interference ratio (default 10)
+     *  - interferer_bin: center subcarrier of the tone, logical
+     *    index -26..26 (default 10; note +-7 and +-21 are pilot
+     *    tones the data path never demaps)
+     *  - seed, threads, common_noise: as for AWGN.
+     */
+    explicit InterferenceChannel(const li::Config &cfg = li::Config());
+
+    std::string name() const override { return "interference"; }
+    void apply(SampleVec &samples, std::uint64_t packet_index) override;
+    Sample impairSample(Sample s, std::uint64_t packet_index,
+                        std::uint64_t sample_index) const override;
+    double noiseVariance() const override
+    {
+        return awgn.noiseVariance();
+    }
+
+    /** Interferer amplitude (per-sample). */
+    double interfererAmplitude() const { return amp; }
+
+    /** Logical subcarrier the tone sits on. */
+    int interfererBin() const { return bin; }
+
+  private:
+    Sample toneAt(std::uint64_t packet_index,
+                  std::uint64_t sample_index) const;
+
+    AwgnChannel awgn;
+    double amp;
+    int bin;
+    std::uint64_t seed;
+};
+
+} // namespace channel
+} // namespace wilis
+
+#endif // WILIS_CHANNEL_INTERFERENCE_HH

@@ -1,0 +1,149 @@
+#include "channel/multipath.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.hh"
+#include "phy/ofdm_symbol.hh"
+
+namespace wilis {
+namespace channel {
+
+MultipathChannel::MultipathChannel(const li::Config &cfg)
+    : awgn(cfg.getDouble("snr_db", 10.0),
+           static_cast<std::uint64_t>(cfg.getInt("seed", 1)),
+           static_cast<int>(cfg.getInt("threads", 1)),
+           cfg.getBool("common_noise", false)),
+      packet_interval_us(cfg.getDouble("packet_interval_us", 2000.0))
+{
+    const int num_taps = static_cast<int>(cfg.getInt("num_taps", 4));
+    const double spread = cfg.getDouble("delay_spread", 3.0);
+    const double doppler = cfg.getDouble("doppler_hz", 20.0);
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(cfg.getInt("seed", 1));
+
+    wilis_assert(num_taps >= 1, "need at least one tap");
+    wilis_assert(num_taps - 1 <= phy::OfdmGeometry::kCpLen,
+                 "delay spread of %d taps exceeds the %d-sample "
+                 "cyclic prefix",
+                 num_taps, phy::OfdmGeometry::kCpLen);
+    wilis_assert(spread > 0.0, "delay spread must be positive");
+
+    // Exponential power-delay profile, normalized to unit total
+    // power so the mean SNR matches the flat channels.
+    double total = 0.0;
+    std::vector<double> pdp(static_cast<size_t>(num_taps));
+    for (int l = 0; l < num_taps; ++l) {
+        pdp[static_cast<size_t>(l)] = std::exp(-l / spread);
+        total += pdp[static_cast<size_t>(l)];
+    }
+    taps.reserve(static_cast<size_t>(num_taps));
+    for (int l = 0; l < num_taps; ++l) {
+        Tap t;
+        t.delay = l;
+        t.weight = std::sqrt(pdp[static_cast<size_t>(l)] / total);
+        // Each tap gets an independent unit-power fading process
+        // (noiseless: the AWGN member adds the noise once).
+        t.process = std::make_unique<RayleighChannel>(
+            300.0, doppler, seed ^ (0xBEEF0000ull + 131ull * l),
+            packet_interval_us);
+        taps.push_back(std::move(t));
+    }
+}
+
+Sample
+MultipathChannel::tapValue(std::uint64_t packet_index,
+                           int symbol_index, int l) const
+{
+    const Tap &t = taps[static_cast<size_t>(l)];
+    return t.weight * t.process->gain(packet_index, symbol_index);
+}
+
+Sample
+MultipathChannel::gain(std::uint64_t packet_index,
+                       int symbol_index) const
+{
+    // The "flat equivalent" gain is the DC bin response.
+    return binGain(packet_index, symbol_index, 0);
+}
+
+Sample
+MultipathChannel::binGain(std::uint64_t packet_index,
+                          int symbol_index, int bin) const
+{
+    // H[k] = sum_l h_l e^{-j 2 pi k d_l / N}.
+    Sample h(0.0, 0.0);
+    for (int l = 0; l < numTaps(); ++l) {
+        double ang = -2.0 * std::numbers::pi * bin *
+                     taps[static_cast<size_t>(l)].delay /
+                     phy::OfdmGeometry::kFftSize;
+        h += tapValue(packet_index, symbol_index, l) *
+             Sample(std::cos(ang), std::sin(ang));
+    }
+    return h;
+}
+
+void
+MultipathChannel::apply(SampleVec &samples,
+                        std::uint64_t packet_index)
+{
+    // Linear convolution with per-symbol tap values; the cyclic
+    // prefix turns it into the circular convolution the per-bin
+    // equalizer assumes.
+    const int sym_len = phy::OfdmGeometry::kSymbolLen;
+    SampleVec out(samples.size());
+    for (size_t i = 0; i < samples.size(); ++i) {
+        int symbol =
+            static_cast<int>(i / static_cast<size_t>(sym_len));
+        Sample acc(0.0, 0.0);
+        for (int l = 0; l < numTaps(); ++l) {
+            int d = taps[static_cast<size_t>(l)].delay;
+            if (i >= static_cast<size_t>(d)) {
+                acc += tapValue(packet_index, symbol, l) *
+                       samples[i - static_cast<size_t>(d)];
+            }
+        }
+        out[i] = acc;
+    }
+    samples = std::move(out);
+    awgn.apply(samples, packet_index);
+}
+
+Sample
+MultipathChannel::impairSample(Sample s, std::uint64_t packet_index,
+                               std::uint64_t sample_index) const
+{
+    // Streaming form: requires in-order calls per packet (the LI
+    // channel module guarantees this).
+    if (packet_index != history_packet || sample_index == 0) {
+        wilis_assert(sample_index == 0,
+                     "multipath streaming must start at sample 0 "
+                     "(got %llu)",
+                     static_cast<unsigned long long>(sample_index));
+        history.clear();
+        history_packet = packet_index;
+        history_next = 0;
+    }
+    wilis_assert(sample_index == history_next,
+                 "multipath streaming out of order: %llu != %llu",
+                 static_cast<unsigned long long>(sample_index),
+                 static_cast<unsigned long long>(history_next));
+    history.push_back(s);
+    ++history_next;
+
+    int symbol = static_cast<int>(
+        sample_index /
+        static_cast<std::uint64_t>(phy::OfdmGeometry::kSymbolLen));
+    Sample acc(0.0, 0.0);
+    for (int l = 0; l < numTaps(); ++l) {
+        int d = taps[static_cast<size_t>(l)].delay;
+        if (sample_index >= static_cast<std::uint64_t>(d)) {
+            acc += tapValue(packet_index, symbol, l) *
+                   history[sample_index - static_cast<std::uint64_t>(d)];
+        }
+    }
+    return awgn.impairSample(acc, packet_index, sample_index);
+}
+
+} // namespace channel
+} // namespace wilis

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Saturating fixed-point arithmetic.
+ *
+ * The paper's hardware pipeline replaces floating point with narrow
+ * fixed-point values (section 1, approximation technique 1; section
+ * 4.1 discusses shrinking decoder inputs from 23-28 bits to 3-8 bits).
+ * FixedPoint models a signed two's-complement value with a compile-
+ * time-checked width and runtime saturation, plus a quantize() helper
+ * used by the soft demapper.
+ */
+
+#ifndef WILIS_COMMON_FIXED_POINT_HH
+#define WILIS_COMMON_FIXED_POINT_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace wilis {
+
+/**
+ * Runtime-width signed saturating integer, the value representation
+ * used throughout the modeled hardware datapath.
+ */
+class SatInt
+{
+  public:
+    /** @param width Total signed width in bits, 2..31. */
+    explicit SatInt(int width_, std::int32_t value_ = 0) : width(width_)
+    {
+        wilis_assert(width_ >= 2 && width_ <= 31,
+                     "unsupported SatInt width %d", width_);
+        value = clamp(value_);
+    }
+
+    /** Largest representable value. */
+    std::int32_t maxValue() const { return (1 << (width - 1)) - 1; }
+    /** Smallest representable value. */
+    std::int32_t minValue() const { return -(1 << (width - 1)); }
+
+    /** Current value. */
+    std::int32_t get() const { return value; }
+    /** Width in bits. */
+    int bits() const { return width; }
+
+    /** Saturating assignment. */
+    void set(std::int32_t v) { value = clamp(v); }
+
+    /** Saturating add. */
+    SatInt
+    operator+(const SatInt &o) const
+    {
+        return SatInt(width, clamp(static_cast<std::int64_t>(value) +
+                                   o.value));
+    }
+
+    /** Saturating subtract. */
+    SatInt
+    operator-(const SatInt &o) const
+    {
+        return SatInt(width, clamp(static_cast<std::int64_t>(value) -
+                                   o.value));
+    }
+
+  private:
+    std::int32_t
+    clamp(std::int64_t v) const
+    {
+        return static_cast<std::int32_t>(
+            std::clamp<std::int64_t>(v, minValue(), maxValue()));
+    }
+
+    int width;
+    std::int32_t value;
+};
+
+/**
+ * Quantize a real soft value into a signed @p width -bit integer with
+ * scaling such that @p full_scale maps to the positive saturation
+ * point. This is the demapper's fixed-point output stage.
+ *
+ * @param x          Real-valued soft metric.
+ * @param width      Signed output width in bits (>= 2).
+ * @param full_scale Real magnitude mapped to max code.
+ * @return Saturated integer code in [-(2^(w-1)), 2^(w-1)-1].
+ */
+inline std::int32_t
+quantize(double x, int width, double full_scale)
+{
+    const std::int32_t max_code = (1 << (width - 1)) - 1;
+    const std::int32_t min_code = -(1 << (width - 1));
+    double scaled = x / full_scale * static_cast<double>(max_code);
+    double rounded = std::nearbyint(scaled);
+    if (rounded > max_code)
+        return max_code;
+    if (rounded < min_code)
+        return min_code;
+    return static_cast<std::int32_t>(rounded);
+}
+
+/**
+ * Invert quantize(): map an integer code back to the real midpoint it
+ * represents. Used when converting hardware LLRs back to probability
+ * space in the BER estimator.
+ */
+inline double
+dequantize(std::int32_t code, int width, double full_scale)
+{
+    const std::int32_t max_code = (1 << (width - 1)) - 1;
+    return static_cast<double>(code) * full_scale /
+           static_cast<double>(max_code);
+}
+
+} // namespace wilis
+
+#endif // WILIS_COMMON_FIXED_POINT_HH

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Random number generation for WiLIS.
+ *
+ * Two generators are provided:
+ *  - SplitMix64: a fast sequential PRNG used for bulk bit/noise
+ *    generation where replay is not required.
+ *  - CounterRng: a counter-based (Philox-style) generator. Output is a
+ *    pure function of (key, counter), which lets the SoftRate oracle
+ *    replay *exactly* the same channel noise for every candidate rate
+ *    (the paper's "pseudo-random noise model", section 4.4.2).
+ *
+ * GaussianSource layers Box-Muller on either generator to produce unit
+ * normal deviates for the AWGN channel.
+ */
+
+#ifndef WILIS_COMMON_RANDOM_HH
+#define WILIS_COMMON_RANDOM_HH
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace wilis {
+
+/** Fast 64-bit sequential PRNG (Steele et al., SplitMix64). */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform integer in [0, bound). */
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** A single uniform random bit. */
+    std::uint8_t nextBit() { return static_cast<std::uint8_t>(next() & 1); }
+
+  private:
+    std::uint64_t state;
+};
+
+/**
+ * Counter-based generator: value = hash(key, counter). Stateless apart
+ * from the key, so any (packet, sample) index can be regenerated
+ * independently and in any order.
+ */
+class CounterRng
+{
+  public:
+    explicit CounterRng(std::uint64_t key_) : key(key_) {}
+
+    /** Raw 64-bit output for a given counter value. */
+    std::uint64_t
+    at(std::uint64_t counter) const
+    {
+        // Two rounds of a strong 64-bit mix over key ^ counter blocks.
+        std::uint64_t z = key + 0x9e3779b97f4a7c15ull * (counter + 1);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z ^= key >> 32;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform double in [0, 1) for a given counter value. */
+    double
+    doubleAt(std::uint64_t counter) const
+    {
+        return static_cast<double>(at(counter) >> 11) * 0x1.0p-53;
+    }
+
+    /** Derive a sub-generator key, e.g. per packet or per subcarrier. */
+    CounterRng
+    fork(std::uint64_t stream) const
+    {
+        return CounterRng(at(0xD1B54A32D192ED03ull ^ stream));
+    }
+
+  private:
+    std::uint64_t key;
+};
+
+/**
+ * Unit-normal deviates via Box-Muller.
+ *
+ * The stateless pairAt() form is used by the replayable channel; the
+ * stateful next() form (with caching of the second deviate) is used by
+ * the bulk multi-threaded AWGN channel.
+ */
+class GaussianSource
+{
+  public:
+    explicit GaussianSource(std::uint64_t seed)
+        : rng(seed), spare(0.0), haveSpare(false)
+    {}
+
+    /** Next unit-normal deviate (sequential, not replayable). */
+    double
+    next()
+    {
+        if (haveSpare) {
+            haveSpare = false;
+            return spare;
+        }
+        double u1 = rng.nextDouble();
+        double u2 = rng.nextDouble();
+        // Guard against log(0).
+        if (u1 < 1e-300)
+            u1 = 1e-300;
+        double r = std::sqrt(-2.0 * std::log(u1));
+        double theta = 2.0 * std::numbers::pi * u2;
+        spare = r * std::sin(theta);
+        haveSpare = true;
+        return r * std::cos(theta);
+    }
+
+    /**
+     * Replayable pair of unit-normal deviates for a counter value.
+     * Suitable for complex noise: one deviate per I/Q component.
+     */
+    static void
+    pairAt(const CounterRng &rng, std::uint64_t counter, double &g0,
+           double &g1)
+    {
+        double u1 = rng.doubleAt(2 * counter);
+        double u2 = rng.doubleAt(2 * counter + 1);
+        if (u1 < 1e-300)
+            u1 = 1e-300;
+        double r = std::sqrt(-2.0 * std::log(u1));
+        double theta = 2.0 * std::numbers::pi * u2;
+        g0 = r * std::cos(theta);
+        g1 = r * std::sin(theta);
+    }
+
+  private:
+    SplitMix64 rng;
+    double spare;
+    bool haveSpare;
+};
+
+} // namespace wilis
+
+#endif // WILIS_COMMON_RANDOM_HH

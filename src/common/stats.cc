@@ -1,0 +1,21 @@
+#include "common/stats.hh"
+
+#include "common/logging.hh"
+
+namespace wilis {
+
+ErrorStats
+countErrors(const std::vector<std::uint8_t> &ref,
+            const std::vector<std::uint8_t> &got)
+{
+    wilis_assert(ref.size() == got.size(),
+                 "stream size mismatch: %zu vs %zu", ref.size(),
+                 got.size());
+    ErrorStats s;
+    s.bits = ref.size();
+    for (size_t i = 0; i < ref.size(); ++i)
+        s.errors += (ref[i] != got[i]) ? 1u : 0u;
+    return s;
+}
+
+} // namespace wilis

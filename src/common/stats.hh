@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used by the evaluation harness:
+ * running mean/variance, log-spaced histograms for BER-vs-LLR curves,
+ * and simple named counters.
+ */
+
+#ifndef WILIS_COMMON_STATS_HH
+#define WILIS_COMMON_STATS_HH
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wilis {
+
+/** Welford running mean / variance accumulator. */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void
+    add(double x)
+    {
+        n += 1;
+        double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n);
+        m2 += delta * (x - mean_);
+    }
+
+    /** Number of samples seen. */
+    std::uint64_t count() const { return n; }
+
+    /** Sample mean (0 if empty). */
+    double mean() const { return n ? mean_ : 0.0; }
+
+    /** Population variance (0 if fewer than 2 samples). */
+    double
+    variance() const
+    {
+        return n > 1 ? m2 / static_cast<double>(n) : 0.0;
+    }
+
+    /** Population standard deviation. */
+    double stddev() const { return std::sqrt(variance()); }
+
+    /** Merge another accumulator into this one. */
+    void
+    merge(const RunningStats &other)
+    {
+        if (other.n == 0)
+            return;
+        if (n == 0) {
+            *this = other;
+            return;
+        }
+        double total = static_cast<double>(n + other.n);
+        double delta = other.mean_ - mean_;
+        m2 += other.m2 + delta * delta * static_cast<double>(n) *
+                             static_cast<double>(other.n) / total;
+        mean_ += delta * static_cast<double>(other.n) / total;
+        n += other.n;
+    }
+
+  private:
+    std::uint64_t n = 0;
+    double mean_ = 0.0;
+    double m2 = 0.0;
+};
+
+/**
+ * Per-bin error counting keyed by an integer index, used to build
+ * "BER as a function of LLR bin" curves (Figure 5) and
+ * "actual PBER per predicted-PBER decade" scatter summaries (Figure 6).
+ */
+class BinnedErrorCounter
+{
+  public:
+    /** @param num_bins Number of bins; out-of-range indices clamp. */
+    explicit BinnedErrorCounter(int num_bins)
+        : totals(static_cast<size_t>(num_bins), 0),
+          errors(static_cast<size_t>(num_bins), 0)
+    {}
+
+    /** Record one observation in @p bin; @p error true if bit wrong. */
+    void
+    record(int bin, bool error)
+    {
+        if (bin < 0)
+            bin = 0;
+        if (bin >= static_cast<int>(totals.size()))
+            bin = static_cast<int>(totals.size()) - 1;
+        totals[static_cast<size_t>(bin)] += 1;
+        if (error)
+            errors[static_cast<size_t>(bin)] += 1;
+    }
+
+    /** Number of bins. */
+    int numBins() const { return static_cast<int>(totals.size()); }
+
+    /** Total observations in @p bin. */
+    std::uint64_t total(int bin) const
+    {
+        return totals[static_cast<size_t>(bin)];
+    }
+
+    /** Error observations in @p bin. */
+    std::uint64_t errorCount(int bin) const
+    {
+        return errors[static_cast<size_t>(bin)];
+    }
+
+    /** Observed error rate in @p bin (0 if empty). */
+    double
+    rate(int bin) const
+    {
+        auto t = total(bin);
+        return t ? static_cast<double>(errorCount(bin)) /
+                       static_cast<double>(t)
+                 : 0.0;
+    }
+
+    /** Merge counts from another counter with identical binning. */
+    void
+    merge(const BinnedErrorCounter &other)
+    {
+        for (size_t i = 0; i < totals.size(); ++i) {
+            totals[i] += other.totals[i];
+            errors[i] += other.errors[i];
+        }
+    }
+
+  private:
+    std::vector<std::uint64_t> totals;
+    std::vector<std::uint64_t> errors;
+};
+
+/** Bit-error bookkeeping for a stream comparison. */
+struct ErrorStats {
+    std::uint64_t bits = 0;
+    std::uint64_t errors = 0;
+
+    /** Observed bit-error rate. */
+    double
+    ber() const
+    {
+        return bits ? static_cast<double>(errors) /
+                          static_cast<double>(bits)
+                    : 0.0;
+    }
+
+    void
+    merge(const ErrorStats &other)
+    {
+        bits += other.bits;
+        errors += other.errors;
+    }
+};
+
+/** Count bit errors between two equal-length bit streams. */
+ErrorStats countErrors(const std::vector<std::uint8_t> &ref,
+                       const std::vector<std::uint8_t> &got);
+
+} // namespace wilis
+
+#endif // WILIS_COMMON_STATS_HH

@@ -1,0 +1,60 @@
+#include "common/table.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace wilis {
+
+Table::Table(std::vector<std::string> headers)
+    : cols(std::move(headers))
+{}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    wilis_assert(cells.size() == cols.size(),
+                 "row has %zu cells, table has %zu columns",
+                 cells.size(), cols.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(cols.size());
+    for (size_t c = 0; c < cols.size(); ++c)
+        widths[c] = cols[c].size();
+    for (const auto &row : rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (size_t c = 0; c < row.size(); ++c) {
+            line += row[c];
+            if (c + 1 < row.size())
+                line += std::string(widths[c] - row[c].size() + 2,
+                                    ' ');
+        }
+        line += '\n';
+        return line;
+    };
+
+    std::string out = render_row(cols);
+    size_t total = 0;
+    for (size_t c = 0; c < cols.size(); ++c)
+        total += widths[c] + (c + 1 < cols.size() ? 2 : 0);
+    out += std::string(total, '-') + '\n';
+    for (const auto &row : rows)
+        out += render_row(row);
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+} // namespace wilis

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Plain-text table formatter for the bench binaries, which print the
+ * same rows/series the paper's tables and figures report.
+ */
+
+#ifndef WILIS_COMMON_TABLE_HH
+#define WILIS_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace wilis {
+
+/** Column-aligned text table. */
+class Table
+{
+  public:
+    /** @param headers Column titles. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row (must match the column count). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> cols;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace wilis
+
+#endif // WILIS_COMMON_TABLE_HH

@@ -1,0 +1,80 @@
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+
+namespace wilis {
+
+ThreadPool::ThreadPool(int num_threads)
+{
+    if (num_threads <= 0) {
+        num_threads = static_cast<int>(
+            std::max(1u, std::thread::hardware_concurrency()));
+    }
+    workers.reserve(static_cast<size_t>(num_threads));
+    for (int i = 0; i < num_threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        shutdown = true;
+    }
+    cv_work.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+        std::unique_lock<std::mutex> lk(mtx);
+        cv_work.wait(lk, [&] {
+            return shutdown ||
+                   (job != nullptr && generation != seen_generation);
+        });
+        if (shutdown)
+            return;
+        seen_generation = generation;
+        const auto *fn = job;
+        while (next_chunk < total_chunks) {
+            std::uint64_t chunk = next_chunk++;
+            lk.unlock();
+            (*fn)(chunk);
+            lk.lock();
+            if (++done_chunks == total_chunks)
+                cv_done.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(std::uint64_t num_chunks,
+                        const std::function<void(std::uint64_t)> &fn)
+{
+    if (num_chunks == 0)
+        return;
+    std::unique_lock<std::mutex> lk(mtx);
+    job = &fn;
+    next_chunk = 0;
+    total_chunks = num_chunks;
+    done_chunks = 0;
+    ++generation;
+    cv_work.notify_all();
+
+    // The calling thread helps out.
+    while (next_chunk < total_chunks) {
+        std::uint64_t chunk = next_chunk++;
+        lk.unlock();
+        fn(chunk);
+        lk.lock();
+        ++done_chunks;
+    }
+    cv_done.wait(lk, [&] { return done_chunks == total_chunks; });
+    job = nullptr;
+}
+
+} // namespace wilis

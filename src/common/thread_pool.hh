@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal persistent worker pool. The paper's software channel is
+ * multi-threaded because AWGN noise generation alone saturates a quad
+ * core (section 3); AwgnChannel and the BER sweep harness share this
+ * pool implementation.
+ */
+
+#ifndef WILIS_COMMON_THREAD_POOL_HH
+#define WILIS_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wilis {
+
+/** Fixed-size pool executing parallel index ranges. */
+class ThreadPool
+{
+  public:
+    /** @param num_threads Worker count; 0 = hardware concurrency. */
+    explicit ThreadPool(int num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of workers. */
+    int size() const { return static_cast<int>(workers.size()); }
+
+    /**
+     * Run fn(chunk_index) for chunk_index in [0, num_chunks) across
+     * the pool; blocks until all chunks complete. fn must be
+     * thread-safe across distinct chunk indices.
+     */
+    void parallelFor(std::uint64_t num_chunks,
+                     const std::function<void(std::uint64_t)> &fn);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::mutex mtx;
+    std::condition_variable cv_work;
+    std::condition_variable cv_done;
+    const std::function<void(std::uint64_t)> *job = nullptr;
+    std::uint64_t next_chunk = 0;
+    std::uint64_t total_chunks = 0;
+    std::uint64_t done_chunks = 0;
+    std::uint64_t generation = 0;
+    bool shutdown = false;
+};
+
+} // namespace wilis
+
+#endif // WILIS_COMMON_THREAD_POOL_HH

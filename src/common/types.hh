@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fundamental scalar and sample types shared across the WiLIS library.
+ */
+
+#ifndef WILIS_COMMON_TYPES_HH
+#define WILIS_COMMON_TYPES_HH
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace wilis {
+
+/** A single binary digit stored in a byte (0 or 1). */
+using Bit = std::uint8_t;
+
+/** A stream of bits. */
+using BitVec = std::vector<Bit>;
+
+/** Complex baseband sample. The software channel operates on doubles. */
+using Sample = std::complex<double>;
+
+/** A stream of complex baseband samples. */
+using SampleVec = std::vector<Sample>;
+
+/**
+ * Quantized soft value as produced by the hardware demapper and
+ * consumed by the soft-decision decoders. Sign encodes the bit
+ * hypothesis (positive means "more likely 1"), magnitude encodes
+ * confidence. Width is bounded by Demapper::Config::softWidth.
+ */
+using SoftBit = std::int32_t;
+
+/** A stream of quantized soft values. */
+using SoftVec = std::vector<SoftBit>;
+
+/**
+ * Decoder output for a single bit: the hard decision plus the
+ * log-likelihood-ratio confidence hint exported to SoftPHY.
+ */
+struct SoftDecision {
+    /** Decoded bit value. */
+    Bit bit = 0;
+    /**
+     * Non-negative hardware LLR hint: confidence that @c bit is
+     * correct, in decoder-specific units (see eq. 5 of the paper).
+     */
+    double llr = 0.0;
+};
+
+} // namespace wilis
+
+#endif // WILIS_COMMON_TYPES_HH

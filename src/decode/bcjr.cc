@@ -1,0 +1,226 @@
+#include "decode/bcjr.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+#include "decode/trellis_kernels.hh"
+
+namespace wilis {
+namespace decode {
+
+BcjrDecoder::BcjrDecoder(const li::Config &cfg)
+    : block_len(static_cast<int>(cfg.getInt("block_len", 64))),
+      logmap(cfg.getBool("logmap", false))
+{
+    wilis_assert(block_len >= phy::ConvCode::kConstraint,
+                 "BCJR block length %d too short", block_len);
+}
+
+std::vector<SoftDecision>
+BcjrDecoder::decodeBlock(const SoftVec &soft)
+{
+    wilis_assert(soft.size() % 2 == 0, "odd soft stream length %zu",
+                 soft.size());
+    return logmap ? decodeLogMap(soft) : decodeMaxLog(soft);
+}
+
+std::vector<SoftDecision>
+BcjrDecoder::decodeMaxLog(const SoftVec &soft) const
+{
+    const int steps = static_cast<int>(soft.size() / 2);
+    const TrellisTables &t = TrellisTables::get();
+
+    // --- Forward PMU: alpha for every step boundary.
+    std::vector<std::int32_t> alpha(
+        (static_cast<size_t>(steps) + 1) * kStates, kMetricFloor);
+    alpha[0] = 0; // trellis starts in state 0
+    std::int32_t bm[4];
+    std::uint64_t dummy;
+    for (int j = 0; j < steps; ++j) {
+        branchMetrics(soft[2 * static_cast<size_t>(j)],
+                      soft[2 * static_cast<size_t>(j) + 1], bm);
+        std::int32_t *a_j = &alpha[static_cast<size_t>(j) * kStates];
+        std::int32_t *a_j1 =
+            &alpha[(static_cast<size_t>(j) + 1) * kStates];
+        acsForward(a_j, bm, a_j1, dummy, nullptr);
+        normalizeMetrics(a_j1);
+    }
+
+    // --- Sliding-window backward passes + decision unit.
+    std::vector<SoftDecision> out(static_cast<size_t>(steps));
+
+    std::array<std::int32_t, kStates> beta;
+    std::array<std::int32_t, kStates> beta_prev;
+
+    auto exact_end = [](std::array<std::int32_t, kStates> &b) {
+        b.fill(kMetricFloor);
+        b[0] = 0; // terminated trellis ends in state 0
+    };
+
+    const int n = block_len;
+    const int last_start = ((steps - 1) / n) * n;
+    for (int w = last_start; w >= 0; w -= n) {
+        const int w_end = std::min(w + n, steps);
+
+        // Entry metric for this window's backward pass.
+        if (w_end == steps) {
+            exact_end(beta);
+        } else {
+            // Provisional backward PMU over the following block,
+            // seeded with the "uncertain" (uniform) metric.
+            const int p_end = std::min(w_end + n, steps);
+            if (p_end == steps)
+                exact_end(beta);
+            else
+                beta.fill(0);
+            for (int j = p_end - 1; j >= w_end; --j) {
+                branchMetrics(soft[2 * static_cast<size_t>(j)],
+                              soft[2 * static_cast<size_t>(j) + 1],
+                              bm);
+                acsBackward(beta.data(), bm, beta_prev.data());
+                beta = beta_prev;
+                normalizeMetrics(beta.data());
+            }
+        }
+
+        // Exact backward pass over [w, w_end) with the decision unit:
+        // at step j, beta holds the metrics for boundary j+1.
+        for (int j = w_end - 1; j >= w; --j) {
+            branchMetrics(soft[2 * static_cast<size_t>(j)],
+                          soft[2 * static_cast<size_t>(j) + 1], bm);
+            const std::int32_t *a_j =
+                &alpha[static_cast<size_t>(j) * kStates];
+            std::int32_t best1 = kMetricFloor;
+            std::int32_t best0 = kMetricFloor;
+            for (int s = 0; s < kStates; ++s) {
+                std::int32_t c0 = a_j[s] + bm[t.fwdOut[s][0]] +
+                                  beta[t.fwdNext[s][0]];
+                std::int32_t c1 = a_j[s] + bm[t.fwdOut[s][1]] +
+                                  beta[t.fwdNext[s][1]];
+                best0 = std::max(best0, c0);
+                best1 = std::max(best1, c1);
+            }
+            std::int32_t llr = best1 - best0;
+            out[static_cast<size_t>(j)].bit = llr > 0 ? 1 : 0;
+            out[static_cast<size_t>(j)].llr =
+                std::abs(static_cast<double>(llr));
+
+            acsBackward(beta.data(), bm, beta_prev.data());
+            beta = beta_prev;
+            normalizeMetrics(beta.data());
+        }
+    }
+    return out;
+}
+
+std::vector<SoftDecision>
+BcjrDecoder::decodeLogMap(const SoftVec &soft) const
+{
+    const int steps = static_cast<int>(soft.size() / 2);
+    const TrellisTables &t = TrellisTables::get();
+    const double kFloor = -1e18;
+
+    auto maxstar = [](double a, double b) {
+        double mx = std::max(a, b);
+        if (mx <= -1e17)
+            return mx;
+        return mx + std::log1p(std::exp(-std::abs(a - b)));
+    };
+
+    // Branch metrics as correlations of the (integer) soft inputs.
+    auto gamma = [&](int j, int o) {
+        double la0 = static_cast<double>(soft[2 * static_cast<size_t>(j)]);
+        double la1 =
+            static_cast<double>(soft[2 * static_cast<size_t>(j) + 1]);
+        return ((o & 1) ? la0 : -la0) + ((o & 2) ? la1 : -la1);
+    };
+
+    std::vector<double> alpha(
+        (static_cast<size_t>(steps) + 1) * kStates, kFloor);
+    alpha[0] = 0.0;
+    for (int j = 0; j < steps; ++j) {
+        double *a_j = &alpha[static_cast<size_t>(j) * kStates];
+        double *a_j1 = &alpha[(static_cast<size_t>(j) + 1) * kStates];
+        for (int s = 0; s < kStates; ++s) {
+            int p0 = phy::ConvCode::predecessor(s, 0);
+            int p1 = phy::ConvCode::predecessor(s, 1);
+            double m0 = a_j[p0] + gamma(j, t.revOut[s][0]);
+            double m1 = a_j[p1] + gamma(j, t.revOut[s][1]);
+            a_j1[s] = maxstar(m0, m1);
+        }
+        double mx = *std::max_element(a_j1, a_j1 + kStates);
+        for (int s = 0; s < kStates; ++s)
+            a_j1[s] = std::max(a_j1[s] - mx, kFloor);
+    }
+
+    std::vector<SoftDecision> out(static_cast<size_t>(steps));
+    std::array<double, kStates> beta;
+    std::array<double, kStates> beta_prev;
+
+    auto exact_end = [&](std::array<double, kStates> &b) {
+        b.fill(kFloor);
+        b[0] = 0.0;
+    };
+    auto beta_step = [&](int j) {
+        for (int s = 0; s < kStates; ++s) {
+            double m0 = beta[t.fwdNext[s][0]] + gamma(j, t.fwdOut[s][0]);
+            double m1 = beta[t.fwdNext[s][1]] + gamma(j, t.fwdOut[s][1]);
+            beta_prev[s] = maxstar(m0, m1);
+        }
+        double mx = *std::max_element(beta_prev.begin(),
+                                      beta_prev.end());
+        for (int s = 0; s < kStates; ++s)
+            beta[s] = std::max(beta_prev[s] - mx, kFloor);
+    };
+
+    const int n = block_len;
+    const int last_start = ((steps - 1) / n) * n;
+    for (int w = last_start; w >= 0; w -= n) {
+        const int w_end = std::min(w + n, steps);
+        if (w_end == steps) {
+            exact_end(beta);
+        } else {
+            const int p_end = std::min(w_end + n, steps);
+            if (p_end == steps)
+                exact_end(beta);
+            else
+                beta.fill(0.0);
+            for (int j = p_end - 1; j >= w_end; --j)
+                beta_step(j);
+        }
+
+        for (int j = w_end - 1; j >= w; --j) {
+            const double *a_j =
+                &alpha[static_cast<size_t>(j) * kStates];
+            double acc1 = kFloor;
+            double acc0 = kFloor;
+            for (int s = 0; s < kStates; ++s) {
+                double c0 = a_j[s] + gamma(j, t.fwdOut[s][0]) +
+                            beta[t.fwdNext[s][0]];
+                double c1 = a_j[s] + gamma(j, t.fwdOut[s][1]) +
+                            beta[t.fwdNext[s][1]];
+                acc0 = maxstar(acc0, c0);
+                acc1 = maxstar(acc1, c1);
+            }
+            double llr = acc1 - acc0;
+            out[static_cast<size_t>(j)].bit = llr > 0 ? 1 : 0;
+            out[static_cast<size_t>(j)].llr = std::abs(llr);
+            beta_step(j);
+        }
+    }
+    return out;
+}
+
+int
+BcjrDecoder::pipelineLatencyCycles() const
+{
+    // Section 4.3.2: two reversal buffers of size n dominate, plus
+    // pipeline and FIFO stages: 2n + 7.
+    return 2 * block_len + 7;
+}
+
+} // namespace decode
+} // namespace wilis

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Decoder registry entries and factory helpers.
+ */
+
+#include "decode/soft_decoder.hh"
+
+#include "decode/bcjr.hh"
+#include "decode/sova.hh"
+#include "decode/viterbi.hh"
+
+namespace wilis {
+namespace decode {
+
+namespace {
+
+/** BCJR with the logmap flag forced on, for registry purposes. */
+class LogMapBcjrFactory
+{
+  public:
+    static std::unique_ptr<SoftDecoder>
+    make(const li::Config &cfg)
+    {
+        li::Config c = cfg;
+        c.set("logmap", "true");
+        return std::make_unique<BcjrDecoder>(c);
+    }
+};
+
+const bool registered = [] {
+    auto &reg = DecoderRegistry::global();
+    reg.add("viterbi", [](const li::Config &cfg) {
+        return std::unique_ptr<SoftDecoder>(
+            std::make_unique<ViterbiDecoder>(cfg));
+    });
+    reg.add("sova", [](const li::Config &cfg) {
+        return std::unique_ptr<SoftDecoder>(
+            std::make_unique<SovaDecoder>(cfg));
+    });
+    reg.add("bcjr", [](const li::Config &cfg) {
+        return std::unique_ptr<SoftDecoder>(
+            std::make_unique<BcjrDecoder>(cfg));
+    });
+    reg.add("bcjr-logmap", LogMapBcjrFactory::make);
+    return true;
+}();
+
+} // namespace
+
+std::unique_ptr<SoftDecoder>
+makeDecoder(const std::string &name, const li::Config &cfg)
+{
+    return DecoderRegistry::global().create(name, cfg);
+}
+
+void
+linkDecoders()
+{
+    // Referencing `registered` pins this translation unit.
+    (void)registered;
+}
+
+} // namespace decode
+} // namespace wilis

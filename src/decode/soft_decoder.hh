@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Common interface for the convolutional decoders (hard Viterbi,
+ * SOVA, BCJR). Implementations are registered with the plug-n-play
+ * registry under the names "viterbi", "sova", "bcjr" and
+ * "bcjr-logmap", so pipelines select a microarchitecture purely by
+ * configuration -- the property WiLIS section 2 ("Plug-n-Play")
+ * advertises.
+ */
+
+#ifndef WILIS_DECODE_SOFT_DECODER_HH
+#define WILIS_DECODE_SOFT_DECODER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "li/config.hh"
+#include "li/registry.hh"
+
+namespace wilis {
+namespace decode {
+
+/**
+ * Block decoder for the terminated K=7 rate-1/2 802.11a code.
+ *
+ * Input is a depunctured rate-1/2 soft stream: two quantized soft
+ * values per trellis step, positive favouring coded bit = 1, zero
+ * meaning erasure. The trellis is assumed to start and end in state 0
+ * (the encoder appends tail bits). decodeBlock() returns one
+ * SoftDecision per trellis step, including the tail steps; callers
+ * strip the tail.
+ */
+class SoftDecoder
+{
+  public:
+    virtual ~SoftDecoder() = default;
+
+    /** Implementation name (matches the registry key). */
+    virtual std::string name() const = 0;
+
+    /** True if llr hints are meaningful (false for hard Viterbi). */
+    virtual bool producesSoftOutput() const = 0;
+
+    /**
+     * Decode one terminated block.
+     * @param soft 2*T soft values for a T-step trellis.
+     * @return T soft decisions.
+     */
+    virtual std::vector<SoftDecision> decodeBlock(
+        const SoftVec &soft) = 0;
+
+    /**
+     * Decode latency of the modeled hardware pipeline, in cycles of
+     * the decoder clock (section 4.3: SOVA l+k+12, BCJR 2n+7).
+     */
+    virtual int pipelineLatencyCycles() const = 0;
+};
+
+/** Shorthand for the decoder plug-n-play registry. */
+using DecoderRegistry = li::Registry<SoftDecoder>;
+
+/** Create a decoder by registry name. */
+std::unique_ptr<SoftDecoder> makeDecoder(
+    const std::string &name, const li::Config &cfg = li::Config());
+
+/**
+ * Force-link the decoder implementations so their static registry
+ * entries exist even when nothing else references the object files.
+ */
+void linkDecoders();
+
+} // namespace decode
+} // namespace wilis
+
+#endif // WILIS_DECODE_SOFT_DECODER_HH

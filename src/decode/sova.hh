@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Soft-Output Viterbi Algorithm decoder, modeled on the two-traceback
+ * hardware architecture of Figure 3 (Berrou et al., ICC'93): a shared
+ * BMU/PMU, a first traceback unit of length l that locates a reliable
+ * state, and a second traceback unit of length k that performs two
+ * simultaneous tracebacks (best and competitor path) and updates the
+ * per-bit soft decisions with the Hagenauer rule
+ * rel[j] = min(rel[j], delta) wherever the two paths' decisions
+ * differ.
+ *
+ * Pipeline latency is l + k + 12 cycles (section 4.3.1): one cycle
+ * each for BMU and PMU plus five 2-entry FIFOs.
+ */
+
+#ifndef WILIS_DECODE_SOVA_HH
+#define WILIS_DECODE_SOVA_HH
+
+#include "decode/soft_decoder.hh"
+
+namespace wilis {
+namespace decode {
+
+/** SOVA decoder with the Figure 3 two-traceback microarchitecture. */
+class SovaDecoder : public SoftDecoder
+{
+  public:
+    /**
+     * Config keys:
+     *  - traceback_l: first traceback unit length (default 64)
+     *  - traceback_k: second traceback unit length (default 64)
+     */
+    explicit SovaDecoder(const li::Config &cfg = li::Config());
+
+    std::string name() const override { return "sova"; }
+    bool producesSoftOutput() const override { return true; }
+    std::vector<SoftDecision> decodeBlock(const SoftVec &soft) override;
+    int pipelineLatencyCycles() const override;
+
+    /** First traceback unit length l. */
+    int tracebackL() const { return tb_l; }
+    /** Second traceback unit length k. */
+    int tracebackK() const { return tb_k; }
+
+  private:
+    int tb_l;
+    int tb_k;
+};
+
+} // namespace decode
+} // namespace wilis
+
+#endif // WILIS_DECODE_SOVA_HH

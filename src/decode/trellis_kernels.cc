@@ -1,0 +1,99 @@
+#include "decode/trellis_kernels.hh"
+
+#include <algorithm>
+
+namespace wilis {
+namespace decode {
+
+const TrellisTables &
+TrellisTables::get()
+{
+    static const TrellisTables tables = [] {
+        TrellisTables t;
+        const phy::ConvCode &code = phy::convCode();
+        for (int s = 0; s < kStates; ++s) {
+            for (int b = 0; b < 2; ++b) {
+                int pred = phy::ConvCode::predecessor(s, b);
+                int x = phy::ConvCode::inputOf(s);
+                t.revOut[s][b] = static_cast<std::uint8_t>(
+                    code.outputBits(pred, x));
+            }
+            for (int x = 0; x < 2; ++x) {
+                t.fwdNext[s][x] =
+                    static_cast<std::uint8_t>(code.nextState(s, x));
+                t.fwdOut[s][x] =
+                    static_cast<std::uint8_t>(code.outputBits(s, x));
+            }
+        }
+        return t;
+    }();
+    return tables;
+}
+
+void
+acsForward(const std::int32_t pm_in[kStates], const std::int32_t bm[4],
+           std::int32_t pm_out[kStates], std::uint64_t &choices,
+           std::int32_t *delta)
+{
+    const TrellisTables &t = TrellisTables::get();
+    choices = 0;
+    for (int s = 0; s < kStates; ++s) {
+        int p0 = phy::ConvCode::predecessor(s, 0);
+        int p1 = phy::ConvCode::predecessor(s, 1);
+        std::int32_t m0 = pm_in[p0] + bm[t.revOut[s][0]];
+        std::int32_t m1 = pm_in[p1] + bm[t.revOut[s][1]];
+        if (m1 > m0) {
+            pm_out[s] = m1;
+            choices |= 1ull << s;
+            if (delta)
+                delta[s] = m1 - m0;
+        } else {
+            pm_out[s] = m0;
+            if (delta)
+                delta[s] = m0 - m1;
+        }
+    }
+}
+
+void
+acsBackward(const std::int32_t beta_next[kStates],
+            const std::int32_t bm[4], std::int32_t beta_out[kStates])
+{
+    const TrellisTables &t = TrellisTables::get();
+    for (int s = 0; s < kStates; ++s) {
+        std::int32_t m0 = beta_next[t.fwdNext[s][0]] +
+                          bm[t.fwdOut[s][0]];
+        std::int32_t m1 = beta_next[t.fwdNext[s][1]] +
+                          bm[t.fwdOut[s][1]];
+        beta_out[s] = std::max(m0, m1);
+    }
+}
+
+void
+normalizeMetrics(std::int32_t pm[kStates])
+{
+    std::int32_t mx = pm[0];
+    for (int s = 1; s < kStates; ++s)
+        mx = std::max(mx, pm[s]);
+    for (int s = 0; s < kStates; ++s) {
+        // Keep impossible states pinned at the floor.
+        if (pm[s] <= kMetricFloor / 2)
+            pm[s] = kMetricFloor;
+        else
+            pm[s] -= mx;
+    }
+}
+
+int
+bestState(const std::int32_t pm[kStates])
+{
+    int best = 0;
+    for (int s = 1; s < kStates; ++s) {
+        if (pm[s] > pm[best])
+            best = s;
+    }
+    return best;
+}
+
+} // namespace decode
+} // namespace wilis

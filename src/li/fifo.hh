@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Bounded FIFOs: the only communication mechanism between latency-
+ * insensitive modules (WiLIS section 2, "Latency-Insensitivity").
+ *
+ * A module may enq() only after checking canEnq(), and deq() only
+ * after canDeq(); violating the handshake is a panic, mirroring the
+ * guarded-FIFO semantics of Bluespec. FifoBase collects occupancy and
+ * stall statistics so the scheduler can detect quiescence and the
+ * benches can report back-pressure.
+ */
+
+#ifndef WILIS_LI_FIFO_HH
+#define WILIS_LI_FIFO_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace wilis {
+namespace li {
+
+/** Type-erased FIFO interface used by the scheduler and stats. */
+class FifoBase
+{
+  public:
+    FifoBase(std::string name_, size_t capacity_)
+        : name_str(std::move(name_)), cap(capacity_)
+    {
+        wilis_assert(cap >= 1, "FIFO '%s' needs capacity >= 1",
+                     name_str.c_str());
+    }
+
+    virtual ~FifoBase() = default;
+
+    FifoBase(const FifoBase &) = delete;
+    FifoBase &operator=(const FifoBase &) = delete;
+
+    /** FIFO instance name (for diagnostics). */
+    const std::string &name() const { return name_str; }
+
+    /** Maximum number of buffered elements. */
+    size_t capacity() const { return cap; }
+
+    /** Current number of buffered elements. */
+    virtual size_t size() const = 0;
+
+    /** True if empty. */
+    bool empty() const { return size() == 0; }
+
+    /** True if an element may be enqueued this cycle. */
+    virtual bool canEnq() const { return size() < cap; }
+
+    /** True if an element may be dequeued this cycle. */
+    virtual bool canDeq() const { return size() > 0; }
+
+    /** Total elements ever enqueued. */
+    std::uint64_t enqCount() const { return enqs; }
+
+    /** Producer-side stalls observed (canEnq() false when polled). */
+    std::uint64_t fullStalls() const { return full_stalls; }
+
+    /** Consumer-side stalls observed (canDeq() false when polled). */
+    std::uint64_t emptyStalls() const { return empty_stalls; }
+
+    /** Record a producer stall (called by modules). */
+    void noteFullStall() { ++full_stalls; }
+
+    /** Record a consumer stall (called by modules). */
+    void noteEmptyStall() { ++empty_stalls; }
+
+  protected:
+    std::string name_str;
+    size_t cap;
+    std::uint64_t enqs = 0;
+    std::uint64_t full_stalls = 0;
+    std::uint64_t empty_stalls = 0;
+};
+
+/**
+ * Typed bounded FIFO.
+ *
+ * @tparam T element type; moved in and out.
+ */
+template <typename T>
+class Fifo : public FifoBase
+{
+  public:
+    Fifo(std::string name_, size_t capacity_)
+        : FifoBase(std::move(name_), capacity_)
+    {}
+
+    size_t size() const override { return buf.size(); }
+
+    /** Enqueue one element; panics if full. */
+    virtual void
+    enq(T value)
+    {
+        wilis_assert(canEnq(), "enq on full FIFO '%s'",
+                     name_str.c_str());
+        buf.push_back(std::move(value));
+        ++enqs;
+    }
+
+    /** Peek at the oldest element; panics if empty. */
+    virtual const T &
+    first() const
+    {
+        wilis_assert(canDeq(), "first on empty FIFO '%s'",
+                     name_str.c_str());
+        return buf.front();
+    }
+
+    /** Dequeue the oldest element; panics if empty. */
+    virtual T
+    deq()
+    {
+        wilis_assert(canDeq(), "deq on empty FIFO '%s'",
+                     name_str.c_str());
+        T v = std::move(buf.front());
+        buf.pop_front();
+        return v;
+    }
+
+  protected:
+    std::deque<T> buf;
+};
+
+} // namespace li
+} // namespace wilis
+
+#endif // WILIS_LI_FIFO_HH

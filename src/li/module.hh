@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Base class for latency-insensitive modules.
+ *
+ * A Module is a clocked state machine whose only external interaction
+ * is through FIFO ports. tick() is invoked once per cycle of the
+ * module's clock domain and returns whether the module made forward
+ * progress (used for quiescence detection). Modules must not assume
+ * anything about neighbour latency: this is the property that lets
+ * WiLIS swap implementations and change clock ratios without breaking
+ * the pipeline.
+ */
+
+#ifndef WILIS_LI_MODULE_HH
+#define WILIS_LI_MODULE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "li/clock.hh"
+
+namespace wilis {
+namespace li {
+
+/** A clocked latency-insensitive module. */
+class Module
+{
+  public:
+    /**
+     * @param name_  Instance name for diagnostics.
+     */
+    explicit Module(std::string name_)
+        : name_str(std::move(name_))
+    {}
+
+    virtual ~Module() = default;
+
+    Module(const Module &) = delete;
+    Module &operator=(const Module &) = delete;
+
+    /** Instance name. */
+    const std::string &name() const { return name_str; }
+
+    /** Clock domain this module is scheduled in (set by Scheduler). */
+    ClockDomain *domain() const { return clock_domain; }
+
+    /** Bind the module to a clock domain (Scheduler calls this). */
+    void setDomain(ClockDomain *d) { clock_domain = d; }
+
+    /**
+     * Execute one cycle.
+     * @return true if any state changed or data moved; false if the
+     *         module was completely idle this cycle.
+     */
+    virtual bool tick() = 0;
+
+    /** Cycles in which this module did useful work. */
+    std::uint64_t busyCycles() const { return busy_cycles; }
+
+    /** Total tick() invocations. */
+    std::uint64_t totalCycles() const { return total_cycles; }
+
+    /** Scheduler-side accounting wrapper around tick(). */
+    bool
+    clockedTick()
+    {
+        ++total_cycles;
+        bool busy = tick();
+        if (busy)
+            ++busy_cycles;
+        return busy;
+    }
+
+  private:
+    std::string name_str;
+    ClockDomain *clock_domain = nullptr;
+    std::uint64_t busy_cycles = 0;
+    std::uint64_t total_cycles = 0;
+};
+
+} // namespace li
+} // namespace wilis
+
+#endif // WILIS_LI_MODULE_HH

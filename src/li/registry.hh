@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Plug-n-play implementation registry (the AWB analog, WiLIS section
+ * 2). For any interface type I, Registry<I> maps implementation names
+ * to factories taking a Config. Pipelines look implementations up by
+ * name at construction time, so swapping e.g. the soft decoder from
+ * "sova" to "bcjr" is a configuration change, not a source change.
+ */
+
+#ifndef WILIS_LI_REGISTRY_HH
+#define WILIS_LI_REGISTRY_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "li/config.hh"
+
+namespace wilis {
+namespace li {
+
+/**
+ * Registry of named factories producing implementations of interface
+ * @tparam I. One global registry exists per interface type.
+ */
+template <typename I>
+class Registry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<I>(const Config &)>;
+
+    /** The process-wide registry for interface I. */
+    static Registry &
+    global()
+    {
+        static Registry instance;
+        return instance;
+    }
+
+    /**
+     * Register a factory under @p name.
+     * @return true (usable as a static initializer).
+     */
+    bool
+    add(const std::string &name, Factory factory)
+    {
+        wilis_assert(!factories.count(name),
+                     "duplicate registration '%s'", name.c_str());
+        factories[name] = std::move(factory);
+        return true;
+    }
+
+    /** True if an implementation named @p name exists. */
+    bool has(const std::string &name) const
+    {
+        return factories.count(name) > 0;
+    }
+
+    /** Instantiate @p name with @p cfg; fatal if unknown. */
+    std::unique_ptr<I>
+    create(const std::string &name, const Config &cfg = Config()) const
+    {
+        auto it = factories.find(name);
+        if (it == factories.end()) {
+            wilis_fatal("no implementation '%s' registered (known: %s)",
+                        name.c_str(), knownList().c_str());
+        }
+        return it->second(cfg);
+    }
+
+    /** Names of all registered implementations, sorted. */
+    std::vector<std::string>
+    names() const
+    {
+        std::vector<std::string> out;
+        for (const auto &kv : factories)
+            out.push_back(kv.first);
+        return out;
+    }
+
+  private:
+    std::string
+    knownList() const
+    {
+        std::string s;
+        for (const auto &kv : factories) {
+            if (!s.empty())
+                s += ", ";
+            s += kv.first;
+        }
+        return s.empty() ? "<none>" : s;
+    }
+
+    std::map<std::string, Factory> factories;
+};
+
+/**
+ * Register @p impl_class as implementation @p name_str of interface
+ * @p iface. The class must have a constructor taking const Config&.
+ */
+#define WILIS_REGISTER_IMPL(iface, name_str, impl_class) \
+    static const bool wilis_reg_##impl_class = \
+        ::wilis::li::Registry<iface>::global().add( \
+            name_str, \
+            [](const ::wilis::li::Config &cfg) \
+                -> std::unique_ptr<iface> { \
+                return std::make_unique<impl_class>(cfg); \
+            })
+
+} // namespace li
+} // namespace wilis
+
+#endif // WILIS_LI_REGISTRY_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Conventional link-layer Automatic Repeat-reQuest: any bit error
+ * forces retransmission of the *entire* packet (section 4's framing
+ * of why PPR and SoftRate help). Used as the efficiency baseline for
+ * the PPR comparison.
+ */
+
+#ifndef WILIS_MAC_ARQ_HH
+#define WILIS_MAC_ARQ_HH
+
+#include <cstdint>
+
+namespace wilis {
+namespace mac {
+
+/** Transmission bookkeeping for whole-packet ARQ. */
+class ArqTracker
+{
+  public:
+    /** @param max_retries Attempts before giving up (0 = infinite). */
+    explicit ArqTracker(int max_retries = 8)
+        : max_retries_(max_retries)
+    {}
+
+    /**
+     * Account one packet delivery attempt sequence.
+     * @param payload_bits    Packet size.
+     * @param attempts_needed Attempts until the first error-free
+     *                        reception (>= 1); if it exceeds the
+     *                        retry budget, the packet is lost.
+     */
+    void
+    recordPacket(std::uint64_t payload_bits, int attempts_needed)
+    {
+        ++packets;
+        int attempts = attempts_needed;
+        if (max_retries_ > 0 && attempts > max_retries_) {
+            attempts = max_retries_;
+            ++lost;
+        } else {
+            delivered_bits += payload_bits;
+        }
+        transmitted_bits +=
+            static_cast<std::uint64_t>(attempts) * payload_bits;
+    }
+
+    /** Useful bits delivered / bits transmitted. */
+    double
+    efficiency() const
+    {
+        return transmitted_bits
+                   ? static_cast<double>(delivered_bits) /
+                         static_cast<double>(transmitted_bits)
+                   : 0.0;
+    }
+
+    std::uint64_t packetsSeen() const { return packets; }
+    std::uint64_t packetsLost() const { return lost; }
+    std::uint64_t bitsTransmitted() const { return transmitted_bits; }
+    std::uint64_t bitsDelivered() const { return delivered_bits; }
+
+  private:
+    int max_retries_;
+    std::uint64_t packets = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t transmitted_bits = 0;
+    std::uint64_t delivered_bits = 0;
+};
+
+} // namespace mac
+} // namespace wilis
+
+#endif // WILIS_MAC_ARQ_HH

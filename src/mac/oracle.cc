@@ -1,0 +1,63 @@
+#include "mac/oracle.hh"
+
+namespace wilis {
+namespace mac {
+
+RateOracle::RateOracle(const sim::TestbenchConfig &base)
+{
+    for (int r = 0; r < phy::kNumRates; ++r) {
+        sim::TestbenchConfig cfg = base;
+        cfg.rate = r;
+        benches[static_cast<size_t>(r)] =
+            std::make_unique<sim::Testbench>(cfg);
+    }
+}
+
+int
+RateOracle::optimalRate(size_t payload_bits,
+                        std::uint64_t packet_index)
+{
+    for (int r = phy::kNumRates - 1; r >= 0; --r) {
+        sim::PacketResult res =
+            benches[static_cast<size_t>(r)]->runPacket(payload_bits,
+                                                       packet_index);
+        if (res.ok)
+            return r;
+    }
+    return -1;
+}
+
+sim::PacketResult
+RateOracle::runAtRate(phy::RateIndex rate, size_t payload_bits,
+                      std::uint64_t packet_index)
+{
+    return benches[static_cast<size_t>(rate)]->runPacket(
+        payload_bits, packet_index);
+}
+
+double
+SelectionStats::underPct() const
+{
+    return total() ? 100.0 * static_cast<double>(under) /
+                         static_cast<double>(total())
+                   : 0.0;
+}
+
+double
+SelectionStats::accuratePct() const
+{
+    return total() ? 100.0 * static_cast<double>(accurate) /
+                         static_cast<double>(total())
+                   : 0.0;
+}
+
+double
+SelectionStats::overPct() const
+{
+    return total() ? 100.0 * static_cast<double>(over) /
+                         static_cast<double>(total())
+                   : 0.0;
+}
+
+} // namespace mac
+} // namespace wilis

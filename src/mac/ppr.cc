@@ -1,0 +1,44 @@
+#include "mac/ppr.hh"
+
+#include "common/logging.hh"
+
+namespace wilis {
+namespace mac {
+
+PprOutcome
+PprPolicy::evaluate(phy::Modulation mod,
+                    const std::vector<SoftDecision> &soft,
+                    const BitVec &ref) const
+{
+    wilis_assert(soft.size() == ref.size(),
+                 "soft/ref size mismatch %zu vs %zu", soft.size(),
+                 ref.size());
+    const size_t n = soft.size();
+    const size_t chunk_sz = static_cast<size_t>(chunk);
+    const size_t num_chunks = (n + chunk_sz - 1) / chunk_sz;
+
+    // Pass 1: flag chunks containing any suspicious bit.
+    std::vector<bool> flagged(num_chunks, false);
+    for (size_t i = 0; i < n; ++i) {
+        if (est->perBitBer(mod, soft[i].llr) > threshold)
+            flagged[i / chunk_sz] = true;
+    }
+
+    // Pass 2: account outcomes against ground truth.
+    PprOutcome out;
+    out.totalBits = n;
+    for (size_t i = 0; i < n; ++i) {
+        bool chunk_flagged = flagged[i / chunk_sz];
+        bool wrong = soft[i].bit != ref[i];
+        if (chunk_flagged)
+            ++out.flaggedBits;
+        if (wrong && chunk_flagged)
+            ++out.caughtErrors;
+        else if (wrong)
+            ++out.missedErrors;
+    }
+    return out;
+}
+
+} // namespace mac
+} // namespace wilis

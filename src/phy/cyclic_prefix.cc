@@ -1,0 +1,31 @@
+#include "phy/cyclic_prefix.hh"
+
+#include "common/logging.hh"
+
+namespace wilis {
+namespace phy {
+
+SampleVec
+addCyclicPrefix(const SampleVec &body)
+{
+    wilis_assert(body.size() == OfdmGeometry::kFftSize,
+                 "symbol body size %zu", body.size());
+    SampleVec out;
+    out.reserve(OfdmGeometry::kSymbolLen);
+    out.insert(out.end(),
+               body.end() - OfdmGeometry::kCpLen, body.end());
+    out.insert(out.end(), body.begin(), body.end());
+    return out;
+}
+
+SampleVec
+removeCyclicPrefix(const SampleVec &symbol)
+{
+    wilis_assert(symbol.size() == OfdmGeometry::kSymbolLen,
+                 "symbol size %zu", symbol.size());
+    return SampleVec(symbol.begin() + OfdmGeometry::kCpLen,
+                     symbol.end());
+}
+
+} // namespace phy
+} // namespace wilis

@@ -1,0 +1,110 @@
+#include "phy/demapper.hh"
+
+#include <cmath>
+
+#include "common/fixed_point.hh"
+#include "common/logging.hh"
+
+namespace wilis {
+namespace phy {
+
+Demapper::Demapper(Modulation mod_) : Demapper(mod_, Config()) {}
+
+Demapper::Demapper(Modulation mod_, const Config &cfg_)
+    : mod(mod_), cfg(cfg_)
+{
+    wilis_assert(cfg.softWidth >= 2 && cfg.softWidth <= 24,
+                 "soft width %d out of range", cfg.softWidth);
+    scale = cfg.applySnrScaling
+                ? cfg.esN0 * modulationLlrScale(mod)
+                : 1.0;
+}
+
+void
+Demapper::axisMetrics(double v, double *m, int bits_per_axis) const
+{
+    // Simplified piecewise-linear metrics (Tosato-Bisaglia). The
+    // constellation levels are at odd multiples of k_mod.
+    switch (bits_per_axis) {
+      case 1:
+        m[0] = v;
+        return;
+      case 2: {
+        const double k = 1.0 / std::sqrt(10.0);
+        m[0] = v;
+        m[1] = 2.0 * k - std::abs(v);
+        return;
+      }
+      case 3: {
+        const double k = 1.0 / std::sqrt(42.0);
+        m[0] = v;
+        m[1] = 4.0 * k - std::abs(v);
+        m[2] = 2.0 * k - std::abs(std::abs(v) - 4.0 * k);
+        return;
+      }
+      default:
+        wilis_panic("unsupported bits per axis %d", bits_per_axis);
+    }
+}
+
+void
+Demapper::demapReal(Sample y, std::vector<double> &out) const
+{
+    double m[3];
+    switch (mod) {
+      case Modulation::BPSK:
+        axisMetrics(y.real(), m, 1);
+        out.push_back(scale * m[0]);
+        return;
+      case Modulation::QPSK:
+        axisMetrics(y.real(), m, 1);
+        out.push_back(scale * m[0]);
+        axisMetrics(y.imag(), m, 1);
+        out.push_back(scale * m[0]);
+        return;
+      case Modulation::QAM16:
+        axisMetrics(y.real(), m, 2);
+        out.push_back(scale * m[0]);
+        out.push_back(scale * m[1]);
+        axisMetrics(y.imag(), m, 2);
+        out.push_back(scale * m[0]);
+        out.push_back(scale * m[1]);
+        return;
+      case Modulation::QAM64:
+        axisMetrics(y.real(), m, 3);
+        out.push_back(scale * m[0]);
+        out.push_back(scale * m[1]);
+        out.push_back(scale * m[2]);
+        axisMetrics(y.imag(), m, 3);
+        out.push_back(scale * m[0]);
+        out.push_back(scale * m[1]);
+        out.push_back(scale * m[2]);
+        return;
+    }
+    wilis_panic("bad modulation");
+}
+
+void
+Demapper::demap(Sample y, SoftVec &out, double weight) const
+{
+    std::vector<double> real_metrics;
+    real_metrics.reserve(6);
+    demapReal(y, real_metrics);
+    for (double v : real_metrics)
+        out.push_back(
+            quantize(v * weight, cfg.softWidth, cfg.fullScale));
+}
+
+SoftVec
+Demapper::demapStream(const SampleVec &symbols) const
+{
+    SoftVec out;
+    out.reserve(symbols.size() *
+                static_cast<size_t>(bitsPerSubcarrier(mod)));
+    for (Sample y : symbols)
+        demap(y, out);
+    return out;
+}
+
+} // namespace phy
+} // namespace wilis

@@ -1,0 +1,82 @@
+#include "phy/fft.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.hh"
+
+namespace wilis {
+namespace phy {
+
+Fft::Fft(int size_) : n(size_)
+{
+    wilis_assert(n >= 2 && (n & (n - 1)) == 0,
+                 "FFT size %d is not a power of two", n);
+    log2n = 0;
+    while ((1 << log2n) < n)
+        ++log2n;
+
+    twiddles.resize(static_cast<size_t>(n / 2));
+    for (int k = 0; k < n / 2; ++k) {
+        double ang = -2.0 * std::numbers::pi * k / n;
+        twiddles[static_cast<size_t>(k)] =
+            Sample(std::cos(ang), std::sin(ang));
+    }
+
+    bitrev.resize(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        int r = 0;
+        for (int b = 0; b < log2n; ++b)
+            r |= ((i >> b) & 1) << (log2n - 1 - b);
+        bitrev[static_cast<size_t>(i)] = r;
+    }
+}
+
+void
+Fft::transform(SampleVec &x, bool invert) const
+{
+    wilis_assert(static_cast<int>(x.size()) == n,
+                 "FFT input size %zu != %d", x.size(), n);
+
+    for (int i = 0; i < n; ++i) {
+        int j = bitrev[static_cast<size_t>(i)];
+        if (i < j)
+            std::swap(x[static_cast<size_t>(i)],
+                      x[static_cast<size_t>(j)]);
+    }
+
+    for (int len = 2; len <= n; len <<= 1) {
+        int half = len >> 1;
+        int step = n / len;
+        for (int i = 0; i < n; i += len) {
+            for (int j = 0; j < half; ++j) {
+                Sample w = twiddles[static_cast<size_t>(j * step)];
+                if (invert)
+                    w = std::conj(w);
+                Sample u = x[static_cast<size_t>(i + j)];
+                Sample v = x[static_cast<size_t>(i + j + half)] * w;
+                x[static_cast<size_t>(i + j)] = u + v;
+                x[static_cast<size_t>(i + j + half)] = u - v;
+            }
+        }
+    }
+
+    double scale = 1.0 / std::sqrt(static_cast<double>(n));
+    for (auto &v : x)
+        v *= scale;
+}
+
+void
+Fft::forward(SampleVec &x) const
+{
+    transform(x, false);
+}
+
+void
+Fft::inverse(SampleVec &x) const
+{
+    transform(x, true);
+}
+
+} // namespace phy
+} // namespace wilis

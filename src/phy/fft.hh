@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Unitary radix-2 FFT/IFFT used by the OFDM modulator and
+ * demodulator. Both directions scale by 1/sqrt(N) so that symbol
+ * energy is preserved and the AWGN variance set in the time domain
+ * equals the per-subcarrier noise variance seen by the demapper.
+ */
+
+#ifndef WILIS_PHY_FFT_HH
+#define WILIS_PHY_FFT_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace wilis {
+namespace phy {
+
+/** Precomputed-twiddle unitary FFT of a fixed power-of-two size. */
+class Fft
+{
+  public:
+    /** @param size_ Transform size; must be a power of two. */
+    explicit Fft(int size_);
+
+    /** Transform size. */
+    int size() const { return n; }
+
+    /** In-place forward transform (time -> frequency), unitary. */
+    void forward(SampleVec &x) const;
+
+    /** In-place inverse transform (frequency -> time), unitary. */
+    void inverse(SampleVec &x) const;
+
+  private:
+    void transform(SampleVec &x, bool invert) const;
+
+    int n;
+    int log2n;
+    std::vector<Sample> twiddles; // exp(-2*pi*i*k/n), k < n/2
+    std::vector<int> bitrev;
+};
+
+} // namespace phy
+} // namespace wilis
+
+#endif // WILIS_PHY_FFT_HH

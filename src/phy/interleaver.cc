@@ -1,0 +1,94 @@
+#include "phy/interleaver.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace wilis {
+namespace phy {
+
+Interleaver::Interleaver(Modulation mod)
+{
+    int n_bpsc = bitsPerSubcarrier(mod);
+    n_cbps = 48 * n_bpsc;
+    int s = std::max(n_bpsc / 2, 1);
+
+    fwd.resize(static_cast<size_t>(n_cbps));
+    inv.resize(static_cast<size_t>(n_cbps));
+
+    for (int k = 0; k < n_cbps; ++k) {
+        // First permutation (17-18).
+        int i = (n_cbps / 16) * (k % 16) + (k / 16);
+        // Second permutation (17-19).
+        int j = s * (i / s) +
+                (i + n_cbps - (16 * i) / n_cbps) % s;
+        fwd[static_cast<size_t>(k)] = j;
+    }
+    for (int k = 0; k < n_cbps; ++k)
+        inv[static_cast<size_t>(fwd[static_cast<size_t>(k)])] = k;
+}
+
+BitVec
+Interleaver::interleave(const BitVec &in) const
+{
+    wilis_assert(static_cast<int>(in.size()) == n_cbps,
+                 "interleave block size %zu != N_CBPS %d", in.size(),
+                 n_cbps);
+    BitVec out(in.size());
+    for (int k = 0; k < n_cbps; ++k)
+        out[static_cast<size_t>(fwd[static_cast<size_t>(k)])] =
+            in[static_cast<size_t>(k)];
+    return out;
+}
+
+SoftVec
+Interleaver::deinterleave(const SoftVec &in) const
+{
+    wilis_assert(static_cast<int>(in.size()) == n_cbps,
+                 "deinterleave block size %zu != N_CBPS %d", in.size(),
+                 n_cbps);
+    SoftVec out(in.size());
+    for (int j = 0; j < n_cbps; ++j)
+        out[static_cast<size_t>(inv[static_cast<size_t>(j)])] =
+            in[static_cast<size_t>(j)];
+    return out;
+}
+
+BitVec
+Interleaver::interleaveStream(const BitVec &in) const
+{
+    wilis_assert(in.size() % static_cast<size_t>(n_cbps) == 0,
+                 "stream length %zu not a multiple of N_CBPS %d",
+                 in.size(), n_cbps);
+    BitVec out(in.size());
+    for (size_t base = 0; base < in.size();
+         base += static_cast<size_t>(n_cbps)) {
+        for (int k = 0; k < n_cbps; ++k) {
+            out[base + static_cast<size_t>(
+                           fwd[static_cast<size_t>(k)])] =
+                in[base + static_cast<size_t>(k)];
+        }
+    }
+    return out;
+}
+
+SoftVec
+Interleaver::deinterleaveStream(const SoftVec &in) const
+{
+    wilis_assert(in.size() % static_cast<size_t>(n_cbps) == 0,
+                 "stream length %zu not a multiple of N_CBPS %d",
+                 in.size(), n_cbps);
+    SoftVec out(in.size());
+    for (size_t base = 0; base < in.size();
+         base += static_cast<size_t>(n_cbps)) {
+        for (int j = 0; j < n_cbps; ++j) {
+            out[base + static_cast<size_t>(
+                           inv[static_cast<size_t>(j)])] =
+                in[base + static_cast<size_t>(j)];
+        }
+    }
+    return out;
+}
+
+} // namespace phy
+} // namespace wilis

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * 802.11a block interleaver (clause 17.3.5.6): two permutations over
+ * each OFDM symbol's N_CBPS coded bits. The first spreads adjacent
+ * coded bits across subcarriers (defeating frequency-local fades);
+ * the second alternates them between more- and less-significant
+ * constellation bit positions.
+ */
+
+#ifndef WILIS_PHY_INTERLEAVER_HH
+#define WILIS_PHY_INTERLEAVER_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "phy/modulation.hh"
+
+namespace wilis {
+namespace phy {
+
+/** Per-symbol block interleaver/deinterleaver. */
+class Interleaver
+{
+  public:
+    /** @param mod Modulation (fixes N_BPSC and hence N_CBPS). */
+    explicit Interleaver(Modulation mod);
+
+    /** Coded bits per interleaving block. */
+    int blockSize() const { return n_cbps; }
+
+    /** Interleave one symbol's worth of bits. */
+    BitVec interleave(const BitVec &in) const;
+
+    /** Deinterleave one symbol's worth of soft values. */
+    SoftVec deinterleave(const SoftVec &in) const;
+
+    /**
+     * Interleave a whole stream (length must be a multiple of
+     * blockSize()).
+     */
+    BitVec interleaveStream(const BitVec &in) const;
+
+    /** Deinterleave a whole soft stream. */
+    SoftVec deinterleaveStream(const SoftVec &in) const;
+
+    /** Position bit k moves to after interleaving. */
+    int
+    txPosition(int k) const
+    {
+        return fwd[static_cast<size_t>(k)];
+    }
+
+  private:
+    int n_cbps;
+    std::vector<int> fwd; // fwd[k] = interleaved position of bit k
+    std::vector<int> inv; // inv[j] = original position of bit j
+};
+
+} // namespace phy
+} // namespace wilis
+
+#endif // WILIS_PHY_INTERLEAVER_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * 802.11a/g rate set: modulation schemes, code rates, and the derived
+ * per-OFDM-symbol bit counts (N_BPSC, N_CBPS, N_DBPS). These are the
+ * eight rates evaluated in Figure 2 of the paper.
+ */
+
+#ifndef WILIS_PHY_MODULATION_HH
+#define WILIS_PHY_MODULATION_HH
+
+#include <string>
+#include <vector>
+
+namespace wilis {
+namespace phy {
+
+/** Subcarrier modulation schemes of 802.11a/g. */
+enum class Modulation { BPSK, QPSK, QAM16, QAM64 };
+
+/** Convolutional code rates of 802.11a/g (mother code 1/2). */
+enum class CodeRate { R12, R23, R34 };
+
+/** Number of coded bits carried per subcarrier (N_BPSC). */
+int bitsPerSubcarrier(Modulation m);
+
+/** Human-readable modulation name ("QAM-16" etc.). */
+std::string modulationName(Modulation m);
+
+/** Human-readable code-rate name ("1/2" etc.). */
+std::string codeRateName(CodeRate r);
+
+/** Code rate as a fraction. */
+double codeRateValue(CodeRate r);
+
+/**
+ * Demapper LLR scaling constant S_modulation of eqs. 3/5: the factor
+ * relating the simplified distance metric to a true LLR at unit SNR.
+ * Equal to 4 / sqrt(constellation normalization).
+ */
+double modulationLlrScale(Modulation m);
+
+/** One entry of the 802.11a/g rate table. */
+struct RateParams {
+    Modulation modulation;
+    CodeRate codeRate;
+    /** Line rate in Mb/s (6..54). */
+    double lineRateMbps;
+    /** Coded bits per subcarrier. */
+    int nBpsc;
+    /** Coded bits per OFDM symbol (48 data subcarriers). */
+    int nCbps;
+    /** Data bits per OFDM symbol. */
+    int nDbps;
+
+    /** e.g. "QPSK 3/4 (18 Mbps)". */
+    std::string name() const;
+};
+
+/** Index into the 8-entry rate table (0 = BPSK 1/2 ... 7 = QAM64 3/4). */
+using RateIndex = int;
+
+/** Number of 802.11a/g rates. */
+constexpr int kNumRates = 8;
+
+/** The 802.11a/g rate table in increasing-speed order. */
+const RateParams &rateTable(RateIndex idx);
+
+/** All rates, for sweeps. */
+std::vector<RateIndex> allRates();
+
+} // namespace phy
+} // namespace wilis
+
+#endif // WILIS_PHY_MODULATION_HH

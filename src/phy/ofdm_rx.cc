@@ -1,0 +1,110 @@
+#include "phy/ofdm_rx.hh"
+
+#include "common/logging.hh"
+#include "phy/conv_code.hh"
+#include "phy/cyclic_prefix.hh"
+#include "phy/scrambler.hh"
+
+namespace wilis {
+namespace phy {
+
+std::uint64_t
+RxResult::bitErrors(const BitVec &ref) const
+{
+    wilis_assert(ref.size() == payload.size(),
+                 "payload size mismatch: %zu vs %zu", ref.size(),
+                 payload.size());
+    std::uint64_t errors = 0;
+    for (size_t i = 0; i < ref.size(); ++i)
+        errors += (ref[i] != payload[i]) ? 1u : 0u;
+    return errors;
+}
+
+OfdmReceiver::OfdmReceiver(RateIndex rate_idx)
+    : OfdmReceiver(rate_idx, Config())
+{}
+
+OfdmReceiver::OfdmReceiver(RateIndex rate_idx, const Config &cfg_)
+    : params(rateTable(rate_idx)), cfg(cfg_),
+      interleaver(params.modulation), puncturer(params.codeRate),
+      demapper(params.modulation, cfg_.demapper),
+      fft(OfdmGeometry::kFftSize),
+      dec(decode::makeDecoder(cfg_.decoder, cfg_.decoderCfg))
+{}
+
+RxResult
+OfdmReceiver::demodulate(const SampleVec &samples, size_t payload_bits,
+                         const channel::Channel *csi,
+                         std::uint64_t packet_index)
+{
+    wilis_assert(samples.size() % OfdmGeometry::kSymbolLen == 0,
+                 "sample count %zu not a whole number of symbols",
+                 samples.size());
+    const int nsym =
+        static_cast<int>(samples.size() / OfdmGeometry::kSymbolLen);
+
+    // Per-symbol: strip CP, FFT, equalize, soft-demap, deinterleave.
+    SoftVec soft_stream;
+    soft_stream.reserve(static_cast<size_t>(nsym) *
+                        static_cast<size_t>(params.nCbps));
+    SampleVec sym(OfdmGeometry::kSymbolLen);
+    for (int s = 0; s < nsym; ++s) {
+        const size_t base = static_cast<size_t>(s) *
+                            OfdmGeometry::kSymbolLen;
+        sym.assign(samples.begin() + static_cast<long>(base),
+                   samples.begin() +
+                       static_cast<long>(base +
+                                         OfdmGeometry::kSymbolLen));
+        SampleVec body = removeCyclicPrefix(sym);
+        fft.forward(body);
+
+        SoftVec sym_soft;
+        sym_soft.reserve(static_cast<size_t>(params.nCbps));
+        for (int d = 0; d < OfdmGeometry::kDataCarriers; ++d) {
+            int bin = OfdmGeometry::dataBin(d);
+            Sample h = csi ? csi->binGain(packet_index, s, bin)
+                           : Sample(1.0, 0.0);
+            Sample y = body[static_cast<size_t>(bin)] / h;
+            double w = cfg.applyCsiWeight ? std::abs(h) : 1.0;
+            demapper.demap(y, sym_soft, w);
+        }
+        SoftVec deint = interleaver.deinterleave(sym_soft);
+        soft_stream.insert(soft_stream.end(), deint.begin(),
+                           deint.end());
+    }
+
+    // Depuncture and decode the terminated block.
+    SoftVec rate_half = puncturer.depuncture(soft_stream);
+    std::vector<SoftDecision> decisions = dec->decodeBlock(rate_half);
+
+    const size_t info_bits =
+        static_cast<size_t>(nsym) *
+            static_cast<size_t>(params.nDbps) -
+        ConvCode::kTailBits;
+    wilis_assert(decisions.size() ==
+                     info_bits + ConvCode::kTailBits,
+                 "decoder returned %zu decisions, expected %zu",
+                 decisions.size(), info_bits + ConvCode::kTailBits);
+    wilis_assert(payload_bits <= info_bits,
+                 "payload %zu larger than frame capacity %zu",
+                 payload_bits, info_bits);
+
+    // Descramble and trim pad/tail.
+    Scrambler scrambler(cfg.scramblerSeed);
+    RxResult res;
+    res.payload.resize(payload_bits);
+    res.soft.resize(payload_bits);
+    for (size_t i = 0; i < info_bits; ++i) {
+        Bit prbs = scrambler.nextPrbsBit();
+        if (i < payload_bits) {
+            SoftDecision d = decisions[i];
+            d.bit = d.bit ^ prbs;
+            res.payload[i] = d.bit;
+            res.soft[i] = d;
+        }
+    }
+    return res;
+}
+
+} // namespace phy
+} // namespace wilis

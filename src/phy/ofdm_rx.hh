@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Composed 802.11a/g OFDM receiver kernel: cyclic prefix removal ->
+ * FFT -> equalization (perfect CSI) -> soft demapper ->
+ * deinterleaver -> depuncturer -> pluggable soft decoder ->
+ * descrambler (the RX half of Figure 1). The decoder slot is
+ * resolved through the plug-n-play registry, so a receiver can be
+ * built with "viterbi", "sova", "bcjr" or "bcjr-logmap" without any
+ * source change.
+ */
+
+#ifndef WILIS_PHY_OFDM_RX_HH
+#define WILIS_PHY_OFDM_RX_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "channel/channel.hh"
+#include "common/types.hh"
+#include "decode/soft_decoder.hh"
+#include "phy/demapper.hh"
+#include "phy/fft.hh"
+#include "phy/interleaver.hh"
+#include "phy/modulation.hh"
+#include "phy/ofdm_symbol.hh"
+#include "phy/puncture.hh"
+
+namespace wilis {
+namespace phy {
+
+/** Output of demodulating one packet. */
+struct RxResult {
+    /** Decoded, descrambled payload bits. */
+    BitVec payload;
+    /**
+     * Per-payload-bit decisions with the decoder's LLR hints (the
+     * SoftPHY export). payload[i] == soft[i].bit.
+     */
+    std::vector<SoftDecision> soft;
+
+    /** Bit errors against a reference payload. */
+    std::uint64_t bitErrors(const BitVec &ref) const;
+
+    /** True if the payload matches @p ref exactly. */
+    bool packetOk(const BitVec &ref) const { return bitErrors(ref) == 0; }
+};
+
+/** Full OFDM receiver for one 802.11a/g rate. */
+class OfdmReceiver
+{
+  public:
+    /** Receiver configuration. */
+    struct Config {
+        /** Decoder registry name. */
+        std::string decoder = "bcjr";
+        /** Decoder parameters (traceback/window lengths...). */
+        li::Config decoderCfg;
+        /** Demapper quantization parameters. */
+        Demapper::Config demapper;
+        /** Scrambler seed (must match the transmitter). */
+        std::uint8_t scramblerSeed = 0x5D;
+        /**
+         * Weight each subcarrier's soft metrics by its channel
+         * amplitude |H| (matched-filter metric after zero-forcing).
+         * Essential on frequency-selective channels; false models
+         * the paper's unweighted hardware demapper.
+         */
+        bool applyCsiWeight = false;
+    };
+
+    /** Construct with the default configuration (BCJR decoder). */
+    explicit OfdmReceiver(RateIndex rate_idx);
+
+    OfdmReceiver(RateIndex rate_idx, const Config &cfg);
+
+    /** Rate parameters in use. */
+    const RateParams &rate() const { return params; }
+
+    /** The decoder instance (for latency/area queries). */
+    const decode::SoftDecoder &decoder() const { return *dec; }
+
+    /**
+     * Demodulate a packet.
+     * @param samples      Received time-domain samples.
+     * @param payload_bits Expected payload length in bits (from the
+     *                     PLCP header in a real system).
+     * @param csi          Channel providing per-symbol gains for
+     *                     equalization; nullptr = unity gain.
+     * @param packet_index Packet index for CSI lookup.
+     */
+    RxResult demodulate(const SampleVec &samples, size_t payload_bits,
+                        const channel::Channel *csi = nullptr,
+                        std::uint64_t packet_index = 0);
+
+  private:
+    RateParams params;
+    Config cfg;
+    Interleaver interleaver;
+    Puncturer puncturer;
+    Demapper demapper;
+    Fft fft;
+    std::unique_ptr<decode::SoftDecoder> dec;
+};
+
+} // namespace phy
+} // namespace wilis
+
+#endif // WILIS_PHY_OFDM_RX_HH

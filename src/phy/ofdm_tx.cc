@@ -1,0 +1,91 @@
+#include "phy/ofdm_tx.hh"
+
+#include "common/logging.hh"
+#include "phy/cyclic_prefix.hh"
+
+namespace wilis {
+namespace phy {
+
+OfdmTransmitter::OfdmTransmitter(RateIndex rate_idx,
+                                 std::uint8_t scrambler_seed)
+    : params(rateTable(rate_idx)), seed(scrambler_seed),
+      interleaver(params.modulation), mapper(params.modulation),
+      puncturer(params.codeRate), fft(OfdmGeometry::kFftSize)
+{}
+
+int
+OfdmTransmitter::numSymbols(size_t payload_bits) const
+{
+    size_t with_tail = payload_bits + ConvCode::kTailBits;
+    return static_cast<int>(
+        (with_tail + static_cast<size_t>(params.nDbps) - 1) /
+        static_cast<size_t>(params.nDbps));
+}
+
+size_t
+OfdmTransmitter::paddedInfoBits(size_t payload_bits) const
+{
+    return static_cast<size_t>(numSymbols(payload_bits)) *
+               static_cast<size_t>(params.nDbps) -
+           ConvCode::kTailBits;
+}
+
+size_t
+OfdmTransmitter::numSamples(size_t payload_bits) const
+{
+    return static_cast<size_t>(numSymbols(payload_bits)) *
+           OfdmGeometry::kSymbolLen;
+}
+
+SampleVec
+OfdmTransmitter::modulate(const BitVec &payload, Debug *dbg)
+{
+    wilis_assert(!payload.empty(), "empty payload");
+
+    // Pad to fill whole OFDM symbols, scramble, encode (terminated).
+    BitVec info = payload;
+    info.resize(paddedInfoBits(payload.size()), 0);
+
+    Scrambler scrambler(seed);
+    BitVec scrambled = scrambler.process(info);
+    BitVec coded = convCode().encode(scrambled, true);
+    BitVec punctured = puncturer.puncture(coded);
+    BitVec interleaved = interleaver.interleaveStream(punctured);
+
+    if (dbg) {
+        dbg->scrambled = scrambled;
+        dbg->coded = coded;
+        dbg->punctured = punctured;
+        dbg->interleaved = interleaved;
+    }
+
+    // Map each symbol's coded bits to the 48 data subcarriers.
+    const int nsym = numSymbols(payload.size());
+    SampleVec out;
+    out.reserve(static_cast<size_t>(nsym) * OfdmGeometry::kSymbolLen);
+
+    PilotTracker pilots;
+    SampleVec bins(OfdmGeometry::kFftSize);
+    const int n_bpsc = params.nBpsc;
+    for (int s = 0; s < nsym; ++s) {
+        std::fill(bins.begin(), bins.end(), Sample(0.0, 0.0));
+        const size_t base = static_cast<size_t>(s) *
+                            static_cast<size_t>(params.nCbps);
+        for (int d = 0; d < OfdmGeometry::kDataCarriers; ++d) {
+            const Bit *bits =
+                &interleaved[base + static_cast<size_t>(d * n_bpsc)];
+            bins[static_cast<size_t>(OfdmGeometry::dataBin(d))] =
+                mapper.map(bits);
+        }
+        pilots.insertPilots(bins);
+
+        SampleVec body = bins;
+        fft.inverse(body);
+        SampleVec sym = addCyclicPrefix(body);
+        out.insert(out.end(), sym.begin(), sym.end());
+    }
+    return out;
+}
+
+} // namespace phy
+} // namespace wilis

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Composed 802.11a/g OFDM transmitter kernel: scrambler ->
+ * convolutional encoder -> puncturer -> interleaver -> mapper ->
+ * pilot/subcarrier mapping -> IFFT -> cyclic prefix (the TX half of
+ * Figure 1). This is the functional kernel; li wrappers build the
+ * cycle-counted pipeline from the same blocks.
+ */
+
+#ifndef WILIS_PHY_OFDM_TX_HH
+#define WILIS_PHY_OFDM_TX_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "phy/conv_code.hh"
+#include "phy/fft.hh"
+#include "phy/interleaver.hh"
+#include "phy/mapper.hh"
+#include "phy/modulation.hh"
+#include "phy/ofdm_symbol.hh"
+#include "phy/puncture.hh"
+#include "phy/scrambler.hh"
+
+namespace wilis {
+namespace phy {
+
+/** Full OFDM transmitter for one 802.11a/g rate. */
+class OfdmTransmitter
+{
+  public:
+    /** Intermediate stages exposed for tests. */
+    struct Debug {
+        BitVec scrambled;
+        BitVec coded;
+        BitVec punctured;
+        BitVec interleaved;
+    };
+
+    /**
+     * @param rate_idx       802.11a/g rate (0..7).
+     * @param scrambler_seed Initial scrambler state.
+     */
+    explicit OfdmTransmitter(RateIndex rate_idx,
+                             std::uint8_t scrambler_seed = 0x5D);
+
+    /** Rate parameters in use. */
+    const RateParams &rate() const { return params; }
+
+    /** OFDM symbols needed for @p payload_bits data bits. */
+    int numSymbols(size_t payload_bits) const;
+
+    /** Info bits after padding (excluding the 6 tail bits). */
+    size_t paddedInfoBits(size_t payload_bits) const;
+
+    /** Time-domain samples for @p payload_bits (with CP). */
+    size_t numSamples(size_t payload_bits) const;
+
+    /**
+     * Modulate a payload into time-domain samples.
+     * @param payload Data bits.
+     * @param dbg     Optional tap of the intermediate stages.
+     */
+    SampleVec modulate(const BitVec &payload, Debug *dbg = nullptr);
+
+  private:
+    RateParams params;
+    std::uint8_t seed;
+    Interleaver interleaver;
+    Mapper mapper;
+    Puncturer puncturer;
+    Fft fft;
+};
+
+} // namespace phy
+} // namespace wilis
+
+#endif // WILIS_PHY_OFDM_TX_HH

@@ -1,0 +1,115 @@
+#include "phy/preamble.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "phy/fft.hh"
+#include "phy/ofdm_symbol.hh"
+
+namespace wilis {
+namespace phy {
+
+namespace {
+
+// Short training frequency-domain sequence on logical subcarriers
+// -26..26 (clause 17.3.3): nonzero every 4th bin, values
+// sqrt(13/6) * (+-1 +- j).
+const int sts_sign[53] = {
+    // -26..-1
+    0, 0, 1, 0, 0, 0, -1, 0, 0, 0, 1, 0, 0, 0, -1, 0, 0, 0, -1, 0,
+    0, 0, 1, 0, 0, 0,
+    // 0
+    0,
+    // 1..26
+    0, 0, 0, -1, 0, 0, 0, -1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1,
+    0, 0, 0, 1, 0, 0};
+
+// Long training sequence on logical subcarriers -26..26 (clause
+// 17.3.3).
+const int lts_val[53] = {
+    1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1,
+    1, -1, 1, -1, 1, 1, 1, 1,
+    0,
+    1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1,
+    -1, 1, -1, 1, -1, 1, 1, 1, 1};
+
+int
+logicalToBin(int k)
+{
+    return k >= 0 ? k : OfdmGeometry::kFftSize + k;
+}
+
+SampleVec
+timeDomainOf(const SampleVec &bins)
+{
+    SampleVec t = bins;
+    Fft fft(OfdmGeometry::kFftSize);
+    fft.inverse(t);
+    return t;
+}
+
+} // namespace
+
+SampleVec
+Preamble::shortTraining()
+{
+    SampleVec bins(OfdmGeometry::kFftSize, Sample(0, 0));
+    const double amp = std::sqrt(13.0 / 6.0);
+    for (int k = -26; k <= 26; ++k) {
+        int s = sts_sign[k + 26];
+        if (s != 0) {
+            bins[static_cast<size_t>(logicalToBin(k))] =
+                amp * Sample(s, s);
+        }
+    }
+    SampleVec period = timeDomainOf(bins); // periodic with period 16
+    SampleVec out;
+    out.reserve(kShortLen);
+    for (int i = 0; i < kShortLen; ++i)
+        out.push_back(period[static_cast<size_t>(i % 64)]);
+    return out;
+}
+
+SampleVec
+Preamble::longTrainingFreq()
+{
+    SampleVec bins(OfdmGeometry::kFftSize, Sample(0, 0));
+    for (int k = -26; k <= 26; ++k) {
+        bins[static_cast<size_t>(logicalToBin(k))] =
+            Sample(lts_val[k + 26], 0.0);
+    }
+    return bins;
+}
+
+SampleVec
+Preamble::longTrainingSymbol()
+{
+    return timeDomainOf(longTrainingFreq());
+}
+
+SampleVec
+Preamble::longTraining()
+{
+    SampleVec sym = longTrainingSymbol();
+    SampleVec out;
+    out.reserve(kLongLen);
+    // 32-sample guard: the tail of the symbol.
+    out.insert(out.end(), sym.end() - 32, sym.end());
+    out.insert(out.end(), sym.begin(), sym.end());
+    out.insert(out.end(), sym.begin(), sym.end());
+    return out;
+}
+
+SampleVec
+Preamble::full()
+{
+    SampleVec p = shortTraining();
+    SampleVec l = longTraining();
+    p.insert(p.end(), l.begin(), l.end());
+    wilis_assert(static_cast<int>(p.size()) == kTotalLen,
+                 "preamble length %zu", p.size());
+    return p;
+}
+
+} // namespace phy
+} // namespace wilis

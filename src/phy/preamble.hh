@@ -1,0 +1,58 @@
+/**
+ * @file
+ * 802.11a PLCP preamble: the short training sequence (10 repetitions
+ * of a 16-sample pattern, used for packet detection and coarse
+ * frequency estimation) and the long training sequence (a 32-sample
+ * guard plus two 64-sample known symbols, used for fine timing and
+ * channel estimation).
+ *
+ * The paper's WiLIS model omits synchronization and channel
+ * estimation (section 4.4.4); this module and phy/sync.hh implement
+ * them as the natural extension.
+ */
+
+#ifndef WILIS_PHY_PREAMBLE_HH
+#define WILIS_PHY_PREAMBLE_HH
+
+#include "common/types.hh"
+
+namespace wilis {
+namespace phy {
+
+/** PLCP preamble generation and reference sequences. */
+class Preamble
+{
+  public:
+    /** Samples in the short training section (10 x 16). */
+    static constexpr int kShortLen = 160;
+    /** Samples in the long training section (32 GI + 2 x 64). */
+    static constexpr int kLongLen = 160;
+    /** Total preamble length. */
+    static constexpr int kTotalLen = kShortLen + kLongLen;
+    /** Period of the short training pattern. */
+    static constexpr int kShortPeriod = 16;
+
+    /** The 160-sample short training sequence. */
+    static SampleVec shortTraining();
+
+    /** The 160-sample long training sequence (with guard). */
+    static SampleVec longTraining();
+
+    /** One 64-sample long-training symbol (no guard). */
+    static SampleVec longTrainingSymbol();
+
+    /** The full 320-sample preamble. */
+    static SampleVec full();
+
+    /**
+     * Frequency-domain long-training values on the 64 FFT bins
+     * (+-1 on the 52 used subcarriers, 0 elsewhere); used for
+     * preamble-based channel estimation.
+     */
+    static SampleVec longTrainingFreq();
+};
+
+} // namespace phy
+} // namespace wilis
+
+#endif // WILIS_PHY_PREAMBLE_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * 802.11a puncturing: derives rates 2/3 and 3/4 from the rate-1/2
+ * mother code by deleting coded bits; the depuncturer reinserts
+ * zero-confidence erasures so the decoders always see the full
+ * rate-1/2 lattice.
+ */
+
+#ifndef WILIS_PHY_PUNCTURE_HH
+#define WILIS_PHY_PUNCTURE_HH
+
+#include "common/types.hh"
+#include "phy/modulation.hh"
+
+namespace wilis {
+namespace phy {
+
+/** Puncturer/depuncturer for the 802.11a code-rate set. */
+class Puncturer
+{
+  public:
+    explicit Puncturer(CodeRate rate_) : rate(rate_) {}
+
+    /** Code rate handled. */
+    CodeRate codeRate() const { return rate; }
+
+    /**
+     * Remove punctured positions from rate-1/2 @p coded bits.
+     * For R12 this is the identity.
+     */
+    BitVec puncture(const BitVec &coded) const;
+
+    /**
+     * Reinsert erasures (soft value 0) at punctured positions.
+     * @param soft  Received soft bits in punctured order.
+     * @return Soft stream matching the rate-1/2 coded length.
+     */
+    SoftVec depuncture(const SoftVec &soft) const;
+
+    /** Punctured length for a rate-1/2 stream of @p coded_len bits. */
+    size_t puncturedLength(size_t coded_len) const;
+
+    /** Rate-1/2 length that punctures to @p punct_len bits. */
+    size_t unpuncturedLength(size_t punct_len) const;
+
+  private:
+    /**
+     * Keep-pattern over one puncturing period of the rate-1/2 output
+     * stream (A1 B1 A2 B2 ...): R23 keeps A1 B1 A2 (drops B2); R34
+     * keeps A1 B1 A2 B3 (drops B2 A3).
+     */
+    void pattern(const Bit *&pat, size_t &period) const;
+
+    CodeRate rate;
+};
+
+} // namespace phy
+} // namespace wilis
+
+#endif // WILIS_PHY_PUNCTURE_HH

@@ -1,0 +1,47 @@
+#include "phy/scrambler.hh"
+
+#include "common/logging.hh"
+
+namespace wilis {
+namespace phy {
+
+Scrambler::Scrambler(std::uint8_t seed)
+{
+    reset(seed);
+}
+
+void
+Scrambler::reset(std::uint8_t seed)
+{
+    wilis_assert((seed & 0x7F) != 0, "scrambler seed must be nonzero");
+    state = seed & 0x7F;
+}
+
+Bit
+Scrambler::nextPrbsBit()
+{
+    // Feedback = x^7 ^ x^4 (bits 6 and 3 of the 7-bit register).
+    Bit fb = static_cast<Bit>(((state >> 6) ^ (state >> 3)) & 1);
+    state = static_cast<std::uint8_t>(((state << 1) | fb) & 0x7F);
+    return fb;
+}
+
+BitVec
+Scrambler::process(const BitVec &in)
+{
+    BitVec out(in.size());
+    for (size_t i = 0; i < in.size(); ++i)
+        out[i] = process(in[i]);
+    return out;
+}
+
+void
+Scrambler::pilotPolarity(int out[127])
+{
+    Scrambler s(0x7F);
+    for (int i = 0; i < 127; ++i)
+        out[i] = s.nextPrbsBit() ? -1 : 1;
+}
+
+} // namespace phy
+} // namespace wilis

@@ -1,0 +1,140 @@
+#include "phy/sync.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.hh"
+#include "phy/preamble.hh"
+
+namespace wilis {
+namespace phy {
+
+void
+Synchronizer::applyCfo(SampleVec &samples, double cfo_hz)
+{
+    for (size_t n = 0; n < samples.size(); ++n) {
+        double ang = 2.0 * std::numbers::pi * cfo_hz *
+                     static_cast<double>(n) * kTs;
+        samples[n] *= Sample(std::cos(ang), std::sin(ang));
+    }
+}
+
+SyncResult
+Synchronizer::locate(const SampleVec &rx) const
+{
+    SyncResult res;
+    const int lag = Preamble::kShortPeriod; // 16
+    const int win = 32;
+    if (rx.size() < static_cast<size_t>(Preamble::kTotalLen + win +
+                                        lag))
+        return res;
+
+    // --- Stage 1: Schmidl-Cox plateau on the periodic STS.
+    const size_t search_end = rx.size() - static_cast<size_t>(
+                                              win + lag);
+    int above = 0;
+    size_t plateau_start = 0;
+    bool found = false;
+    Sample p_acc(0, 0);
+    double r_acc = 0.0;
+    // Initialize the sliding sums at n = 0.
+    for (int k = 0; k < win; ++k) {
+        p_acc += rx[static_cast<size_t>(k + lag)] *
+                 std::conj(rx[static_cast<size_t>(k)]);
+        r_acc += std::norm(rx[static_cast<size_t>(k + lag)]);
+    }
+    for (size_t n = 0;; ++n) {
+        double metric =
+            r_acc > 1e-12 ? std::norm(p_acc) / (r_acc * r_acc) : 0.0;
+        if (metric > cfg.detectThreshold) {
+            if (above == 0)
+                plateau_start = n;
+            if (++above >= cfg.plateauLen) {
+                found = true;
+                res.metric = metric;
+                break;
+            }
+        } else {
+            above = 0;
+        }
+        if (n + 1 > search_end)
+            break;
+        // Slide the window by one sample.
+        p_acc += rx[n + static_cast<size_t>(win + lag)] *
+                     std::conj(rx[n + static_cast<size_t>(win)]) -
+                 rx[n + static_cast<size_t>(lag)] *
+                     std::conj(rx[n]);
+        r_acc += std::norm(rx[n + static_cast<size_t>(win + lag)]) -
+                 std::norm(rx[n + static_cast<size_t>(lag)]);
+    }
+    if (!found)
+        return res;
+
+    // --- Coarse CFO from the STS periodicity at the plateau.
+    Sample p(0, 0);
+    for (int k = 0; k < 96 && plateau_start + static_cast<size_t>(
+                                  k + lag) < rx.size();
+         ++k) {
+        p += rx[plateau_start + static_cast<size_t>(k + lag)] *
+             std::conj(rx[plateau_start + static_cast<size_t>(k)]);
+    }
+    double coarse_hz =
+        std::arg(p) / (2.0 * std::numbers::pi * lag * kTs);
+
+    // --- Stage 2: fine timing by LTS cross-correlation on a
+    // coarse-CFO-corrected copy of the search region.
+    const size_t region_start =
+        plateau_start > 32 ? plateau_start - 32 : 0;
+    const size_t region_len = std::min(
+        rx.size() - region_start, static_cast<size_t>(512));
+    SampleVec region(rx.begin() + static_cast<long>(region_start),
+                     rx.begin() +
+                         static_cast<long>(region_start + region_len));
+    // Correct with the proper absolute-time phase.
+    for (size_t n = 0; n < region.size(); ++n) {
+        double ang = -2.0 * std::numbers::pi * coarse_hz *
+                     static_cast<double>(n + region_start) * kTs;
+        region[n] *= Sample(std::cos(ang), std::sin(ang));
+    }
+
+    SampleVec lts = Preamble::longTrainingSymbol();
+    double best = -1.0;
+    size_t best_n = 0;
+    for (size_t n = 0; n + 128 + 64 <= region.size(); ++n) {
+        // Look for the *pair* of LTS symbols 64 samples apart.
+        Sample c1(0, 0);
+        Sample c2(0, 0);
+        for (int k = 0; k < 64; ++k) {
+            c1 += region[n + static_cast<size_t>(k)] *
+                  std::conj(lts[static_cast<size_t>(k)]);
+            c2 += region[n + static_cast<size_t>(k + 64)] *
+                  std::conj(lts[static_cast<size_t>(k)]);
+        }
+        double score = std::abs(c1) + std::abs(c2);
+        if (score > best) {
+            best = score;
+            best_n = n;
+        }
+    }
+    // best_n is the first LTS symbol: preamble starts 192 samples
+    // earlier (160 STS + 32 guard).
+    size_t lts_abs = region_start + best_n;
+    if (lts_abs < 192)
+        return res;
+    res.frameStart = lts_abs - 192;
+
+    // --- Fine CFO from the two LTS repetitions.
+    Sample q(0, 0);
+    for (int k = 0; k < 64; ++k) {
+        q += region[best_n + static_cast<size_t>(k + 64)] *
+             std::conj(region[best_n + static_cast<size_t>(k)]);
+    }
+    double fine_hz = std::arg(q) / (2.0 * std::numbers::pi * 64 * kTs);
+
+    res.cfoHz = coarse_hz + fine_hz;
+    res.detected = true;
+    return res;
+}
+
+} // namespace phy
+} // namespace wilis

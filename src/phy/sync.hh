@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Packet synchronization from the PLCP preamble: Schmidl-Cox style
+ * detection on the periodic short training sequence, fine timing by
+ * cross-correlation against the known long training symbol, and
+ * two-stage (coarse STS + fine LTS) carrier-frequency-offset
+ * estimation.
+ *
+ * Section 4.4.4 lists synchronization as one of the pieces the WiLIS
+ * study did not model; this is that extension.
+ */
+
+#ifndef WILIS_PHY_SYNC_HH
+#define WILIS_PHY_SYNC_HH
+
+#include <cstddef>
+
+#include "common/types.hh"
+
+namespace wilis {
+namespace phy {
+
+/** Outcome of searching a sample stream for a frame. */
+struct SyncResult {
+    /** A preamble was found. */
+    bool detected = false;
+    /** Index of the first preamble sample. */
+    size_t frameStart = 0;
+    /** Estimated carrier frequency offset in Hz. */
+    double cfoHz = 0.0;
+    /** Peak detection metric (0..1). */
+    double metric = 0.0;
+};
+
+/** Preamble detector and CFO estimator. */
+class Synchronizer
+{
+  public:
+    /** Detector parameters. */
+    struct Config {
+        /** Plateau threshold on the normalized STS metric. */
+        double detectThreshold = 0.6;
+        /** Samples the metric must stay above threshold. */
+        int plateauLen = 64;
+    };
+
+    Synchronizer() : Synchronizer(Config()) {}
+    explicit Synchronizer(const Config &cfg_) : cfg(cfg_) {}
+
+    /**
+     * Search @p rx for a PLCP preamble.
+     * The fine timing is exact when the frame is present; the CFO
+     * estimate combines the STS (coarse, wide range) and LTS (fine)
+     * stages.
+     */
+    SyncResult locate(const SampleVec &rx) const;
+
+    /**
+     * Multiply a sample stream by e^{j 2 pi cfo_hz t}: inject a CFO
+     * with positive @p cfo_hz, correct one with the negated
+     * estimate. 20 MHz sample rate.
+     */
+    static void applyCfo(SampleVec &samples, double cfo_hz);
+
+    /** Sample period in seconds (20 MHz). */
+    static constexpr double kTs = 1.0 / 20e6;
+
+  private:
+    Config cfg;
+};
+
+} // namespace phy
+} // namespace wilis
+
+#endif // WILIS_PHY_SYNC_HH

@@ -1,0 +1,40 @@
+#include "platform/link.hh"
+
+#include "common/logging.hh"
+
+namespace wilis {
+namespace platform {
+
+LinkModel::LinkModel(const li::Config &cfg)
+    : LinkModel(Params{cfg.getDouble("bandwidth_mbps", 700.0),
+                       cfg.getDouble("overhead_us", 20.0)})
+{
+    wilis_assert(params.bandwidthMBps > 0.0,
+                 "link bandwidth must be positive");
+}
+
+double
+LinkModel::transferUs(std::uint64_t bytes) const
+{
+    return params.perTransferOverheadUs +
+           static_cast<double>(bytes) / params.bandwidthMBps;
+}
+
+double
+LinkModel::effectiveBandwidthMBps(std::uint64_t batch_bytes) const
+{
+    if (batch_bytes == 0)
+        return 0.0;
+    return static_cast<double>(batch_bytes) / transferUs(batch_bytes);
+}
+
+void
+LinkModel::record(std::uint64_t bytes)
+{
+    total_bytes += bytes;
+    ++total_transfers;
+    busy_us += transferUs(bytes);
+}
+
+} // namespace platform
+} // namespace wilis

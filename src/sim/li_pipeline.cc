@@ -1,0 +1,185 @@
+#include "sim/li_pipeline.hh"
+
+#include "common/logging.hh"
+
+namespace wilis {
+namespace sim {
+
+SourceModule::SourceModule(std::string name, li::Fifo<LiToken> *out_)
+    : li::Module(std::move(name)), out(out_)
+{}
+
+void
+SourceModule::feed(const std::vector<LiToken> &tokens)
+{
+    for (const auto &t : tokens)
+        pending.push_back(t);
+}
+
+bool
+SourceModule::tick()
+{
+    if (pending.empty())
+        return false;
+    if (!out->canEnq()) {
+        out->noteFullStall();
+        return false;
+    }
+    if (first_emit < 0)
+        first_emit = static_cast<std::int64_t>(domain()->cycles());
+    out->enq(pending.front());
+    pending.pop_front();
+    return true;
+}
+
+SinkModule::SinkModule(std::string name, li::Fifo<LiToken> *in_)
+    : li::Module(std::move(name)), in(in_)
+{}
+
+bool
+SinkModule::tick()
+{
+    if (!in->canDeq()) {
+        in->noteEmptyStall();
+        return false;
+    }
+    if (first_arrival < 0) {
+        first_arrival = static_cast<std::int64_t>(domain()->cycles());
+        first_arrival_ps = domain()->cycles() * domain()->periodPs();
+    }
+    tokens.push_back(in->deq());
+    return true;
+}
+
+DelayStageModule::DelayStageModule(std::string name,
+                                   li::Fifo<LiToken> *in_,
+                                   li::Fifo<LiToken> *out_, int depth_,
+                                   Transform fn_)
+    : li::Module(std::move(name)), in(in_), out(out_), depth(depth_),
+      fn(std::move(fn_))
+{
+    wilis_assert(depth >= 1, "stage '%s' needs depth >= 1",
+                 this->name().c_str());
+}
+
+bool
+DelayStageModule::tick()
+{
+    ++cycle;
+    bool busy = false;
+
+    // Emit at most one ready token per cycle. Emission happens
+    // before acceptance so a full pipe can retire and refill in the
+    // same cycle, sustaining one token per cycle.
+    if (!inflight.empty() && inflight.front().ready_cycle <= cycle) {
+        if (out->canEnq()) {
+            LiToken t = inflight.front().token;
+            inflight.pop_front();
+            if (fn)
+                t.value = fn(t.value);
+            out->enq(t);
+            busy = true;
+        } else {
+            out->noteFullStall();
+        }
+    }
+
+    // Accept at most one token per cycle while the pipe has room.
+    if (in->canDeq() &&
+        inflight.size() < static_cast<size_t>(depth)) {
+        InFlight f;
+        f.token = in->deq();
+        f.ready_cycle = cycle + static_cast<std::uint64_t>(depth);
+        inflight.push_back(f);
+        busy = true;
+    }
+    return busy;
+}
+
+namespace {
+
+/** Wire up a chain of delay stages with the given depths. */
+LiPipeline
+buildChain(li::Scheduler &sched, li::ClockDomain *domain,
+           const std::vector<std::pair<std::string, int>> &stages)
+{
+    LiPipeline pipe;
+    pipe.domain = domain;
+
+    std::vector<li::Fifo<LiToken> *> fifos;
+    for (size_t i = 0; i <= stages.size(); ++i) {
+        fifos.push_back(sched.connectFifo<LiToken>(
+            strprintf("fifo%zu", i), 4, domain, domain));
+    }
+
+    auto src = std::make_unique<SourceModule>("source", fifos.front());
+    pipe.source = src.get();
+    sched.adopt(std::move(src), domain);
+
+    for (size_t i = 0; i < stages.size(); ++i) {
+        auto stage = std::make_unique<DelayStageModule>(
+            stages[i].first, fifos[i], fifos[i + 1],
+            stages[i].second);
+        sched.adopt(std::move(stage), domain);
+        pipe.modeledLatency += stages[i].second;
+    }
+
+    auto sink = std::make_unique<SinkModule>("sink", fifos.back());
+    pipe.sink = sink.get();
+    sched.adopt(std::move(sink), domain);
+    return pipe;
+}
+
+} // namespace
+
+LiPipeline
+buildSovaPipeline(li::Scheduler &sched, li::ClockDomain *domain,
+                  int l, int k)
+{
+    // Figure 3: BMU and PMU are single-cycle kernels, the traceback
+    // units contribute their window lengths, and the five 2-entry
+    // FIFOs contribute 2 cycles each. Each stage depth below folds
+    // in its input FIFO; the trailing "output fifo" stage is the
+    // fifth FIFO. Total: 3 + 3 + (l+2) + (k+2) + 2 = l + k + 12.
+    return buildChain(sched, domain,
+                      {{"bmu", 3},
+                       {"pmu", 3},
+                       {"traceback1", l + 2},
+                       {"traceback2", k + 2},
+                       {"outfifo", 2}});
+}
+
+LiPipeline
+buildBcjrPipeline(li::Scheduler &sched, li::ClockDomain *domain, int n)
+{
+    // Figure 4: latency dominated by the two size-n reversal
+    // buffers; pipeline stages and FIFOs contribute the constant.
+    // Total: 3 + n + 1 + n + 1 + 2 = 2n + 7.
+    return buildChain(sched, domain,
+                      {{"bmu", 3},
+                       {"initial_reversal", n},
+                       {"pmu", 1},
+                       {"final_reversal", n},
+                       {"decision", 1},
+                       {"outfifo", 2}});
+}
+
+int
+measurePipelineLatency(li::Scheduler &sched, LiPipeline &pipe,
+                       int tokens)
+{
+    std::vector<LiToken> ts(static_cast<size_t>(tokens));
+    for (int i = 0; i < tokens; ++i) {
+        ts[static_cast<size_t>(i)].id = static_cast<std::uint64_t>(i);
+        ts[static_cast<size_t>(i)].value = i;
+    }
+    pipe.source->feed(ts);
+    sched.runUntilIdle(16);
+    wilis_assert(pipe.sink->firstArrivalCycle() >= 0,
+                 "pipeline produced no output");
+    return static_cast<int>(pipe.sink->firstArrivalCycle() -
+                            pipe.source->firstEmitCycle());
+}
+
+} // namespace sim
+} // namespace wilis

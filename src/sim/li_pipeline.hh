@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Cycle-counted latency-insensitive pipeline building blocks.
+ *
+ * These modules let WiLIS measure what the paper measures on the
+ * FPGA: pipeline latency in cycles (SOVA l+k+12, BCJR 2n+7) and the
+ * latency-insensitivity property itself -- results must be bit-exact
+ * under any FIFO capacities and any clock-frequency assignment.
+ *
+ * Each stage moves at most one token per cycle and models a fixed
+ * pipeline depth. A stage's stated latency *includes* its input FIFO
+ * (2 entries -> up to 2 cycles), matching the accounting in section
+ * 4.3.1.
+ */
+
+#ifndef WILIS_SIM_LI_PIPELINE_HH
+#define WILIS_SIM_LI_PIPELINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "li/fifo.hh"
+#include "li/module.hh"
+#include "li/scheduler.hh"
+
+namespace wilis {
+namespace sim {
+
+/** Token carried through the modeled decoder pipelines. */
+struct LiToken {
+    std::uint64_t id = 0;
+    std::int64_t value = 0;
+};
+
+/** Feeds a prepared token stream into the pipeline, 1 per cycle. */
+class SourceModule : public li::Module
+{
+  public:
+    SourceModule(std::string name, li::Fifo<LiToken> *out_);
+
+    /** Queue tokens to emit. */
+    void feed(const std::vector<LiToken> &tokens);
+
+    /** Domain cycle at which token 0 was enqueued (-1 if not yet). */
+    std::int64_t firstEmitCycle() const { return first_emit; }
+
+    /** True once everything fed has been emitted. */
+    bool done() const { return pending.empty(); }
+
+    bool tick() override;
+
+  private:
+    li::Fifo<LiToken> *out;
+    std::deque<LiToken> pending;
+    std::int64_t first_emit = -1;
+};
+
+/** Drains tokens and records their arrival cycles. */
+class SinkModule : public li::Module
+{
+  public:
+    SinkModule(std::string name, li::Fifo<LiToken> *in_);
+
+    bool tick() override;
+
+    /** All received tokens in arrival order. */
+    const std::vector<LiToken> &received() const { return tokens; }
+
+    /** Domain cycle of the first arrival (-1 if none). */
+    std::int64_t firstArrivalCycle() const { return first_arrival; }
+
+    /** Scheduler time (ps) of the first arrival (0 if none). */
+    li::SimTime firstArrivalTime() const { return first_arrival_ps; }
+
+  private:
+    li::Fifo<LiToken> *in;
+    std::vector<LiToken> tokens;
+    std::int64_t first_arrival = -1;
+    li::SimTime first_arrival_ps = 0;
+};
+
+/**
+ * A fixed-depth processing stage: tokens exit depth cycles after
+ * entering (counting the 2-cycle input FIFO), at most one per cycle,
+ * with an optional value transformation.
+ */
+class DelayStageModule : public li::Module
+{
+  public:
+    using Transform = std::function<std::int64_t(std::int64_t)>;
+
+    /**
+     * @param depth Total stage latency in cycles including the input
+     *              FIFO (must be >= 1).
+     */
+    DelayStageModule(std::string name, li::Fifo<LiToken> *in_,
+                     li::Fifo<LiToken> *out_, int depth,
+                     Transform fn = nullptr);
+
+    bool tick() override;
+
+  private:
+    struct InFlight {
+        std::uint64_t ready_cycle;
+        LiToken token;
+    };
+
+    li::Fifo<LiToken> *in;
+    li::Fifo<LiToken> *out;
+    int depth;
+    Transform fn;
+    std::deque<InFlight> inflight;
+    std::uint64_t cycle = 0;
+};
+
+/** A constructed pipeline: source -> stages -> sink. */
+struct LiPipeline {
+    SourceModule *source = nullptr;
+    SinkModule *sink = nullptr;
+    li::ClockDomain *domain = nullptr;
+    /** Sum of the stage depths (the architectural latency). */
+    int modeledLatency = 0;
+};
+
+/**
+ * Build the SOVA pipeline of Figure 3 as delay stages: BMU(1) ->
+ * PMU(1) -> TU1(l) -> TU2(k), with five 2-entry FIFOs; total latency
+ * l + k + 12 cycles.
+ */
+LiPipeline buildSovaPipeline(li::Scheduler &sched,
+                             li::ClockDomain *domain, int l, int k);
+
+/**
+ * Build the BCJR pipeline of Figure 4: BMU -> initial reversal
+ * buffer (n) -> PMUs -> final reversal buffer (n) -> decision unit;
+ * total latency 2n + 7 cycles.
+ */
+LiPipeline buildBcjrPipeline(li::Scheduler &sched,
+                             li::ClockDomain *domain, int n);
+
+/**
+ * Measure the first-token latency of a pipeline in cycles of its
+ * domain: feed @p tokens tokens, run to quiescence, and return
+ * (sink first arrival cycle - source first emit cycle).
+ */
+int measurePipelineLatency(li::Scheduler &sched, LiPipeline &pipe,
+                           int tokens);
+
+} // namespace sim
+} // namespace wilis
+
+#endif // WILIS_SIM_LI_PIPELINE_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The full WiLIS transceiver as a latency-insensitive, multi-clock
+ * pipeline: every Figure 1 block is a li::Module communicating only
+ * through FIFOs, spread over three clock domains exactly as in
+ * section 3 -- the baseband at 35 MHz, the per-bit BER/decoder unit
+ * at 60 MHz, and the software channel on the host. Cross-domain
+ * hops use automatically inserted synchronizing FIFOs.
+ *
+ * Every module delegates its mathematics to the same kernels the
+ * batch path (sim::Testbench) uses, so the two execution styles are
+ * bit-exact by construction -- the WiLIS property that lets a design
+ * "transition to the FPGA from software simulation without modifying
+ * any source" (section 2). Tests assert the equivalence.
+ */
+
+#ifndef WILIS_SIM_LI_TRANSCEIVER_HH
+#define WILIS_SIM_LI_TRANSCEIVER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "channel/channel.hh"
+#include "common/types.hh"
+#include "li/scheduler.hh"
+#include "phy/demapper.hh"
+#include "phy/ofdm_rx.hh"
+#include "phy/ofdm_tx.hh"
+
+namespace wilis {
+namespace sim {
+
+/** Clock frequencies of the three partitions. */
+struct LiTransceiverClocks {
+    /** Baseband pipeline clock in MHz (section 3: 35). */
+    double basebandMhz = 35.0;
+    /** Decoder / BER-unit clock in MHz (section 3: 60). */
+    double decoderMhz = 60.0;
+    /** Software-channel partition clock in MHz. */
+    double hostMhz = 100.0;
+};
+
+/** Result of one packet through the LI pipeline. */
+struct LiPacketResult {
+    BitVec payload;
+    std::vector<SoftDecision> soft;
+    /** Baseband cycles consumed by the run. */
+    std::uint64_t basebandCycles = 0;
+    /** Decoder-domain cycles consumed by the run. */
+    std::uint64_t decoderCycles = 0;
+    /** Time-domain samples that crossed the channel. */
+    std::uint64_t samples = 0;
+};
+
+/**
+ * A complete streaming transceiver instance. Construction wires up
+ * ~15 modules and their FIFOs inside a private scheduler; runPacket()
+ * feeds payload bits in at one end and runs the scheduler to
+ * quiescence.
+ */
+class LiTransceiver
+{
+  public:
+    /**
+     * @param rate        802.11a/g rate index.
+     * @param rx_cfg      Receiver configuration (decoder slot,
+     *                    demapper quantization, scrambler seed).
+     * @param channel_name Channel registry name.
+     * @param channel_cfg Channel parameters.
+     * @param clocks      Clock-domain frequencies.
+     */
+    LiTransceiver(phy::RateIndex rate,
+                  const phy::OfdmReceiver::Config &rx_cfg,
+                  const std::string &channel_name,
+                  const li::Config &channel_cfg,
+                  const LiTransceiverClocks &clocks =
+                      LiTransceiverClocks());
+
+    ~LiTransceiver();
+
+    /** Run one packet end to end through the streaming pipeline. */
+    LiPacketResult runPacket(const BitVec &payload,
+                             std::uint64_t packet_index);
+
+    /** Number of auto-inserted cross-domain synchronizers. */
+    int syncFifoCount() const;
+
+    /** The scheduler (for inspection in tests). */
+    li::Scheduler &scheduler();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl;
+};
+
+} // namespace sim
+} // namespace wilis
+
+#endif // WILIS_SIM_LI_TRANSCEIVER_HH

@@ -1,0 +1,69 @@
+#include "sim/sweep.hh"
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace wilis {
+namespace sim {
+
+void
+sweepPackets(
+    const TestbenchConfig &cfg, size_t payload_bits,
+    std::uint64_t num_packets, int threads,
+    const std::function<void(int, const PacketResult &, std::uint64_t)>
+        &per_packet)
+{
+    int n = threads > 0
+                ? threads
+                : static_cast<int>(
+                      std::max(1u, std::thread::hardware_concurrency()));
+    n = static_cast<int>(
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(n),
+                                std::max<std::uint64_t>(num_packets, 1)));
+
+    auto worker = [&](int tid) {
+        Testbench tb(cfg);
+        for (std::uint64_t p = static_cast<std::uint64_t>(tid);
+             p < num_packets; p += static_cast<std::uint64_t>(n)) {
+            PacketResult res = tb.runPacket(payload_bits, p);
+            per_packet(tid, res, p);
+        }
+    };
+
+    if (n == 1) {
+        worker(0);
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(n));
+    for (int t = 0; t < n; ++t)
+        pool.emplace_back(worker, t);
+    for (auto &th : pool)
+        th.join();
+}
+
+ErrorStats
+measureBer(const TestbenchConfig &cfg, size_t payload_bits,
+           std::uint64_t num_packets, int threads)
+{
+    int n = threads > 0
+                ? threads
+                : static_cast<int>(
+                      std::max(1u, std::thread::hardware_concurrency()));
+    std::vector<ErrorStats> per_thread(static_cast<size_t>(n));
+    sweepPackets(cfg, payload_bits, num_packets, n,
+                 [&](int tid, const PacketResult &res, std::uint64_t) {
+                     per_thread[static_cast<size_t>(tid)].bits +=
+                         res.txPayload.size();
+                     per_thread[static_cast<size_t>(tid)].errors +=
+                         res.bitErrors;
+                 });
+    ErrorStats total;
+    for (const auto &s : per_thread)
+        total.merge(s);
+    return total;
+}
+
+} // namespace sim
+} // namespace wilis

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Parallel packet sweeps: run many packets of a TestbenchConfig
+ * across worker threads, each thread owning its own Testbench
+ * instance. Because channels are replayable (pure functions of the
+ * packet index), results are independent of the thread count.
+ */
+
+#ifndef WILIS_SIM_SWEEP_HH
+#define WILIS_SIM_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/stats.hh"
+#include "sim/testbench.hh"
+
+namespace wilis {
+namespace sim {
+
+/**
+ * Run packets [0, num_packets) through per-thread testbenches.
+ *
+ * @param cfg          Testbench configuration (cloned per thread).
+ * @param payload_bits Payload size per packet.
+ * @param num_packets  Number of packets to run.
+ * @param threads      Worker threads (0 = hardware concurrency).
+ * @param per_packet   Called for every packet with the thread index;
+ *                     must only touch thread-indexed state.
+ */
+void sweepPackets(
+    const TestbenchConfig &cfg, size_t payload_bits,
+    std::uint64_t num_packets, int threads,
+    const std::function<void(int thread, const PacketResult &,
+                             std::uint64_t packet_index)> &per_packet);
+
+/** Aggregate payload BER over a packet sweep. */
+ErrorStats measureBer(const TestbenchConfig &cfg, size_t payload_bits,
+                      std::uint64_t num_packets, int threads = 0);
+
+} // namespace sim
+} // namespace wilis
+
+#endif // WILIS_SIM_SWEEP_HH

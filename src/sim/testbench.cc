@@ -1,0 +1,50 @@
+#include "sim/testbench.hh"
+
+#include "common/logging.hh"
+
+namespace wilis {
+namespace sim {
+
+Testbench::Testbench(const TestbenchConfig &cfg_) : cfg(cfg_)
+{
+    tx_ = std::make_unique<phy::OfdmTransmitter>(
+        cfg.rate, cfg.rx.scramblerSeed);
+    rx_ = std::make_unique<phy::OfdmReceiver>(cfg.rate, cfg.rx);
+    chan = channel::makeChannel(cfg.channel, cfg.channelCfg);
+}
+
+BitVec
+Testbench::makePayload(size_t bits, std::uint64_t packet_index) const
+{
+    CounterRng rng = CounterRng(cfg.payloadSeed).fork(packet_index);
+    BitVec payload(bits);
+    for (size_t i = 0; i < bits; ++i)
+        payload[i] = static_cast<Bit>(rng.at(i) & 1);
+    return payload;
+}
+
+PacketResult
+Testbench::runPacket(size_t payload_bits, std::uint64_t packet_index)
+{
+    return runPacketWithPayload(makePayload(payload_bits, packet_index),
+                                packet_index);
+}
+
+PacketResult
+Testbench::runPacketWithPayload(const BitVec &payload,
+                                std::uint64_t packet_index)
+{
+    PacketResult res;
+    res.txPayload = payload;
+
+    SampleVec samples = tx_->modulate(payload);
+    chan->apply(samples, packet_index);
+    res.rx = rx_->demodulate(samples, payload.size(), chan.get(),
+                             packet_index);
+    res.bitErrors = res.rx.bitErrors(payload);
+    res.ok = res.bitErrors == 0;
+    return res;
+}
+
+} // namespace sim
+} // namespace wilis

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * End-to-end transceiver testbench: transmitter -> software channel
+ * -> receiver, the co-simulation arrangement of Figure 1 at the
+ * functional-kernel level. The latency-insensitive cycle-counted
+ * pipeline lives in sim/li_pipeline; both are built from the same
+ * blocks, which is what lets WiLIS move between software simulation
+ * and the FPGA "without modifying any source" (section 2).
+ */
+
+#ifndef WILIS_SIM_TESTBENCH_HH
+#define WILIS_SIM_TESTBENCH_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "channel/channel.hh"
+#include "common/random.hh"
+#include "common/types.hh"
+#include "phy/ofdm_rx.hh"
+#include "phy/ofdm_tx.hh"
+
+namespace wilis {
+namespace sim {
+
+/** Everything needed to instantiate a transceiver + channel. */
+struct TestbenchConfig {
+    /** 802.11a/g rate index (0..7). */
+    phy::RateIndex rate = 4;
+    /** Receiver configuration (decoder slot, demapper widths...). */
+    phy::OfdmReceiver::Config rx;
+    /** Channel registry name ("awgn", "rayleigh"). */
+    std::string channel = "awgn";
+    /** Channel parameters (snr_db, doppler_hz, seed...). */
+    li::Config channelCfg;
+    /** Seed for random payload generation. */
+    std::uint64_t payloadSeed = 0x5EED;
+};
+
+/** One packet's worth of results. */
+struct PacketResult {
+    BitVec txPayload;
+    phy::RxResult rx;
+    std::uint64_t bitErrors = 0;
+    bool ok = false;
+};
+
+/** A single-threaded transceiver instance. */
+class Testbench
+{
+  public:
+    explicit Testbench(const TestbenchConfig &cfg);
+
+    /** Configuration in use. */
+    const TestbenchConfig &config() const { return cfg; }
+
+    /** Transmitter (for frame geometry queries). */
+    phy::OfdmTransmitter &tx() { return *tx_; }
+
+    /** Channel instance. */
+    channel::Channel &channel() { return *chan; }
+
+    /** Receiver instance. */
+    phy::OfdmReceiver &rx() { return *rx_; }
+
+    /** Deterministic random payload for @p packet_index. */
+    BitVec makePayload(size_t bits, std::uint64_t packet_index) const;
+
+    /**
+     * Run one packet end to end.
+     * @param payload_bits  Payload length in bits.
+     * @param packet_index  Packet index (selects payload and the
+     *                      replayable channel realization).
+     */
+    PacketResult runPacket(size_t payload_bits,
+                           std::uint64_t packet_index);
+
+    /**
+     * Run one packet of known payload through the channel at this
+     * testbench's rate (used by the oracle, which replays the same
+     * packet index at several rates).
+     */
+    PacketResult runPacketWithPayload(const BitVec &payload,
+                                      std::uint64_t packet_index);
+
+  private:
+    TestbenchConfig cfg;
+    std::unique_ptr<phy::OfdmTransmitter> tx_;
+    std::unique_ptr<phy::OfdmReceiver> rx_;
+    std::unique_ptr<channel::Channel> chan;
+};
+
+} // namespace sim
+} // namespace wilis
+
+#endif // WILIS_SIM_TESTBENCH_HH

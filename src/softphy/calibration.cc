@@ -1,0 +1,102 @@
+#include "softphy/calibration.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace wilis {
+namespace softphy {
+
+LlrCalibrator::LlrCalibrator(double llr_max_, int num_bins_)
+    : llr_max(llr_max_), num_bins(num_bins_), bins(num_bins_)
+{
+    wilis_assert(llr_max > 0.0, "llr_max must be positive");
+    wilis_assert(num_bins >= 4, "need at least 4 bins");
+}
+
+int
+LlrCalibrator::binOf(double hint) const
+{
+    if (hint < 0.0)
+        hint = 0.0;
+    // Saturated and infinite hints (SOVA's never-contradicted bits)
+    // land in the top bin.
+    if (hint >= llr_max)
+        return num_bins - 1;
+    return static_cast<int>(hint / llr_max *
+                            static_cast<double>(num_bins));
+}
+
+void
+LlrCalibrator::record(double hint, bool error)
+{
+    bins.record(binOf(hint), error);
+}
+
+void
+LlrCalibrator::merge(const LlrCalibrator &other)
+{
+    wilis_assert(other.num_bins == num_bins &&
+                     other.llr_max == llr_max,
+                 "calibrator binning mismatch");
+    bins.merge(other.bins);
+}
+
+std::uint64_t
+LlrCalibrator::totalObservations() const
+{
+    std::uint64_t t = 0;
+    for (int b = 0; b < num_bins; ++b)
+        t += bins.total(b);
+    return t;
+}
+
+double
+LlrCalibrator::fitScale(std::uint64_t min_errors) const
+{
+    // Fit -ln(ber_b) = scale * llr_b over bins with enough errors to
+    // make ber_b trustworthy, weighting by the error count (which is
+    // proportional to the inverse variance of ln(ber) estimates).
+    double sxy = 0.0;
+    double sxx = 0.0;
+    for (int b = 0; b < num_bins; ++b) {
+        if (bins.errorCount(b) < min_errors)
+            continue;
+        double r = bins.rate(b);
+        if (r <= 0.0 || r >= 0.5)
+            continue;
+        double llr = (static_cast<double>(b) + 0.5) * llr_max /
+                     static_cast<double>(num_bins);
+        double y = -std::log(r);
+        double w = static_cast<double>(bins.errorCount(b));
+        sxy += w * llr * y;
+        sxx += w * llr * llr;
+    }
+    if (sxx <= 0.0) {
+        wilis_warn("LLR calibration had no usable bins; falling back "
+                   "to unit scale");
+        return 1.0;
+    }
+    return sxy / sxx;
+}
+
+std::vector<LlrBerPoint>
+LlrCalibrator::curve() const
+{
+    std::vector<LlrBerPoint> pts;
+    for (int b = 0; b < num_bins; ++b) {
+        if (bins.total(b) == 0)
+            continue;
+        LlrBerPoint p;
+        p.llr = (static_cast<double>(b) + 0.5) * llr_max /
+                static_cast<double>(num_bins);
+        p.total = bins.total(b);
+        p.errors = bins.errorCount(b);
+        p.ber = bins.rate(b);
+        pts.push_back(p);
+    }
+    return pts;
+}
+
+} // namespace softphy
+} // namespace wilis

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fits the combined eq. 5 scaling factor from observed (LLR hint,
+ * bit error) pairs -- the procedure of section 4.4.1: "we can use
+ * these curves to determine the values of these scaling factors and
+ * to generate lookup tables for our per-bit BER estimator".
+ */
+
+#ifndef WILIS_SOFTPHY_CALIBRATION_HH
+#define WILIS_SOFTPHY_CALIBRATION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace wilis {
+namespace softphy {
+
+/** One point of a measured BER-vs-LLR curve (Figure 5). */
+struct LlrBerPoint {
+    double llr;           //!< bin center (hardware hint units)
+    double ber;           //!< observed error rate in the bin
+    std::uint64_t total;  //!< observations in the bin
+    std::uint64_t errors; //!< errors in the bin
+};
+
+/**
+ * Accumulates per-bit (hint, error) observations into LLR bins and
+ * fits BER(hint) = 1 / (1 + e^(scale * hint)).
+ */
+class LlrCalibrator
+{
+  public:
+    /**
+     * @param llr_max   Hints at or above this value share the top bin.
+     * @param num_bins  Histogram resolution.
+     */
+    explicit LlrCalibrator(double llr_max, int num_bins = 64);
+
+    /** Record one decoded bit. */
+    void record(double hint, bool error);
+
+    /** Merge another calibrator with identical binning. */
+    void merge(const LlrCalibrator &other);
+
+    /** Total observations so far. */
+    std::uint64_t totalObservations() const;
+
+    /**
+     * Weighted least-squares fit of -ln(BER) = scale * llr through
+     * the origin over bins with at least @p min_errors errors
+     * (empty-tail bins carry no slope information).
+     * @return the combined eq. 5 scale in 1/hint units.
+     */
+    double fitScale(std::uint64_t min_errors = 10) const;
+
+    /** The measured curve (bins with at least one observation). */
+    std::vector<LlrBerPoint> curve() const;
+
+    /** Upper edge of the binned hint range. */
+    double llrMax() const { return llr_max; }
+
+  private:
+    int binOf(double hint) const;
+
+    double llr_max;
+    int num_bins;
+    BinnedErrorCounter bins;
+};
+
+} // namespace softphy
+} // namespace wilis
+
+#endif // WILIS_SOFTPHY_CALIBRATION_HH

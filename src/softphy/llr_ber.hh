@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The SoftPHY LLR <-> BER mathematics of section 4.2:
+ *
+ *   BER_bit = 1 / (1 + e^LLR)                               (eq. 4)
+ *   LLR_true = Es/N0 * S_modulation * S_decoder * LLR_hw    (eq. 5)
+ *
+ * Hardware decoders emit LLR hints whose *scale* differs from the
+ * true LLR because the demapper drops the Es/N0 and S_modulation
+ * factors and each decoder interprets its inputs on its own scale.
+ * A single combined scale per (modulation, SNR band, decoder)
+ * converts hints to true LLRs.
+ */
+
+#ifndef WILIS_SOFTPHY_LLR_BER_HH
+#define WILIS_SOFTPHY_LLR_BER_HH
+
+#include <cmath>
+
+namespace wilis {
+namespace softphy {
+
+/** eq. 4: probability the decision is wrong given the true LLR. */
+inline double
+berFromTrueLlr(double llr)
+{
+    // Numerically stable on both tails.
+    if (llr > 40.0)
+        return std::exp(-llr);
+    return 1.0 / (1.0 + std::exp(llr));
+}
+
+/** Inverse of eq. 4. */
+inline double
+trueLlrFromBer(double ber)
+{
+    if (ber <= 0.0)
+        return 1e9;
+    if (ber >= 1.0)
+        return -1e9;
+    return std::log((1.0 - ber) / ber);
+}
+
+/**
+ * eq. 5: convert a hardware LLR hint to a true LLR with the combined
+ * scale (Es/N0 * S_mod * S_dec).
+ */
+inline double
+trueLlrFromHint(double hint, double combined_scale)
+{
+    return combined_scale * hint;
+}
+
+/** Per-bit BER estimate from a hardware hint and combined scale. */
+inline double
+berFromHint(double hint, double combined_scale)
+{
+    return berFromTrueLlr(trueLlrFromHint(hint, combined_scale));
+}
+
+} // namespace softphy
+} // namespace wilis
+
+#endif // WILIS_SOFTPHY_LLR_BER_HH

@@ -1,0 +1,236 @@
+#include "synth/area.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace wilis {
+namespace synth {
+
+// Calibration coefficients. Fitted so that the default parameters
+// (64 states, 6-bit soft inputs, 11-bit wide metrics, window/block
+// 64) reproduce the paper's Figure 8 synthesis table; the scaling
+// *forms* (what multiplies what) follow the block structure described
+// in sections 4.3.1/4.3.2.
+namespace {
+constexpr double kBmuLutsPerBit = 8.0;
+constexpr double kBmuLutsBase = 15.0;
+constexpr double kBmuRegsPerBit = 7.0;
+constexpr double kBmuRegsBase = -1.0;
+
+constexpr double kAcsLutsPerMetricBit = 6.0;
+constexpr double kAcsLutsBase = 7.0;
+
+constexpr double kTbLutsPerCell = 1.25;
+constexpr double kTbLutsBase = 24.0;
+constexpr double kTbRegsPerCell = 0.96;
+
+constexpr double kSoftTbLutsPerRelBit = 12.0;
+constexpr double kSoftTbRegsPerRelBit = 13.5;
+constexpr double kSpdLutsPerRelBit = 10.5;
+constexpr double kSpdRegsPerRelBit = 6.7;
+
+constexpr double kRevBufLutsPerEntry = 135.0 / 470.0; // per entry-bit
+constexpr double kSduLutsPerStateBit = 9.3;
+constexpr double kSduRegsPerStateBit = 1.17;
+
+constexpr double kBcjrFifoLutsPerBit = 2.2;
+constexpr double kBcjrFifoRegsPerBit = 3.0;
+constexpr double kBcjrCtrlLutsPerState = 17.0;
+constexpr double kBcjrAlphaPipeRegsPerStateBit = 3.5;
+
+long
+li(double v)
+{
+    return static_cast<long>(std::lround(v));
+}
+} // namespace
+
+AreaEstimate
+bmuArea(int soft_width)
+{
+    return {li(kBmuLutsPerBit * soft_width + kBmuLutsBase),
+            li(kBmuRegsPerBit * soft_width + kBmuRegsBase)};
+}
+
+AreaEstimate
+pmuArea(int states, int metric_width, bool registered_metrics)
+{
+    AreaEstimate a;
+    a.luts = li(states * (kAcsLutsPerMetricBit * metric_width +
+                          kAcsLutsBase));
+    a.registers = registered_metrics ? states * metric_width : 0;
+    return a;
+}
+
+AreaEstimate
+tracebackArea(int states, int window)
+{
+    double cells = static_cast<double>(states) * window;
+    return {li(kTbLutsPerCell * cells + kTbLutsBase),
+            li(kTbRegsPerCell * cells)};
+}
+
+AreaEstimate
+softPathDetectArea(int window, int rel_width)
+{
+    double relbits = static_cast<double>(window) * rel_width;
+    return {li(kSpdLutsPerRelBit * relbits),
+            li(kSpdRegsPerRelBit * relbits)};
+}
+
+AreaEstimate
+softTracebackArea(int states, int window, int rel_width)
+{
+    // Trace memory + simultaneous two-path traceback + reliability
+    // update/storage (includes the soft path detector).
+    double cells = static_cast<double>(states) * window;
+    double relbits = static_cast<double>(window) * rel_width;
+    return {li(kTbLutsPerCell * cells + kSoftTbLutsPerRelBit * relbits),
+            li(kTbRegsPerCell * cells +
+               kSoftTbRegsPerRelBit * relbits)};
+}
+
+AreaEstimate
+delayBufferArea(int depth, int width)
+{
+    double bits = static_cast<double>(depth) * width;
+    return {li(bits / 16.0), li(bits)};
+}
+
+AreaEstimate
+reversalBufferArea(int depth, int entry_width)
+{
+    double bits = static_cast<double>(depth) * entry_width;
+    return {li(kRevBufLutsPerEntry * bits), li(bits)};
+}
+
+AreaEstimate
+softDecisionUnitArea(int states, int metric_width)
+{
+    double sb = static_cast<double>(states) * metric_width;
+    return {li(kSduLutsPerStateBit * sb), li(kSduRegsPerStateBit * sb)};
+}
+
+std::vector<AreaRow>
+viterbiAreaReport(const DecoderAreaParams &p)
+{
+    // Hard Viterbi runs the narrow decode-only datapath (the paper's
+    // reduced 3-8 bit regime); 5 bits of path metric suffice.
+    const int mw_narrow = 5;
+    AreaEstimate bmu = bmuArea(p.softWidth);
+    AreaEstimate pmu = pmuArea(p.states, mw_narrow, true);
+    AreaEstimate tb = tracebackArea(p.states, p.window);
+
+    std::vector<AreaRow> rows;
+    rows.push_back({"Viterbi", bmu + pmu + tb, 0});
+    rows.push_back({"Traceback Unit", tb, 1});
+    rows.push_back({"Path Metric Unit", pmu, 1});
+    rows.push_back({"Branch Metric Unit", bmu, 1});
+    return rows;
+}
+
+std::vector<AreaRow>
+sovaAreaReport(const DecoderAreaParams &p)
+{
+    // SOVA also decodes on a narrow metric path (3 bits beyond the
+    // inputs' relative ordering needs), but carries wide reliability
+    // values through the soft traceback.
+    const int mw_narrow = 3;
+    AreaEstimate bmu = bmuArea(p.softWidth);
+    AreaEstimate pmu = pmuArea(p.states, mw_narrow, true);
+    AreaEstimate soft_tb =
+        softTracebackArea(p.states, p.window, p.metricWidth);
+    AreaEstimate spd = softPathDetectArea(p.window, p.metricWidth);
+    AreaEstimate delay =
+        delayBufferArea(2 * p.window, 2 * p.softWidth);
+
+    std::vector<AreaRow> rows;
+    rows.push_back({"SOVA", bmu + pmu + soft_tb + delay, 0});
+    rows.push_back({"Soft TU", soft_tb, 1});
+    rows.push_back({"Soft Path Detect", spd, 1});
+    rows.push_back({"Path Metric Unit", pmu, 1});
+    rows.push_back({"Delay Buffer", delay, 1});
+    rows.push_back({"Branch Metric Unit", bmu, 1});
+    return rows;
+}
+
+std::vector<AreaRow>
+bcjrAreaReport(const DecoderAreaParams &p)
+{
+    AreaEstimate bmu = bmuArea(p.softWidth);
+    AreaEstimate bmu2 = bmu + bmu; // forward + backward gamma
+    AreaEstimate pmu1 = pmuArea(p.states, p.metricWidth, false);
+    AreaEstimate pmu3 = pmu1 + pmu1 + pmu1; // fwd, bwd, provisional
+    // The initial reversal buffer holds raw soft pairs; the final
+    // one holds per-step state-metric slices (~470 bits/entry at the
+    // default widths).
+    AreaEstimate rev_init =
+        reversalBufferArea(p.window, 2 * p.softWidth + 29);
+    AreaEstimate rev_final = reversalBufferArea(
+        p.window, li(p.states * (p.metricWidth * 2.0 / 3.0)));
+    AreaEstimate sdu = softDecisionUnitArea(p.states, p.metricWidth);
+    // Large FIFO covering the provisional PMU latency plus control.
+    double fifo_bits =
+        static_cast<double>(p.window) * 2.0 * p.softWidth;
+    AreaEstimate fifo = {li(kBcjrFifoLutsPerBit * fifo_bits),
+                         li(kBcjrFifoRegsPerBit * fifo_bits)};
+    AreaEstimate ctrl = {
+        li(kBcjrCtrlLutsPerState * p.states),
+        li(kBcjrAlphaPipeRegsPerStateBit * p.states * p.metricWidth)};
+
+    std::vector<AreaRow> rows;
+    rows.push_back(
+        {"BCJR", bmu2 + pmu3 + rev_init + rev_final + sdu + fifo + ctrl,
+         0});
+    rows.push_back({"Soft Decision Unit", sdu, 1});
+    rows.push_back({"Initial Rev. Buf.", rev_init, 1});
+    rows.push_back({"Final Rev. Buf.", rev_final, 1});
+    rows.push_back({"Path Metric Unit", pmu1, 1});
+    rows.push_back({"Branch Metric Unit", bmu, 1});
+    return rows;
+}
+
+AreaEstimate
+decoderTotal(const std::string &decoder, const DecoderAreaParams &p)
+{
+    if (decoder == "viterbi")
+        return viterbiAreaReport(p)[0].area;
+    if (decoder == "sova")
+        return sovaAreaReport(p)[0].area;
+    if (decoder == "bcjr" || decoder == "bcjr-logmap")
+        return bcjrAreaReport(p)[0].area;
+    wilis_fatal("no area model for decoder '%s'", decoder.c_str());
+}
+
+AreaEstimate
+berEstimatorArea()
+{
+    // Two-level lookup: a 4-entry scale select plus a 256-entry ROM
+    // and an output register -- deliberately tiny (section 4.2).
+    return {220, 40};
+}
+
+long
+baselineTransceiverLuts()
+{
+    // Airblue-class 802.11a/g baseband (both directions: FFT/IFFT,
+    // mapper/demapper, (de)interleavers, (de)puncturers, scramblers,
+    // sync & channel estimation) with a hard Viterbi decoder.
+    return 70000;
+}
+
+double
+softPhyOverheadPct(const std::string &decoder,
+                   const DecoderAreaParams &p)
+{
+    AreaEstimate dec = decoderTotal(decoder, p);
+    AreaEstimate vit = decoderTotal("viterbi", p);
+    AreaEstimate est = berEstimatorArea();
+    double extra = static_cast<double>(dec.luts - vit.luts + est.luts);
+    return 100.0 * extra /
+           static_cast<double>(baselineTransceiverLuts());
+}
+
+} // namespace synth
+} // namespace wilis

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Architectural area model: the substitute for the paper's Synplify
+ * Pro / Virtex-5 synthesis results (Figure 8). We cannot run FPGA
+ * synthesis, so each hardware block's LUT/register cost is modeled
+ * as a function of its architectural parameters (trellis states,
+ * metric width, traceback window, reversal-buffer depth, soft-input
+ * width), with coefficients calibrated against the paper's reported
+ * numbers (all storage forced to registers, as in the paper's
+ * comparison methodology).
+ *
+ * What this model preserves -- and what the repo's experiments rely
+ * on -- is the *relative* cost structure: BCJR ~ 2x SOVA ~ 4x
+ * Viterbi, BCJR's registers dominated by the reversal buffers, and
+ * first-order scaling in window/block length and bit widths. The
+ * absolute numbers are fitted, not synthesized; see EXPERIMENTS.md.
+ */
+
+#ifndef WILIS_SYNTH_AREA_HH
+#define WILIS_SYNTH_AREA_HH
+
+#include <string>
+#include <vector>
+
+namespace wilis {
+namespace synth {
+
+/** LUT / register counts for one block. */
+struct AreaEstimate {
+    long luts = 0;
+    long registers = 0;
+
+    AreaEstimate
+    operator+(const AreaEstimate &o) const
+    {
+        return {luts + o.luts, registers + o.registers};
+    }
+
+    AreaEstimate &
+    operator+=(const AreaEstimate &o)
+    {
+        luts += o.luts;
+        registers += o.registers;
+        return *this;
+    }
+};
+
+/** One row of a Figure 8 style report. */
+struct AreaRow {
+    std::string name;
+    AreaEstimate area;
+    /** 0 = decoder total, 1 = sub-block. */
+    int indent = 0;
+};
+
+/** Architectural parameters of a decoder instance. */
+struct DecoderAreaParams {
+    /** Trellis states (64 for K=7). */
+    int states = 64;
+    /** Demapper soft-input width in bits. */
+    int softWidth = 6;
+    /**
+     * Path-metric datapath width. The paper's point (section 4.1):
+     * dropping SNR scaling lets the decode-only path shrink to a few
+     * bits, while BER estimation needs the wide path.
+     */
+    int metricWidth = 11;
+    /** Traceback window (Viterbi/SOVA) or block length n (BCJR). */
+    int window = 64;
+};
+
+/** Branch metric unit (shared by all decoders, section 4.3). */
+AreaEstimate bmuArea(int soft_width);
+
+/**
+ * Path metric unit: @p states ACS slices of @p metric_width bits.
+ * @p registered_metrics false models the BCJR PMUs whose metrics
+ * stream through memory instead of a register bank.
+ */
+AreaEstimate pmuArea(int states, int metric_width,
+                     bool registered_metrics);
+
+/** Hard traceback unit (Viterbi). */
+AreaEstimate tracebackArea(int states, int window);
+
+/** SOVA soft traceback unit (TU2 + reliability storage). */
+AreaEstimate softTracebackArea(int states, int window, int rel_width);
+
+/** SOVA soft path detector (subcomponent of the soft TU). */
+AreaEstimate softPathDetectArea(int window, int rel_width);
+
+/** Simple delay buffer of @p depth entries x @p width bits. */
+AreaEstimate delayBufferArea(int depth, int width);
+
+/** BCJR reversal buffer of @p depth entries x @p entry_width bits. */
+AreaEstimate reversalBufferArea(int depth, int entry_width);
+
+/** BCJR soft decision unit (the SoftPHY subtracter is included). */
+AreaEstimate softDecisionUnitArea(int states, int metric_width);
+
+/** Full decoder reports (total + Figure 8 sub-block rows). */
+std::vector<AreaRow> viterbiAreaReport(const DecoderAreaParams &p);
+std::vector<AreaRow> sovaAreaReport(const DecoderAreaParams &p);
+std::vector<AreaRow> bcjrAreaReport(const DecoderAreaParams &p);
+
+/** Decoder total only. */
+AreaEstimate decoderTotal(const std::string &decoder,
+                          const DecoderAreaParams &p);
+
+/**
+ * The two-level lookup BER estimator unit (section 4.2): tiny --
+ * two small ROMs and an address mux.
+ */
+AreaEstimate berEstimatorArea();
+
+/**
+ * Modeled LUT count of a complete 802.11a/g transceiver with a hard
+ * Viterbi decoder (used for the conclusion's "~10% increase in the
+ * size of a transceiver" figure).
+ */
+long baselineTransceiverLuts();
+
+/**
+ * Percentage LUT increase of a full transceiver when the hard
+ * Viterbi decoder is replaced by @p decoder plus the BER estimator.
+ */
+double softPhyOverheadPct(const std::string &decoder,
+                          const DecoderAreaParams &p);
+
+/** Latency in microseconds of @p cycles at @p freq_mhz. */
+inline double
+latencyUs(int cycles, double freq_mhz)
+{
+    return static_cast<double>(cycles) / freq_mhz;
+}
+
+} // namespace synth
+} // namespace wilis
+
+#endif // WILIS_SYNTH_AREA_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the shared utilities: printf-style formatting, the text
+ * table renderer, the worker pool, and the logging death paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "common/thread_pool.hh"
+
+using namespace wilis;
+
+TEST(Strprintf, FormatsLikePrintf)
+{
+    EXPECT_EQ(strprintf("x=%d", 42), "x=42");
+    EXPECT_EQ(strprintf("%s/%s", "a", "b"), "a/b");
+    EXPECT_EQ(strprintf("%.3f", 1.5), "1.500");
+    EXPECT_EQ(strprintf("%5d|", 7), "    7|");
+    EXPECT_EQ(strprintf("plain"), "plain");
+}
+
+TEST(Strprintf, LongStringsSurvive)
+{
+    std::string big(5000, 'q');
+    EXPECT_EQ(strprintf("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"a", "long header", "c"});
+    t.addRow({"1", "2", "3"});
+    t.addRow({"wide cell", "x", "y"});
+    std::string out = t.render();
+
+    // Header, separator, two rows.
+    int lines = 0;
+    for (char c : out)
+        lines += c == '\n';
+    EXPECT_EQ(lines, 4);
+
+    // Every data line starts at the same column for field 2.
+    size_t h = out.find("long header");
+    size_t r1 = out.find("2");
+    EXPECT_NE(h, std::string::npos);
+    EXPECT_NE(r1, std::string::npos);
+}
+
+TEST(TableDeath, WrongArityPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only one"}), "cells");
+}
+
+TEST(ThreadPool, RunsEveryChunkExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallelFor(257, [&](std::uint64_t i) {
+        hits[static_cast<size_t>(i)]++;
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs)
+{
+    ThreadPool pool(2);
+    std::atomic<long> sum{0};
+    for (int round = 0; round < 5; ++round) {
+        sum = 0;
+        pool.parallelFor(100, [&](std::uint64_t i) {
+            sum += static_cast<long>(i);
+        });
+        EXPECT_EQ(sum.load(), 4950);
+    }
+}
+
+TEST(ThreadPool, ZeroChunksIsNoOp)
+{
+    ThreadPool pool(2);
+    bool ran = false;
+    pool.parallelFor(0, [&](std::uint64_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, SingleThreadStillWorks)
+{
+    ThreadPool pool(1);
+    std::atomic<int> n{0};
+    pool.parallelFor(10, [&](std::uint64_t) { n++; });
+    EXPECT_EQ(n.load(), 10);
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(wilis_panic("boom %d", 7), "boom 7");
+}
+
+TEST(LoggingDeath, FatalExits)
+{
+    EXPECT_EXIT(wilis_fatal("bad config %s", "x"),
+                ::testing::ExitedWithCode(1), "bad config x");
+}
+
+TEST(LoggingDeath, AssertMessageIncludesCondition)
+{
+    EXPECT_DEATH(wilis_assert(1 == 2, "context %d", 5),
+                 "assertion '1 == 2' failed");
+}

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Decoder tests: noiseless exactness for Viterbi/SOVA/BCJR, decode
+ * quality under noise, soft-output sanity (higher LLR -> lower error
+ * probability), latency formulas, and registry plug-n-play.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "decode/bcjr.hh"
+#include "decode/soft_decoder.hh"
+#include "decode/sova.hh"
+#include "decode/viterbi.hh"
+#include "phy/conv_code.hh"
+
+using namespace wilis;
+using namespace wilis::phy;
+using namespace wilis::decode;
+
+namespace {
+
+/** Encode data (terminated) and map bits to +-amp soft values. */
+SoftVec
+cleanSoft(const BitVec &data, int amp)
+{
+    BitVec coded = convCode().encode(data, true);
+    SoftVec soft(coded.size());
+    for (size_t i = 0; i < coded.size(); ++i)
+        soft[i] = coded[i] ? amp : -amp;
+    return soft;
+}
+
+BitVec
+randomBits(size_t n, std::uint64_t seed)
+{
+    SplitMix64 rng(seed);
+    BitVec v(n);
+    for (auto &b : v)
+        b = rng.nextBit();
+    return v;
+}
+
+/** Add Gaussian noise to clean +-amp soft values, then requantize. */
+SoftVec
+noisySoft(const BitVec &data, double amp, double sigma,
+          std::uint64_t seed)
+{
+    BitVec coded = convCode().encode(data, true);
+    GaussianSource g(seed);
+    SoftVec soft(coded.size());
+    for (size_t i = 0; i < coded.size(); ++i) {
+        double v = (coded[i] ? amp : -amp) + sigma * g.next();
+        soft[i] = static_cast<SoftBit>(std::lround(v));
+    }
+    return soft;
+}
+
+std::uint64_t
+countBitErrors(const std::vector<SoftDecision> &dec, const BitVec &data)
+{
+    std::uint64_t e = 0;
+    for (size_t i = 0; i < data.size(); ++i)
+        e += dec[i].bit != data[i];
+    return e;
+}
+
+} // namespace
+
+class DecoderNames : public ::testing::TestWithParam<const char *>
+{};
+
+INSTANTIATE_TEST_SUITE_P(AllDecoders, DecoderNames,
+                         ::testing::Values("viterbi", "sova", "bcjr",
+                                           "bcjr-logmap"));
+
+TEST_P(DecoderNames, RegistryCreates)
+{
+    auto dec = makeDecoder(GetParam());
+    ASSERT_NE(dec, nullptr);
+    EXPECT_EQ(dec->name(), GetParam());
+}
+
+TEST_P(DecoderNames, NoiselessDecodeIsExact)
+{
+    auto dec = makeDecoder(GetParam());
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        BitVec data = randomBits(500, seed);
+        auto out = dec->decodeBlock(cleanSoft(data, 15));
+        ASSERT_EQ(out.size(), data.size() + ConvCode::kTailBits);
+        EXPECT_EQ(countBitErrors(out, data), 0u) << "seed " << seed;
+        // Tail bits decode to zero.
+        for (size_t i = data.size(); i < out.size(); ++i)
+            EXPECT_EQ(out[i].bit, 0);
+    }
+}
+
+TEST_P(DecoderNames, ShortBlocksDecode)
+{
+    auto dec = makeDecoder(GetParam());
+    for (size_t n : {1u, 2u, 7u, 13u, 64u}) {
+        BitVec data = randomBits(n, 77 + n);
+        auto out = dec->decodeBlock(cleanSoft(data, 7));
+        EXPECT_EQ(countBitErrors(out, data), 0u) << "len " << n;
+    }
+}
+
+TEST_P(DecoderNames, CorrectsBurstsOfErasures)
+{
+    auto dec = makeDecoder(GetParam());
+    BitVec data = randomBits(300, 5);
+    SoftVec soft = cleanSoft(data, 15);
+    // Erase 8 consecutive coded bits (as a puncturer would).
+    for (size_t i = 100; i < 108; ++i)
+        soft[i] = 0;
+    auto out = dec->decodeBlock(soft);
+    EXPECT_EQ(countBitErrors(out, data), 0u);
+}
+
+TEST_P(DecoderNames, CorrectsModerateNoise)
+{
+    // amp=15, sigma=9 corresponds to ~4.4 dB Eb/N0 on the rate-1/2
+    // BPSK-equivalent channel; the K=7 code decodes this with BER
+    // well below 1e-3.
+    auto dec = makeDecoder(GetParam());
+    std::uint64_t bits = 0;
+    std::uint64_t errs = 0;
+    for (std::uint64_t p = 0; p < 30; ++p) {
+        BitVec data = randomBits(1000, 1000 + p);
+        auto out = dec->decodeBlock(noisySoft(data, 15.0, 9.0, p));
+        errs += countBitErrors(out, data);
+        bits += data.size();
+    }
+    double ber = static_cast<double>(errs) / static_cast<double>(bits);
+    EXPECT_LT(ber, 2e-3) << "decoder " << GetParam();
+}
+
+TEST(Decoders, SoftOutputFlagsMatchImplementations)
+{
+    EXPECT_FALSE(makeDecoder("viterbi")->producesSoftOutput());
+    EXPECT_TRUE(makeDecoder("sova")->producesSoftOutput());
+    EXPECT_TRUE(makeDecoder("bcjr")->producesSoftOutput());
+}
+
+TEST(Decoders, SovaLatencyFormula)
+{
+    // Section 4.3.1: l + k + 12; 140 cycles at l = k = 64.
+    SovaDecoder dflt;
+    EXPECT_EQ(dflt.pipelineLatencyCycles(), 140);
+
+    li::Config cfg;
+    cfg.set("traceback_l", "32");
+    cfg.set("traceback_k", "48");
+    SovaDecoder custom(cfg);
+    EXPECT_EQ(custom.pipelineLatencyCycles(), 32 + 48 + 12);
+}
+
+TEST(Decoders, BcjrLatencyFormula)
+{
+    // Section 4.3.2: 2n + 7; 135 cycles at n = 64.
+    BcjrDecoder dflt;
+    EXPECT_EQ(dflt.pipelineLatencyCycles(), 135);
+
+    li::Config cfg;
+    cfg.set("block_len", "32");
+    BcjrDecoder custom(cfg);
+    EXPECT_EQ(custom.pipelineLatencyCycles(), 71);
+}
+
+TEST(Decoders, LatenciesMeetWifiBudget)
+{
+    // At 60 MHz both decoders stay well under the 25 us 802.11a/g
+    // turnaround budget (2.3 us SOVA, 2.2 us BCJR).
+    const double cycle_us = 1.0 / 60.0;
+    EXPECT_LT(SovaDecoder().pipelineLatencyCycles() * cycle_us, 2.4);
+    EXPECT_LT(BcjrDecoder().pipelineLatencyCycles() * cycle_us, 2.3);
+    EXPECT_LT(SovaDecoder().pipelineLatencyCycles() * cycle_us, 25.0);
+}
+
+class SoftHintQuality : public ::testing::TestWithParam<const char *>
+{};
+
+INSTANTIATE_TEST_SUITE_P(SoftDecoders, SoftHintQuality,
+                         ::testing::Values("sova", "bcjr",
+                                           "bcjr-logmap"));
+
+TEST_P(SoftHintQuality, HigherLlrMeansFewerErrors)
+{
+    auto dec = makeDecoder(GetParam());
+    std::vector<std::pair<double, bool>> samples; // (llr, error)
+    for (std::uint64_t p = 0; p < 60; ++p) {
+        BitVec data = randomBits(1000, 31337 + p);
+        SoftVec soft = noisySoft(data, 10.0, 9.0, 555 + p);
+        auto out = dec->decodeBlock(soft);
+        for (size_t i = 0; i < data.size(); ++i)
+            samples.emplace_back(out[i].llr, out[i].bit != data[i]);
+    }
+    // Compare the error rate of the least-confident third against
+    // the most-confident third (scale-free across decoders).
+    std::sort(samples.begin(), samples.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    const size_t third = samples.size() / 3;
+    std::uint64_t low_err = 0;
+    std::uint64_t high_err = 0;
+    for (size_t i = 0; i < third; ++i) {
+        low_err += samples[i].second;
+        high_err += samples[samples.size() - 1 - i].second;
+    }
+    double low_rate = static_cast<double>(low_err) /
+                      static_cast<double>(third);
+    double high_rate = static_cast<double>(high_err) /
+                       static_cast<double>(third);
+    EXPECT_GT(low_rate, high_rate)
+        << "low-confidence bits must err more often";
+    EXPECT_GT(low_rate, 5.0 * (high_rate + 1e-9));
+}
+
+TEST(Decoders, SovaAndBcjrAgreeOnHardBitsMostly)
+{
+    auto sova = makeDecoder("sova");
+    auto bcjr = makeDecoder("bcjr");
+    std::uint64_t diff = 0;
+    std::uint64_t total = 0;
+    for (std::uint64_t p = 0; p < 10; ++p) {
+        BitVec data = randomBits(1000, 999 + p);
+        SoftVec soft = noisySoft(data, 12.0, 8.0, 3 + p);
+        auto a = sova->decodeBlock(soft);
+        auto b = bcjr->decodeBlock(soft);
+        for (size_t i = 0; i < data.size(); ++i)
+            diff += a[i].bit != b[i].bit;
+        total += data.size();
+    }
+    EXPECT_LT(static_cast<double>(diff) / static_cast<double>(total),
+              1e-2);
+}
+
+TEST(Decoders, BcjrSmallWindowDegrades)
+{
+    // Section 4.3.2: block size below 32 costs accuracy. Compare
+    // window 8 against window 64 at a noise level with plenty of
+    // errors.
+    li::Config small_cfg;
+    small_cfg.set("block_len", "8");
+    BcjrDecoder small(small_cfg);
+    BcjrDecoder big; // 64
+
+    std::uint64_t errs_small = 0;
+    std::uint64_t errs_big = 0;
+    for (std::uint64_t p = 0; p < 40; ++p) {
+        BitVec data = randomBits(800, 123456 + p);
+        SoftVec soft = noisySoft(data, 8.0, 9.5, 77 + p);
+        errs_small += countBitErrors(small.decodeBlock(soft), data);
+        errs_big += countBitErrors(big.decodeBlock(soft), data);
+    }
+    EXPECT_GT(errs_small, errs_big);
+}
+
+TEST(DecodersDeath, OddStreamPanics)
+{
+    auto dec = makeDecoder("viterbi");
+    SoftVec bad(15, 1);
+    EXPECT_DEATH(dec->decodeBlock(bad), "odd");
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * FFT unit tests: impulse/DC responses, unitarity (Parseval),
+ * roundtrip, linearity, and a known analytic tone transform.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/random.hh"
+#include "phy/fft.hh"
+
+using namespace wilis;
+using namespace wilis::phy;
+
+namespace {
+
+SampleVec
+randomVec(int n, std::uint64_t seed)
+{
+    SplitMix64 rng(seed);
+    SampleVec v(static_cast<size_t>(n));
+    for (auto &x : v)
+        x = Sample(rng.nextDouble() - 0.5, rng.nextDouble() - 0.5);
+    return v;
+}
+
+double
+maxError(const SampleVec &a, const SampleVec &b)
+{
+    double m = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::abs(a[i] - b[i]));
+    return m;
+}
+
+double
+energy(const SampleVec &v)
+{
+    double e = 0.0;
+    for (const auto &x : v)
+        e += std::norm(x);
+    return e;
+}
+
+} // namespace
+
+TEST(Fft, ImpulseGivesFlatSpectrum)
+{
+    Fft fft(64);
+    SampleVec x(64, Sample(0, 0));
+    x[0] = Sample(1, 0);
+    fft.forward(x);
+    // Unitary: each bin = 1/sqrt(64) = 0.125.
+    for (const auto &v : x) {
+        EXPECT_NEAR(v.real(), 0.125, 1e-12);
+        EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+    }
+}
+
+TEST(Fft, SingleToneLandsInOneBin)
+{
+    const int n = 64;
+    const int k = 5;
+    Fft fft(n);
+    SampleVec x(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        double ang = 2.0 * std::numbers::pi * k * i / n;
+        x[static_cast<size_t>(i)] = Sample(std::cos(ang), std::sin(ang));
+    }
+    fft.forward(x);
+    for (int i = 0; i < n; ++i) {
+        double expected = (i == k) ? std::sqrt(64.0) : 0.0;
+        EXPECT_NEAR(std::abs(x[static_cast<size_t>(i)]), expected,
+                    1e-10)
+            << "bin " << i;
+    }
+}
+
+TEST(Fft, RoundTripIsIdentity)
+{
+    for (int n : {2, 8, 64, 256}) {
+        Fft fft(n);
+        SampleVec x = randomVec(n, 123 + static_cast<std::uint64_t>(n));
+        SampleVec orig = x;
+        fft.forward(x);
+        fft.inverse(x);
+        EXPECT_LT(maxError(x, orig), 1e-12) << "size " << n;
+    }
+}
+
+TEST(Fft, UnitaryPreservesEnergy)
+{
+    Fft fft(64);
+    SampleVec x = randomVec(64, 7);
+    double e0 = energy(x);
+    fft.forward(x);
+    EXPECT_NEAR(energy(x), e0, 1e-10);
+    fft.inverse(x);
+    EXPECT_NEAR(energy(x), e0, 1e-10);
+}
+
+TEST(Fft, Linearity)
+{
+    Fft fft(64);
+    SampleVec a = randomVec(64, 1);
+    SampleVec b = randomVec(64, 2);
+    SampleVec sum(64);
+    for (size_t i = 0; i < 64; ++i)
+        sum[i] = a[i] + 2.0 * b[i];
+
+    fft.forward(a);
+    fft.forward(b);
+    fft.forward(sum);
+    SampleVec expect(64);
+    for (size_t i = 0; i < 64; ++i)
+        expect[i] = a[i] + 2.0 * b[i];
+    EXPECT_LT(maxError(sum, expect), 1e-11);
+}
+
+TEST(FftDeath, NonPowerOfTwoPanics)
+{
+    EXPECT_DEATH(Fft(48), "power of two");
+}
+
+TEST(FftDeath, WrongInputSizePanics)
+{
+    Fft fft(64);
+    SampleVec x(32);
+    EXPECT_DEATH(fft.forward(x), "input size");
+}
