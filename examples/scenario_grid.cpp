@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Scenario-grid sweep demo: a 24-cell grid (3 rates x 2 channels x
+ * 2 SNRs x 2 payloads) sharded across the worker pool, with every
+ * cell running on the zero-copy frame pipeline. The grid is then
+ * re-run at a different thread count to demonstrate the determinism
+ * contract: cell results are a pure function of (grid seed, cell
+ * index, packet index), never of the sharding.
+ *
+ * Usage: ./build/scenario_grid [packets-per-cell] [threads]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hh"
+#include "sim/scenario_grid.hh"
+
+using namespace wilis;
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t packets =
+        argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1]))
+                 : 40;
+    const int threads = argc > 2 ? std::atoi(argv[2]) : 0;
+
+    sim::ScenarioGrid grid;
+    grid.base = sim::scenarioPreset("awgn-mid");
+    grid.rates = {0, 2, 4};
+    grid.channels = {"awgn", "rayleigh"};
+    grid.snrsDb = {6.0, 12.0};
+    grid.payloads = {256, 1024};
+    grid.seed = 0xC0FFEE;
+
+    std::printf("scenario grid: %zu cells x %llu packets, %d "
+                "threads\n\n",
+                grid.cellCount(),
+                static_cast<unsigned long long>(packets), threads);
+
+    sim::GridSweepOptions opt;
+    opt.packetsPerCell = packets;
+    opt.threads = threads;
+    std::vector<sim::CellResult> cells = sim::sweepGrid(grid, opt);
+
+    Table t({"cell", "scenario", "BER", "PER"});
+    for (const auto &c : cells) {
+        t.addRow({strprintf("%zu", c.cellIndex),
+                  c.spec.label(),
+                  strprintf("%.3e", c.bits.ber()),
+                  strprintf("%.3f", c.per())});
+    }
+    t.print();
+
+    // Replay the same grid single-threaded and compare: the sharding
+    // must not leak into the physics.
+    sim::GridSweepOptions serial = opt;
+    serial.threads = 1;
+    std::vector<sim::CellResult> replay = sim::sweepGrid(grid, serial);
+    bool identical = replay.size() == cells.size();
+    for (size_t i = 0; identical && i < cells.size(); ++i) {
+        identical = cells[i].bits.bits == replay[i].bits.bits &&
+                    cells[i].bits.errors == replay[i].bits.errors &&
+                    cells[i].packetErrors == replay[i].packetErrors;
+    }
+    std::printf("\ndeterministic across thread counts: %s\n",
+                identical ? "yes" : "NO");
+    return identical ? 0 : 1;
+}

@@ -3,13 +3,17 @@
  * Config-file-driven simulation runner -- the AWB-style plug-n-play
  * workflow (WiLIS section 2) as a command-line tool: describe an
  * experiment in a key=value file, run it, get a report. No source
- * changes to swap any implementation.
+ * changes to swap any implementation. Experiments are resolved to a
+ * sim::ScenarioSpec, the same description the testbench, the LI
+ * pipeline and the grid sweeps consume.
  *
  * Usage:
- *   ./build/examples/wilis_cli experiment.cfg
- *   ./build/examples/wilis_cli "rate=4,decoder=sova,snr_db=9,packets=200"
+ *   ./build/wilis_cli experiment.cfg
+ *   ./build/wilis_cli "rate=4,decoder=sova,snr_db=9,packets=200"
+ *   ./build/wilis_cli rayleigh-fading          (a scenario preset)
  *
  * Recognized keys (all optional):
+ *   preset      scenario preset name to start from
  *   rate        0..7 rate index               [default 2]
  *   decoder     viterbi|sova|bcjr|bcjr-logmap [bcjr]
  *   channel     awgn|rayleigh|multipath       [awgn]
@@ -23,6 +27,7 @@
  *   packets     packets to simulate           [100]
  *   threads     worker threads (0=all)        [0]
  *   seed        channel seed                  [1]
+ *   channel.<k> / decoder.<k>  passed through verbatim
  */
 
 #include <cstdio>
@@ -31,6 +36,7 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "decode/soft_decoder.hh"
+#include "sim/scenario.hh"
 #include "sim/sweep.hh"
 #include "synth/area.hh"
 
@@ -50,55 +56,70 @@ int
 main(int argc, char **argv)
 {
     li::Config cfg;
+    sim::ScenarioSpec spec;
+    spec.rate = 2;
+    spec.payloadBits = 1704;
+    spec.channelCfg = li::Config::fromString("snr_db=8,seed=1");
     if (argc > 1) {
         std::string arg = argv[1];
-        cfg = looksLikeInlineConfig(arg)
-                  ? li::Config::fromString(arg)
-                  : li::Config::fromFile(arg);
+        if (looksLikeInlineConfig(arg)) {
+            cfg = li::Config::fromString(arg);
+        } else if (sim::hasScenarioPreset(arg)) {
+            spec = sim::scenarioPreset(arg);
+        } else {
+            cfg = li::Config::fromFile(arg);
+        }
     } else {
         std::fprintf(stderr,
-                     "usage: %s <config-file | key=value,...>\n"
+                     "usage: %s <config-file | key=value,... | "
+                     "preset>\n"
                      "running the default experiment instead\n\n",
                      argv[0]);
     }
 
-    sim::TestbenchConfig tb;
-    tb.rate = static_cast<phy::RateIndex>(cfg.getInt("rate", 2));
-    tb.rx.decoder = cfg.getString("decoder", "bcjr");
-    tb.rx.demapper.softWidth =
-        static_cast<int>(cfg.getInt("soft_width", 6));
-    tb.rx.decoderCfg = li::Config::fromString(strprintf(
-        "block_len=%ld,traceback_l=%ld,traceback_k=%ld",
-        cfg.getInt("block_len", 64), cfg.getInt("traceback_l", 64),
-        cfg.getInt("traceback_k", 64)));
-    tb.channel = cfg.getString("channel", "awgn");
-    tb.channelCfg = li::Config::fromString(strprintf(
-        "snr_db=%f,doppler_hz=%f,num_taps=%ld,seed=%ld",
-        cfg.getDouble("snr_db", 8.0), cfg.getDouble("doppler_hz", 20.0),
-        cfg.getInt("num_taps", 4), cfg.getInt("seed", 1)));
+    if (cfg.has("preset"))
+        spec = sim::scenarioPreset(cfg.getString("preset"));
 
-    const size_t payload =
-        static_cast<size_t>(cfg.getInt("payload_bits", 1704));
+    // The spec parser handles the shared key set (rate, decoder,
+    // channel, snr_db, payload_bits, csi_weight, channel.<k>,
+    // decoder.<k>, ...); only the CLI's historical shorthand keys
+    // need forwarding by hand. Keys absent from the config keep the
+    // preset's values (sir_db, delay_spread... survive).
+    spec.applyConfig(cfg);
+    for (const char *key : {"doppler_hz", "num_taps"}) {
+        if (cfg.has(key))
+            spec.channelCfg.set(key, cfg.getString(key));
+    }
+    for (const char *key :
+         {"block_len", "traceback_l", "traceback_k"}) {
+        if (cfg.has(key))
+            spec.rx.decoderCfg.set(key, cfg.getString(key));
+    }
+
     const std::uint64_t packets =
         static_cast<std::uint64_t>(cfg.getInt("packets", 100));
     const int threads = static_cast<int>(cfg.getInt("threads", 0));
 
     std::printf("WiLIS experiment: %s, %s decoder, %s channel @ %.1f "
                 "dB, %llu packets x %zu bits\n\n",
-                phy::rateTable(tb.rate).name().c_str(),
-                tb.rx.decoder.c_str(), tb.channel.c_str(),
-                cfg.getDouble("snr_db", 8.0),
-                static_cast<unsigned long long>(packets), payload);
+                phy::rateTable(spec.rate).name().c_str(),
+                spec.rx.decoder.c_str(), spec.channel.c_str(),
+                spec.snrDb(),
+                static_cast<unsigned long long>(packets),
+                spec.payloadBits);
 
-    // BER + PER sweep.
+    // BER + PER sweep on the zero-copy frame path; one accumulator
+    // slot per worker the sweep will actually spawn.
+    const size_t slots = static_cast<size_t>(
+        sim::sweepWorkerCount(threads, packets));
     std::uint64_t packet_errors = 0;
     ErrorStats bits;
     {
-        std::vector<ErrorStats> per_thread(16);
-        std::vector<std::uint64_t> pkt_err(16, 0);
-        sim::sweepPackets(
-            tb, payload, packets, threads,
-            [&](int tid, const sim::PacketResult &res, std::uint64_t) {
+        std::vector<ErrorStats> per_thread(slots);
+        std::vector<std::uint64_t> pkt_err(slots, 0);
+        sim::sweepFrames(
+            spec, packets, threads,
+            [&](int tid, const sim::FrameResult &res, std::uint64_t) {
                 per_thread[static_cast<size_t>(tid)].bits +=
                     res.txPayload.size();
                 per_thread[static_cast<size_t>(tid)].errors +=
@@ -112,6 +133,7 @@ main(int argc, char **argv)
     }
 
     Table t({"metric", "value"});
+    t.addRow({"scenario", spec.label()});
     t.addRow({"bits simulated", strprintf("%llu",
                                           static_cast<unsigned long long>(
                                               bits.bits))});
@@ -124,7 +146,8 @@ main(int argc, char **argv)
                                    static_cast<double>(packets))});
 
     // Architecture summary for the selected decoder.
-    auto dec = decode::makeDecoder(tb.rx.decoder, tb.rx.decoderCfg);
+    auto dec = decode::makeDecoder(spec.rx.decoder,
+                                   spec.rx.decoderCfg);
     t.addRow({"decoder latency (cycles)",
               strprintf("%d", dec->pipelineLatencyCycles())});
     t.addRow({"decoder latency @60 MHz (us)",
@@ -132,11 +155,11 @@ main(int argc, char **argv)
                         synth::latencyUs(dec->pipelineLatencyCycles(),
                                          60.0))});
     synth::DecoderAreaParams ap;
-    ap.softWidth = tb.rx.demapper.softWidth;
+    ap.softWidth = spec.rx.demapper.softWidth;
     ap.window = static_cast<int>(cfg.getInt("block_len", 64));
-    std::string area_name = tb.rx.decoder == "bcjr-logmap"
+    std::string area_name = spec.rx.decoder == "bcjr-logmap"
                                 ? "bcjr"
-                                : tb.rx.decoder;
+                                : spec.rx.decoder;
     t.addRow({"modeled area (LUTs)",
               strprintf("%ld",
                         synth::decoderTotal(area_name, ap).luts)});

@@ -35,7 +35,7 @@ AwgnChannel::setSnrDb(double snr_db)
 }
 
 void
-AwgnChannel::addNoiseBlock(SampleVec &samples,
+AwgnChannel::addNoiseBlock(SampleSpan samples,
                            std::uint64_t packet_index,
                            size_t block) const
 {
@@ -66,7 +66,7 @@ AwgnChannel::impairSample(Sample s, std::uint64_t packet_index,
 }
 
 void
-AwgnChannel::apply(SampleVec &samples, std::uint64_t packet_index)
+AwgnChannel::apply(SampleSpan samples, std::uint64_t packet_index)
 {
     const size_t blocks =
         (samples.size() + kBlockSize - 1) / kBlockSize;

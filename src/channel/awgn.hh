@@ -47,7 +47,7 @@ class AwgnChannel : public Channel
                 bool common_noise = false);
 
     std::string name() const override { return "awgn"; }
-    void apply(SampleVec &samples, std::uint64_t packet_index) override;
+    void apply(SampleSpan samples, std::uint64_t packet_index) override;
     Sample impairSample(Sample s, std::uint64_t packet_index,
                         std::uint64_t sample_index) const override;
     double noiseVariance() const override { return n0; }
@@ -62,7 +62,7 @@ class AwgnChannel : public Channel
     static constexpr size_t kBlockSize = 1024;
 
   private:
-    void addNoiseBlock(SampleVec &samples, std::uint64_t packet_index,
+    void addNoiseBlock(SampleSpan samples, std::uint64_t packet_index,
                        size_t block) const;
 
     double snr_db_;

@@ -37,9 +37,12 @@ class Channel
 
     /**
      * Apply impairments to a packet's time-domain samples in place.
-     * Deterministic in (seed, packet_index, sample position).
+     * Deterministic in (seed, packet_index, sample position). The
+     * span form is the zero-copy pipeline's entry point; SampleVec
+     * arguments convert implicitly. Implementations must not
+     * allocate in steady state (scratch lives in members).
      */
-    virtual void apply(SampleVec &samples,
+    virtual void apply(SampleSpan samples,
                        std::uint64_t packet_index) = 0;
 
     /**

@@ -79,7 +79,7 @@ RayleighChannel::gain(std::uint64_t packet_index,
 }
 
 void
-RayleighChannel::apply(SampleVec &samples, std::uint64_t packet_index)
+RayleighChannel::apply(SampleSpan samples, std::uint64_t packet_index)
 {
     // Flat fading: scale each OFDM symbol by its gain, then add
     // white noise at the configured level.

@@ -40,7 +40,7 @@ class RayleighChannel : public Channel
                     bool block_fading = false);
 
     std::string name() const override { return "rayleigh"; }
-    void apply(SampleVec &samples, std::uint64_t packet_index) override;
+    void apply(SampleSpan samples, std::uint64_t packet_index) override;
     Sample impairSample(Sample s, std::uint64_t packet_index,
                         std::uint64_t sample_index) const override;
     Sample gain(std::uint64_t packet_index,

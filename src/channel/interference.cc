@@ -43,7 +43,7 @@ InterferenceChannel::toneAt(std::uint64_t packet_index,
 }
 
 void
-InterferenceChannel::apply(SampleVec &samples,
+InterferenceChannel::apply(SampleSpan samples,
                            std::uint64_t packet_index)
 {
     for (size_t i = 0; i < samples.size(); ++i)

@@ -33,7 +33,7 @@ class InterferenceChannel : public Channel
     explicit InterferenceChannel(const li::Config &cfg = li::Config());
 
     std::string name() const override { return "interference"; }
-    void apply(SampleVec &samples, std::uint64_t packet_index) override;
+    void apply(SampleSpan samples, std::uint64_t packet_index) override;
     Sample impairSample(Sample s, std::uint64_t packet_index,
                         std::uint64_t sample_index) const override;
     double noiseVariance() const override

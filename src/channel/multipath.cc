@@ -49,6 +49,7 @@ MultipathChannel::MultipathChannel(const li::Config &cfg)
             packet_interval_us);
         taps.push_back(std::move(t));
     }
+    tap_cache.resize(static_cast<size_t>(num_taps));
 }
 
 Sample
@@ -84,28 +85,36 @@ MultipathChannel::binGain(std::uint64_t packet_index,
 }
 
 void
-MultipathChannel::apply(SampleVec &samples,
+MultipathChannel::apply(SampleSpan samples,
                         std::uint64_t packet_index)
 {
     // Linear convolution with per-symbol tap values; the cyclic
     // prefix turns it into the circular convolution the per-bin
-    // equalizer assumes.
+    // equalizer assumes. Running the convolution backwards makes it
+    // in-place: out[i] only reads samples[i - d] with d >= 0, which
+    // a descending sweep has not yet overwritten. Tap values change
+    // only at symbol boundaries, so they are cached per symbol.
     const int sym_len = phy::OfdmGeometry::kSymbolLen;
-    SampleVec out(samples.size());
-    for (size_t i = 0; i < samples.size(); ++i) {
+    int cached_symbol = -1;
+    for (size_t i = samples.size(); i-- > 0;) {
         int symbol =
             static_cast<int>(i / static_cast<size_t>(sym_len));
+        if (symbol != cached_symbol) {
+            for (int l = 0; l < numTaps(); ++l)
+                tap_cache[static_cast<size_t>(l)] =
+                    tapValue(packet_index, symbol, l);
+            cached_symbol = symbol;
+        }
         Sample acc(0.0, 0.0);
         for (int l = 0; l < numTaps(); ++l) {
             int d = taps[static_cast<size_t>(l)].delay;
             if (i >= static_cast<size_t>(d)) {
-                acc += tapValue(packet_index, symbol, l) *
+                acc += tap_cache[static_cast<size_t>(l)] *
                        samples[i - static_cast<size_t>(d)];
             }
         }
-        out[i] = acc;
+        samples[i] = acc;
     }
-    samples = std::move(out);
     awgn.apply(samples, packet_index);
 }
 

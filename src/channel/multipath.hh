@@ -43,7 +43,7 @@ class MultipathChannel : public Channel
     explicit MultipathChannel(const li::Config &cfg = li::Config());
 
     std::string name() const override { return "multipath"; }
-    void apply(SampleVec &samples, std::uint64_t packet_index) override;
+    void apply(SampleSpan samples, std::uint64_t packet_index) override;
     Sample impairSample(Sample s, std::uint64_t packet_index,
                         std::uint64_t sample_index) const override;
     Sample gain(std::uint64_t packet_index,
@@ -75,6 +75,9 @@ class MultipathChannel : public Channel
     AwgnChannel awgn;
     double packet_interval_us;
     std::vector<Tap> taps;
+    /** Per-symbol tap values cached during apply() (no per-packet
+     *  allocation: sized once at construction). */
+    std::vector<Sample> tap_cache;
 
     // Streaming state for impairSample(): a per-packet delay line.
     mutable SampleVec history;

@@ -1,0 +1,78 @@
+#include "common/frame_arena.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace wilis {
+
+FrameArena::FrameArena(size_t initial_bytes_)
+    : initial_bytes(std::max<size_t>(initial_bytes_, 64))
+{}
+
+size_t
+FrameArena::capacity() const
+{
+    size_t total = 0;
+    for (const auto &b : blocks)
+        total += b.size;
+    return total;
+}
+
+void
+FrameArena::addBlock(size_t min_bytes)
+{
+    // Geometric growth keeps the number of warm-up allocations
+    // logarithmic in the eventual frame footprint.
+    size_t sz = blocks.empty() ? std::max(min_bytes, initial_bytes)
+                               : std::max(min_bytes,
+                                          blocks.back().size * 2);
+    Block b;
+    b.data = std::make_unique<std::byte[]>(sz);
+    b.size = sz;
+    blocks.push_back(std::move(b));
+    ++block_allocs;
+}
+
+void *
+FrameArena::allocBytes(size_t bytes, size_t align)
+{
+    wilis_assert(align != 0 && (align & (align - 1)) == 0,
+                 "bad alignment %zu", align);
+    if (blocks.empty())
+        addBlock(bytes + align);
+    for (;;) {
+        Block &b = blocks[block_idx];
+        size_t aligned = (offset + align - 1) & ~(align - 1);
+        if (aligned + bytes <= b.size) {
+            offset = aligned + bytes;
+            bytes_used += bytes;
+            high_water = std::max(high_water, bytes_used);
+            return b.data.get() + aligned;
+        }
+        // Current block exhausted: move to (or create) the next one.
+        if (block_idx + 1 == blocks.size())
+            addBlock(bytes + align);
+        ++block_idx;
+        offset = 0;
+    }
+}
+
+void
+FrameArena::reset()
+{
+    if (blocks.size() > 1) {
+        // The last frame spilled over several blocks. Replace them
+        // with one block big enough for everything seen so far, so
+        // subsequent frames bump inside a single block and never
+        // allocate again.
+        size_t total = capacity();
+        blocks.clear();
+        addBlock(total);
+    }
+    block_idx = 0;
+    offset = 0;
+    bytes_used = 0;
+}
+
+} // namespace wilis

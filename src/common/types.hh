@@ -8,6 +8,7 @@
 
 #include <complex>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace wilis {
@@ -34,6 +35,18 @@ using SoftBit = std::int32_t;
 
 /** A stream of quantized soft values. */
 using SoftVec = std::vector<SoftBit>;
+
+/**
+ * Non-owning views used by the zero-copy frame pipeline: the arena
+ * (common/frame_arena.hh) owns the storage, the PHY/channel/decode
+ * blocks read and write through these spans.
+ */
+using BitView = std::span<const Bit>;
+using BitSpan = std::span<Bit>;
+using SampleView = std::span<const Sample>;
+using SampleSpan = std::span<Sample>;
+using SoftView = std::span<const SoftBit>;
+using SoftSpan = std::span<SoftBit>;
 
 /**
  * Decoder output for a single bit: the hard decision plus the

@@ -19,23 +19,30 @@ BcjrDecoder::BcjrDecoder(const li::Config &cfg)
                  "BCJR block length %d too short", block_len);
 }
 
-std::vector<SoftDecision>
-BcjrDecoder::decodeBlock(const SoftVec &soft)
+void
+BcjrDecoder::decodeInto(SoftView soft, std::span<SoftDecision> out)
 {
     wilis_assert(soft.size() % 2 == 0, "odd soft stream length %zu",
                  soft.size());
-    return logmap ? decodeLogMap(soft) : decodeMaxLog(soft);
+    wilis_assert(out.size() == soft.size() / 2,
+                 "decision span size %zu for %zu trellis steps",
+                 out.size(), soft.size() / 2);
+    if (logmap)
+        decodeLogMap(soft, out);
+    else
+        decodeMaxLog(soft, out);
 }
 
-std::vector<SoftDecision>
-BcjrDecoder::decodeMaxLog(const SoftVec &soft) const
+void
+BcjrDecoder::decodeMaxLog(SoftView soft, std::span<SoftDecision> out)
 {
     const int steps = static_cast<int>(soft.size() / 2);
     const TrellisTables &t = TrellisTables::get();
 
     // --- Forward PMU: alpha for every step boundary.
-    std::vector<std::int32_t> alpha(
-        (static_cast<size_t>(steps) + 1) * kStates, kMetricFloor);
+    std::vector<std::int32_t> &alpha = alpha_i;
+    alpha.assign((static_cast<size_t>(steps) + 1) * kStates,
+                 kMetricFloor);
     alpha[0] = 0; // trellis starts in state 0
     std::int32_t bm[4];
     std::uint64_t dummy;
@@ -50,8 +57,6 @@ BcjrDecoder::decodeMaxLog(const SoftVec &soft) const
     }
 
     // --- Sliding-window backward passes + decision unit.
-    std::vector<SoftDecision> out(static_cast<size_t>(steps));
-
     std::array<std::int32_t, kStates> beta;
     std::array<std::int32_t, kStates> beta_prev;
 
@@ -113,11 +118,10 @@ BcjrDecoder::decodeMaxLog(const SoftVec &soft) const
             normalizeMetrics(beta.data());
         }
     }
-    return out;
 }
 
-std::vector<SoftDecision>
-BcjrDecoder::decodeLogMap(const SoftVec &soft) const
+void
+BcjrDecoder::decodeLogMap(SoftView soft, std::span<SoftDecision> out)
 {
     const int steps = static_cast<int>(soft.size() / 2);
     const TrellisTables &t = TrellisTables::get();
@@ -138,8 +142,8 @@ BcjrDecoder::decodeLogMap(const SoftVec &soft) const
         return ((o & 1) ? la0 : -la0) + ((o & 2) ? la1 : -la1);
     };
 
-    std::vector<double> alpha(
-        (static_cast<size_t>(steps) + 1) * kStates, kFloor);
+    std::vector<double> &alpha = alpha_d;
+    alpha.assign((static_cast<size_t>(steps) + 1) * kStates, kFloor);
     alpha[0] = 0.0;
     for (int j = 0; j < steps; ++j) {
         double *a_j = &alpha[static_cast<size_t>(j) * kStates];
@@ -156,7 +160,6 @@ BcjrDecoder::decodeLogMap(const SoftVec &soft) const
             a_j1[s] = std::max(a_j1[s] - mx, kFloor);
     }
 
-    std::vector<SoftDecision> out(static_cast<size_t>(steps));
     std::array<double, kStates> beta;
     std::array<double, kStates> beta_prev;
 
@@ -211,7 +214,6 @@ BcjrDecoder::decodeLogMap(const SoftVec &soft) const
             beta_step(j);
         }
     }
-    return out;
 }
 
 int

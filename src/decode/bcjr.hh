@@ -44,7 +44,8 @@ class BcjrDecoder : public SoftDecoder
         return logmap ? "bcjr-logmap" : "bcjr";
     }
     bool producesSoftOutput() const override { return true; }
-    std::vector<SoftDecision> decodeBlock(const SoftVec &soft) override;
+    void decodeInto(SoftView soft,
+                    std::span<SoftDecision> out) override;
     int pipelineLatencyCycles() const override;
 
     /** Sliding-window block size n. */
@@ -53,11 +54,15 @@ class BcjrDecoder : public SoftDecoder
     bool isLogMap() const { return logmap; }
 
   private:
-    std::vector<SoftDecision> decodeMaxLog(const SoftVec &soft) const;
-    std::vector<SoftDecision> decodeLogMap(const SoftVec &soft) const;
+    void decodeMaxLog(SoftView soft, std::span<SoftDecision> out);
+    void decodeLogMap(SoftView soft, std::span<SoftDecision> out);
 
     int block_len;
     bool logmap;
+    // Forward-metric scratch, reused across blocks (max-log uses the
+    // integer lattice, log-MAP the double one).
+    std::vector<std::int32_t> alpha_i;
+    std::vector<double> alpha_d;
 };
 
 } // namespace decode

@@ -44,12 +44,28 @@ class SoftDecoder
     virtual bool producesSoftOutput() const = 0;
 
     /**
-     * Decode one terminated block.
+     * Decode one terminated block into caller-owned storage (the
+     * zero-copy pipeline's entry point).
      * @param soft 2*T soft values for a T-step trellis.
-     * @return T soft decisions.
+     * @param out  Exactly T decision slots.
+     *
+     * Implementations keep their metric scratch in members, so a
+     * warmed-up decoder performs no heap allocations per block.
      */
-    virtual std::vector<SoftDecision> decodeBlock(
-        const SoftVec &soft) = 0;
+    virtual void decodeInto(SoftView soft,
+                            std::span<SoftDecision> out) = 0;
+
+    /**
+     * Convenience form: decode one terminated block into a fresh
+     * vector of T soft decisions.
+     */
+    std::vector<SoftDecision>
+    decodeBlock(const SoftVec &soft)
+    {
+        std::vector<SoftDecision> out(soft.size() / 2);
+        decodeInto(SoftView(soft), std::span<SoftDecision>(out));
+        return out;
+    }
 
     /**
      * Decode latency of the modeled hardware pipeline, in cycles of

@@ -19,12 +19,15 @@ SovaDecoder::SovaDecoder(const li::Config &cfg)
     wilis_assert(tb_k >= 1, "traceback k=%d too short", tb_k);
 }
 
-std::vector<SoftDecision>
-SovaDecoder::decodeBlock(const SoftVec &soft)
+void
+SovaDecoder::decodeInto(SoftView soft, std::span<SoftDecision> out)
 {
     wilis_assert(soft.size() % 2 == 0, "odd soft stream length %zu",
                  soft.size());
     const int steps = static_cast<int>(soft.size() / 2);
+    wilis_assert(out.size() == static_cast<size_t>(steps),
+                 "decision span size %zu for %d trellis steps",
+                 out.size(), steps);
 
     // --- BMU + PMU sweep: record survivor choices, metric deltas and
     // the best state after each step.
@@ -33,10 +36,9 @@ SovaDecoder::decodeBlock(const SoftVec &soft)
     pm.fill(kMetricFloor);
     pm[0] = 0;
 
-    std::vector<std::uint64_t> choices(static_cast<size_t>(steps));
-    std::vector<std::int32_t> delta(static_cast<size_t>(steps) *
-                                    kStates);
-    std::vector<int> best_end(static_cast<size_t>(steps) + 1, 0);
+    choices.resize(static_cast<size_t>(steps));
+    delta.resize(static_cast<size_t>(steps) * kStates);
+    best_end.assign(static_cast<size_t>(steps) + 1, 0);
     std::int32_t bm[4];
 
     for (int j = 0; j < steps; ++j) {
@@ -56,8 +58,6 @@ SovaDecoder::decodeBlock(const SoftVec &soft)
         return phy::ConvCode::predecessor(state, b);
     };
 
-    std::vector<SoftDecision> out(static_cast<size_t>(steps));
-
     // --- Sliding-window decisions (TU1 + TU2 of Figure 3).
     // One merge is examined per anchor time ta. TU1 locates the state
     // the ML path passes through at ta by tracing back tb_l steps from
@@ -67,8 +67,8 @@ SovaDecoder::decodeBlock(const SoftVec &soft)
     // windowed decision at lag l, as in hardware); too-short windows
     // therefore degrade the BER, exactly as a hardware traceback
     // would.
-    std::vector<std::int32_t> rel(static_cast<size_t>(steps),
-                                  std::numeric_limits<std::int32_t>::max());
+    rel.assign(static_cast<size_t>(steps),
+               std::numeric_limits<std::int32_t>::max());
 
     for (int ta = 1; ta <= steps; ++ta) {
         int t = std::min(ta + tb_l, steps);
@@ -113,7 +113,6 @@ SovaDecoder::decodeBlock(const SoftVec &soft)
                 ? std::numeric_limits<double>::infinity()
                 : static_cast<double>(r);
     }
-    return out;
 }
 
 int

@@ -34,7 +34,8 @@ class SovaDecoder : public SoftDecoder
 
     std::string name() const override { return "sova"; }
     bool producesSoftOutput() const override { return true; }
-    std::vector<SoftDecision> decodeBlock(const SoftVec &soft) override;
+    void decodeInto(SoftView soft,
+                    std::span<SoftDecision> out) override;
     int pipelineLatencyCycles() const override;
 
     /** First traceback unit length l. */
@@ -45,6 +46,12 @@ class SovaDecoder : public SoftDecoder
   private:
     int tb_l;
     int tb_k;
+    // Per-block scratch, reused across blocks (no steady-state
+    // allocations).
+    std::vector<std::uint64_t> choices;
+    std::vector<std::int32_t> delta;
+    std::vector<int> best_end;
+    std::vector<std::int32_t> rel;
 };
 
 } // namespace decode

@@ -15,19 +15,22 @@ ViterbiDecoder::ViterbiDecoder(const li::Config &cfg)
                  "traceback length %d too short", tb_len);
 }
 
-std::vector<SoftDecision>
-ViterbiDecoder::decodeBlock(const SoftVec &soft)
+void
+ViterbiDecoder::decodeInto(SoftView soft, std::span<SoftDecision> out)
 {
     wilis_assert(soft.size() % 2 == 0, "odd soft stream length %zu",
                  soft.size());
     const size_t steps = soft.size() / 2;
+    wilis_assert(out.size() == steps,
+                 "decision span size %zu for %zu trellis steps",
+                 out.size(), steps);
 
     std::array<std::int32_t, kStates> pm;
     std::array<std::int32_t, kStates> pm_next;
     pm.fill(kMetricFloor);
     pm[0] = 0;
 
-    std::vector<std::uint64_t> choices(steps);
+    choices.resize(steps);
     std::int32_t bm[4];
 
     for (size_t j = 0; j < steps; ++j) {
@@ -38,7 +41,6 @@ ViterbiDecoder::decodeBlock(const SoftVec &soft)
     }
 
     // Terminated trellis: trace back from state 0.
-    std::vector<SoftDecision> out(steps);
     int state = 0;
     for (size_t j = steps; j-- > 0;) {
         out[j].bit = static_cast<Bit>(phy::ConvCode::inputOf(state));
@@ -46,7 +48,6 @@ ViterbiDecoder::decodeBlock(const SoftVec &soft)
         int b = static_cast<int>((choices[j] >> state) & 1);
         state = phy::ConvCode::predecessor(state, b);
     }
-    return out;
 }
 
 int

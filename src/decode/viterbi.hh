@@ -27,7 +27,8 @@ class ViterbiDecoder : public SoftDecoder
 
     std::string name() const override { return "viterbi"; }
     bool producesSoftOutput() const override { return false; }
-    std::vector<SoftDecision> decodeBlock(const SoftVec &soft) override;
+    void decodeInto(SoftView soft,
+                    std::span<SoftDecision> out) override;
     int pipelineLatencyCycles() const override;
 
     /** Modeled traceback window length. */
@@ -35,6 +36,8 @@ class ViterbiDecoder : public SoftDecoder
 
   private:
     int tb_len;
+    /** Survivor-choice scratch, reused across blocks. */
+    std::vector<std::uint64_t> choices;
 };
 
 } // namespace decode

@@ -104,6 +104,24 @@ Config::getInt(const std::string &key, long def) const
     return v;
 }
 
+std::uint64_t
+Config::getUint64(const std::string &key, std::uint64_t def) const
+{
+    auto it = kv.find(key);
+    if (it == kv.end())
+        return def;
+    char *end = nullptr;
+    // strtoull would silently wrap a leading minus sign.
+    unsigned long long v =
+        it->second.find('-') == std::string::npos
+            ? std::strtoull(it->second.c_str(), &end, 0)
+            : 0;
+    if (end == nullptr || *end != '\0')
+        wilis_fatal("config key '%s': '%s' is not an unsigned "
+                    "integer", key.c_str(), it->second.c_str());
+    return static_cast<std::uint64_t>(v);
+}
+
 double
 Config::getDouble(const std::string &key, double def) const
 {

@@ -9,6 +9,7 @@
 #ifndef WILIS_LI_CONFIG_HH
 #define WILIS_LI_CONFIG_HH
 
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -39,6 +40,13 @@ class Config
 
     /** Integer value or @p def; fatal on malformed numbers. */
     long getInt(const std::string &key, long def = 0) const;
+
+    /**
+     * Unsigned 64-bit value or @p def; fatal on malformed numbers.
+     * Use for seeds, which occupy the full 64-bit range.
+     */
+    std::uint64_t getUint64(const std::string &key,
+                            std::uint64_t def = 0) const;
 
     /** Double value or @p def; fatal on malformed numbers. */
     double getDouble(const std::string &key, double def = 0.0) const;

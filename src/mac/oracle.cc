@@ -18,9 +18,9 @@ RateOracle::optimalRate(size_t payload_bits,
                         std::uint64_t packet_index)
 {
     for (int r = phy::kNumRates - 1; r >= 0; --r) {
-        sim::PacketResult res =
-            benches[static_cast<size_t>(r)]->runPacket(payload_bits,
-                                                       packet_index);
+        sim::FrameResult res =
+            benches[static_cast<size_t>(r)]->runFrame(payload_bits,
+                                                      packet_index);
         if (res.ok)
             return r;
     }
@@ -31,7 +31,15 @@ sim::PacketResult
 RateOracle::runAtRate(phy::RateIndex rate, size_t payload_bits,
                       std::uint64_t packet_index)
 {
-    return benches[static_cast<size_t>(rate)]->runPacket(
+    return runFrameAtRate(rate, payload_bits, packet_index)
+        .toPacketResult();
+}
+
+sim::FrameResult
+RateOracle::runFrameAtRate(phy::RateIndex rate, size_t payload_bits,
+                           std::uint64_t packet_index)
+{
+    return benches[static_cast<size_t>(rate)]->runFrame(
         payload_bits, packet_index);
 }
 

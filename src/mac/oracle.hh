@@ -35,7 +35,8 @@ class RateOracle
 
     /**
      * Highest rate index at which @p packet_index is received with
-     * zero payload errors; -1 if no rate succeeds.
+     * zero payload errors; -1 if no rate succeeds. Runs on the
+     * zero-copy frame path (each candidate bench reuses its arena).
      */
     int optimalRate(size_t payload_bits, std::uint64_t packet_index);
 
@@ -43,6 +44,14 @@ class RateOracle
     sim::PacketResult runAtRate(phy::RateIndex rate,
                                 size_t payload_bits,
                                 std::uint64_t packet_index);
+
+    /**
+     * Zero-copy form of runAtRate(): views die at the next call on
+     * the same rate's testbench.
+     */
+    sim::FrameResult runFrameAtRate(phy::RateIndex rate,
+                                    size_t payload_bits,
+                                    std::uint64_t packet_index);
 
   private:
     std::array<std::unique_ptr<sim::Testbench>, phy::kNumRates>

@@ -71,6 +71,14 @@ class PprPolicy
                         const std::vector<SoftDecision> &soft,
                         const BitVec &ref) const;
 
+    /**
+     * Zero-copy form over frame-arena views (allocation-free: the
+     * chunk scan is restructured so no flag buffer is needed).
+     */
+    PprOutcome evaluate(phy::Modulation mod,
+                        std::span<const SoftDecision> soft,
+                        BitView ref) const;
+
   private:
     const softphy::BerEstimator *est;
     double threshold;

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "common/logging.hh"
+
 namespace wilis {
 namespace phy {
 
@@ -27,13 +29,27 @@ ConvCode::ConvCode()
 BitVec
 ConvCode::encode(const BitVec &data, bool terminate) const
 {
-    BitVec out;
-    out.reserve(2 * (data.size() + (terminate ? kTailBits : 0)));
+    BitVec out(2 * (data.size() +
+                    (terminate ? static_cast<size_t>(kTailBits) : 0)));
+    encode(BitView(data), terminate, BitSpan(out));
+    return out;
+}
+
+void
+ConvCode::encode(BitView data, bool terminate, BitSpan out) const
+{
+    wilis_assert(out.size() ==
+                     2 * (data.size() +
+                          (terminate ? static_cast<size_t>(kTailBits)
+                                     : 0)),
+                 "encoder output span size %zu for %zu data bits",
+                 out.size(), data.size());
     int state = 0;
+    size_t w = 0;
     auto emit = [&](Bit x) {
         unsigned o = outputBits(state, x);
-        out.push_back(static_cast<Bit>(o & 1));
-        out.push_back(static_cast<Bit>((o >> 1) & 1));
+        out[w++] = static_cast<Bit>(o & 1);
+        out[w++] = static_cast<Bit>((o >> 1) & 1);
         state = nextState(state, x);
     };
     for (Bit b : data)
@@ -42,7 +58,6 @@ ConvCode::encode(const BitVec &data, bool terminate) const
         for (int i = 0; i < kTailBits; ++i)
             emit(0);
     }
-    return out;
 }
 
 const ConvCode &

@@ -46,6 +46,12 @@ class ConvCode
      */
     BitVec encode(const BitVec &data, bool terminate = true) const;
 
+    /**
+     * Encode into caller-owned storage. @p out must hold exactly
+     * 2 * (data.size() + kTailBits-if-terminated) bits.
+     */
+    void encode(BitView data, bool terminate, BitSpan out) const;
+
     /** State reached from @p state on input @p bit. */
     int
     nextState(int state, int bit) const

@@ -1,5 +1,7 @@
 #include "phy/cyclic_prefix.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace wilis {
@@ -8,23 +10,41 @@ namespace phy {
 SampleVec
 addCyclicPrefix(const SampleVec &body)
 {
+    SampleVec out(OfdmGeometry::kSymbolLen);
+    addCyclicPrefix(SampleView(body), SampleSpan(out));
+    return out;
+}
+
+void
+addCyclicPrefix(SampleView body, SampleSpan out)
+{
     wilis_assert(body.size() == OfdmGeometry::kFftSize,
                  "symbol body size %zu", body.size());
-    SampleVec out;
-    out.reserve(OfdmGeometry::kSymbolLen);
-    out.insert(out.end(),
-               body.end() - OfdmGeometry::kCpLen, body.end());
-    out.insert(out.end(), body.begin(), body.end());
-    return out;
+    wilis_assert(out.size() == OfdmGeometry::kSymbolLen,
+                 "CP output size %zu", out.size());
+    std::copy(body.end() - OfdmGeometry::kCpLen, body.end(),
+              out.begin());
+    std::copy(body.begin(), body.end(),
+              out.begin() + OfdmGeometry::kCpLen);
 }
 
 SampleVec
 removeCyclicPrefix(const SampleVec &symbol)
 {
+    SampleVec out(OfdmGeometry::kFftSize);
+    removeCyclicPrefix(SampleView(symbol), SampleSpan(out));
+    return out;
+}
+
+void
+removeCyclicPrefix(SampleView symbol, SampleSpan out)
+{
     wilis_assert(symbol.size() == OfdmGeometry::kSymbolLen,
                  "symbol size %zu", symbol.size());
-    return SampleVec(symbol.begin() + OfdmGeometry::kCpLen,
-                     symbol.end());
+    wilis_assert(out.size() == OfdmGeometry::kFftSize,
+                 "CP-strip output size %zu", out.size());
+    std::copy(symbol.begin() + OfdmGeometry::kCpLen, symbol.end(),
+              out.begin());
 }
 
 } // namespace phy

@@ -47,52 +47,68 @@ Demapper::axisMetrics(double v, double *m, int bits_per_axis) const
     }
 }
 
-void
-Demapper::demapReal(Sample y, std::vector<double> &out) const
+int
+Demapper::demapReal(Sample y, double *out) const
 {
     double m[3];
     switch (mod) {
       case Modulation::BPSK:
         axisMetrics(y.real(), m, 1);
-        out.push_back(scale * m[0]);
-        return;
+        out[0] = scale * m[0];
+        return 1;
       case Modulation::QPSK:
         axisMetrics(y.real(), m, 1);
-        out.push_back(scale * m[0]);
+        out[0] = scale * m[0];
         axisMetrics(y.imag(), m, 1);
-        out.push_back(scale * m[0]);
-        return;
+        out[1] = scale * m[0];
+        return 2;
       case Modulation::QAM16:
         axisMetrics(y.real(), m, 2);
-        out.push_back(scale * m[0]);
-        out.push_back(scale * m[1]);
+        out[0] = scale * m[0];
+        out[1] = scale * m[1];
         axisMetrics(y.imag(), m, 2);
-        out.push_back(scale * m[0]);
-        out.push_back(scale * m[1]);
-        return;
+        out[2] = scale * m[0];
+        out[3] = scale * m[1];
+        return 4;
       case Modulation::QAM64:
         axisMetrics(y.real(), m, 3);
-        out.push_back(scale * m[0]);
-        out.push_back(scale * m[1]);
-        out.push_back(scale * m[2]);
+        out[0] = scale * m[0];
+        out[1] = scale * m[1];
+        out[2] = scale * m[2];
         axisMetrics(y.imag(), m, 3);
-        out.push_back(scale * m[0]);
-        out.push_back(scale * m[1]);
-        out.push_back(scale * m[2]);
-        return;
+        out[3] = scale * m[0];
+        out[4] = scale * m[1];
+        out[5] = scale * m[2];
+        return 6;
     }
     wilis_panic("bad modulation");
 }
 
 void
+Demapper::demapReal(Sample y, std::vector<double> &out) const
+{
+    double metrics[6];
+    int n = demapReal(y, metrics);
+    out.insert(out.end(), metrics, metrics + n);
+}
+
+int
+Demapper::demap(Sample y, SoftBit *out, double weight) const
+{
+    double metrics[6];
+    int n = demapReal(y, metrics);
+    for (int i = 0; i < n; ++i)
+        out[i] = quantize(metrics[i] * weight, cfg.softWidth,
+                          cfg.fullScale);
+    return n;
+}
+
+void
 Demapper::demap(Sample y, SoftVec &out, double weight) const
 {
-    std::vector<double> real_metrics;
-    real_metrics.reserve(6);
-    demapReal(y, real_metrics);
-    for (double v : real_metrics)
-        out.push_back(
-            quantize(v * weight, cfg.softWidth, cfg.fullScale));
+    SoftBit soft[6];
+    int n = demap(y, soft, weight);
+    out.insert(out.end(), soft, soft + n);
 }
 
 SoftVec

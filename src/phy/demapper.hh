@@ -74,10 +74,23 @@ class Demapper
     void demap(Sample y, SoftVec &out, double weight = 1.0) const;
 
     /**
+     * Allocation-free demap: writes bitsPerSubcarrier() quantized
+     * soft values to @p out and returns the count. This is the form
+     * the zero-copy frame pipeline uses.
+     */
+    int demap(Sample y, SoftBit *out, double weight) const;
+
+    /**
      * Demap one symbol into real-valued (unquantized) metrics,
      * appended to @p out. Used by calibration and tests.
      */
     void demapReal(Sample y, std::vector<double> &out) const;
+
+    /**
+     * Allocation-free real-metric demap: writes at most 6 metrics to
+     * @p out and returns the count.
+     */
+    int demapReal(Sample y, double *out) const;
 
     /** Demap a stream of symbols. */
     SoftVec demapStream(const SampleVec &symbols) const;

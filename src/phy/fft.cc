@@ -33,7 +33,7 @@ Fft::Fft(int size_) : n(size_)
 }
 
 void
-Fft::transform(SampleVec &x, bool invert) const
+Fft::transform(SampleSpan x, bool invert) const
 {
     wilis_assert(static_cast<int>(x.size()) == n,
                  "FFT input size %zu != %d", x.size(), n);
@@ -67,13 +67,13 @@ Fft::transform(SampleVec &x, bool invert) const
 }
 
 void
-Fft::forward(SampleVec &x) const
+Fft::forward(SampleSpan x) const
 {
     transform(x, false);
 }
 
 void
-Fft::inverse(SampleVec &x) const
+Fft::inverse(SampleSpan x) const
 {
     transform(x, true);
 }

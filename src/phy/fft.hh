@@ -27,13 +27,13 @@ class Fft
     int size() const { return n; }
 
     /** In-place forward transform (time -> frequency), unitary. */
-    void forward(SampleVec &x) const;
+    void forward(SampleSpan x) const;
 
     /** In-place inverse transform (frequency -> time), unitary. */
-    void inverse(SampleVec &x) const;
+    void inverse(SampleSpan x) const;
 
   private:
-    void transform(SampleVec &x, bool invert) const;
+    void transform(SampleSpan x, bool invert) const;
 
     int n;
     int log2n;

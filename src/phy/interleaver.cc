@@ -44,23 +44,40 @@ Interleaver::interleave(const BitVec &in) const
 SoftVec
 Interleaver::deinterleave(const SoftVec &in) const
 {
+    SoftVec out(in.size());
+    deinterleave(SoftView(in), SoftSpan(out));
+    return out;
+}
+
+void
+Interleaver::deinterleave(SoftView in, SoftSpan out) const
+{
     wilis_assert(static_cast<int>(in.size()) == n_cbps,
                  "deinterleave block size %zu != N_CBPS %d", in.size(),
                  n_cbps);
-    SoftVec out(in.size());
+    wilis_assert(out.size() == in.size(),
+                 "deinterleave output span size %zu", out.size());
     for (int j = 0; j < n_cbps; ++j)
         out[static_cast<size_t>(inv[static_cast<size_t>(j)])] =
             in[static_cast<size_t>(j)];
-    return out;
 }
 
 BitVec
 Interleaver::interleaveStream(const BitVec &in) const
 {
+    BitVec out(in.size());
+    interleaveStream(BitView(in), BitSpan(out));
+    return out;
+}
+
+void
+Interleaver::interleaveStream(BitView in, BitSpan out) const
+{
     wilis_assert(in.size() % static_cast<size_t>(n_cbps) == 0,
                  "stream length %zu not a multiple of N_CBPS %d",
                  in.size(), n_cbps);
-    BitVec out(in.size());
+    wilis_assert(out.size() == in.size(),
+                 "interleave output span size %zu", out.size());
     for (size_t base = 0; base < in.size();
          base += static_cast<size_t>(n_cbps)) {
         for (int k = 0; k < n_cbps; ++k) {
@@ -69,16 +86,24 @@ Interleaver::interleaveStream(const BitVec &in) const
                 in[base + static_cast<size_t>(k)];
         }
     }
-    return out;
 }
 
 SoftVec
 Interleaver::deinterleaveStream(const SoftVec &in) const
 {
+    SoftVec out(in.size());
+    deinterleaveStream(SoftView(in), SoftSpan(out));
+    return out;
+}
+
+void
+Interleaver::deinterleaveStream(SoftView in, SoftSpan out) const
+{
     wilis_assert(in.size() % static_cast<size_t>(n_cbps) == 0,
                  "stream length %zu not a multiple of N_CBPS %d",
                  in.size(), n_cbps);
-    SoftVec out(in.size());
+    wilis_assert(out.size() == in.size(),
+                 "deinterleave output span size %zu", out.size());
     for (size_t base = 0; base < in.size();
          base += static_cast<size_t>(n_cbps)) {
         for (int j = 0; j < n_cbps; ++j) {
@@ -87,7 +112,6 @@ Interleaver::deinterleaveStream(const SoftVec &in) const
                 in[base + static_cast<size_t>(j)];
         }
     }
-    return out;
 }
 
 } // namespace phy

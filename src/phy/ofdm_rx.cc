@@ -8,16 +8,41 @@
 namespace wilis {
 namespace phy {
 
+namespace {
+
+std::uint64_t
+countBitErrors(BitView ref, BitView got)
+{
+    wilis_assert(ref.size() == got.size(),
+                 "payload size mismatch: %zu vs %zu", ref.size(),
+                 got.size());
+    std::uint64_t errors = 0;
+    for (size_t i = 0; i < ref.size(); ++i)
+        errors += (ref[i] != got[i]) ? 1u : 0u;
+    return errors;
+}
+
+} // namespace
+
 std::uint64_t
 RxResult::bitErrors(const BitVec &ref) const
 {
-    wilis_assert(ref.size() == payload.size(),
-                 "payload size mismatch: %zu vs %zu", ref.size(),
-                 payload.size());
-    std::uint64_t errors = 0;
-    for (size_t i = 0; i < ref.size(); ++i)
-        errors += (ref[i] != payload[i]) ? 1u : 0u;
-    return errors;
+    return countBitErrors(BitView(ref), BitView(payload));
+}
+
+std::uint64_t
+RxFrame::bitErrors(BitView ref) const
+{
+    return countBitErrors(ref, BitView(payload));
+}
+
+RxResult
+RxFrame::toResult() const
+{
+    RxResult res;
+    res.payload.assign(payload.begin(), payload.end());
+    res.soft.assign(soft.begin(), soft.end());
+    return res;
 }
 
 OfdmReceiver::OfdmReceiver(RateIndex rate_idx)
@@ -37,45 +62,65 @@ OfdmReceiver::demodulate(const SampleVec &samples, size_t payload_bits,
                          const channel::Channel *csi,
                          std::uint64_t packet_index)
 {
+    legacy_arena.reset();
+    FrameContext ctx(legacy_arena);
+    return demodulate(SampleView(samples), payload_bits, csi,
+                      packet_index, ctx)
+        .toResult();
+}
+
+RxFrame
+OfdmReceiver::demodulate(SampleView samples, size_t payload_bits,
+                         const channel::Channel *csi,
+                         std::uint64_t packet_index, FrameContext &ctx)
+{
     wilis_assert(samples.size() % OfdmGeometry::kSymbolLen == 0,
                  "sample count %zu not a whole number of symbols",
                  samples.size());
     const int nsym =
         static_cast<int>(samples.size() / OfdmGeometry::kSymbolLen);
+    FrameArena &arena = ctx.arena;
 
-    // Per-symbol: strip CP, FFT, equalize, soft-demap, deinterleave.
-    SoftVec soft_stream;
-    soft_stream.reserve(static_cast<size_t>(nsym) *
-                        static_cast<size_t>(params.nCbps));
-    SampleVec sym(OfdmGeometry::kSymbolLen);
+    // Per-symbol: strip CP, FFT, equalize, soft-demap, deinterleave
+    // straight into the whole-packet soft stream.
+    SoftSpan soft_stream = arena.alloc<SoftBit>(
+        static_cast<size_t>(nsym) *
+        static_cast<size_t>(params.nCbps));
+    SampleSpan body = arena.alloc<Sample>(OfdmGeometry::kFftSize);
+    SoftSpan sym_soft = arena.alloc<SoftBit>(
+        static_cast<size_t>(params.nCbps));
+    const int n_bpsc = params.nBpsc;
     for (int s = 0; s < nsym; ++s) {
         const size_t base = static_cast<size_t>(s) *
                             OfdmGeometry::kSymbolLen;
-        sym.assign(samples.begin() + static_cast<long>(base),
-                   samples.begin() +
-                       static_cast<long>(base +
-                                         OfdmGeometry::kSymbolLen));
-        SampleVec body = removeCyclicPrefix(sym);
+        removeCyclicPrefix(samples.subspan(base,
+                                           OfdmGeometry::kSymbolLen),
+                           body);
         fft.forward(body);
 
-        SoftVec sym_soft;
-        sym_soft.reserve(static_cast<size_t>(params.nCbps));
         for (int d = 0; d < OfdmGeometry::kDataCarriers; ++d) {
             int bin = OfdmGeometry::dataBin(d);
             Sample h = csi ? csi->binGain(packet_index, s, bin)
                            : Sample(1.0, 0.0);
             Sample y = body[static_cast<size_t>(bin)] / h;
             double w = cfg.applyCsiWeight ? std::abs(h) : 1.0;
-            demapper.demap(y, sym_soft, w);
+            demapper.demap(y, &sym_soft[static_cast<size_t>(
+                                  d * n_bpsc)], w);
         }
-        SoftVec deint = interleaver.deinterleave(sym_soft);
-        soft_stream.insert(soft_stream.end(), deint.begin(),
-                           deint.end());
+        interleaver.deinterleave(
+            sym_soft,
+            soft_stream.subspan(static_cast<size_t>(s) *
+                                    static_cast<size_t>(params.nCbps),
+                                static_cast<size_t>(params.nCbps)));
     }
 
     // Depuncture and decode the terminated block.
-    SoftVec rate_half = puncturer.depuncture(soft_stream);
-    std::vector<SoftDecision> decisions = dec->decodeBlock(rate_half);
+    SoftSpan rate_half = arena.alloc<SoftBit>(
+        puncturer.unpuncturedLength(soft_stream.size()));
+    puncturer.depuncture(soft_stream, rate_half);
+    std::span<SoftDecision> decisions =
+        arena.alloc<SoftDecision>(rate_half.size() / 2);
+    dec->decodeInto(rate_half, decisions);
 
     const size_t info_bits =
         static_cast<size_t>(nsym) *
@@ -91,17 +136,15 @@ OfdmReceiver::demodulate(const SampleVec &samples, size_t payload_bits,
 
     // Descramble and trim pad/tail.
     Scrambler scrambler(cfg.scramblerSeed);
-    RxResult res;
-    res.payload.resize(payload_bits);
-    res.soft.resize(payload_bits);
-    for (size_t i = 0; i < info_bits; ++i) {
+    RxFrame res;
+    res.payload = arena.alloc<Bit>(payload_bits);
+    res.soft = arena.alloc<SoftDecision>(payload_bits);
+    for (size_t i = 0; i < payload_bits; ++i) {
         Bit prbs = scrambler.nextPrbsBit();
-        if (i < payload_bits) {
-            SoftDecision d = decisions[i];
-            d.bit = d.bit ^ prbs;
-            res.payload[i] = d.bit;
-            res.soft[i] = d;
-        }
+        SoftDecision d = decisions[i];
+        d.bit = d.bit ^ prbs;
+        res.payload[i] = d.bit;
+        res.soft[i] = d;
     }
     return res;
 }

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "channel/channel.hh"
+#include "common/frame_arena.hh"
 #include "common/types.hh"
 #include "decode/soft_decoder.hh"
 #include "phy/demapper.hh"
@@ -44,6 +45,24 @@ struct RxResult {
 
     /** True if the payload matches @p ref exactly. */
     bool packetOk(const BitVec &ref) const { return bitErrors(ref) == 0; }
+};
+
+/**
+ * Zero-copy variant of RxResult: views into the frame arena, valid
+ * until the arena is reset. payload[i] == soft[i].bit.
+ */
+struct RxFrame {
+    BitSpan payload;
+    std::span<SoftDecision> soft;
+
+    /** Bit errors against a reference payload. */
+    std::uint64_t bitErrors(BitView ref) const;
+
+    /** True if the payload matches @p ref exactly. */
+    bool packetOk(BitView ref) const { return bitErrors(ref) == 0; }
+
+    /** Deep copy into an owning RxResult. */
+    RxResult toResult() const;
 };
 
 /** Full OFDM receiver for one 802.11a/g rate. */
@@ -93,6 +112,16 @@ class OfdmReceiver
                         const channel::Channel *csi = nullptr,
                         std::uint64_t packet_index = 0);
 
+    /**
+     * Zero-copy form: all intermediate stages and the returned
+     * payload/soft views live in @p ctx's arena. A warmed-up arena
+     * makes this path allocation-free end to end (the decoder keeps
+     * its scratch in members).
+     */
+    RxFrame demodulate(SampleView samples, size_t payload_bits,
+                       const channel::Channel *csi,
+                       std::uint64_t packet_index, FrameContext &ctx);
+
   private:
     RateParams params;
     Config cfg;
@@ -101,6 +130,8 @@ class OfdmReceiver
     Demapper demapper;
     Fft fft;
     std::unique_ptr<decode::SoftDecoder> dec;
+    /** Backs the legacy vector-returning demodulate(). */
+    FrameArena legacy_arena;
 };
 
 } // namespace phy

@@ -55,7 +55,7 @@ PilotTracker::PilotTracker()
 }
 
 void
-PilotTracker::insertPilots(SampleVec &bins)
+PilotTracker::insertPilots(SampleSpan bins)
 {
     wilis_assert(bins.size() == OfdmGeometry::kFftSize,
                  "bad bin buffer size %zu", bins.size());

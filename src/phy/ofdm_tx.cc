@@ -40,32 +40,55 @@ OfdmTransmitter::numSamples(size_t payload_bits) const
 SampleVec
 OfdmTransmitter::modulate(const BitVec &payload, Debug *dbg)
 {
+    legacy_arena.reset();
+    FrameContext ctx(legacy_arena);
+    SampleSpan s = modulate(BitView(payload), ctx, dbg);
+    return SampleVec(s.begin(), s.end());
+}
+
+SampleSpan
+OfdmTransmitter::modulate(BitView payload, FrameContext &ctx,
+                          Debug *dbg)
+{
     wilis_assert(!payload.empty(), "empty payload");
+    FrameArena &arena = ctx.arena;
 
     // Pad to fill whole OFDM symbols, scramble, encode (terminated).
-    BitVec info = payload;
-    info.resize(paddedInfoBits(payload.size()), 0);
+    const size_t info_bits = paddedInfoBits(payload.size());
+    BitSpan info = arena.alloc<Bit>(info_bits);
+    std::copy(payload.begin(), payload.end(), info.begin());
+    std::fill(info.begin() + static_cast<long>(payload.size()),
+              info.end(), 0);
 
     Scrambler scrambler(seed);
-    BitVec scrambled = scrambler.process(info);
-    BitVec coded = convCode().encode(scrambled, true);
-    BitVec punctured = puncturer.puncture(coded);
-    BitVec interleaved = interleaver.interleaveStream(punctured);
+    BitSpan scrambled = arena.alloc<Bit>(info_bits);
+    scrambler.process(info, scrambled);
+    BitSpan coded = arena.alloc<Bit>(
+        2 * (info_bits + static_cast<size_t>(ConvCode::kTailBits)));
+    convCode().encode(scrambled, true, coded);
+    BitSpan punctured =
+        arena.alloc<Bit>(puncturer.puncturedLength(coded.size()));
+    puncturer.puncture(coded, punctured);
+    BitSpan interleaved = arena.alloc<Bit>(punctured.size());
+    interleaver.interleaveStream(punctured, interleaved);
 
     if (dbg) {
-        dbg->scrambled = scrambled;
-        dbg->coded = coded;
-        dbg->punctured = punctured;
-        dbg->interleaved = interleaved;
+        dbg->scrambled.assign(scrambled.begin(), scrambled.end());
+        dbg->coded.assign(coded.begin(), coded.end());
+        dbg->punctured.assign(punctured.begin(), punctured.end());
+        dbg->interleaved.assign(interleaved.begin(),
+                                interleaved.end());
     }
 
-    // Map each symbol's coded bits to the 48 data subcarriers.
+    // Map each symbol's coded bits to the 48 data subcarriers; the
+    // IFFT runs in the bins buffer and the CP copy lands directly in
+    // the output span (no per-symbol temporaries).
     const int nsym = numSymbols(payload.size());
-    SampleVec out;
-    out.reserve(static_cast<size_t>(nsym) * OfdmGeometry::kSymbolLen);
+    SampleSpan out = arena.alloc<Sample>(
+        static_cast<size_t>(nsym) * OfdmGeometry::kSymbolLen);
 
     PilotTracker pilots;
-    SampleVec bins(OfdmGeometry::kFftSize);
+    SampleSpan bins = arena.alloc<Sample>(OfdmGeometry::kFftSize);
     const int n_bpsc = params.nBpsc;
     for (int s = 0; s < nsym; ++s) {
         std::fill(bins.begin(), bins.end(), Sample(0.0, 0.0));
@@ -79,10 +102,11 @@ OfdmTransmitter::modulate(const BitVec &payload, Debug *dbg)
         }
         pilots.insertPilots(bins);
 
-        SampleVec body = bins;
-        fft.inverse(body);
-        SampleVec sym = addCyclicPrefix(body);
-        out.insert(out.end(), sym.begin(), sym.end());
+        fft.inverse(bins);
+        addCyclicPrefix(bins,
+                        out.subspan(static_cast<size_t>(s) *
+                                        OfdmGeometry::kSymbolLen,
+                                    OfdmGeometry::kSymbolLen));
     }
     return out;
 }

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "common/frame_arena.hh"
 #include "common/types.hh"
 #include "phy/conv_code.hh"
 #include "phy/fft.hh"
@@ -63,6 +64,15 @@ class OfdmTransmitter
      */
     SampleVec modulate(const BitVec &payload, Debug *dbg = nullptr);
 
+    /**
+     * Zero-copy form: every intermediate stage and the returned
+     * sample buffer live in @p ctx's arena. The view is valid until
+     * the arena is reset; a warmed-up arena makes this path
+     * allocation-free.
+     */
+    SampleSpan modulate(BitView payload, FrameContext &ctx,
+                        Debug *dbg = nullptr);
+
   private:
     RateParams params;
     std::uint8_t seed;
@@ -70,6 +80,8 @@ class OfdmTransmitter
     Mapper mapper;
     Puncturer puncturer;
     Fft fft;
+    /** Backs the legacy vector-returning modulate(). */
+    FrameArena legacy_arena;
 };
 
 } // namespace phy

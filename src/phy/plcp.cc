@@ -37,7 +37,7 @@ class StaticCsi : public channel::Channel
     explicit StaticCsi(SampleVec h_bins_) : h(std::move(h_bins_)) {}
 
     std::string name() const override { return "static-csi"; }
-    void apply(SampleVec &, std::uint64_t) override {}
+    void apply(SampleSpan, std::uint64_t) override {}
     Sample
     impairSample(Sample s, std::uint64_t, std::uint64_t) const override
     {

@@ -35,23 +35,40 @@ Puncturer::pattern(const Bit *&pat, size_t &period) const
 BitVec
 Puncturer::puncture(const BitVec &coded) const
 {
+    BitVec out(puncturedLength(coded.size()));
+    puncture(BitView(coded), BitSpan(out));
+    return out;
+}
+
+void
+Puncturer::puncture(BitView coded, BitSpan out) const
+{
     const Bit *pat;
     size_t period;
     pattern(pat, period);
     wilis_assert(coded.size() % period == 0,
                  "coded length %zu not a multiple of puncture period "
                  "%zu", coded.size(), period);
-    BitVec out;
-    out.reserve(puncturedLength(coded.size()));
+    wilis_assert(out.size() == puncturedLength(coded.size()),
+                 "puncture output span size %zu, expected %zu",
+                 out.size(), puncturedLength(coded.size()));
+    size_t w = 0;
     for (size_t i = 0; i < coded.size(); ++i) {
         if (pat[i % period])
-            out.push_back(coded[i]);
+            out[w++] = coded[i];
     }
-    return out;
 }
 
 SoftVec
 Puncturer::depuncture(const SoftVec &soft) const
+{
+    SoftVec out(unpuncturedLength(soft.size()));
+    depuncture(SoftView(soft), SoftSpan(out));
+    return out;
+}
+
+void
+Puncturer::depuncture(SoftView soft, SoftSpan out) const
 {
     const Bit *pat;
     size_t period;
@@ -62,20 +79,21 @@ Puncturer::depuncture(const SoftVec &soft) const
     wilis_assert(soft.size() % kept_per_period == 0,
                  "punctured length %zu not a multiple of %zu",
                  soft.size(), kept_per_period);
-    SoftVec out;
-    out.reserve(unpuncturedLength(soft.size()));
+    wilis_assert(out.size() == unpuncturedLength(soft.size()),
+                 "depuncture output span size %zu, expected %zu",
+                 out.size(), unpuncturedLength(soft.size()));
     size_t in = 0;
+    size_t w = 0;
     while (in < soft.size()) {
         for (size_t j = 0; j < period; ++j) {
             if (pat[j]) {
-                out.push_back(soft[in]);
+                out[w++] = soft[in];
                 ++in;
             } else {
-                out.push_back(0); // erasure: no channel information
+                out[w++] = 0; // erasure: no channel information
             }
         }
     }
-    return out;
 }
 
 size_t

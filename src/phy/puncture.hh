@@ -43,6 +43,18 @@ class Puncturer
     /** Rate-1/2 length that punctures to @p punct_len bits. */
     size_t unpuncturedLength(size_t punct_len) const;
 
+    /**
+     * Puncture into caller-owned storage; @p out must hold exactly
+     * puncturedLength(coded.size()) bits.
+     */
+    void puncture(BitView coded, BitSpan out) const;
+
+    /**
+     * Depuncture into caller-owned storage; @p out must hold exactly
+     * unpuncturedLength(soft.size()) values.
+     */
+    void depuncture(SoftView soft, SoftSpan out) const;
+
   private:
     /**
      * Keep-pattern over one puncturing period of the rate-1/2 output

@@ -30,9 +30,18 @@ BitVec
 Scrambler::process(const BitVec &in)
 {
     BitVec out(in.size());
+    process(BitView(in), BitSpan(out));
+    return out;
+}
+
+void
+Scrambler::process(BitView in, BitSpan out)
+{
+    wilis_assert(in.size() == out.size(),
+                 "scrambler span mismatch: %zu vs %zu", in.size(),
+                 out.size());
     for (size_t i = 0; i < in.size(); ++i)
         out[i] = process(in[i]);
-    return out;
 }
 
 void

@@ -38,6 +38,12 @@ class Scrambler
     BitVec process(const BitVec &in);
 
     /**
+     * Scramble (or descramble) @p in into @p out (same length).
+     * In-place operation (out.data() == in.data()) is allowed.
+     */
+    void process(BitView in, BitSpan out);
+
+    /**
      * The 127-element pilot polarity sequence of 802.11a: the PRBS of
      * an all-ones-seeded scrambler, mapped 0 -> +1, 1 -> -1.
      */

@@ -12,6 +12,7 @@
 #include "phy/ofdm_symbol.hh"
 #include "phy/puncture.hh"
 #include "phy/scrambler.hh"
+#include "sim/scenario.hh"
 
 namespace wilis {
 namespace sim {
@@ -1046,6 +1047,11 @@ LiTransceiver::LiTransceiver(phy::RateIndex rate,
                              const LiTransceiverClocks &clocks)
     : impl(std::make_unique<Impl>(rate, rx_cfg, channel_name,
                                   channel_cfg, clocks))
+{}
+
+LiTransceiver::LiTransceiver(const ScenarioSpec &spec)
+    : LiTransceiver(spec.rate, spec.rx, spec.channel, spec.channelCfg,
+                    spec.clocks)
 {}
 
 LiTransceiver::~LiTransceiver() = default;

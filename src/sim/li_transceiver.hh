@@ -28,19 +28,17 @@
 #include "phy/demapper.hh"
 #include "phy/ofdm_rx.hh"
 #include "phy/ofdm_tx.hh"
+#include "sim/scenario.hh"
 
 namespace wilis {
 namespace sim {
 
-/** Clock frequencies of the three partitions. */
-struct LiTransceiverClocks {
-    /** Baseband pipeline clock in MHz (section 3: 35). */
-    double basebandMhz = 35.0;
-    /** Decoder / BER-unit clock in MHz (section 3: 60). */
-    double decoderMhz = 60.0;
-    /** Software-channel partition clock in MHz. */
-    double hostMhz = 100.0;
-};
+/**
+ * Clock frequencies of the three partitions -- the same struct the
+ * unified ScenarioSpec carries, so the spec stays the single source
+ * of truth for clock assignment.
+ */
+using LiTransceiverClocks = ScenarioClocks;
 
 /** Result of one packet through the LI pipeline. */
 struct LiPacketResult {
@@ -77,6 +75,13 @@ class LiTransceiver
                   const li::Config &channel_cfg,
                   const LiTransceiverClocks &clocks =
                       LiTransceiverClocks());
+
+    /**
+     * Build from the same unified scenario description the batch
+     * testbench consumes -- the single source of truth for the
+     * bit-exactness tests between the two execution styles.
+     */
+    explicit LiTransceiver(const ScenarioSpec &spec);
 
     ~LiTransceiver();
 

@@ -1,0 +1,265 @@
+#include "sim/scenario.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+#include "sim/testbench.hh"
+
+namespace wilis {
+namespace sim {
+
+ScenarioSpec
+ScenarioSpec::withRate(phy::RateIndex r) const
+{
+    ScenarioSpec s = *this;
+    s.rate = r;
+    return s;
+}
+
+ScenarioSpec
+ScenarioSpec::withChannel(const std::string &name_) const
+{
+    ScenarioSpec s = *this;
+    s.channel = name_;
+    return s;
+}
+
+ScenarioSpec
+ScenarioSpec::withSnrDb(double snr_db) const
+{
+    ScenarioSpec s = *this;
+    s.channelCfg.set("snr_db", strprintf("%g", snr_db));
+    return s;
+}
+
+ScenarioSpec
+ScenarioSpec::withPayloadBits(size_t bits) const
+{
+    ScenarioSpec s = *this;
+    s.payloadBits = bits;
+    return s;
+}
+
+ScenarioSpec
+ScenarioSpec::withChannelSeed(std::uint64_t seed) const
+{
+    ScenarioSpec s = *this;
+    s.channelCfg.set("seed",
+                     strprintf("%llu",
+                               static_cast<unsigned long long>(seed)));
+    return s;
+}
+
+double
+ScenarioSpec::snrDb() const
+{
+    return channelCfg.getDouble("snr_db", 10.0);
+}
+
+std::string
+ScenarioSpec::label() const
+{
+    return strprintf("r%d/%s/snr%g/p%zu", rate, channel.c_str(),
+                     snrDb(), payloadBits);
+}
+
+TestbenchConfig
+ScenarioSpec::testbench() const
+{
+    TestbenchConfig cfg;
+    cfg.rate = rate;
+    cfg.rx = rx;
+    cfg.channel = channel;
+    cfg.channelCfg = channelCfg;
+    cfg.payloadSeed = payloadSeed;
+    return cfg;
+}
+
+ScenarioSpec
+ScenarioSpec::fromTestbench(const TestbenchConfig &cfg,
+                            size_t payload_bits)
+{
+    ScenarioSpec s;
+    s.rate = cfg.rate;
+    s.rx = cfg.rx;
+    s.channel = cfg.channel;
+    s.channelCfg = cfg.channelCfg;
+    s.payloadSeed = cfg.payloadSeed;
+    s.payloadBits = payload_bits;
+    return s;
+}
+
+void
+ScenarioSpec::applyConfig(const li::Config &cfg)
+{
+    name = cfg.getString("name", name);
+    rate = static_cast<phy::RateIndex>(cfg.getInt("rate", rate));
+    wilis_assert(rate >= 0 && rate < phy::kNumRates,
+                 "rate index %d out of range", rate);
+    channel = cfg.getString("channel", channel);
+    payloadBits = static_cast<size_t>(
+        cfg.getInt("payload_bits", static_cast<long>(payloadBits)));
+    payloadSeed = cfg.getUint64("payload_seed", payloadSeed);
+    rx.decoder = cfg.getString("decoder", rx.decoder);
+    rx.demapper.softWidth = static_cast<int>(
+        cfg.getInt("soft_width", rx.demapper.softWidth));
+    rx.applyCsiWeight = cfg.getBool("csi_weight", rx.applyCsiWeight);
+    rx.scramblerSeed = static_cast<std::uint8_t>(
+        cfg.getInt("scrambler_seed", rx.scramblerSeed));
+    clocks.basebandMhz =
+        cfg.getDouble("baseband_mhz", clocks.basebandMhz);
+    clocks.decoderMhz =
+        cfg.getDouble("decoder_mhz", clocks.decoderMhz);
+    clocks.hostMhz = cfg.getDouble("host_mhz", clocks.hostMhz);
+
+    for (const auto &kv : cfg.entries()) {
+        const std::string &key = kv.first;
+        if (key.rfind("channel.", 0) == 0)
+            channelCfg.set(key.substr(8), kv.second);
+        else if (key.rfind("decoder.", 0) == 0)
+            rx.decoderCfg.set(key.substr(8), kv.second);
+        else if (key == "snr_db" || key == "seed")
+            channelCfg.set(key, kv.second);
+    }
+}
+
+ScenarioSpec
+ScenarioSpec::fromConfig(const li::Config &cfg)
+{
+    ScenarioSpec s;
+    s.applyConfig(cfg);
+    return s;
+}
+
+li::Config
+ScenarioSpec::toConfig() const
+{
+    li::Config cfg;
+    cfg.set("name", name);
+    cfg.set("rate", strprintf("%d", rate));
+    cfg.set("channel", channel);
+    cfg.set("payload_bits", strprintf("%zu", payloadBits));
+    cfg.set("payload_seed",
+            strprintf("%llu",
+                      static_cast<unsigned long long>(payloadSeed)));
+    cfg.set("decoder", rx.decoder);
+    cfg.set("soft_width", strprintf("%d", rx.demapper.softWidth));
+    cfg.set("csi_weight", rx.applyCsiWeight ? "true" : "false");
+    cfg.set("scrambler_seed", strprintf("%d", rx.scramblerSeed));
+    cfg.set("baseband_mhz", strprintf("%g", clocks.basebandMhz));
+    cfg.set("decoder_mhz", strprintf("%g", clocks.decoderMhz));
+    cfg.set("host_mhz", strprintf("%g", clocks.hostMhz));
+    for (const auto &kv : channelCfg.entries())
+        cfg.set("channel." + kv.first, kv.second);
+    for (const auto &kv : rx.decoderCfg.entries())
+        cfg.set("decoder." + kv.first, kv.second);
+    return cfg;
+}
+
+// ------------------------------------------------------ presets
+
+namespace {
+
+using PresetFactory = ScenarioSpec (*)();
+
+std::map<std::string, PresetFactory> &
+presetMap()
+{
+    static std::map<std::string, PresetFactory> presets;
+    return presets;
+}
+
+const bool builtin_presets = [] {
+    auto &m = presetMap();
+    m["awgn-mid"] = [] {
+        ScenarioSpec s;
+        s.name = "awgn-mid";
+        s.channel = "awgn";
+        s.channelCfg = li::Config::fromString("snr_db=10");
+        return s;
+    };
+    m["awgn-clean"] = [] {
+        ScenarioSpec s;
+        s.name = "awgn-clean";
+        s.channel = "awgn";
+        s.channelCfg = li::Config::fromString("snr_db=30");
+        return s;
+    };
+    m["rayleigh-fading"] = [] {
+        // The Figure 7 SoftRate setting: 20 Hz fading, 10 dB AWGN.
+        ScenarioSpec s;
+        s.name = "rayleigh-fading";
+        s.channel = "rayleigh";
+        s.channelCfg =
+            li::Config::fromString("snr_db=10,doppler_hz=20");
+        return s;
+    };
+    m["multipath-selective"] = [] {
+        ScenarioSpec s;
+        s.name = "multipath-selective";
+        s.channel = "multipath";
+        s.channelCfg = li::Config::fromString(
+            "snr_db=15,num_taps=4,delay_spread=3");
+        s.rx.applyCsiWeight = true;
+        return s;
+    };
+    m["interference-tone"] = [] {
+        ScenarioSpec s;
+        s.name = "interference-tone";
+        s.channel = "interference";
+        s.channelCfg =
+            li::Config::fromString("snr_db=15,sir_db=10");
+        return s;
+    };
+    return true;
+}();
+
+} // namespace
+
+void
+registerScenarioPreset(const std::string &name, PresetFactory factory)
+{
+    (void)builtin_presets;
+    wilis_assert(!presetMap().count(name),
+                 "duplicate scenario preset '%s'", name.c_str());
+    presetMap()[name] = factory;
+}
+
+ScenarioSpec
+scenarioPreset(const std::string &name)
+{
+    (void)builtin_presets;
+    auto it = presetMap().find(name);
+    if (it == presetMap().end()) {
+        std::string known;
+        for (const auto &kv : presetMap()) {
+            if (!known.empty())
+                known += ", ";
+            known += kv.first;
+        }
+        wilis_fatal("no scenario preset '%s' (known: %s)",
+                    name.c_str(), known.c_str());
+    }
+    return it->second();
+}
+
+bool
+hasScenarioPreset(const std::string &name)
+{
+    (void)builtin_presets;
+    return presetMap().count(name) > 0;
+}
+
+std::vector<std::string>
+scenarioPresetNames()
+{
+    (void)builtin_presets;
+    std::vector<std::string> names;
+    for (const auto &kv : presetMap())
+        names.push_back(kv.first);
+    return names;
+}
+
+} // namespace sim
+} // namespace wilis

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The unified scenario description consumed by every execution style
+ * in WiLIS: the batched functional testbench (sim::Testbench), the
+ * cycle-counted latency-insensitive pipeline (sim::LiTransceiver) and
+ * the parallel sweep harness (sim::sweepPackets / sim::sweepGrid).
+ *
+ * A ScenarioSpec is one declarative value naming the 802.11a/g rate,
+ * the receiver configuration (decoder slot, demapper quantization),
+ * the channel registry entry with its parameters, the payload
+ * geometry and seeds, and the LI clock-domain assignment. Because
+ * both execution paths build from the same spec, bit-exactness
+ * across them is a property of the spec, not of call-site
+ * discipline -- the WiLIS "same blocks, both worlds" claim lifted to
+ * whole scenarios.
+ *
+ * Specs round-trip through li::Config ("k=v,k=v" strings or config
+ * files), and a process-wide preset registry maps names like
+ * "rayleigh-fading" to ready-made specs, so scenario selection is a
+ * configuration change, not a source change (the paper's Plug-n-Play
+ * property at scenario granularity).
+ */
+
+#ifndef WILIS_SIM_SCENARIO_HH
+#define WILIS_SIM_SCENARIO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "li/config.hh"
+#include "phy/ofdm_rx.hh"
+
+namespace wilis {
+namespace sim {
+
+struct TestbenchConfig;
+
+/** Clock frequencies of the three LI partitions (section 3). */
+struct ScenarioClocks {
+    /** Baseband pipeline clock in MHz (section 3: 35). */
+    double basebandMhz = 35.0;
+    /** Decoder / BER-unit clock in MHz (section 3: 60). */
+    double decoderMhz = 60.0;
+    /** Software-channel partition clock in MHz. */
+    double hostMhz = 100.0;
+};
+
+/** One fully specified simulation scenario. */
+struct ScenarioSpec {
+    /** Human-readable label (grid sweeps derive cell labels). */
+    std::string name = "default";
+    /** 802.11a/g rate index (0..7). */
+    phy::RateIndex rate = 4;
+    /** Receiver configuration (decoder slot, demapper widths...). */
+    phy::OfdmReceiver::Config rx;
+    /** Channel registry name ("awgn", "rayleigh", ...). */
+    std::string channel = "awgn";
+    /** Channel parameters (snr_db, doppler_hz, seed...). */
+    li::Config channelCfg;
+    /** Payload length in bits. */
+    size_t payloadBits = 1000;
+    /** Seed for random payload generation. */
+    std::uint64_t payloadSeed = 0x5EED;
+    /** LI clock-domain assignment. */
+    ScenarioClocks clocks;
+
+    // ---- fluent copies for grid expansion ------------------------
+    ScenarioSpec withRate(phy::RateIndex r) const;
+    ScenarioSpec withChannel(const std::string &name) const;
+    ScenarioSpec withSnrDb(double snr_db) const;
+    ScenarioSpec withPayloadBits(size_t bits) const;
+    ScenarioSpec withChannelSeed(std::uint64_t seed) const;
+
+    /** SNR currently configured (channelCfg "snr_db", default 10). */
+    double snrDb() const;
+
+    /** Compact cell label, e.g. "r4/awgn/snr10/p1000". */
+    std::string label() const;
+
+    /** Legacy testbench configuration equivalent to this spec. */
+    TestbenchConfig testbench() const;
+
+    /** Lift a legacy testbench configuration into a spec. */
+    static ScenarioSpec fromTestbench(const TestbenchConfig &cfg,
+                                      size_t payload_bits);
+
+    /**
+     * Overlay the keys present in @p cfg onto this spec (absent
+     * keys keep their current values). Keys: rate, channel,
+     * payload_bits, payload_seed, decoder, soft_width, csi_weight,
+     * scrambler_seed, baseband_mhz, decoder_mhz, host_mhz, name;
+     * "channel.<k>" and "decoder.<k>" pass <k> through to the
+     * channel / decoder sub-configs; "snr_db" and "seed" are
+     * forwarded to the channel as the common shorthand.
+     */
+    void applyConfig(const li::Config &cfg);
+
+    /** Parse a spec from defaults + applyConfig(cfg). */
+    static ScenarioSpec fromConfig(const li::Config &cfg);
+
+    /** Serialize to the fromConfig() key set (round-trips). */
+    li::Config toConfig() const;
+};
+
+/**
+ * Process-wide scenario preset registry ("awgn-mid",
+ * "rayleigh-fading", ...). Presets are factories so registration is
+ * cheap and the returned spec is freely mutable.
+ */
+void registerScenarioPreset(const std::string &name,
+                            ScenarioSpec (*factory)());
+
+/** Instantiate a preset; fatal if unknown. */
+ScenarioSpec scenarioPreset(const std::string &name);
+
+/** True if @p name is a registered preset. */
+bool hasScenarioPreset(const std::string &name);
+
+/** Sorted names of all registered presets. */
+std::vector<std::string> scenarioPresetNames();
+
+} // namespace sim
+} // namespace wilis
+
+#endif // WILIS_SIM_SCENARIO_HH

@@ -7,27 +7,35 @@
 namespace wilis {
 namespace sim {
 
-void
-sweepPackets(
-    const TestbenchConfig &cfg, size_t payload_bits,
-    std::uint64_t num_packets, int threads,
-    const std::function<void(int, const PacketResult &, std::uint64_t)>
-        &per_packet)
+int
+sweepWorkerCount(int threads, std::uint64_t num_packets)
 {
     int n = threads > 0
                 ? threads
                 : static_cast<int>(
                       std::max(1u, std::thread::hardware_concurrency()));
-    n = static_cast<int>(
+    return static_cast<int>(
         std::min<std::uint64_t>(static_cast<std::uint64_t>(n),
                                 std::max<std::uint64_t>(num_packets, 1)));
+}
 
+void
+sweepFrames(
+    const ScenarioSpec &spec, std::uint64_t num_packets, int threads,
+    const std::function<void(int, const FrameResult &, std::uint64_t)>
+        &per_frame)
+{
+    const int n = sweepWorkerCount(threads, num_packets);
+
+    // Static packet striding: worker t owns packets t, t+n, t+2n...
+    // Every random stream is keyed by the packet index, so the
+    // assignment of packets to workers is irrelevant to the results.
     auto worker = [&](int tid) {
-        Testbench tb(cfg);
+        Testbench tb(spec);
         for (std::uint64_t p = static_cast<std::uint64_t>(tid);
              p < num_packets; p += static_cast<std::uint64_t>(n)) {
-            PacketResult res = tb.runPacket(payload_bits, p);
-            per_packet(tid, res, p);
+            FrameResult res = tb.runFrame(spec.payloadBits, p);
+            per_frame(tid, res, p);
         }
     };
 
@@ -43,26 +51,45 @@ sweepPackets(
         th.join();
 }
 
+void
+sweepPackets(
+    const TestbenchConfig &cfg, size_t payload_bits,
+    std::uint64_t num_packets, int threads,
+    const std::function<void(int, const PacketResult &, std::uint64_t)>
+        &per_packet)
+{
+    ScenarioSpec spec = ScenarioSpec::fromTestbench(cfg, payload_bits);
+    sweepFrames(spec, num_packets, threads,
+                [&](int tid, const FrameResult &res, std::uint64_t p) {
+                    per_packet(tid, res.toPacketResult(), p);
+                });
+}
+
+ErrorStats
+measureBer(const ScenarioSpec &spec, std::uint64_t num_packets,
+           int threads)
+{
+    const int n = sweepWorkerCount(threads, num_packets);
+    std::vector<ErrorStats> per_worker(static_cast<size_t>(n));
+    sweepFrames(spec, num_packets, n,
+                [&](int tid, const FrameResult &res, std::uint64_t) {
+                    per_worker[static_cast<size_t>(tid)].bits +=
+                        res.txPayload.size();
+                    per_worker[static_cast<size_t>(tid)].errors +=
+                        res.bitErrors;
+                });
+    ErrorStats total;
+    for (const auto &s : per_worker)
+        total.merge(s);
+    return total;
+}
+
 ErrorStats
 measureBer(const TestbenchConfig &cfg, size_t payload_bits,
            std::uint64_t num_packets, int threads)
 {
-    int n = threads > 0
-                ? threads
-                : static_cast<int>(
-                      std::max(1u, std::thread::hardware_concurrency()));
-    std::vector<ErrorStats> per_thread(static_cast<size_t>(n));
-    sweepPackets(cfg, payload_bits, num_packets, n,
-                 [&](int tid, const PacketResult &res, std::uint64_t) {
-                     per_thread[static_cast<size_t>(tid)].bits +=
-                         res.txPayload.size();
-                     per_thread[static_cast<size_t>(tid)].errors +=
-                         res.bitErrors;
-                 });
-    ErrorStats total;
-    for (const auto &s : per_thread)
-        total.merge(s);
-    return total;
+    return measureBer(ScenarioSpec::fromTestbench(cfg, payload_bits),
+                      num_packets, threads);
 }
 
 } // namespace sim

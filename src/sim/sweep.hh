@@ -1,9 +1,15 @@
 /**
  * @file
- * Parallel packet sweeps: run many packets of a TestbenchConfig
- * across worker threads, each thread owning its own Testbench
- * instance. Because channels are replayable (pure functions of the
- * packet index), results are independent of the thread count.
+ * Parallel packet sweeps: run many packets of one scenario across
+ * worker threads, each thread owning its own Testbench instance (and
+ * with it a private frame arena, so the steady-state hot path makes
+ * no heap allocations and workers never contend on the allocator).
+ *
+ * Determinism: every per-packet random stream -- payload bits and
+ * channel impairments -- is keyed by the *packet index* through the
+ * counter-based generator, never by the worker id or the iteration
+ * order. Results are therefore bit-identical for any thread count;
+ * tests assert this at 1, 2 and 8 threads.
  */
 
 #ifndef WILIS_SIM_SWEEP_HH
@@ -13,20 +19,40 @@
 #include <functional>
 
 #include "common/stats.hh"
+#include "sim/scenario.hh"
 #include "sim/testbench.hh"
 
 namespace wilis {
 namespace sim {
 
 /**
- * Run packets [0, num_packets) through per-thread testbenches.
+ * Worker count a sweep of @p num_packets packets will actually use
+ * for a requested @p threads (0 = hardware concurrency, clamped to
+ * the packet count). Callbacks receive worker indices in
+ * [0, sweepWorkerCount()); size per-worker accumulators with this.
+ */
+int sweepWorkerCount(int threads, std::uint64_t num_packets);
+
+/**
+ * Zero-copy sweep: run packets [0, num_packets) of @p spec through
+ * per-thread testbenches on their arena-backed fast path.
  *
- * @param cfg          Testbench configuration (cloned per thread).
- * @param payload_bits Payload size per packet.
- * @param num_packets  Number of packets to run.
- * @param threads      Worker threads (0 = hardware concurrency).
- * @param per_packet   Called for every packet with the thread index;
- *                     must only touch thread-indexed state.
+ * @param spec        Scenario (payloadBits taken from the spec).
+ * @param num_packets Number of packets to run.
+ * @param threads     Worker threads (0 = hardware concurrency).
+ * @param per_frame   Called for every packet with the worker index;
+ *                    must only touch worker-indexed state. The
+ *                    FrameResult views die when the callback
+ *                    returns (the next packet reuses the arena).
+ */
+void sweepFrames(
+    const ScenarioSpec &spec, std::uint64_t num_packets, int threads,
+    const std::function<void(int worker, const FrameResult &,
+                             std::uint64_t packet_index)> &per_frame);
+
+/**
+ * Legacy copying sweep over a TestbenchConfig; per_packet receives
+ * an owning PacketResult. New code should prefer sweepFrames().
  */
 void sweepPackets(
     const TestbenchConfig &cfg, size_t payload_bits,
@@ -34,7 +60,11 @@ void sweepPackets(
     const std::function<void(int thread, const PacketResult &,
                              std::uint64_t packet_index)> &per_packet);
 
-/** Aggregate payload BER over a packet sweep. */
+/** Aggregate payload BER over a packet sweep (allocation-free). */
+ErrorStats measureBer(const ScenarioSpec &spec,
+                      std::uint64_t num_packets, int threads = 0);
+
+/** Legacy form of measureBer() over a TestbenchConfig. */
 ErrorStats measureBer(const TestbenchConfig &cfg, size_t payload_bits,
                       std::uint64_t num_packets, int threads = 0);
 

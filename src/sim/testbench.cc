@@ -1,6 +1,7 @@
 #include "sim/testbench.hh"
 
 #include "common/logging.hh"
+#include "sim/scenario.hh"
 
 namespace wilis {
 namespace sim {
@@ -13,34 +14,81 @@ Testbench::Testbench(const TestbenchConfig &cfg_) : cfg(cfg_)
     chan = channel::makeChannel(cfg.channel, cfg.channelCfg);
 }
 
+Testbench::Testbench(const ScenarioSpec &spec)
+    : Testbench(spec.testbench())
+{}
+
 BitVec
 Testbench::makePayload(size_t bits, std::uint64_t packet_index) const
 {
-    CounterRng rng = CounterRng(cfg.payloadSeed).fork(packet_index);
     BitVec payload(bits);
-    for (size_t i = 0; i < bits; ++i)
-        payload[i] = static_cast<Bit>(rng.at(i) & 1);
+    makePayloadInto(BitSpan(payload), packet_index);
     return payload;
+}
+
+void
+Testbench::makePayloadInto(BitSpan out,
+                           std::uint64_t packet_index) const
+{
+    CounterRng rng = CounterRng(cfg.payloadSeed).fork(packet_index);
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i] = static_cast<Bit>(rng.at(i) & 1);
+}
+
+PacketResult
+FrameResult::toPacketResult() const
+{
+    PacketResult res;
+    res.txPayload.assign(txPayload.begin(), txPayload.end());
+    res.rx = rx.toResult();
+    res.bitErrors = bitErrors;
+    res.ok = ok;
+    return res;
 }
 
 PacketResult
 Testbench::runPacket(size_t payload_bits, std::uint64_t packet_index)
 {
-    return runPacketWithPayload(makePayload(payload_bits, packet_index),
-                                packet_index);
+    return runFrame(payload_bits, packet_index).toPacketResult();
 }
 
 PacketResult
 Testbench::runPacketWithPayload(const BitVec &payload,
                                 std::uint64_t packet_index)
 {
-    PacketResult res;
+    return runFrameWithPayload(BitView(payload), packet_index)
+        .toPacketResult();
+}
+
+FrameResult
+Testbench::runFrame(size_t payload_bits, std::uint64_t packet_index)
+{
+    arena_.reset();
+    BitSpan payload = arena_.alloc<Bit>(payload_bits);
+    makePayloadInto(payload, packet_index);
+    return runFrameInternal(payload, packet_index);
+}
+
+FrameResult
+Testbench::runFrameWithPayload(BitView payload,
+                               std::uint64_t packet_index)
+{
+    arena_.reset();
+    return runFrameInternal(payload, packet_index);
+}
+
+FrameResult
+Testbench::runFrameInternal(BitView payload,
+                            std::uint64_t packet_index)
+{
+    FrameContext ctx(arena_);
+    FrameResult res;
     res.txPayload = payload;
 
-    SampleVec samples = tx_->modulate(payload);
+    SampleSpan samples = tx_->modulate(payload, ctx);
     chan->apply(samples, packet_index);
     res.rx = rx_->demodulate(samples, payload.size(), chan.get(),
-                             packet_index);
+                             packet_index, ctx);
     res.bitErrors = res.rx.bitErrors(payload);
     res.ok = res.bitErrors == 0;
     return res;

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "channel/channel.hh"
+#include "common/frame_arena.hh"
 #include "common/random.hh"
 #include "common/types.hh"
 #include "phy/ofdm_rx.hh"
@@ -23,6 +24,8 @@
 
 namespace wilis {
 namespace sim {
+
+struct ScenarioSpec;
 
 /** Everything needed to instantiate a transceiver + channel. */
 struct TestbenchConfig {
@@ -46,11 +49,29 @@ struct PacketResult {
     bool ok = false;
 };
 
+/**
+ * Zero-copy packet result: views into the testbench's frame arena,
+ * valid until the next runFrame()/runPacket() call on the same
+ * testbench.
+ */
+struct FrameResult {
+    BitView txPayload;
+    phy::RxFrame rx;
+    std::uint64_t bitErrors = 0;
+    bool ok = false;
+
+    /** Deep copy into an owning PacketResult. */
+    PacketResult toPacketResult() const;
+};
+
 /** A single-threaded transceiver instance. */
 class Testbench
 {
   public:
     explicit Testbench(const TestbenchConfig &cfg);
+
+    /** Build from a unified scenario description. */
+    explicit Testbench(const ScenarioSpec &spec);
 
     /** Configuration in use. */
     const TestbenchConfig &config() const { return cfg; }
@@ -66,6 +87,10 @@ class Testbench
 
     /** Deterministic random payload for @p packet_index. */
     BitVec makePayload(size_t bits, std::uint64_t packet_index) const;
+
+    /** Fill @p out with the same deterministic payload stream. */
+    void makePayloadInto(BitSpan out,
+                         std::uint64_t packet_index) const;
 
     /**
      * Run one packet end to end.
@@ -84,11 +109,34 @@ class Testbench
     PacketResult runPacketWithPayload(const BitVec &payload,
                                       std::uint64_t packet_index);
 
+    /**
+     * Zero-copy form of runPacket(): rewinds the per-testbench frame
+     * arena and runs one packet end to end entirely inside it. After
+     * a one-packet warm-up this performs no heap allocations. The
+     * returned views die at the next runFrame()/runPacket() call.
+     */
+    FrameResult runFrame(size_t payload_bits,
+                         std::uint64_t packet_index);
+
+    /**
+     * Zero-copy replay form: run a caller-owned payload (which must
+     * outlive the call and not live in this testbench's arena).
+     */
+    FrameResult runFrameWithPayload(BitView payload,
+                                    std::uint64_t packet_index);
+
+    /** The frame arena backing the zero-copy path (for stats). */
+    const FrameArena &arena() const { return arena_; }
+
   private:
+    FrameResult runFrameInternal(BitView payload,
+                                 std::uint64_t packet_index);
+
     TestbenchConfig cfg;
     std::unique_ptr<phy::OfdmTransmitter> tx_;
     std::unique_ptr<phy::OfdmReceiver> rx_;
     std::unique_ptr<channel::Channel> chan;
+    FrameArena arena_;
 };
 
 } // namespace sim

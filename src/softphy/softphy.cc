@@ -61,22 +61,23 @@ LlrCalibrator
 measureLlrCurve(phy::RateIndex rate, double snr_db,
                 const CalibrationSpec &spec)
 {
-    sim::TestbenchConfig cfg;
-    cfg.rate = rate;
-    cfg.rx = spec.rx;
-    cfg.channel = "awgn";
-    cfg.channelCfg = li::Config::fromString(
+    sim::ScenarioSpec scen;
+    scen.rate = rate;
+    scen.rx = spec.rx;
+    scen.channel = "awgn";
+    scen.channelCfg = li::Config::fromString(
         strprintf("snr_db=%f,seed=%llu", snr_db,
                   static_cast<unsigned long long>(spec.seed)));
+    scen.payloadBits = spec.payloadBits;
 
     const int threads = spec.threads > 0 ? spec.threads : 2;
     std::vector<LlrCalibrator> per_thread(
         static_cast<size_t>(threads),
         LlrCalibrator(spec.llrMax()));
 
-    sim::sweepPackets(
-        cfg, spec.payloadBits, spec.packets, threads,
-        [&](int tid, const sim::PacketResult &res, std::uint64_t) {
+    sim::sweepFrames(
+        scen, spec.packets, threads,
+        [&](int tid, const sim::FrameResult &res, std::uint64_t) {
             auto &cal = per_thread[static_cast<size_t>(tid)];
             for (size_t i = 0; i < res.txPayload.size(); ++i) {
                 cal.record(res.rx.soft[i].llr,

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the unified ScenarioSpec: config round-trips, the preset
+ * registry, fluent grid helpers, and equivalence between a spec-built
+ * testbench and the legacy TestbenchConfig path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hh"
+#include "sim/sweep.hh"
+#include "sim/testbench.hh"
+
+using namespace wilis;
+using namespace wilis::sim;
+
+TEST(ScenarioSpec, ConfigRoundTrips)
+{
+    ScenarioSpec s;
+    s.name = "roundtrip";
+    s.rate = 6;
+    s.channel = "rayleigh";
+    s.channelCfg =
+        li::Config::fromString("snr_db=9.5,doppler_hz=35,seed=42");
+    s.payloadBits = 1234;
+    s.payloadSeed = 777;
+    s.rx.decoder = "sova";
+    s.rx.decoderCfg = li::Config::fromString("traceback_l=48");
+    s.rx.demapper.softWidth = 5;
+    s.rx.applyCsiWeight = true;
+    s.clocks.basebandMhz = 40.0;
+
+    ScenarioSpec back = ScenarioSpec::fromConfig(s.toConfig());
+    EXPECT_EQ(back.name, "roundtrip");
+    EXPECT_EQ(back.rate, 6);
+    EXPECT_EQ(back.channel, "rayleigh");
+    EXPECT_DOUBLE_EQ(back.snrDb(), 9.5);
+    EXPECT_DOUBLE_EQ(back.channelCfg.getDouble("doppler_hz", 0), 35.0);
+    EXPECT_EQ(back.channelCfg.getInt("seed", 0), 42);
+    EXPECT_EQ(back.payloadBits, 1234u);
+    EXPECT_EQ(back.payloadSeed, 777u);
+    EXPECT_EQ(back.rx.decoder, "sova");
+    EXPECT_EQ(back.rx.decoderCfg.getInt("traceback_l", 0), 48);
+    EXPECT_EQ(back.rx.demapper.softWidth, 5);
+    EXPECT_TRUE(back.rx.applyCsiWeight);
+    EXPECT_DOUBLE_EQ(back.clocks.basebandMhz, 40.0);
+}
+
+TEST(ScenarioSpec, FullRangeSeedsSurviveRoundTrip)
+{
+    // Grid cells assign uniform 64-bit seeds; serialization must not
+    // truncate them through a signed-long parse.
+    ScenarioSpec s;
+    s.payloadSeed = 0xFEDCBA9876543210ull;
+    ScenarioSpec back = ScenarioSpec::fromConfig(s.toConfig());
+    EXPECT_EQ(back.payloadSeed, 0xFEDCBA9876543210ull);
+}
+
+TEST(ScenarioSpec, FromConfigString)
+{
+    ScenarioSpec s = ScenarioSpec::fromConfig(li::Config::fromString(
+        "rate=3,channel=multipath,snr_db=14,decoder=viterbi,"
+        "payload_bits=512,channel.num_taps=6"));
+    EXPECT_EQ(s.rate, 3);
+    EXPECT_EQ(s.channel, "multipath");
+    EXPECT_DOUBLE_EQ(s.snrDb(), 14.0);
+    EXPECT_EQ(s.rx.decoder, "viterbi");
+    EXPECT_EQ(s.payloadBits, 512u);
+    EXPECT_EQ(s.channelCfg.getInt("num_taps", 0), 6);
+}
+
+TEST(ScenarioSpec, FluentHelpersDoNotMutateOriginal)
+{
+    ScenarioSpec base;
+    ScenarioSpec derived = base.withRate(7)
+                               .withChannel("rayleigh")
+                               .withSnrDb(3.0)
+                               .withPayloadBits(64);
+    EXPECT_EQ(base.rate, 4);
+    EXPECT_EQ(base.channel, "awgn");
+    EXPECT_EQ(derived.rate, 7);
+    EXPECT_EQ(derived.channel, "rayleigh");
+    EXPECT_DOUBLE_EQ(derived.snrDb(), 3.0);
+    EXPECT_EQ(derived.payloadBits, 64u);
+}
+
+TEST(ScenarioSpec, LabelNamesEveryAxis)
+{
+    ScenarioSpec s = ScenarioSpec().withRate(1).withSnrDb(7.5);
+    s.payloadBits = 333;
+    std::string label = s.label();
+    EXPECT_NE(label.find("r1"), std::string::npos);
+    EXPECT_NE(label.find("awgn"), std::string::npos);
+    EXPECT_NE(label.find("7.5"), std::string::npos);
+    EXPECT_NE(label.find("333"), std::string::npos);
+}
+
+TEST(ScenarioPresets, BuiltinsExist)
+{
+    for (const char *name :
+         {"awgn-mid", "awgn-clean", "rayleigh-fading",
+          "multipath-selective", "interference-tone"}) {
+        EXPECT_TRUE(hasScenarioPreset(name)) << name;
+        ScenarioSpec s = scenarioPreset(name);
+        EXPECT_EQ(s.name, name);
+    }
+    EXPECT_FALSE(hasScenarioPreset("no-such-preset"));
+    EXPECT_GE(scenarioPresetNames().size(), 5u);
+}
+
+TEST(ScenarioPresets, PresetsRunEndToEnd)
+{
+    // Every built-in preset must instantiate a working transceiver.
+    for (const std::string &name : scenarioPresetNames()) {
+        ScenarioSpec s = scenarioPreset(name);
+        s.payloadBits = 200;
+        Testbench tb(s);
+        sim::FrameResult res = tb.runFrame(s.payloadBits, 0);
+        EXPECT_EQ(res.txPayload.size(), 200u) << name;
+        EXPECT_EQ(res.rx.payload.size(), 200u) << name;
+    }
+}
+
+TEST(ScenarioSpec, SpecAndLegacyConfigBuildIdenticalTestbenches)
+{
+    ScenarioSpec spec = scenarioPreset("rayleigh-fading");
+    spec.rate = 2;
+    spec.payloadBits = 600;
+
+    Testbench from_spec(spec);
+    Testbench from_cfg(spec.testbench());
+
+    for (std::uint64_t p = 0; p < 4; ++p) {
+        PacketResult a = from_spec.runPacket(600, p);
+        PacketResult b = from_cfg.runPacket(600, p);
+        EXPECT_EQ(a.txPayload, b.txPayload);
+        EXPECT_EQ(a.rx.payload, b.rx.payload);
+        EXPECT_EQ(a.bitErrors, b.bitErrors);
+    }
+}
+
+TEST(ScenarioSpec, MeasureBerMatchesLegacyOverload)
+{
+    ScenarioSpec spec;
+    spec.rate = 4;
+    spec.channelCfg = li::Config::fromString("snr_db=6,seed=2");
+    spec.payloadBits = 500;
+
+    ErrorStats via_spec = measureBer(spec, 20, 2);
+    ErrorStats via_cfg = measureBer(spec.testbench(), 500, 20, 2);
+    EXPECT_EQ(via_spec.bits, via_cfg.bits);
+    EXPECT_EQ(via_spec.errors, via_cfg.errors);
+}
