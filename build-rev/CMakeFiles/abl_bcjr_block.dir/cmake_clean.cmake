@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_bcjr_block.dir/bench/abl_bcjr_block.cc.o"
+  "CMakeFiles/abl_bcjr_block.dir/bench/abl_bcjr_block.cc.o.d"
+  "abl_bcjr_block"
+  "abl_bcjr_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bcjr_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_channel_threads.dir/bench/abl_channel_threads.cc.o"
+  "CMakeFiles/abl_channel_threads.dir/bench/abl_channel_threads.cc.o.d"
+  "abl_channel_threads"
+  "abl_channel_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_channel_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

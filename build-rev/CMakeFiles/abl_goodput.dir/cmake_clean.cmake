@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_goodput.dir/bench/abl_goodput.cc.o"
+  "CMakeFiles/abl_goodput.dir/bench/abl_goodput.cc.o.d"
+  "abl_goodput"
+  "abl_goodput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_goodput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_latency.dir/bench/abl_latency.cc.o"
+  "CMakeFiles/abl_latency.dir/bench/abl_latency.cc.o.d"
+  "abl_latency"
+  "abl_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

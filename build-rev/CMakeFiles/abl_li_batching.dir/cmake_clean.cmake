@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_li_batching.dir/bench/abl_li_batching.cc.o"
+  "CMakeFiles/abl_li_batching.dir/bench/abl_li_batching.cc.o.d"
+  "abl_li_batching"
+  "abl_li_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_li_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

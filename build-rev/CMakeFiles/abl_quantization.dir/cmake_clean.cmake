@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_quantization.dir/bench/abl_quantization.cc.o"
+  "CMakeFiles/abl_quantization.dir/bench/abl_quantization.cc.o.d"
+  "abl_quantization"
+  "abl_quantization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

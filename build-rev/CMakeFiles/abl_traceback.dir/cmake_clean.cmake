@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_traceback.dir/bench/abl_traceback.cc.o"
+  "CMakeFiles/abl_traceback.dir/bench/abl_traceback.cc.o.d"
+  "abl_traceback"
+  "abl_traceback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_traceback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

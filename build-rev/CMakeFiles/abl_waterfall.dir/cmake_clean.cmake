@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_waterfall.dir/bench/abl_waterfall.cc.o"
+  "CMakeFiles/abl_waterfall.dir/bench/abl_waterfall.cc.o.d"
+  "abl_waterfall"
+  "abl_waterfall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_waterfall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

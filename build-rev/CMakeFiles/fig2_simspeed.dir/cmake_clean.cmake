@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_simspeed.dir/bench/fig2_simspeed.cc.o"
+  "CMakeFiles/fig2_simspeed.dir/bench/fig2_simspeed.cc.o.d"
+  "fig2_simspeed"
+  "fig2_simspeed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_simspeed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_ber_vs_llr.dir/bench/fig5_ber_vs_llr.cc.o"
+  "CMakeFiles/fig5_ber_vs_llr.dir/bench/fig5_ber_vs_llr.cc.o.d"
+  "fig5_ber_vs_llr"
+  "fig5_ber_vs_llr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_ber_vs_llr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_ber_vs_llr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_pber.dir/bench/fig6_pber.cc.o"
+  "CMakeFiles/fig6_pber.dir/bench/fig6_pber.cc.o.d"
+  "fig6_pber"
+  "fig6_pber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_pber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

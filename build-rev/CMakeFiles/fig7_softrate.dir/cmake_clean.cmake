@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_softrate.dir/bench/fig7_softrate.cc.o"
+  "CMakeFiles/fig7_softrate.dir/bench/fig7_softrate.cc.o.d"
+  "fig7_softrate"
+  "fig7_softrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_softrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

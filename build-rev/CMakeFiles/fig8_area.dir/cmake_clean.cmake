@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_area.dir/bench/fig8_area.cc.o"
+  "CMakeFiles/fig8_area.dir/bench/fig8_area.cc.o.d"
+  "fig8_area"
+  "fig8_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

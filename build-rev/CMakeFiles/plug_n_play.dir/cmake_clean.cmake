@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plug_n_play.dir/examples/plug_n_play.cpp.o"
+  "CMakeFiles/plug_n_play.dir/examples/plug_n_play.cpp.o.d"
+  "plug_n_play"
+  "plug_n_play.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plug_n_play.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

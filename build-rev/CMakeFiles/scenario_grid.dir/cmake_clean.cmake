@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_grid.dir/examples/scenario_grid.cpp.o"
+  "CMakeFiles/scenario_grid.dir/examples/scenario_grid.cpp.o.d"
+  "scenario_grid"
+  "scenario_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

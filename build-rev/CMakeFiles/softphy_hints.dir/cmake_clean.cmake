@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softphy_hints.dir/examples/softphy_hints.cpp.o"
+  "CMakeFiles/softphy_hints.dir/examples/softphy_hints.cpp.o.d"
+  "softphy_hints"
+  "softphy_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softphy_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

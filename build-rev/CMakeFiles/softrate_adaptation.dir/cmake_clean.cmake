@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softrate_adaptation.dir/examples/softrate_adaptation.cpp.o"
+  "CMakeFiles/softrate_adaptation.dir/examples/softrate_adaptation.cpp.o.d"
+  "softrate_adaptation"
+  "softrate_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softrate_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

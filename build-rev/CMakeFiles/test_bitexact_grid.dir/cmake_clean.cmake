@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitexact_grid.dir/tests/test_bitexact_grid.cc.o"
+  "CMakeFiles/test_bitexact_grid.dir/tests/test_bitexact_grid.cc.o.d"
+  "test_bitexact_grid"
+  "test_bitexact_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitexact_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conv_code.dir/tests/test_conv_code.cc.o"
+  "CMakeFiles/test_conv_code.dir/tests/test_conv_code.cc.o.d"
+  "test_conv_code"
+  "test_conv_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conv_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decoders.dir/tests/test_decoders.cc.o"
+  "CMakeFiles/test_decoders.dir/tests/test_decoders.cc.o.d"
+  "test_decoders"
+  "test_decoders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decoders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

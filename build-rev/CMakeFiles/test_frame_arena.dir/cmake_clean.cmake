@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frame_arena.dir/tests/test_frame_arena.cc.o"
+  "CMakeFiles/test_frame_arena.dir/tests/test_frame_arena.cc.o.d"
+  "test_frame_arena"
+  "test_frame_arena.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frame_arena.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

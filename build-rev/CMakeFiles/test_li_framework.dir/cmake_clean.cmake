@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_li_framework.dir/tests/test_li_framework.cc.o"
+  "CMakeFiles/test_li_framework.dir/tests/test_li_framework.cc.o.d"
+  "test_li_framework"
+  "test_li_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_li_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_li_transceiver.dir/tests/test_li_transceiver.cc.o"
+  "CMakeFiles/test_li_transceiver.dir/tests/test_li_transceiver.cc.o.d"
+  "test_li_transceiver"
+  "test_li_transceiver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_li_transceiver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

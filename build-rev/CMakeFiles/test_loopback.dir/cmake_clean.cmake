@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loopback.dir/tests/test_loopback.cc.o"
+  "CMakeFiles/test_loopback.dir/tests/test_loopback.cc.o.d"
+  "test_loopback"
+  "test_loopback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loopback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapper_demapper.dir/tests/test_mapper_demapper.cc.o"
+  "CMakeFiles/test_mapper_demapper.dir/tests/test_mapper_demapper.cc.o.d"
+  "test_mapper_demapper"
+  "test_mapper_demapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapper_demapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

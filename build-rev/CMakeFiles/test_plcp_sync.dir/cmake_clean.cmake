@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plcp_sync.dir/tests/test_plcp_sync.cc.o"
+  "CMakeFiles/test_plcp_sync.dir/tests/test_plcp_sync.cc.o.d"
+  "test_plcp_sync"
+  "test_plcp_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plcp_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_puncture.dir/tests/test_puncture.cc.o"
+  "CMakeFiles/test_puncture.dir/tests/test_puncture.cc.o.d"
+  "test_puncture"
+  "test_puncture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_puncture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

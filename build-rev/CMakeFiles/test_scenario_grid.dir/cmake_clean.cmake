@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scenario_grid.dir/tests/test_scenario_grid.cc.o"
+  "CMakeFiles/test_scenario_grid.dir/tests/test_scenario_grid.cc.o.d"
+  "test_scenario_grid"
+  "test_scenario_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scenario_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scrambler.dir/tests/test_scrambler.cc.o"
+  "CMakeFiles/test_scrambler.dir/tests/test_scrambler.cc.o.d"
+  "test_scrambler"
+  "test_scrambler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scrambler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

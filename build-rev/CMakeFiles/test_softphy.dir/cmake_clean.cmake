@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_softphy.dir/tests/test_softphy.cc.o"
+  "CMakeFiles/test_softphy.dir/tests/test_softphy.cc.o.d"
+  "test_softphy"
+  "test_softphy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_softphy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

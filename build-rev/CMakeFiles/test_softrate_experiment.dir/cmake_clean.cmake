@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_softrate_experiment.dir/tests/test_softrate_experiment.cc.o"
+  "CMakeFiles/test_softrate_experiment.dir/tests/test_softrate_experiment.cc.o.d"
+  "test_softrate_experiment"
+  "test_softrate_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_softrate_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

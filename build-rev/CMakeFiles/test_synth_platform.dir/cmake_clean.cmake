@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth_platform.dir/tests/test_synth_platform.cc.o"
+  "CMakeFiles/test_synth_platform.dir/tests/test_synth_platform.cc.o.d"
+  "test_synth_platform"
+  "test_synth_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

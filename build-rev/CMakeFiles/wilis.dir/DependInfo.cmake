@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/awgn.cc" "CMakeFiles/wilis.dir/src/channel/awgn.cc.o" "gcc" "CMakeFiles/wilis.dir/src/channel/awgn.cc.o.d"
+  "/root/repo/src/channel/channels.cc" "CMakeFiles/wilis.dir/src/channel/channels.cc.o" "gcc" "CMakeFiles/wilis.dir/src/channel/channels.cc.o.d"
+  "/root/repo/src/channel/fading.cc" "CMakeFiles/wilis.dir/src/channel/fading.cc.o" "gcc" "CMakeFiles/wilis.dir/src/channel/fading.cc.o.d"
+  "/root/repo/src/channel/interference.cc" "CMakeFiles/wilis.dir/src/channel/interference.cc.o" "gcc" "CMakeFiles/wilis.dir/src/channel/interference.cc.o.d"
+  "/root/repo/src/channel/multipath.cc" "CMakeFiles/wilis.dir/src/channel/multipath.cc.o" "gcc" "CMakeFiles/wilis.dir/src/channel/multipath.cc.o.d"
+  "/root/repo/src/common/frame_arena.cc" "CMakeFiles/wilis.dir/src/common/frame_arena.cc.o" "gcc" "CMakeFiles/wilis.dir/src/common/frame_arena.cc.o.d"
+  "/root/repo/src/common/logging.cc" "CMakeFiles/wilis.dir/src/common/logging.cc.o" "gcc" "CMakeFiles/wilis.dir/src/common/logging.cc.o.d"
+  "/root/repo/src/common/stats.cc" "CMakeFiles/wilis.dir/src/common/stats.cc.o" "gcc" "CMakeFiles/wilis.dir/src/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "CMakeFiles/wilis.dir/src/common/table.cc.o" "gcc" "CMakeFiles/wilis.dir/src/common/table.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "CMakeFiles/wilis.dir/src/common/thread_pool.cc.o" "gcc" "CMakeFiles/wilis.dir/src/common/thread_pool.cc.o.d"
+  "/root/repo/src/decode/bcjr.cc" "CMakeFiles/wilis.dir/src/decode/bcjr.cc.o" "gcc" "CMakeFiles/wilis.dir/src/decode/bcjr.cc.o.d"
+  "/root/repo/src/decode/decoders.cc" "CMakeFiles/wilis.dir/src/decode/decoders.cc.o" "gcc" "CMakeFiles/wilis.dir/src/decode/decoders.cc.o.d"
+  "/root/repo/src/decode/sova.cc" "CMakeFiles/wilis.dir/src/decode/sova.cc.o" "gcc" "CMakeFiles/wilis.dir/src/decode/sova.cc.o.d"
+  "/root/repo/src/decode/trellis_kernels.cc" "CMakeFiles/wilis.dir/src/decode/trellis_kernels.cc.o" "gcc" "CMakeFiles/wilis.dir/src/decode/trellis_kernels.cc.o.d"
+  "/root/repo/src/decode/viterbi.cc" "CMakeFiles/wilis.dir/src/decode/viterbi.cc.o" "gcc" "CMakeFiles/wilis.dir/src/decode/viterbi.cc.o.d"
+  "/root/repo/src/li/config.cc" "CMakeFiles/wilis.dir/src/li/config.cc.o" "gcc" "CMakeFiles/wilis.dir/src/li/config.cc.o.d"
+  "/root/repo/src/li/scheduler.cc" "CMakeFiles/wilis.dir/src/li/scheduler.cc.o" "gcc" "CMakeFiles/wilis.dir/src/li/scheduler.cc.o.d"
+  "/root/repo/src/mac/oracle.cc" "CMakeFiles/wilis.dir/src/mac/oracle.cc.o" "gcc" "CMakeFiles/wilis.dir/src/mac/oracle.cc.o.d"
+  "/root/repo/src/mac/ppr.cc" "CMakeFiles/wilis.dir/src/mac/ppr.cc.o" "gcc" "CMakeFiles/wilis.dir/src/mac/ppr.cc.o.d"
+  "/root/repo/src/phy/conv_code.cc" "CMakeFiles/wilis.dir/src/phy/conv_code.cc.o" "gcc" "CMakeFiles/wilis.dir/src/phy/conv_code.cc.o.d"
+  "/root/repo/src/phy/cyclic_prefix.cc" "CMakeFiles/wilis.dir/src/phy/cyclic_prefix.cc.o" "gcc" "CMakeFiles/wilis.dir/src/phy/cyclic_prefix.cc.o.d"
+  "/root/repo/src/phy/demapper.cc" "CMakeFiles/wilis.dir/src/phy/demapper.cc.o" "gcc" "CMakeFiles/wilis.dir/src/phy/demapper.cc.o.d"
+  "/root/repo/src/phy/fft.cc" "CMakeFiles/wilis.dir/src/phy/fft.cc.o" "gcc" "CMakeFiles/wilis.dir/src/phy/fft.cc.o.d"
+  "/root/repo/src/phy/interleaver.cc" "CMakeFiles/wilis.dir/src/phy/interleaver.cc.o" "gcc" "CMakeFiles/wilis.dir/src/phy/interleaver.cc.o.d"
+  "/root/repo/src/phy/mapper.cc" "CMakeFiles/wilis.dir/src/phy/mapper.cc.o" "gcc" "CMakeFiles/wilis.dir/src/phy/mapper.cc.o.d"
+  "/root/repo/src/phy/modulation.cc" "CMakeFiles/wilis.dir/src/phy/modulation.cc.o" "gcc" "CMakeFiles/wilis.dir/src/phy/modulation.cc.o.d"
+  "/root/repo/src/phy/ofdm_rx.cc" "CMakeFiles/wilis.dir/src/phy/ofdm_rx.cc.o" "gcc" "CMakeFiles/wilis.dir/src/phy/ofdm_rx.cc.o.d"
+  "/root/repo/src/phy/ofdm_symbol.cc" "CMakeFiles/wilis.dir/src/phy/ofdm_symbol.cc.o" "gcc" "CMakeFiles/wilis.dir/src/phy/ofdm_symbol.cc.o.d"
+  "/root/repo/src/phy/ofdm_tx.cc" "CMakeFiles/wilis.dir/src/phy/ofdm_tx.cc.o" "gcc" "CMakeFiles/wilis.dir/src/phy/ofdm_tx.cc.o.d"
+  "/root/repo/src/phy/plcp.cc" "CMakeFiles/wilis.dir/src/phy/plcp.cc.o" "gcc" "CMakeFiles/wilis.dir/src/phy/plcp.cc.o.d"
+  "/root/repo/src/phy/preamble.cc" "CMakeFiles/wilis.dir/src/phy/preamble.cc.o" "gcc" "CMakeFiles/wilis.dir/src/phy/preamble.cc.o.d"
+  "/root/repo/src/phy/puncture.cc" "CMakeFiles/wilis.dir/src/phy/puncture.cc.o" "gcc" "CMakeFiles/wilis.dir/src/phy/puncture.cc.o.d"
+  "/root/repo/src/phy/scrambler.cc" "CMakeFiles/wilis.dir/src/phy/scrambler.cc.o" "gcc" "CMakeFiles/wilis.dir/src/phy/scrambler.cc.o.d"
+  "/root/repo/src/phy/sync.cc" "CMakeFiles/wilis.dir/src/phy/sync.cc.o" "gcc" "CMakeFiles/wilis.dir/src/phy/sync.cc.o.d"
+  "/root/repo/src/platform/cosim.cc" "CMakeFiles/wilis.dir/src/platform/cosim.cc.o" "gcc" "CMakeFiles/wilis.dir/src/platform/cosim.cc.o.d"
+  "/root/repo/src/platform/link.cc" "CMakeFiles/wilis.dir/src/platform/link.cc.o" "gcc" "CMakeFiles/wilis.dir/src/platform/link.cc.o.d"
+  "/root/repo/src/sim/li_pipeline.cc" "CMakeFiles/wilis.dir/src/sim/li_pipeline.cc.o" "gcc" "CMakeFiles/wilis.dir/src/sim/li_pipeline.cc.o.d"
+  "/root/repo/src/sim/li_transceiver.cc" "CMakeFiles/wilis.dir/src/sim/li_transceiver.cc.o" "gcc" "CMakeFiles/wilis.dir/src/sim/li_transceiver.cc.o.d"
+  "/root/repo/src/sim/scenario.cc" "CMakeFiles/wilis.dir/src/sim/scenario.cc.o" "gcc" "CMakeFiles/wilis.dir/src/sim/scenario.cc.o.d"
+  "/root/repo/src/sim/scenario_grid.cc" "CMakeFiles/wilis.dir/src/sim/scenario_grid.cc.o" "gcc" "CMakeFiles/wilis.dir/src/sim/scenario_grid.cc.o.d"
+  "/root/repo/src/sim/sweep.cc" "CMakeFiles/wilis.dir/src/sim/sweep.cc.o" "gcc" "CMakeFiles/wilis.dir/src/sim/sweep.cc.o.d"
+  "/root/repo/src/sim/testbench.cc" "CMakeFiles/wilis.dir/src/sim/testbench.cc.o" "gcc" "CMakeFiles/wilis.dir/src/sim/testbench.cc.o.d"
+  "/root/repo/src/softphy/ber_estimator.cc" "CMakeFiles/wilis.dir/src/softphy/ber_estimator.cc.o" "gcc" "CMakeFiles/wilis.dir/src/softphy/ber_estimator.cc.o.d"
+  "/root/repo/src/softphy/calibration.cc" "CMakeFiles/wilis.dir/src/softphy/calibration.cc.o" "gcc" "CMakeFiles/wilis.dir/src/softphy/calibration.cc.o.d"
+  "/root/repo/src/softphy/softphy.cc" "CMakeFiles/wilis.dir/src/softphy/softphy.cc.o" "gcc" "CMakeFiles/wilis.dir/src/softphy/softphy.cc.o.d"
+  "/root/repo/src/synth/area.cc" "CMakeFiles/wilis.dir/src/synth/area.cc.o" "gcc" "CMakeFiles/wilis.dir/src/synth/area.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

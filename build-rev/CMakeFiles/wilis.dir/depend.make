@@ -1,0 +1,2 @@
+# Empty dependencies file for wilis.
+# This may be replaced when dependencies are built.

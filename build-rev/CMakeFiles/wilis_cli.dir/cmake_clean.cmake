@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wilis_cli.dir/examples/wilis_cli.cpp.o"
+  "CMakeFiles/wilis_cli.dir/examples/wilis_cli.cpp.o.d"
+  "wilis_cli"
+  "wilis_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wilis_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
