@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ablation: multi-user network simulator scaling. Sweeps the worker
+ * thread count for a fixed cell (>= 32 users) and reports aggregate
+ * simulated frames per second, then sweeps the user count at a fixed
+ * thread count to show how cell size moves the bottleneck. Because
+ * runs are bit-identical for any thread count, the speedup column is
+ * a pure execution-architecture measurement -- the physics cannot
+ * drift with the sharding.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "sim/network_sim.hh"
+
+using namespace wilis;
+
+namespace {
+
+double
+framesPerSec(const sim::NetworkSpec &spec, std::uint64_t slots,
+             int threads, std::uint64_t *frames_out)
+{
+    sim::NetworkSim sim(spec);
+    bench::Stopwatch timer;
+    sim::NetworkResult res = sim.run(slots, threads);
+    double secs = timer.seconds();
+    if (frames_out)
+        *frames_out = res.aggregate.framesSent;
+    return secs > 0.0
+               ? static_cast<double>(res.aggregate.framesSent) / secs
+               : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t slots = bench::scaled(60, 10);
+
+    sim::NetworkSpec spec = sim::networkPreset("cell-16");
+    spec.numUsers = 32;
+    spec.link.payloadBits = 600;
+    spec.snrSpreadDb = 8.0;
+
+    bench::banner("network scaling: 32 users, threads sweep");
+    std::printf("%-8s %-10s %-14s %-9s\n", "threads", "frames",
+                "frames/sec", "speedup");
+    double base = 0.0;
+    for (int threads : {1, 2, 4, 8}) {
+        std::uint64_t frames = 0;
+        double fps = framesPerSec(spec, slots, threads, &frames);
+        if (threads == 1)
+            base = fps;
+        std::printf("%-8d %-10llu %-14.1f %-9.2f\n", threads,
+                    static_cast<unsigned long long>(frames), fps,
+                    base > 0.0 ? fps / base : 0.0);
+    }
+
+    bench::banner("network scaling: users sweep at 4 threads");
+    std::printf("%-8s %-10s %-14s %-12s\n", "users", "frames",
+                "frames/sec", "goodput Mb/s");
+    for (int users : {8, 16, 32, 64}) {
+        sim::NetworkSpec s = spec;
+        s.numUsers = users;
+        sim::NetworkSim sim(s);
+        bench::Stopwatch timer;
+        sim::NetworkResult res = sim.run(slots, 4);
+        double secs = timer.seconds();
+        std::printf("%-8d %-10llu %-14.1f %-12.3f\n", users,
+                    static_cast<unsigned long long>(
+                        res.aggregate.framesSent),
+                    secs > 0.0 ? static_cast<double>(
+                                     res.aggregate.framesSent) /
+                                     secs
+                               : 0.0,
+                    res.aggregateGoodputMbps());
+    }
+    return 0;
+}

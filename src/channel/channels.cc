@@ -25,6 +25,10 @@ const bool registered = [] {
         return std::unique_ptr<Channel>(
             std::make_unique<RayleighChannel>(cfg));
     });
+    reg.add("ar1", [](const li::Config &cfg) {
+        return std::unique_ptr<Channel>(
+            std::make_unique<Ar1FadingChannel>(cfg));
+    });
     reg.add("multipath", [](const li::Config &cfg) {
         return std::unique_ptr<Channel>(
             std::make_unique<MultipathChannel>(cfg));

@@ -102,5 +102,131 @@ RayleighChannel::impairSample(Sample s, std::uint64_t packet_index,
                              packet_index, sample_index);
 }
 
+// ------------------------------------------------ AR(1) block fading
+
+namespace {
+
+/**
+ * Bessel J0 via the Abramowitz & Stegun 9.4.1 / 9.4.3 polynomial
+ * approximations (|error| < 1e-7); avoids relying on the optional
+ * C++17 special-math functions.
+ */
+double
+besselJ0(double x)
+{
+    double ax = std::fabs(x);
+    if (ax < 3.0) {
+        double t = x * x / 9.0;
+        return 1.0 +
+               t * (-2.2499997 +
+                    t * (1.2656208 +
+                         t * (-0.3163866 +
+                              t * (0.0444479 +
+                                   t * (-0.0039444 +
+                                        t * 0.0002100)))));
+    }
+    double t = 3.0 / ax;
+    double f0 = 0.79788456 +
+                t * (-0.00000077 +
+                     t * (-0.00552740 +
+                          t * (-0.00009512 +
+                               t * (0.00137237 +
+                                    t * (-0.00072805 +
+                                         t * 0.00014476)))));
+    double theta = ax - 0.78539816 +
+                   t * (-0.04166397 +
+                        t * (-0.00003954 +
+                             t * (0.00262573 +
+                                  t * (-0.00054125 +
+                                       t * (-0.00029333 +
+                                            t * 0.00013558)))));
+    return f0 * std::cos(theta) / std::sqrt(ax);
+}
+
+} // namespace
+
+Ar1FadingChannel::Ar1FadingChannel(const li::Config &cfg)
+    : Ar1FadingChannel(
+          cfg.getDouble("snr_db", 10.0),
+          cfg.getDouble("doppler_hz", 30.0),
+          cfg.getDouble("frame_interval_us", 2000.0),
+          cfg.getUint64("seed", 1),
+          static_cast<int>(cfg.getInt("threads", 1)))
+{}
+
+Ar1FadingChannel::Ar1FadingChannel(double snr_db, double doppler_hz,
+                                   double frame_interval_us,
+                                   std::uint64_t seed, int threads)
+    : awgn(snr_db, seed, threads), doppler(doppler_hz),
+      frame_interval_us_(frame_interval_us),
+      innovations(CounterRng(seed ^ 0xA21FAD0ull).fork(0x1117))
+{
+    wilis_assert(doppler_hz >= 0.0, "negative Doppler %f", doppler_hz);
+    wilis_assert(frame_interval_us > 0.0,
+                 "frame interval %f us <= 0", frame_interval_us);
+    // Clarke autocorrelation sampled at the slot interval. J0 goes
+    // negative past its first zero (very fast fading); clamp to the
+    // memoryless process there, and keep rho < 1 so the innovation
+    // never degenerates even at doppler 0 -- a static link is then
+    // rho ~ 1 with a vanishing innovation, which is the intent.
+    double r = besselJ0(2.0 * std::numbers::pi * doppler_hz *
+                        frame_interval_us * 1e-6);
+    rho_ = std::min(std::max(r, 0.0), 0.999999);
+    innov_scale = std::sqrt(1.0 - rho_ * rho_);
+}
+
+Sample
+Ar1FadingChannel::innovation(std::uint64_t n) const
+{
+    double g0 = 0.0;
+    double g1 = 0.0;
+    GaussianSource::pairAt(innovations, n, g0, g1);
+    // Per-component variance 1/2 => E[|w|^2] = 1.
+    return Sample(g0 * std::numbers::sqrt2 / 2.0,
+                  g1 * std::numbers::sqrt2 / 2.0);
+}
+
+Sample
+Ar1FadingChannel::gainAt(std::uint64_t n) const
+{
+    if (!cache_valid || n < cache_index) {
+        cache_gain = innovation(0);
+        cache_index = 0;
+        cache_valid = true;
+    }
+    while (cache_index < n) {
+        ++cache_index;
+        cache_gain = cache_gain * rho_ +
+                     innovation(cache_index) * innov_scale;
+    }
+    return cache_gain;
+}
+
+Sample
+Ar1FadingChannel::gain(std::uint64_t packet_index,
+                       int symbol_index) const
+{
+    (void)symbol_index;
+    return gainAt(packet_index);
+}
+
+void
+Ar1FadingChannel::apply(SampleSpan samples,
+                        std::uint64_t packet_index)
+{
+    const Sample h = gainAt(packet_index);
+    for (size_t i = 0; i < samples.size(); ++i)
+        samples[i] *= h;
+    awgn.apply(samples, packet_index);
+}
+
+Sample
+Ar1FadingChannel::impairSample(Sample s, std::uint64_t packet_index,
+                               std::uint64_t sample_index) const
+{
+    return awgn.impairSample(s * gainAt(packet_index), packet_index,
+                             sample_index);
+}
+
 } // namespace channel
 } // namespace wilis

@@ -34,6 +34,7 @@ class RayleighChannel : public Channel
      */
     explicit RayleighChannel(const li::Config &cfg = li::Config());
 
+    /** Direct constructor (seeds keep their full 64-bit range). */
     RayleighChannel(double snr_db, double doppler_hz,
                     std::uint64_t seed, double packet_interval_us = 2000.0,
                     int threads = 1, bool common_noise = false,
@@ -66,6 +67,84 @@ class RayleighChannel : public Channel
     std::array<double, kOscillators> freq_scale; // cos(arrival angle)
     std::array<double, kOscillators> phase_i;
     std::array<double, kOscillators> phase_q;
+};
+
+/**
+ * Block-correlated Rayleigh fading + AWGN for multi-user network
+ * simulation: one complex gain per frame slot, evolved by a
+ * Doppler-parameterized first-order autoregression
+ *
+ *     h[0] = w[0],   h[n] = rho * h[n-1] + sqrt(1 - rho^2) * w[n]
+ *
+ * with w[n] ~ CN(0, 1) drawn from the counter-based generator and
+ * rho = J0(2 pi f_d T) (Clarke's autocorrelation sampled at the
+ * frame interval T). Unlike the sum-of-sinusoids RayleighChannel,
+ * the process is defined per *slot index*, so a link that
+ * retransmits in a later slot sees a correlated-but-evolved gain --
+ * the temporal structure a rate-adaptation loop has to track.
+ *
+ * The gain at slot n is a pure function of (seed, n) through the
+ * recurrence; an internal cursor makes the sequential access pattern
+ * of a frame-by-frame simulation O(1) per slot while arbitrary
+ * (replay) indices remain available by recomputation. Instances are
+ * not safe for concurrent use; in NetworkSim every link owns one.
+ */
+class Ar1FadingChannel : public Channel
+{
+  public:
+    /**
+     * Config keys:
+     *  - snr_db:            mean Es/N0 in dB (default 10)
+     *  - doppler_hz:        maximum Doppler frequency (default 30)
+     *  - frame_interval_us: slot spacing in microseconds, the AR(1)
+     *                       sampling interval (default 2000)
+     *  - seed:              random stream seed (default 1)
+     *  - threads:           AWGN worker threads (default 1)
+     */
+    explicit Ar1FadingChannel(const li::Config &cfg = li::Config());
+
+    /** Direct constructor (seeds keep their full 64-bit range). */
+    Ar1FadingChannel(double snr_db, double doppler_hz,
+                     double frame_interval_us, std::uint64_t seed,
+                     int threads = 1);
+
+    std::string name() const override { return "ar1"; }
+    void apply(SampleSpan samples, std::uint64_t packet_index) override;
+    Sample impairSample(Sample s, std::uint64_t packet_index,
+                        std::uint64_t sample_index) const override;
+    /** Block fading: one gain per slot, symbol index ignored. */
+    Sample gain(std::uint64_t packet_index,
+                int symbol_index) const override;
+    double noiseVariance() const override
+    {
+        return awgn.noiseVariance();
+    }
+
+    /** Maximum Doppler frequency in Hz. */
+    double dopplerHz() const { return doppler; }
+
+    /** AR(1) coefficient J0(2 pi f_d T), clamped to [0, 1). */
+    double rho() const { return rho_; }
+
+  private:
+    /** Gain at slot @p n via the cached recurrence. */
+    Sample gainAt(std::uint64_t n) const;
+
+    /** Unit-variance complex innovation w[n]. */
+    Sample innovation(std::uint64_t n) const;
+
+    AwgnChannel awgn;
+    double doppler;
+    double frame_interval_us_;
+    double rho_;
+    double innov_scale; // sqrt(1 - rho^2)
+    CounterRng innovations;
+    // Sequential-access cursor; mutable because gain() is
+    // observationally const (the gain sequence is a pure function
+    // of the seed).
+    mutable bool cache_valid = false;
+    mutable std::uint64_t cache_index = 0;
+    mutable Sample cache_gain = Sample(0.0, 0.0);
 };
 
 } // namespace channel

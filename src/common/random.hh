@@ -20,6 +20,7 @@
 #include <cmath>
 #include <cstdint>
 #include <numbers>
+#include <span>
 
 namespace wilis {
 
@@ -99,6 +100,23 @@ class CounterRng
   private:
     std::uint64_t key;
 };
+
+/**
+ * Fill @p out with the canonical deterministic payload bit stream
+ * for (seed, stream): bit i of stream s is
+ * CounterRng(seed).fork(s).at(i) & 1. This is THE payload derivation
+ * of the whole codebase -- sim::Testbench keys streams by packet
+ * index and sim::NetworkSim by ARQ sequence number -- so replaying a
+ * packet through a different harness regenerates identical bits.
+ */
+inline void
+fillDeterministicBits(std::span<std::uint8_t> out,
+                      std::uint64_t seed, std::uint64_t stream)
+{
+    CounterRng rng = CounterRng(seed).fork(stream);
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i] = static_cast<std::uint8_t>(rng.at(i) & 1);
+}
 
 /**
  * Unit-normal deviates via Box-Muller.

@@ -1,8 +1,60 @@
 #include "common/stats.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace wilis {
+
+Histogram::Histogram(int num_bins, double bin_width, double lo)
+    : counts(static_cast<size_t>(num_bins), 0), width_(bin_width),
+      lo_(lo)
+{
+    wilis_assert(num_bins >= 1, "histogram needs >= 1 bin, got %d",
+                 num_bins);
+    wilis_assert(bin_width > 0.0, "histogram bin width %f <= 0",
+                 bin_width);
+}
+
+void
+Histogram::add(double x)
+{
+    double idx = (x - lo_) / width_;
+    int bin = idx <= 0.0 ? 0 : static_cast<int>(idx);
+    if (bin >= numBins())
+        bin = numBins() - 1;
+    counts[static_cast<size_t>(bin)] += 1;
+    total_ += 1;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    // Smallest bin whose cumulative count reaches q * total.
+    double target = q * static_cast<double>(total_);
+    std::uint64_t cum = 0;
+    for (int b = 0; b < numBins(); ++b) {
+        cum += count(b);
+        if (static_cast<double>(cum) >= target)
+            return binLo(b);
+    }
+    return binLo(numBins() - 1);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    wilis_assert(other.numBins() == numBins() &&
+                     other.width_ == width_ && other.lo_ == lo_,
+                 "merging histograms with different binning");
+    for (int b = 0; b < numBins(); ++b)
+        counts[static_cast<size_t>(b)] +=
+            other.counts[static_cast<size_t>(b)];
+    total_ += other.total_;
+}
 
 ErrorStats
 countErrors(const std::vector<std::uint8_t> &ref,

@@ -136,6 +136,63 @@ class BinnedErrorCounter
     std::vector<std::uint64_t> errors;
 };
 
+/**
+ * Fixed-binning linear histogram used by the network simulator for
+ * per-user latency / retransmission / rate-usage distributions.
+ * Values below the range clamp into the first bin, values at or
+ * above the range into the last, so totals always equal the number
+ * of add() calls and histograms with identical binning merge exactly.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param num_bins  Number of bins (>= 1).
+     * @param bin_width Width of each bin (> 0).
+     * @param lo        Lower edge of bin 0.
+     */
+    Histogram(int num_bins, double bin_width, double lo = 0.0);
+
+    /** Record one observation (clamped into the edge bins). */
+    void add(double x);
+
+    /** Number of bins. */
+    int numBins() const { return static_cast<int>(counts.size()); }
+
+    /** Observations recorded in @p bin. */
+    std::uint64_t count(int bin) const
+    {
+        return counts[static_cast<size_t>(bin)];
+    }
+
+    /** Total observations recorded. */
+    std::uint64_t total() const { return total_; }
+
+    /** Lower edge of @p bin. */
+    double binLo(int bin) const { return lo_ + bin * width_; }
+
+    /** Bin width. */
+    double binWidth() const { return width_; }
+
+    /**
+     * Lower edge of the first bin at which the cumulative count
+     * reaches fraction @p q of the observations (0 if empty; q is
+     * clamped to [0, 1]). For discrete values recorded at bin lower
+     * edges -- latency in whole slots, attempts -- this is the exact
+     * quantile value.
+     */
+    double quantile(double q) const;
+
+    /** Merge counts from a histogram with identical binning. */
+    void merge(const Histogram &other);
+
+  private:
+    std::vector<std::uint64_t> counts;
+    double width_;
+    double lo_;
+    std::uint64_t total_ = 0;
+};
+
 /** Bit-error bookkeeping for a stream comparison. */
 struct ErrorStats {
     std::uint64_t bits = 0;

@@ -1,15 +1,26 @@
 /**
  * @file
- * Conventional link-layer Automatic Repeat-reQuest: any bit error
- * forces retransmission of the *entire* packet (section 4's framing
- * of why PPR and SoftRate help). Used as the efficiency baseline for
- * the PPR comparison.
+ * Link-layer Automatic Repeat-reQuest.
+ *
+ * Two components live here:
+ *  - ArqTracker: the whole-packet retransmission *accounting* used as
+ *    the efficiency baseline for the PPR comparison (section 4's
+ *    framing of why PPR and SoftRate help).
+ *  - Arq: a sequence-number ARQ state machine (stop-and-wait or
+ *    selective-repeat) driven slot-by-slot by the multi-user network
+ *    simulator (sim::NetworkSim), with delayed acknowledgements,
+ *    windowed transmission, in-order delivery and per-frame latency
+ *    bookkeeping.
  */
 
 #ifndef WILIS_MAC_ARQ_HH
 #define WILIS_MAC_ARQ_HH
 
 #include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
 
 namespace wilis {
 namespace mac {
@@ -55,9 +66,13 @@ class ArqTracker
                    : 0.0;
     }
 
+    /** Packets accounted so far. */
     std::uint64_t packetsSeen() const { return packets; }
+    /** Packets that exhausted the retry budget. */
     std::uint64_t packetsLost() const { return lost; }
+    /** Bits sent over the air, retransmissions included. */
     std::uint64_t bitsTransmitted() const { return transmitted_bits; }
+    /** Useful payload bits delivered. */
     std::uint64_t bitsDelivered() const { return delivered_bits; }
 
   private:
@@ -66,6 +81,267 @@ class ArqTracker
     std::uint64_t lost = 0;
     std::uint64_t transmitted_bits = 0;
     std::uint64_t delivered_bits = 0;
+};
+
+/** Retransmission discipline of the sequence-number ARQ. */
+enum class ArqMode {
+    /** One frame in flight; the sender idles until its ACK returns. */
+    StopAndWait,
+    /**
+     * Window of frames in flight; only NACKed frames are resent and
+     * out-of-order successes are buffered for in-order delivery.
+     */
+    SelectiveRepeat,
+};
+
+/** Config-file name of @p mode ("stopwait" / "selective"). */
+inline const char *
+arqModeName(ArqMode mode)
+{
+    return mode == ArqMode::StopAndWait ? "stopwait" : "selective";
+}
+
+/** Inverse of arqModeName(); fatal on unknown names. */
+inline ArqMode
+arqModeFromName(const std::string &name)
+{
+    if (name == "stopwait" || name == "stop-and-wait")
+        return ArqMode::StopAndWait;
+    if (name == "selective" || name == "selective-repeat")
+        return ArqMode::SelectiveRepeat;
+    wilis_fatal("unknown ARQ mode '%s' (stopwait|selective)",
+                name.c_str());
+}
+
+/**
+ * Sequence-number ARQ state machine for a slotted link.
+ *
+ * The driver runs one slot at a time:
+ *
+ *   1. tick(now, out)       -- process acknowledgements that arrive
+ *                              this slot; in-order deliveries (and
+ *                              drops) are appended to @p out.
+ *   2. nextToSend(now, seq) -- ask which sequence number to transmit
+ *                              this slot, if any: the oldest NACKed
+ *                              frame first, else a new frame if the
+ *                              window has room, else idle.
+ *   3. onSendResult(seq,ok) -- report the decode outcome of the
+ *                              transmission; the resulting ACK/NACK
+ *                              becomes visible to tick() at
+ *                              now + ackDelaySlots.
+ *
+ * All state is bounded by the window, so a warmed-up instance
+ * performs no heap allocations in steady state (the slot and
+ * pending-ack rings are sized at construction).
+ */
+class Arq
+{
+  public:
+    /** ARQ configuration. */
+    struct Config {
+        /** Retransmission discipline. */
+        ArqMode mode = ArqMode::SelectiveRepeat;
+        /** Window size (forced to 1 for StopAndWait). */
+        int window = 8;
+        /**
+         * Total transmission attempts per frame (the first send
+         * included) before it is dropped; 0 = never give up.
+         */
+        int maxAttempts = 8;
+        /**
+         * Slots between a transmission and its ACK/NACK becoming
+         * visible to tick(). 0 means the result is applied
+         * immediately in onSendResult() (deliveries still surface
+         * at the next tick()).
+         */
+        std::uint64_t ackDelaySlots = 1;
+    };
+
+    /** One frame leaving the ARQ, in sequence order. */
+    struct Delivery {
+        /** Sequence number. */
+        std::uint64_t seq = 0;
+        /** Slots from first transmission to delivery. */
+        std::uint64_t latencySlots = 0;
+        /** Transmission attempts consumed. */
+        int attempts = 0;
+        /** True if the retry budget was exhausted (frame lost). */
+        bool dropped = false;
+    };
+
+    explicit Arq(const Config &cfg)
+        : cfg_(cfg),
+          win(static_cast<size_t>(windowFor(cfg))),
+          pending(static_cast<size_t>(windowFor(cfg)))
+    {
+        wilis_assert(cfg.window >= 1, "ARQ window %d < 1",
+                     cfg.window);
+        wilis_assert(cfg.maxAttempts >= 0, "ARQ max attempts %d < 0",
+                     cfg.maxAttempts);
+    }
+
+    /** Effective window size (1 under StopAndWait). */
+    int windowSize() const { return static_cast<int>(win.size()); }
+
+    /** Next never-transmitted sequence number. */
+    std::uint64_t nextSeq() const { return next_new; }
+
+    /** Next sequence number owed to the in-order delivery stream. */
+    std::uint64_t deliverNext() const { return deliver_next; }
+
+    /** Total retransmissions performed so far. */
+    std::uint64_t retransmissions() const { return retrans; }
+
+    /**
+     * Process acknowledgements arriving at slot @p now and append
+     * any frames that become deliverable -- in sequence order -- to
+     * @p out. Must be called with non-decreasing @p now.
+     */
+    void
+    tick(std::uint64_t now, std::vector<Delivery> &out)
+    {
+        while (pending_count > 0 &&
+               pending[pending_head].dueSlot <= now) {
+            const PendingAck &ack = pending[pending_head];
+            resolve(slotFor(ack.seq), ack.ok);
+            pending_head = (pending_head + 1) % pending.size();
+            --pending_count;
+        }
+        drainDeliverable(now, out);
+    }
+
+    /**
+     * Sequence number to transmit at slot @p now.
+     * @return false if the link should stay idle this slot (window
+     *         stalled on outstanding acknowledgements).
+     */
+    bool
+    nextToSend(std::uint64_t now, std::uint64_t &seq)
+    {
+        // Oldest NACKed frame first.
+        for (std::uint64_t s = deliver_next; s < next_new; ++s) {
+            Slot &slot = slotFor(s);
+            if (slot.state == State::NeedsResend) {
+                slot.state = State::AwaitingAck;
+                slot.sentAt = now;
+                ++slot.attempts;
+                ++retrans;
+                seq = s;
+                return true;
+            }
+        }
+        // Else a new frame if the window has room.
+        if (next_new - deliver_next <
+            static_cast<std::uint64_t>(win.size())) {
+            Slot &slot = slotFor(next_new);
+            slot.state = State::AwaitingAck;
+            slot.firstTx = now;
+            slot.sentAt = now;
+            slot.attempts = 1;
+            seq = next_new++;
+            return true;
+        }
+        return false;
+    }
+
+    /**
+     * Report the decode outcome of the transmission of @p seq handed
+     * out by the last nextToSend() call.
+     */
+    void
+    onSendResult(std::uint64_t seq, bool ok)
+    {
+        Slot &slot = slotFor(seq);
+        wilis_assert(slot.state == State::AwaitingAck,
+                     "result for seq %llu which is not in flight",
+                     static_cast<unsigned long long>(seq));
+        if (cfg_.ackDelaySlots == 0) {
+            resolve(slot, ok);
+            return;
+        }
+        wilis_assert(pending_count < pending.size(),
+                     "ARQ pending-ack ring overflow");
+        size_t tail =
+            (pending_head + pending_count) % pending.size();
+        pending[tail] = PendingAck{seq,
+                                   slot.sentAt + cfg_.ackDelaySlots,
+                                   ok};
+        ++pending_count;
+    }
+
+  private:
+    enum class State : std::uint8_t {
+        Unused,       // no frame occupies this window slot
+        AwaitingAck,  // transmitted, acknowledgement in flight
+        NeedsResend,  // NACKed with retry budget remaining
+        Acked,        // received clean, awaiting in-order delivery
+        Failed,       // retry budget exhausted, awaiting delivery
+    };
+
+    struct Slot {
+        State state = State::Unused;
+        std::uint64_t firstTx = 0;
+        std::uint64_t sentAt = 0;
+        int attempts = 0;
+    };
+
+    struct PendingAck {
+        std::uint64_t seq = 0;
+        std::uint64_t dueSlot = 0;
+        bool ok = false;
+    };
+
+    static int
+    windowFor(const Config &cfg)
+    {
+        return cfg.mode == ArqMode::StopAndWait ? 1 : cfg.window;
+    }
+
+    Slot &
+    slotFor(std::uint64_t seq)
+    {
+        return win[static_cast<size_t>(
+            seq % static_cast<std::uint64_t>(win.size()))];
+    }
+
+    void
+    resolve(Slot &slot, bool ok)
+    {
+        if (ok) {
+            slot.state = State::Acked;
+        } else if (cfg_.maxAttempts == 0 ||
+                   slot.attempts < cfg_.maxAttempts) {
+            slot.state = State::NeedsResend;
+        } else {
+            slot.state = State::Failed;
+        }
+    }
+
+    void
+    drainDeliverable(std::uint64_t now, std::vector<Delivery> &out)
+    {
+        while (deliver_next < next_new) {
+            Slot &head = slotFor(deliver_next);
+            if (head.state != State::Acked &&
+                head.state != State::Failed)
+                break;
+            out.push_back(Delivery{deliver_next,
+                                   now - head.firstTx,
+                                   head.attempts,
+                                   head.state == State::Failed});
+            head.state = State::Unused;
+            ++deliver_next;
+        }
+    }
+
+    Config cfg_;
+    std::vector<Slot> win;
+    std::vector<PendingAck> pending; // circular, capacity = window
+    size_t pending_head = 0;
+    size_t pending_count = 0;
+    std::uint64_t next_new = 0;
+    std::uint64_t deliver_next = 0;
+    std::uint64_t retrans = 0;
 };
 
 } // namespace mac

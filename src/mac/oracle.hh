@@ -63,15 +63,23 @@ enum class RateSelection { Underselect, Accurate, Overselect };
 
 /** Tally of selection outcomes. */
 struct SelectionStats {
+    /** Packets where the controller chose below the oracle. */
     std::uint64_t under = 0;
+    /** Packets where the controller matched the oracle. */
     std::uint64_t accurate = 0;
+    /** Packets where the controller chose above the oracle. */
     std::uint64_t over = 0;
 
+    /** Total packets judged. */
     std::uint64_t total() const { return under + accurate + over; }
+    /** Underselections as a percentage of total() (0 if empty). */
     double underPct() const;
+    /** Accurate selections as a percentage of total(). */
     double accuratePct() const;
+    /** Overselections as a percentage of total(). */
     double overPct() const;
 
+    /** Count one classified selection. */
     void
     record(RateSelection s)
     {

@@ -34,7 +34,10 @@ class SoftRateMac
         phy::RateIndex initialRate = 0;
     };
 
+    /** Construct with the default thresholds. */
     SoftRateMac() : SoftRateMac(Config()) {}
+
+    /** Construct with explicit thresholds. */
     explicit SoftRateMac(const Config &cfg_) : cfg(cfg_),
         current(cfg_.initialRate)
     {}

@@ -31,7 +31,9 @@ namespace sim {
 
 /** Token carried through the modeled decoder pipelines. */
 struct LiToken {
+    /** Sequence number (used to check ordering at the sink). */
     std::uint64_t id = 0;
+    /** Payload value (transformed by the stages). */
     std::int64_t value = 0;
 };
 
@@ -39,6 +41,7 @@ struct LiToken {
 class SourceModule : public li::Module
 {
   public:
+    /** @param out_ FIFO the source emits into. */
     SourceModule(std::string name, li::Fifo<LiToken> *out_);
 
     /** Queue tokens to emit. */
@@ -50,6 +53,7 @@ class SourceModule : public li::Module
     /** True once everything fed has been emitted. */
     bool done() const { return pending.empty(); }
 
+    /** Emit at most one pending token into the output FIFO. */
     bool tick() override;
 
   private:
@@ -62,8 +66,10 @@ class SourceModule : public li::Module
 class SinkModule : public li::Module
 {
   public:
+    /** @param in_ FIFO the sink drains. */
     SinkModule(std::string name, li::Fifo<LiToken> *in_);
 
+    /** Drain at most one token and record its arrival cycle. */
     bool tick() override;
 
     /** All received tokens in arrival order. */
@@ -90,6 +96,7 @@ class SinkModule : public li::Module
 class DelayStageModule : public li::Module
 {
   public:
+    /** Optional per-token value transformation. */
     using Transform = std::function<std::int64_t(std::int64_t)>;
 
     /**
@@ -100,6 +107,7 @@ class DelayStageModule : public li::Module
                      li::Fifo<LiToken> *out_, int depth,
                      Transform fn = nullptr);
 
+    /** Advance the stage clock; move tokens whose delay elapsed. */
     bool tick() override;
 
   private:
@@ -118,8 +126,11 @@ class DelayStageModule : public li::Module
 
 /** A constructed pipeline: source -> stages -> sink. */
 struct LiPipeline {
+    /** Feeding end (owned by the scheduler). */
     SourceModule *source = nullptr;
+    /** Draining end (owned by the scheduler). */
     SinkModule *sink = nullptr;
+    /** Clock domain the stages run in. */
     li::ClockDomain *domain = nullptr;
     /** Sum of the stage depths (the architectural latency). */
     int modeledLatency = 0;

@@ -42,7 +42,9 @@ using LiTransceiverClocks = ScenarioClocks;
 
 /** Result of one packet through the LI pipeline. */
 struct LiPacketResult {
+    /** Decoded, descrambled payload bits. */
     BitVec payload;
+    /** Per-bit decisions with the decoder's LLR hints. */
     std::vector<SoftDecision> soft;
     /** Baseband cycles consumed by the run. */
     std::uint64_t basebandCycles = 0;

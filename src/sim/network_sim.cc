@@ -1,0 +1,300 @@
+#include "sim/network_sim.hh"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "channel/fading.hh"
+#include "common/frame_arena.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/thread_pool.hh"
+#include "mac/arq.hh"
+#include "mac/softrate.hh"
+#include "phy/ofdm_rx.hh"
+#include "phy/ofdm_tx.hh"
+#include "softphy/softphy.hh"
+
+namespace wilis {
+namespace sim {
+
+void
+UserStats::merge(const UserStats &other)
+{
+    framesSent += other.framesSent;
+    framesOk += other.framesOk;
+    stalledSlots += other.stalledSlots;
+    retransmissions += other.retransmissions;
+    delivered += other.delivered;
+    dropped += other.dropped;
+    goodputBits += other.goodputBits;
+    latencySlots.merge(other.latencySlots);
+    latencyHist.merge(other.latencyHist);
+    attemptsHist.merge(other.attemptsHist);
+    rateHist.merge(other.rateHist);
+}
+
+namespace {
+
+/**
+ * Per-worker PHY context: one transmitter/receiver pair per rate
+ * (built lazily -- a run that never visits QAM64 never pays for it)
+ * and the frame arena backing the zero-copy packet path. Leased to
+ * one user timeline at a time, so at most `threads` contexts ever
+ * exist regardless of the user count.
+ */
+struct WorkerPhy {
+    std::array<std::unique_ptr<phy::OfdmTransmitter>, phy::kNumRates>
+        tx;
+    std::array<std::unique_ptr<phy::OfdmReceiver>, phy::kNumRates> rx;
+    FrameArena arena;
+
+    phy::OfdmTransmitter &
+    txAt(phy::RateIndex r, const phy::OfdmReceiver::Config &cfg)
+    {
+        auto &slot = tx[static_cast<size_t>(r)];
+        if (!slot)
+            slot = std::make_unique<phy::OfdmTransmitter>(
+                r, cfg.scramblerSeed);
+        return *slot;
+    }
+
+    phy::OfdmReceiver &
+    rxAt(phy::RateIndex r, const phy::OfdmReceiver::Config &cfg)
+    {
+        auto &slot = rx[static_cast<size_t>(r)];
+        if (!slot)
+            slot = std::make_unique<phy::OfdmReceiver>(r, cfg);
+        return *slot;
+    }
+};
+
+/** Mutex-guarded free list of worker PHY contexts. */
+class WorkerPhyPool
+{
+  public:
+    std::unique_ptr<WorkerPhy>
+    acquire()
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (!free_.empty()) {
+            auto w = std::move(free_.back());
+            free_.pop_back();
+            return w;
+        }
+        return std::make_unique<WorkerPhy>();
+    }
+
+    void
+    release(std::unique_ptr<WorkerPhy> w)
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        free_.push_back(std::move(w));
+    }
+
+  private:
+    std::mutex mtx;
+    std::vector<std::unique_ptr<WorkerPhy>> free_;
+};
+
+} // namespace
+
+NetworkSim::NetworkSim(const NetworkSpec &spec)
+    : spec_(spec), estimator(softphy::analyticRateEstimator(spec.link.rx))
+{
+    wilis_assert(spec_.numUsers >= 1, "network needs >= 1 user");
+    wilis_assert(spec_.link.rate >= 0 &&
+                     spec_.link.rate < phy::kNumRates,
+                 "initial rate %d out of range", spec_.link.rate);
+}
+
+NetworkSim::UserSeeds
+NetworkSim::userSeeds(int user) const
+{
+    wilis_assert(user >= 0 && user < spec_.numUsers,
+                 "user %d out of %d", user, spec_.numUsers);
+    CounterRng root =
+        CounterRng(spec_.seed).fork(static_cast<std::uint64_t>(user));
+    UserSeeds s;
+    s.snrOffsetDb =
+        (root.doubleAt(0) * 2.0 - 1.0) * spec_.snrSpreadDb;
+    s.channelSeed = root.at(1);
+    s.payloadSeed = root.at(2);
+    s.arrivalStream = root.at(3);
+    return s;
+}
+
+double
+NetworkSim::userSnrOffsetDb(int user) const
+{
+    return userSeeds(user).snrOffsetDb;
+}
+
+ScenarioSpec
+NetworkSim::userLinkSpec(int user) const
+{
+    const UserSeeds seeds = userSeeds(user);
+    ScenarioSpec s = spec_.link;
+    s.name = strprintf("%s/u%d", spec_.name.c_str(), user);
+    s.channel = "ar1";
+    s.channelCfg = li::Config();
+    s.channelCfg.set("snr_db",
+                     strprintf("%.17g",
+                               spec_.link.snrDb() + seeds.snrOffsetDb));
+    s.channelCfg.set("doppler_hz",
+                     strprintf("%.17g", spec_.dopplerHz));
+    s.channelCfg.set("frame_interval_us",
+                     strprintf("%.17g", spec_.frameIntervalUs));
+    s.channelCfg.set(
+        "seed", strprintf("%llu", static_cast<unsigned long long>(
+                                      seeds.channelSeed)));
+    s.payloadSeed = seeds.payloadSeed;
+    return s;
+}
+
+NetworkResult
+NetworkSim::run(std::uint64_t slots, int threads)
+{
+    NetworkResult res;
+    res.spec = spec_;
+    res.slots = slots;
+    res.users.resize(static_cast<size_t>(spec_.numUsers));
+
+    WorkerPhyPool phy_pool;
+    const size_t payload_bits = spec_.link.payloadBits;
+    const bool bernoulli = spec_.arrivalModel == "bernoulli";
+
+    // One work item = one user's whole timeline: links are
+    // independent, so lockstep rounds and per-user runs produce the
+    // same trajectories, and the latter shards with no per-slot
+    // barrier. All state a slot touches is either per-user (channel,
+    // ARQ, SoftRate, stats) or per-worker (kernels + arena), and
+    // every random stream is keyed by (seed, user, slot/seq), so
+    // results are independent of the sharding.
+    auto run_user = [&](std::uint64_t u) {
+        std::unique_ptr<WorkerPhy> phy = phy_pool.acquire();
+        const UserSeeds seeds = userSeeds(static_cast<int>(u));
+
+        channel::Ar1FadingChannel chan(
+            spec_.link.snrDb() + seeds.snrOffsetDb, spec_.dopplerHz,
+            spec_.frameIntervalUs, seeds.channelSeed);
+        const CounterRng arrivals(seeds.arrivalStream);
+
+        mac::SoftRateMac::Config src;
+        src.pberLo = spec_.pberLo;
+        src.pberHi = spec_.pberHi;
+        src.initialRate = spec_.link.rate;
+        mac::SoftRateMac softrate(src);
+
+        mac::Arq::Config ac;
+        ac.mode = spec_.arqMode;
+        ac.window = spec_.arqWindow;
+        ac.maxAttempts = spec_.arqMaxAttempts;
+        ac.ackDelaySlots = spec_.ackDelaySlots;
+        mac::Arq arq(ac);
+
+        UserStats st;
+        st.user = static_cast<int>(u);
+        st.snrOffsetDb = seeds.snrOffsetDb;
+
+        std::vector<mac::Arq::Delivery> deliveries;
+        deliveries.reserve(static_cast<size_t>(arq.windowSize()) + 1);
+
+        auto record = [&](const mac::Arq::Delivery &d) {
+            st.attemptsHist.add(static_cast<double>(d.attempts));
+            if (d.dropped) {
+                ++st.dropped;
+                return;
+            }
+            ++st.delivered;
+            st.goodputBits += payload_bits;
+            st.latencySlots.add(static_cast<double>(d.latencySlots));
+            st.latencyHist.add(static_cast<double>(d.latencySlots));
+        };
+
+        for (std::uint64_t t = 0; t < slots; ++t) {
+            deliveries.clear();
+            arq.tick(t, deliveries);
+            for (const auto &d : deliveries)
+                record(d);
+
+            // Traffic model: under "bernoulli" the user only holds
+            // the (shared, slotted) medium in its arrival slots;
+            // "full" offers a frame every slot.
+            if (bernoulli &&
+                arrivals.doubleAt(t) >= spec_.arrivalProb)
+                continue;
+
+            std::uint64_t seq = 0;
+            if (!arq.nextToSend(t, seq)) {
+                ++st.stalledSlots;
+                continue;
+            }
+
+            const phy::RateIndex rate = softrate.currentRate();
+            phy->arena.reset();
+            BitSpan payload = phy->arena.alloc<Bit>(payload_bits);
+            // Same derivation as Testbench::makePayloadInto, keyed
+            // by sequence number so a retransmission resends the
+            // same bits.
+            fillDeterministicBits(payload, seeds.payloadSeed, seq);
+
+            FrameContext ctx(phy->arena);
+            SampleSpan samples =
+                phy->txAt(rate, spec_.link.rx).modulate(payload, ctx);
+            chan.apply(samples, t);
+            phy::RxFrame rx_frame =
+                phy->rxAt(rate, spec_.link.rx)
+                    .demodulate(samples, payload_bits, &chan, t, ctx);
+
+            const bool ok = rx_frame.bitErrors(payload) == 0;
+            ++st.framesSent;
+            st.framesOk += ok ? 1 : 0;
+            st.rateHist.add(static_cast<double>(rate));
+
+            softrate.onFeedback(
+                estimator.packetBerForRate(rate, rx_frame.soft));
+            arq.onSendResult(seq, ok);
+        }
+
+        // Drain acknowledgements still in flight at the horizon so
+        // their deliveries are counted (no new transmissions).
+        for (std::uint64_t t = slots;
+             t <= slots + spec_.ackDelaySlots; ++t) {
+            deliveries.clear();
+            arq.tick(t, deliveries);
+            for (const auto &d : deliveries)
+                record(d);
+        }
+
+        st.retransmissions = arq.retransmissions();
+        res.users[static_cast<size_t>(u)] = st;
+        phy_pool.release(std::move(phy));
+    };
+
+    int n = threads > 0
+                ? threads
+                : static_cast<int>(std::max(
+                      1u, std::thread::hardware_concurrency()));
+    n = std::min(n, spec_.numUsers);
+    if (n <= 1) {
+        for (int u = 0; u < spec_.numUsers; ++u)
+            run_user(static_cast<std::uint64_t>(u));
+    } else {
+        ThreadPool pool(n);
+        pool.parallelFor(
+            static_cast<std::uint64_t>(spec_.numUsers), run_user);
+    }
+
+    // Aggregate in user order: the merge sequence is fixed, so the
+    // merged floating-point statistics are deterministic too.
+    res.aggregate = UserStats();
+    res.aggregate.user = -1;
+    for (const UserStats &u : res.users)
+        res.aggregate.merge(u);
+    return res;
+}
+
+} // namespace sim
+} // namespace wilis

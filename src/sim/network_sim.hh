@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Multi-user cell simulator: N independent link sessions -- each
+ * owning a per-user ScenarioSpec derivation, a time-correlated AR(1)
+ * fading process, a SoftRate adapter and a windowed ARQ instance --
+ * evolving frame slot by frame slot over a shared simulated
+ * timeline. This is the system-level payoff WiLIS argues for:
+ * rate adaptation and ARQ evaluated on top of the bit-exact PHY,
+ * scaled from one link to a whole cell.
+ *
+ * Execution model: users are sharded across the common::ThreadPool,
+ * one whole user timeline per work item. The heavy per-rate
+ * transmitter/receiver kernels and the frame arena live in a
+ * per-worker PHY context leased for the duration of a user, so the
+ * steady state performs no heap allocations in the frame path and
+ * workers never contend on the allocator. Every random stream
+ * (payload bits, fading innovations, channel noise, traffic
+ * arrivals) is keyed by (master seed, user, slot/sequence) through
+ * the counter-based generator -- never by worker id -- so a run is
+ * bit-identical for any thread count.
+ */
+
+#ifndef WILIS_SIM_NETWORK_SIM_HH
+#define WILIS_SIM_NETWORK_SIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "phy/modulation.hh"
+#include "sim/scenario.hh"
+#include "softphy/ber_estimator.hh"
+
+namespace wilis {
+namespace sim {
+
+/**
+ * Outcome of one user's link over a network run; the aggregate is
+ * the exact merge of all users (in user order, so merged floating-
+ * point statistics are deterministic too).
+ */
+struct UserStats {
+    /** Latency histogram range in slots (1-slot bins). */
+    static constexpr int kLatencyBins = 64;
+    /** Retransmission histogram range in attempts (1-wide bins). */
+    static constexpr int kAttemptBins = 16;
+
+    /** User index (-1 for the aggregate). */
+    int user = -1;
+    /** Deterministic per-user mean SNR offset in dB. */
+    double snrOffsetDb = 0.0;
+
+    /** Slots in which this user transmitted a frame. */
+    std::uint64_t framesSent = 0;
+    /** Transmissions decoded without payload errors. */
+    std::uint64_t framesOk = 0;
+    /** Slots offered traffic but stalled on the ARQ window. */
+    std::uint64_t stalledSlots = 0;
+    /** Retransmission transmissions (attempts beyond the first). */
+    std::uint64_t retransmissions = 0;
+    /** Frames delivered in order. */
+    std::uint64_t delivered = 0;
+    /** Frames dropped after exhausting the retry budget. */
+    std::uint64_t dropped = 0;
+    /** Payload bits of delivered frames. */
+    std::uint64_t goodputBits = 0;
+
+    /** Delivery latency in slots (first transmission -> delivery). */
+    RunningStats latencySlots;
+    /** Delivery latency distribution (1-slot bins). */
+    Histogram latencyHist{kLatencyBins, 1.0};
+    /** Attempts per delivered/dropped frame (1-wide bins). */
+    Histogram attemptsHist{kAttemptBins, 1.0};
+    /** Transmissions per rate index. */
+    Histogram rateHist{phy::kNumRates, 1.0};
+
+    /** Fraction of transmissions decoded clean. */
+    double
+    frameSuccessRate() const
+    {
+        return framesSent ? static_cast<double>(framesOk) /
+                                static_cast<double>(framesSent)
+                          : 0.0;
+    }
+
+    /** Goodput in Mb/s given the slot duration and slot count. */
+    double
+    goodputMbps(std::uint64_t slots, double frame_interval_us) const
+    {
+        double us = static_cast<double>(slots) * frame_interval_us;
+        return us > 0.0 ? static_cast<double>(goodputBits) / us : 0.0;
+    }
+
+    /** Merge another user's statistics into this accumulator. */
+    void merge(const UserStats &other);
+};
+
+/** Result of NetworkSim::run(). */
+struct NetworkResult {
+    /** The network description the run executed. */
+    NetworkSpec spec;
+    /** Slots simulated. */
+    std::uint64_t slots = 0;
+    /** Per-user statistics, indexed by user. */
+    std::vector<UserStats> users;
+    /** Exact merge of all users (user == -1). */
+    UserStats aggregate;
+
+    /** Cell goodput in Mb/s. */
+    double
+    aggregateGoodputMbps() const
+    {
+        return aggregate.goodputMbps(slots, spec.frameIntervalUs);
+    }
+};
+
+/**
+ * The multi-user cell simulator. Construction derives the shared
+ * analytic SoftPHY tables; run() executes the slotted timeline and
+ * is deterministic for any thread count (and repeatable: every run
+ * rebuilds the per-user sessions from the spec's master seed).
+ */
+class NetworkSim
+{
+  public:
+    explicit NetworkSim(const NetworkSpec &spec);
+
+    /** The network description in use. */
+    const NetworkSpec &spec() const { return spec_; }
+
+    /** Deterministic mean-SNR offset of @p user in dB. */
+    double userSnrOffsetDb(int user) const;
+
+    /**
+     * Fully resolved per-user link scenario: the link template with
+     * the user's AR(1) channel configuration and derived seeds
+     * substituted (exported for tools and tests; run() derives the
+     * same values internally).
+     */
+    ScenarioSpec userLinkSpec(int user) const;
+
+    /**
+     * Simulate @p slots frame slots for every user.
+     * @param threads Worker threads (0 = hardware concurrency,
+     *                clamped to the user count).
+     */
+    NetworkResult run(std::uint64_t slots, int threads = 0);
+
+  private:
+    struct UserSeeds {
+        double snrOffsetDb;
+        std::uint64_t channelSeed;
+        std::uint64_t payloadSeed;
+        std::uint64_t arrivalStream;
+    };
+
+    UserSeeds userSeeds(int user) const;
+
+    NetworkSpec spec_;
+    softphy::BerEstimator estimator;
+};
+
+} // namespace sim
+} // namespace wilis
+
+#endif // WILIS_SIM_NETWORK_SIM_HH

@@ -161,104 +161,299 @@ ScenarioSpec::toConfig() const
 
 namespace {
 
-using PresetFactory = ScenarioSpec (*)();
-
-std::map<std::string, PresetFactory> &
-presetMap()
+/**
+ * Shared machinery of the scenario and network preset registries:
+ * name -> factory with duplicate detection and a known-names fatal
+ * on unknown lookups.
+ */
+template <typename Spec>
+class PresetRegistry
 {
-    static std::map<std::string, PresetFactory> presets;
-    return presets;
-}
+  public:
+    using Factory = Spec (*)();
 
-const bool builtin_presets = [] {
-    auto &m = presetMap();
-    m["awgn-mid"] = [] {
-        ScenarioSpec s;
-        s.name = "awgn-mid";
-        s.channel = "awgn";
-        s.channelCfg = li::Config::fromString("snr_db=10");
-        return s;
-    };
-    m["awgn-clean"] = [] {
-        ScenarioSpec s;
-        s.name = "awgn-clean";
-        s.channel = "awgn";
-        s.channelCfg = li::Config::fromString("snr_db=30");
-        return s;
-    };
-    m["rayleigh-fading"] = [] {
-        // The Figure 7 SoftRate setting: 20 Hz fading, 10 dB AWGN.
-        ScenarioSpec s;
-        s.name = "rayleigh-fading";
-        s.channel = "rayleigh";
-        s.channelCfg =
-            li::Config::fromString("snr_db=10,doppler_hz=20");
-        return s;
-    };
-    m["multipath-selective"] = [] {
-        ScenarioSpec s;
-        s.name = "multipath-selective";
-        s.channel = "multipath";
-        s.channelCfg = li::Config::fromString(
-            "snr_db=15,num_taps=4,delay_spread=3");
-        s.rx.applyCsiWeight = true;
-        return s;
-    };
-    m["interference-tone"] = [] {
-        ScenarioSpec s;
-        s.name = "interference-tone";
-        s.channel = "interference";
-        s.channelCfg =
-            li::Config::fromString("snr_db=15,sir_db=10");
-        return s;
-    };
-    return true;
-}();
+    explicit PresetRegistry(const char *kind_) : kind(kind_) {}
+
+    void
+    add(const std::string &name, Factory factory)
+    {
+        wilis_assert(!presets.count(name),
+                     "duplicate %s preset '%s'", kind, name.c_str());
+        presets[name] = factory;
+    }
+
+    Spec
+    create(const std::string &name) const
+    {
+        auto it = presets.find(name);
+        if (it == presets.end()) {
+            std::string known;
+            for (const auto &kv : presets) {
+                if (!known.empty())
+                    known += ", ";
+                known += kv.first;
+            }
+            wilis_fatal("no %s preset '%s' (known: %s)", kind,
+                        name.c_str(), known.c_str());
+        }
+        return it->second();
+    }
+
+    bool
+    has(const std::string &name) const
+    {
+        return presets.count(name) > 0;
+    }
+
+    std::vector<std::string>
+    names() const
+    {
+        std::vector<std::string> out;
+        for (const auto &kv : presets)
+            out.push_back(kv.first);
+        return out;
+    }
+
+  private:
+    const char *kind;
+    std::map<std::string, Factory> presets;
+};
+
+PresetRegistry<ScenarioSpec> &
+scenarioRegistry()
+{
+    static PresetRegistry<ScenarioSpec> reg = [] {
+        PresetRegistry<ScenarioSpec> r("scenario");
+        r.add("awgn-mid", [] {
+            ScenarioSpec s;
+            s.name = "awgn-mid";
+            s.channel = "awgn";
+            s.channelCfg = li::Config::fromString("snr_db=10");
+            return s;
+        });
+        r.add("awgn-clean", [] {
+            ScenarioSpec s;
+            s.name = "awgn-clean";
+            s.channel = "awgn";
+            s.channelCfg = li::Config::fromString("snr_db=30");
+            return s;
+        });
+        r.add("rayleigh-fading", [] {
+            // The Figure 7 SoftRate setting: 20 Hz fading, 10 dB
+            // AWGN.
+            ScenarioSpec s;
+            s.name = "rayleigh-fading";
+            s.channel = "rayleigh";
+            s.channelCfg =
+                li::Config::fromString("snr_db=10,doppler_hz=20");
+            return s;
+        });
+        r.add("multipath-selective", [] {
+            ScenarioSpec s;
+            s.name = "multipath-selective";
+            s.channel = "multipath";
+            s.channelCfg = li::Config::fromString(
+                "snr_db=15,num_taps=4,delay_spread=3");
+            s.rx.applyCsiWeight = true;
+            return s;
+        });
+        r.add("interference-tone", [] {
+            ScenarioSpec s;
+            s.name = "interference-tone";
+            s.channel = "interference";
+            s.channelCfg =
+                li::Config::fromString("snr_db=15,sir_db=10");
+            return s;
+        });
+        return r;
+    }();
+    return reg;
+}
 
 } // namespace
 
 void
-registerScenarioPreset(const std::string &name, PresetFactory factory)
+registerScenarioPreset(const std::string &name,
+                       ScenarioSpec (*factory)())
 {
-    (void)builtin_presets;
-    wilis_assert(!presetMap().count(name),
-                 "duplicate scenario preset '%s'", name.c_str());
-    presetMap()[name] = factory;
+    scenarioRegistry().add(name, factory);
 }
 
 ScenarioSpec
 scenarioPreset(const std::string &name)
 {
-    (void)builtin_presets;
-    auto it = presetMap().find(name);
-    if (it == presetMap().end()) {
-        std::string known;
-        for (const auto &kv : presetMap()) {
-            if (!known.empty())
-                known += ", ";
-            known += kv.first;
-        }
-        wilis_fatal("no scenario preset '%s' (known: %s)",
-                    name.c_str(), known.c_str());
-    }
-    return it->second();
+    return scenarioRegistry().create(name);
 }
 
 bool
 hasScenarioPreset(const std::string &name)
 {
-    (void)builtin_presets;
-    return presetMap().count(name) > 0;
+    return scenarioRegistry().has(name);
 }
 
 std::vector<std::string>
 scenarioPresetNames()
 {
-    (void)builtin_presets;
-    std::vector<std::string> names;
-    for (const auto &kv : presetMap())
-        names.push_back(kv.first);
-    return names;
+    return scenarioRegistry().names();
+}
+
+// ------------------------------------------------ network specs
+
+void
+NetworkSpec::applyConfig(const li::Config &cfg)
+{
+    name = cfg.getString("name", name);
+    numUsers =
+        static_cast<int>(cfg.getInt("users", numUsers));
+    wilis_assert(numUsers >= 1, "network needs >= 1 user, got %d",
+                 numUsers);
+    arrivalModel = cfg.getString("arrival", arrivalModel);
+    wilis_assert(arrivalModel == "full" ||
+                     arrivalModel == "bernoulli",
+                 "unknown arrival model '%s' (full|bernoulli)",
+                 arrivalModel.c_str());
+    arrivalProb = cfg.getDouble("arrival_prob", arrivalProb);
+    dopplerHz = cfg.getDouble("doppler_hz", dopplerHz);
+    snrSpreadDb = cfg.getDouble("snr_spread_db", snrSpreadDb);
+    frameIntervalUs =
+        cfg.getDouble("frame_interval_us", frameIntervalUs);
+    if (cfg.has("arq"))
+        arqMode = mac::arqModeFromName(cfg.getString("arq"));
+    arqWindow = static_cast<int>(cfg.getInt("arq_window", arqWindow));
+    arqMaxAttempts = static_cast<int>(
+        cfg.getInt("arq_max_attempts", arqMaxAttempts));
+    ackDelaySlots = cfg.getUint64("ack_delay", ackDelaySlots);
+    pberLo = cfg.getDouble("pber_lo", pberLo);
+    pberHi = cfg.getDouble("pber_hi", pberHi);
+    seed = cfg.getUint64("net_seed", seed);
+
+    // Pass-throughs to the link template: explicit "link.<k>" keys
+    // plus the common shorthands.
+    li::Config link_cfg;
+    for (const auto &kv : cfg.entries()) {
+        if (kv.first.rfind("link.", 0) == 0)
+            link_cfg.set(kv.first.substr(5), kv.second);
+        else if (kv.first == "rate" || kv.first == "snr_db" ||
+                 kv.first == "payload_bits" || kv.first == "decoder")
+            link_cfg.set(kv.first, kv.second);
+    }
+    link.applyConfig(link_cfg);
+}
+
+NetworkSpec
+NetworkSpec::fromConfig(const li::Config &cfg)
+{
+    NetworkSpec s;
+    s.applyConfig(cfg);
+    return s;
+}
+
+li::Config
+NetworkSpec::toConfig() const
+{
+    li::Config cfg;
+    cfg.set("name", name);
+    cfg.set("users", strprintf("%d", numUsers));
+    cfg.set("arrival", arrivalModel);
+    cfg.set("arrival_prob", strprintf("%g", arrivalProb));
+    cfg.set("doppler_hz", strprintf("%g", dopplerHz));
+    cfg.set("snr_spread_db", strprintf("%g", snrSpreadDb));
+    cfg.set("frame_interval_us", strprintf("%g", frameIntervalUs));
+    cfg.set("arq", mac::arqModeName(arqMode));
+    cfg.set("arq_window", strprintf("%d", arqWindow));
+    cfg.set("arq_max_attempts", strprintf("%d", arqMaxAttempts));
+    cfg.set("ack_delay",
+            strprintf("%llu",
+                      static_cast<unsigned long long>(ackDelaySlots)));
+    cfg.set("pber_lo", strprintf("%g", pberLo));
+    cfg.set("pber_hi", strprintf("%g", pberHi));
+    cfg.set("net_seed",
+            strprintf("%llu", static_cast<unsigned long long>(seed)));
+    const li::Config link_cfg = link.toConfig();
+    for (const auto &kv : link_cfg.entries())
+        cfg.set("link." + kv.first, kv.second);
+    return cfg;
+}
+
+namespace {
+
+/** Shared base of the built-in cell presets. */
+NetworkSpec
+baseCell()
+{
+    NetworkSpec s;
+    s.link.rate = 2; // QPSK 1/2 start, room to adapt both ways
+    s.link.payloadBits = 1000;
+    s.link.channelCfg = li::Config::fromString("snr_db=14");
+    s.snrSpreadDb = 6.0;
+    return s;
+}
+
+PresetRegistry<NetworkSpec> &
+networkRegistry()
+{
+    static PresetRegistry<NetworkSpec> reg = [] {
+        PresetRegistry<NetworkSpec> r("network");
+        r.add("cell-16", [] {
+            NetworkSpec s = baseCell();
+            s.name = "cell-16";
+            return s;
+        });
+        r.add("cell-dense", [] {
+            // Many bursty users contending for the same timeline.
+            NetworkSpec s = baseCell();
+            s.name = "cell-dense";
+            s.numUsers = 64;
+            s.arrivalModel = "bernoulli";
+            s.arrivalProb = 0.5;
+            return s;
+        });
+        r.add("cell-mobile", [] {
+            // Fast fading: adaptation and ARQ chase a 120 Hz
+            // channel.
+            NetworkSpec s = baseCell();
+            s.name = "cell-mobile";
+            s.dopplerHz = 120.0;
+            return s;
+        });
+        r.add("cell-stopwait", [] {
+            // Stop-and-wait baseline for the ARQ-mode comparison.
+            NetworkSpec s = baseCell();
+            s.name = "cell-stopwait";
+            s.arqMode = mac::ArqMode::StopAndWait;
+            s.ackDelaySlots = 2;
+            return s;
+        });
+        return r;
+    }();
+    return reg;
+}
+
+} // namespace
+
+void
+registerNetworkPreset(const std::string &name,
+                      NetworkSpec (*factory)())
+{
+    networkRegistry().add(name, factory);
+}
+
+NetworkSpec
+networkPreset(const std::string &name)
+{
+    return networkRegistry().create(name);
+}
+
+bool
+hasNetworkPreset(const std::string &name)
+{
+    return networkRegistry().has(name);
+}
+
+std::vector<std::string>
+networkPresetNames()
+{
+    return networkRegistry().names();
 }
 
 } // namespace sim

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "li/config.hh"
+#include "mac/arq.hh"
 #include "phy/ofdm_rx.hh"
 
 namespace wilis {
@@ -66,10 +67,15 @@ struct ScenarioSpec {
     ScenarioClocks clocks;
 
     // ---- fluent copies for grid expansion ------------------------
+    /** Copy with the rate replaced. */
     ScenarioSpec withRate(phy::RateIndex r) const;
+    /** Copy with the channel registry name replaced. */
     ScenarioSpec withChannel(const std::string &name) const;
+    /** Copy with the channel "snr_db" parameter replaced. */
     ScenarioSpec withSnrDb(double snr_db) const;
+    /** Copy with the payload length replaced. */
     ScenarioSpec withPayloadBits(size_t bits) const;
+    /** Copy with the channel "seed" parameter replaced. */
     ScenarioSpec withChannelSeed(std::uint64_t seed) const;
 
     /** SNR currently configured (channelCfg "snr_db", default 10). */
@@ -119,6 +125,103 @@ bool hasScenarioPreset(const std::string &name);
 
 /** Sorted names of all registered presets. */
 std::vector<std::string> scenarioPresetNames();
+
+/**
+ * Declarative description of a multi-user cell simulation: N
+ * independent links sharing one slotted timeline, each built from
+ * the embedded per-link ScenarioSpec template plus per-user derived
+ * seeds, an AR(1) fading process, a SoftRate adapter and an ARQ
+ * instance (see sim::NetworkSim). Like ScenarioSpec, a NetworkSpec
+ * round-trips through li::Config and has its own preset family
+ * ("cell-16", "cell-dense", ...), so whole network experiments are
+ * a configuration change.
+ */
+struct NetworkSpec {
+    /** Human-readable label. */
+    std::string name = "cell";
+
+    /**
+     * Per-link template: rate is the initial SoftRate rate, channel
+     * configuration supplies the mean SNR. The channel itself is
+     * replaced per user by an AR(1) fading instance with a derived
+     * seed, so `channel`/seed fields of the template are ignored.
+     */
+    ScenarioSpec link;
+
+    /** Number of users (independent links) in the cell. */
+    int numUsers = 16;
+
+    /**
+     * Traffic arrival model: "full" (every user offers a frame every
+     * slot) or "bernoulli" (each user independently offers a frame
+     * with probability arrivalProb per slot).
+     */
+    std::string arrivalModel = "full";
+
+    /** Per-slot offer probability under the "bernoulli" model. */
+    double arrivalProb = 1.0;
+
+    /** Maximum Doppler frequency of every link's fading, in Hz. */
+    double dopplerHz = 30.0;
+
+    /**
+     * Half-width of the per-user mean SNR spread in dB: user u's
+     * mean SNR is the template SNR plus a deterministic offset in
+     * [-snrSpreadDb, +snrSpreadDb] (near/far users). 0 = uniform
+     * cell.
+     */
+    double snrSpreadDb = 0.0;
+
+    /** Slot duration in microseconds (AR(1) sampling interval). */
+    double frameIntervalUs = 2000.0;
+
+    /** ARQ discipline for every link. */
+    mac::ArqMode arqMode = mac::ArqMode::SelectiveRepeat;
+    /** ARQ window (selective repeat; stop-and-wait forces 1). */
+    int arqWindow = 8;
+    /** Attempts per frame before the ARQ drops it (0 = infinite). */
+    int arqMaxAttempts = 8;
+    /** Slots from transmission to ACK/NACK visibility. */
+    std::uint64_t ackDelaySlots = 1;
+
+    /** SoftRate PBER operating range (rate up below lo). */
+    double pberLo = 1e-6;
+    /** SoftRate PBER operating range (rate down above hi). */
+    double pberHi = 1e-4;
+
+    /** Master seed; all per-user streams are forked from it. */
+    std::uint64_t seed = 0xCE11;
+
+    /**
+     * Overlay the keys present in @p cfg onto this spec. Keys:
+     * name, users, arrival, arrival_prob, doppler_hz, snr_spread_db,
+     * frame_interval_us, arq (stopwait|selective), arq_window,
+     * arq_max_attempts, ack_delay, pber_lo, pber_hi, net_seed;
+     * "link.<k>" keys pass <k> through to the link template, and
+     * the common shorthands rate, snr_db, payload_bits and decoder
+     * are forwarded to it directly.
+     */
+    void applyConfig(const li::Config &cfg);
+
+    /** Parse a spec from defaults + applyConfig(cfg). */
+    static NetworkSpec fromConfig(const li::Config &cfg);
+
+    /** Serialize to the fromConfig() key set (round-trips). */
+    li::Config toConfig() const;
+};
+
+/** Register a network preset (same contract as scenario presets). */
+void registerNetworkPreset(const std::string &name,
+                           NetworkSpec (*factory)());
+
+/** Instantiate a network preset; fatal if unknown. */
+NetworkSpec networkPreset(const std::string &name);
+
+/** True if @p name is a registered network preset. */
+bool hasNetworkPreset(const std::string &name);
+
+/** Sorted names of all registered network presets. */
+std::vector<std::string> networkPresetNames();
 
 } // namespace sim
 } // namespace wilis

@@ -58,12 +58,15 @@ struct ScenarioGrid {
 
 /** Aggregated result of one grid cell. */
 struct CellResult {
+    /** Index of this cell within the grid. */
     size_t cellIndex = 0;
+    /** The fully resolved scenario the cell ran. */
     ScenarioSpec spec;
     /** Payload bit errors over the cell's packets. */
     ErrorStats bits;
-    /** Packets run / packets with at least one bit error. */
+    /** Packets run. */
     std::uint64_t packets = 0;
+    /** Packets with at least one bit error. */
     std::uint64_t packetErrors = 0;
 
     /** Observed packet error rate. */

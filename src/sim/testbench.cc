@@ -30,9 +30,7 @@ void
 Testbench::makePayloadInto(BitSpan out,
                            std::uint64_t packet_index) const
 {
-    CounterRng rng = CounterRng(cfg.payloadSeed).fork(packet_index);
-    for (size_t i = 0; i < out.size(); ++i)
-        out[i] = static_cast<Bit>(rng.at(i) & 1);
+    fillDeterministicBits(out, cfg.payloadSeed, packet_index);
 }
 
 PacketResult

@@ -43,9 +43,13 @@ struct TestbenchConfig {
 
 /** One packet's worth of results. */
 struct PacketResult {
+    /** The transmitted payload bits. */
     BitVec txPayload;
+    /** Receiver output (decoded payload + SoftPHY hints). */
     phy::RxResult rx;
+    /** Decoded-payload bit errors against txPayload. */
     std::uint64_t bitErrors = 0;
+    /** True if the payload decoded error-free. */
     bool ok = false;
 };
 
@@ -55,9 +59,13 @@ struct PacketResult {
  * testbench.
  */
 struct FrameResult {
+    /** View of the transmitted payload bits. */
     BitView txPayload;
+    /** Receiver output views (decoded payload + SoftPHY hints). */
     phy::RxFrame rx;
+    /** Decoded-payload bit errors against txPayload. */
     std::uint64_t bitErrors = 0;
+    /** True if the payload decoded error-free. */
     bool ok = false;
 
     /** Deep copy into an owning PacketResult. */
@@ -68,6 +76,7 @@ struct FrameResult {
 class Testbench
 {
   public:
+    /** Build transmitter, channel and receiver from @p cfg. */
     explicit Testbench(const TestbenchConfig &cfg);
 
     /** Build from a unified scenario description. */

@@ -83,7 +83,7 @@ BerEstimator::perBitBer(phy::Modulation mod, double hint) const
 
 double
 BerEstimator::packetBer(phy::Modulation mod,
-                        const std::vector<SoftDecision> &soft) const
+                        std::span<const SoftDecision> soft) const
 {
     wilis_assert(!soft.empty(), "empty packet");
     const BerTable &t = tableFor(mod);
@@ -91,6 +91,13 @@ BerEstimator::packetBer(phy::Modulation mod,
     for (const auto &d : soft)
         sum += t.lookup(d.llr);
     return sum / static_cast<double>(soft.size());
+}
+
+double
+BerEstimator::packetBer(phy::Modulation mod,
+                        const std::vector<SoftDecision> &soft) const
+{
+    return packetBer(mod, std::span<const SoftDecision>(soft));
 }
 
 void
@@ -122,7 +129,7 @@ BerEstimator::perBitBerForRate(phy::RateIndex rate, double hint) const
 
 double
 BerEstimator::packetBerForRate(
-    phy::RateIndex rate, const std::vector<SoftDecision> &soft) const
+    phy::RateIndex rate, std::span<const SoftDecision> soft) const
 {
     wilis_assert(!soft.empty(), "empty packet");
     const BerTable &t = tableForRate(rate);
@@ -130,6 +137,14 @@ BerEstimator::packetBerForRate(
     for (const auto &d : soft)
         sum += t.lookup(d.llr);
     return sum / static_cast<double>(soft.size());
+}
+
+double
+BerEstimator::packetBerForRate(
+    phy::RateIndex rate, const std::vector<SoftDecision> &soft) const
+{
+    return packetBerForRate(rate,
+                            std::span<const SoftDecision>(soft));
 }
 
 } // namespace softphy

@@ -17,6 +17,7 @@
 #define WILIS_SOFTPHY_BER_ESTIMATOR_HH
 
 #include <array>
+#include <span>
 #include <vector>
 
 #include "common/types.hh"
@@ -86,8 +87,13 @@ class BerEstimator
 
     /**
      * Per-packet BER: the arithmetic mean of the per-bit estimates
-     * (section 4.4.2).
+     * (section 4.4.2). The span form serves the zero-copy frame
+     * pipeline (phy::RxFrame::soft) without a copy.
      */
+    double packetBer(phy::Modulation mod,
+                     std::span<const SoftDecision> soft) const;
+
+    /** Owning-vector convenience form of packetBer(). */
     double packetBer(phy::Modulation mod,
                      const std::vector<SoftDecision> &soft) const;
 
@@ -100,7 +106,11 @@ class BerEstimator
     /** Per-bit BER under per-rate dispatch. */
     double perBitBerForRate(phy::RateIndex rate, double hint) const;
 
-    /** Per-packet BER under per-rate dispatch. */
+    /** Per-packet BER under per-rate dispatch (zero-copy form). */
+    double packetBerForRate(phy::RateIndex rate,
+                            std::span<const SoftDecision> soft) const;
+
+    /** Owning-vector convenience form of packetBerForRate(). */
     double packetBerForRate(
         phy::RateIndex rate,
         const std::vector<SoftDecision> &soft) const;

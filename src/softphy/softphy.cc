@@ -146,5 +146,29 @@ calibrateRateEstimator(const CalibrationSpec &spec)
     return est;
 }
 
+BerEstimator
+analyticRateEstimator(const phy::OfdmReceiver::Config &rx)
+{
+    CalibrationSpec spec;
+    spec.rx = rx;
+    // eq. 5 without a fitted decoder factor: the demapper emits
+    // |metric| * rail / fullScale after quantization, so one hint
+    // count is worth fullScale / rail in real-metric units, and the
+    // true LLR per hint count is Es/N0 * S_mod * fullScale / rail
+    // (S_dec taken as 1, the mother-code ballpark).
+    const double rail = static_cast<double>(
+        1 << (rx.demapper.softWidth - 1));
+    BerEstimator est;
+    for (int r = 0; r < phy::kNumRates; ++r) {
+        phy::Modulation mod = phy::rateTable(r).modulation;
+        double es_n0 =
+            std::pow(10.0, midBandSnrDbForRate(r) / 10.0);
+        double scale = es_n0 * phy::modulationLlrScale(mod) *
+                       rx.demapper.fullScale / rail;
+        est.setRateTable(r, BerTable::fromScale(scale, spec.llrMax()));
+    }
+    return est;
+}
+
 } // namespace softphy
 } // namespace wilis

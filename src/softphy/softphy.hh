@@ -82,6 +82,17 @@ BerTable calibrateRateTable(phy::RateIndex rate,
  */
 BerEstimator calibrateRateEstimator(const CalibrationSpec &spec);
 
+/**
+ * Calibration-free per-rate estimator: each table's combined eq. 5
+ * scale is derived analytically from the mid-band Es/N0, the
+ * S_modulation demapper constant and the demapper's quantization
+ * step, taking the decoder scale S_dec as 1. A zero-cost stand-in
+ * for calibrateRateEstimator() where a full calibration sweep is too
+ * expensive (e.g. constructing a many-user sim::NetworkSim); expect
+ * coarser absolute PBER accuracy than the calibrated tables.
+ */
+BerEstimator analyticRateEstimator(const phy::OfdmReceiver::Config &rx);
+
 } // namespace softphy
 } // namespace wilis
 
