@@ -20,8 +20,12 @@ using namespace wilis;
 using namespace wilis::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string json_path = jsonPathFromArgs(argc, argv);
+    JsonReport report("abl_channel_threads");
+    report.meta("bench_scale", strprintf("%g", benchScale()));
+
     banner("AWGN noise-generation throughput vs threads");
 
     const unsigned hw = std::thread::hardware_concurrency();
@@ -38,6 +42,8 @@ main()
             "awgn", cfg, measure_secs);
         if (threads == 1)
             base = msps;
+        report.metric(strprintf("awgn_msps_t%d", threads), msps,
+                      "Msamples/s");
         t.addRow({strprintf("%d", threads), strprintf("%.2f", msps),
                   strprintf("%.2fx", msps / base),
                   strprintf("%.1f%%", 100.0 * msps / 20.0)});
@@ -50,10 +56,13 @@ main()
             "snr_db=10,doppler_hz=20,seed=1,threads=%d", threads));
         double msps = platform::measureChannelThroughputMsps(
             "rayleigh", cfg, measure_secs);
+        report.metric(strprintf("rayleigh_msps_t%d", threads), msps,
+                      "Msamples/s");
         std::printf("threads=%d: %.2f Msamples/s\n", threads, msps);
     }
     std::printf("\npaper context: the channel is the co-simulation "
                 "bottleneck; this is why WiLIS keeps it in software "
                 "but pushes everything else to the FPGA.\n");
+    report.writeIfRequested(json_path);
     return 0;
 }

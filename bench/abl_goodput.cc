@@ -204,8 +204,12 @@ runPpr(phy::RateIndex rate, std::uint64_t packets,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string json_path = jsonPathFromArgs(argc, argv);
+    JsonReport report("abl_goodput");
+    report.meta("bench_scale", strprintf("%g", benchScale()));
+
     banner("Link-layer goodput: fixed-rate ARQ vs SoftRate vs PPR "
            "(20 Hz fading, 10 dB AWGN)");
 
@@ -242,6 +246,8 @@ main()
                   strprintf("%.2f", g.avgTries)});
     }
     GoodputResult sr = runSoftRate(packets, chan_cfg, est);
+    report.metric("softrate_goodput_mbps", sr.goodputMbps, "Mb/s");
+    report.metric("best_fixed_goodput_mbps", best_fixed, "Mb/s");
     t.addRow({"SoftRate (adaptive)",
               strprintf("%.2f", sr.goodputMbps),
               strprintf("%.1f", sr.perPct),
@@ -265,5 +271,6 @@ main()
     std::printf("(the paper cites SoftRate's \"2x to 4x\" gain "
                 "\"depending on the base of comparison\" -- the base "
                 "is a\nbadly chosen fixed rate)\n");
+    report.writeIfRequested(json_path);
     return 0;
 }

@@ -19,8 +19,12 @@ using namespace wilis::bench;
 using namespace wilis::sim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string json_path = jsonPathFromArgs(argc, argv);
+    JsonReport report("abl_latency");
+    report.meta("bench_scale", strprintf("%g", benchScale()));
+
     banner("SOVA pipeline latency: measured vs l + k + 12");
     Table sova({"l", "k", "formula", "measured (cycles)",
                 "us @ 60 MHz", "fits 25 us budget"});
@@ -70,5 +74,10 @@ main()
     std::printf("SOVA steady-state: %.3f cycles/bit -> %.1f Mb/s @ "
                 "60 MHz (need 54)\n",
                 cycles_per_token, 60.0 / cycles_per_token);
+    report.metric("sova_cycles_per_bit", cycles_per_token, "cycles",
+                  /*higher_is_better=*/false);
+    report.metric("sova_modeled_mbps", 60.0 / cycles_per_token,
+                  "Mb/s");
+    report.writeIfRequested(json_path);
     return 0;
 }

@@ -12,6 +12,9 @@
 #include <cstdio>
 
 #include "bench/bench_util.hh"
+#include "common/cpu_features.hh"
+#include "common/kernels.hh"
+#include "common/logging.hh"
 #include "sim/network_sim.hh"
 
 using namespace wilis;
@@ -36,8 +39,15 @@ framesPerSec(const sim::NetworkSpec &spec, std::uint64_t slots,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string json_path = bench::jsonPathFromArgs(argc, argv);
+    bench::JsonReport report("abl_network");
+    report.meta("backend",
+                kernels::backendName(kernels::activeBackend()));
+    report.meta("cpu", cpu::featureString());
+    report.meta("bench_scale", strprintf("%g", bench::benchScale()));
+
     const std::uint64_t slots = bench::scaled(60, 10);
 
     sim::NetworkSpec spec = sim::networkPreset("cell-16");
@@ -54,6 +64,8 @@ main()
         double fps = framesPerSec(spec, slots, threads, &frames);
         if (threads == 1)
             base = fps;
+        report.metric(strprintf("fps_u32_t%d", threads), fps,
+                      "frames/s");
         std::printf("%-8d %-10llu %-14.1f %-9.2f\n", threads,
                     static_cast<unsigned long long>(frames), fps,
                     base > 0.0 ? fps / base : 0.0);
@@ -69,14 +81,18 @@ main()
         bench::Stopwatch timer;
         sim::NetworkResult res = sim.run(slots, 4);
         double secs = timer.seconds();
+        double fps = secs > 0.0
+                         ? static_cast<double>(
+                               res.aggregate.framesSent) /
+                               secs
+                         : 0.0;
+        report.metric(strprintf("fps_t4_u%d", users), fps,
+                      "frames/s");
         std::printf("%-8d %-10llu %-14.1f %-12.3f\n", users,
                     static_cast<unsigned long long>(
                         res.aggregate.framesSent),
-                    secs > 0.0 ? static_cast<double>(
-                                     res.aggregate.framesSent) /
-                                     secs
-                               : 0.0,
-                    res.aggregateGoodputMbps());
+                    fps, res.aggregateGoodputMbps());
     }
+    report.writeIfRequested(json_path);
     return 0;
 }

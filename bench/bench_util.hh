@@ -2,7 +2,11 @@
  * @file
  * Shared helpers for the bench binaries: workload scaling via the
  * WILIS_BENCH_SCALE environment variable (default 1.0; raise it on
- * faster machines to tighten the statistics) and wall-clock timing.
+ * faster machines to tighten the statistics), wall-clock timing, and
+ * machine-readable result export -- every bench accepts
+ * `--json <path>` and writes its headline numbers as a JSON report
+ * the CI perf-regression harness (tools/check_bench_regression.py)
+ * consumes and tracks across PRs.
  */
 
 #ifndef WILIS_BENCH_BENCH_UTIL_HH
@@ -13,6 +17,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace wilis {
 namespace bench {
@@ -64,6 +70,124 @@ banner(const std::string &title)
 {
     std::printf("\n=== %s ===\n", title.c_str());
 }
+
+/**
+ * Extract the `--json <path>` (or `--json=<path>`) argument.
+ * @return the path, or "" when the flag is absent.
+ */
+inline std::string
+jsonPathFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc)
+            return argv[i + 1];
+        if (arg.rfind("--json=", 0) == 0)
+            return arg.substr(7);
+    }
+    return "";
+}
+
+/**
+ * Machine-readable bench report. Collect metrics while the bench
+ * runs, then write() once at the end:
+ *
+ *     { "bench": "...", "meta": {"k": "v", ...},
+ *       "metrics": [ {"name": "...", "value": 1.5,
+ *                     "unit": "Mb/s", "higher_is_better": true},
+ *                    ... ] }
+ *
+ * Metric names are the regression-check contract: keep them stable
+ * across PRs so the trajectory stays comparable, and only record
+ * numbers whose regressions are meaningful (throughputs, speedups).
+ */
+class JsonReport
+{
+  public:
+    explicit JsonReport(std::string bench_name)
+        : bench(std::move(bench_name))
+    {}
+
+    /** Attach a context string (backend, scale, host...). */
+    void
+    meta(const std::string &key, const std::string &value)
+    {
+        metas.emplace_back(key, value);
+    }
+
+    /** Record one numeric result. */
+    void
+    metric(const std::string &name, double value,
+           const std::string &unit, bool higher_is_better = true)
+    {
+        metrics.push_back({name, unit, value, higher_is_better});
+    }
+
+    /** Write the report; returns false (with a message) on failure. */
+    bool
+    write(const std::string &path) const
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write JSON report to %s\n",
+                         path.c_str());
+            return false;
+        }
+        std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"meta\": {",
+                     escape(bench).c_str());
+        for (size_t i = 0; i < metas.size(); ++i) {
+            std::fprintf(f, "%s\n    \"%s\": \"%s\"",
+                         i ? "," : "", escape(metas[i].first).c_str(),
+                         escape(metas[i].second).c_str());
+        }
+        std::fprintf(f, "\n  },\n  \"metrics\": [");
+        for (size_t i = 0; i < metrics.size(); ++i) {
+            const Metric &m = metrics[i];
+            std::fprintf(f,
+                         "%s\n    {\"name\": \"%s\", \"value\": %.6g,"
+                         " \"unit\": \"%s\","
+                         " \"higher_is_better\": %s}",
+                         i ? "," : "", escape(m.name).c_str(),
+                         m.value, escape(m.unit).c_str(),
+                         m.higherIsBetter ? "true" : "false");
+        }
+        std::fprintf(f, "\n  ]\n}\n");
+        std::fclose(f);
+        std::printf("wrote JSON report: %s\n", path.c_str());
+        return true;
+    }
+
+    /** Write if @p path is non-empty (the --json plumbing). */
+    bool
+    writeIfRequested(const std::string &path) const
+    {
+        return path.empty() ? true : write(path);
+    }
+
+  private:
+    struct Metric {
+        std::string name;
+        std::string unit;
+        double value;
+        bool higherIsBetter;
+    };
+
+    static std::string
+    escape(const std::string &s)
+    {
+        std::string out;
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        return out;
+    }
+
+    std::string bench;
+    std::vector<std::pair<std::string, std::string>> metas;
+    std::vector<Metric> metrics;
+};
 
 } // namespace bench
 } // namespace wilis

@@ -13,8 +13,10 @@
 #include <benchmark/benchmark.h>
 
 #include "channel/awgn.hh"
+#include "common/kernels.hh"
 #include "common/random.hh"
 #include "decode/soft_decoder.hh"
+#include "decode/trellis_kernels.hh"
 #include "phy/conv_code.hh"
 #include "phy/demapper.hh"
 #include "phy/fft.hh"
@@ -170,6 +172,130 @@ BM_FullPipeline(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 1704);
 }
 BENCHMARK(BM_FullPipeline);
+
+// ---- SIMD kernel layer: per-backend microbenches. Arg(0) indexes
+// kernels::availableBackends(), so unsupported backends simply don't
+// register on a given host.
+
+bool
+selectBackendArg(benchmark::State &state)
+{
+    auto avail = kernels::availableBackends();
+    auto idx = static_cast<size_t>(state.range(0));
+    if (idx >= avail.size()) {
+        state.SkipWithError("backend unavailable");
+        return false;
+    }
+    kernels::setBackend(avail[idx]);
+    state.SetLabel(kernels::backendName(avail[idx]));
+    return true;
+}
+
+void
+BM_KernelAcsForward(benchmark::State &state)
+{
+    if (!selectBackendArg(state))
+        return;
+    const auto &tv = decode::TrellisTables::view();
+    SplitMix64 rng(21);
+    std::int32_t pm[decode::kStates];
+    std::int32_t pm_next[decode::kStates];
+    for (auto &x : pm)
+        x = static_cast<std::int32_t>(rng.nextBelow(1 << 20));
+    std::int32_t bm[4] = {-24, 3, -3, 24};
+    std::uint64_t choices = 0;
+    for (auto _ : state) {
+        kernels::ops().acsForward(tv, pm, bm, pm_next, &choices,
+                                  nullptr);
+        benchmark::DoNotOptimize(pm_next);
+        benchmark::DoNotOptimize(choices);
+    }
+    state.SetItemsProcessed(state.iterations() * decode::kStates);
+}
+BENCHMARK(BM_KernelAcsForward)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_KernelAcsForwardI16(benchmark::State &state)
+{
+    if (!selectBackendArg(state))
+        return;
+    const auto &tv = decode::TrellisTables::view();
+    SplitMix64 rng(22);
+    std::int16_t pm[decode::kStates];
+    std::int16_t pm_next[decode::kStates];
+    for (auto &x : pm)
+        x = static_cast<std::int16_t>(rng.next());
+    std::int16_t bm[4] = {-24, 3, -3, 24};
+    std::uint64_t choices = 0;
+    for (auto _ : state) {
+        kernels::ops().acsForwardI16(tv, pm, bm, pm_next, &choices);
+        benchmark::DoNotOptimize(pm_next);
+        benchmark::DoNotOptimize(choices);
+    }
+    state.SetItemsProcessed(state.iterations() * decode::kStates);
+}
+BENCHMARK(BM_KernelAcsForwardI16)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_KernelDemapBatch(benchmark::State &state)
+{
+    if (!selectBackendArg(state))
+        return;
+    Demapper dm(Modulation::QAM64);
+    SplitMix64 rng(23);
+    const size_t n = 48; // one OFDM symbol of data carriers
+    SampleVec ys(n);
+    for (auto &y : ys)
+        y = Sample(rng.nextDouble() * 2.0 - 1.0,
+                   rng.nextDouble() * 2.0 - 1.0);
+    SoftVec out(n * 6);
+    for (auto _ : state) {
+        dm.demapBatch(ys.data(), nullptr, n, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n * 6));
+}
+BENCHMARK(BM_KernelDemapBatch)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_KernelScaleComplex(benchmark::State &state)
+{
+    if (!selectBackendArg(state))
+        return;
+    SplitMix64 rng(24);
+    SampleVec buf(1 << 12);
+    for (auto &s : buf)
+        s = Sample(rng.nextDouble(), rng.nextDouble());
+    const Sample h(0.83, -0.42);
+    for (auto _ : state) {
+        kernels::ops().scaleComplex(buf.data(), buf.size(), h);
+        benchmark::DoNotOptimize(buf.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_KernelScaleComplex)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_KernelAxpyF32(benchmark::State &state)
+{
+    if (!selectBackendArg(state))
+        return;
+    SplitMix64 rng(25);
+    std::vector<float> x(1 << 14), y(1 << 14);
+    for (size_t i = 0; i < x.size(); ++i) {
+        x[i] = static_cast<float>(rng.nextDouble());
+        y[i] = static_cast<float>(rng.nextDouble());
+    }
+    for (auto _ : state) {
+        kernels::ops().axpyF32(y.data(), x.data(), y.size(), 0.5f);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(y.size()));
+}
+BENCHMARK(BM_KernelAxpyF32)->Arg(0)->Arg(1)->Arg(2);
 
 } // namespace
 

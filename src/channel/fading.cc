@@ -1,8 +1,10 @@
 #include "channel/fading.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
+#include "common/kernels.hh"
 #include "common/logging.hh"
 #include "phy/ofdm_symbol.hh"
 
@@ -81,12 +83,20 @@ RayleighChannel::gain(std::uint64_t packet_index,
 void
 RayleighChannel::apply(SampleSpan samples, std::uint64_t packet_index)
 {
-    // Flat fading: scale each OFDM symbol by its gain, then add
-    // white noise at the configured level.
-    const int sym_len = phy::OfdmGeometry::kSymbolLen;
-    for (size_t i = 0; i < samples.size(); ++i) {
-        int symbol = static_cast<int>(i / static_cast<size_t>(sym_len));
-        samples[i] *= gain(packet_index, symbol);
+    // Flat fading: scale each OFDM symbol by its gain (one kernel
+    // call per symbol run), then add white noise at the configured
+    // level.
+    const size_t sym_len =
+        static_cast<size_t>(phy::OfdmGeometry::kSymbolLen);
+    size_t i = 0;
+    while (i < samples.size()) {
+        const size_t symbol = i / sym_len;
+        const size_t run =
+            std::min((symbol + 1) * sym_len, samples.size()) - i;
+        kernels::ops().scaleComplex(
+            samples.data() + i, run,
+            gain(packet_index, static_cast<int>(symbol)));
+        i += run;
     }
     awgn.apply(samples, packet_index);
 }
@@ -214,9 +224,10 @@ void
 Ar1FadingChannel::apply(SampleSpan samples,
                         std::uint64_t packet_index)
 {
-    const Sample h = gainAt(packet_index);
-    for (size_t i = 0; i < samples.size(); ++i)
-        samples[i] *= h;
+    // Block fading: one gain for the whole frame, applied through
+    // the SIMD kernel layer.
+    kernels::ops().scaleComplex(samples.data(), samples.size(),
+                                gainAt(packet_index));
     awgn.apply(samples, packet_index);
 }
 

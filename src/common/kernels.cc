@@ -1,0 +1,197 @@
+#include "common/kernels.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/cpu_features.hh"
+#include "common/logging.hh"
+
+namespace wilis {
+namespace kernels {
+
+namespace detail {
+const Ops *opsScalar();
+const Ops *opsSse42();
+const Ops *opsAvx2();
+} // namespace detail
+
+namespace {
+
+const Ops *
+tableFor(Backend b)
+{
+    switch (b) {
+      case Backend::Scalar:
+        return detail::opsScalar();
+      case Backend::Sse42:
+        return detail::opsSse42();
+      case Backend::Avx2:
+        return detail::opsAvx2();
+    }
+    return nullptr;
+}
+
+bool
+hostSupports(Backend b)
+{
+    switch (b) {
+      case Backend::Scalar:
+        return true;
+      case Backend::Sse42:
+        return cpu::hasSse42();
+      case Backend::Avx2:
+        return cpu::hasAvx2();
+    }
+    return false;
+}
+
+Backend
+widestSupported()
+{
+    if (backendSupported(Backend::Avx2))
+        return Backend::Avx2;
+    if (backendSupported(Backend::Sse42))
+        return Backend::Sse42;
+    return Backend::Scalar;
+}
+
+std::atomic<const Ops *> g_active{nullptr};
+
+/**
+ * Resolve the initial table: WILIS_KERNEL_BACKEND if set (unknown
+ * names are fatal so typos in CI configs can't silently measure the
+ * wrong thing; a known but unsupported backend warns and falls
+ * back), else the widest backend the host executes.
+ */
+const Ops *
+initialTable()
+{
+    Backend chosen = widestSupported();
+    const char *env = std::getenv("WILIS_KERNEL_BACKEND");
+    if (env && *env) {
+        Backend requested;
+        if (!parseBackend(env, &requested)) {
+            // "auto" (or empty) keeps the widest-supported default.
+        } else if (!backendSupported(requested)) {
+            wilis_warn("WILIS_KERNEL_BACKEND=%s unsupported on this "
+                      "host (%s); using %s",
+                      env, cpu::featureString().c_str(),
+                      backendName(chosen));
+        } else {
+            chosen = requested;
+        }
+    }
+    return tableFor(chosen);
+}
+
+const Ops *
+activeTable()
+{
+    const Ops *t = g_active.load(std::memory_order_acquire);
+    if (t)
+        return t;
+    static std::mutex init_mutex;
+    std::lock_guard<std::mutex> lock(init_mutex);
+    t = g_active.load(std::memory_order_acquire);
+    if (!t) {
+        t = initialTable();
+        g_active.store(t, std::memory_order_release);
+    }
+    return t;
+}
+
+} // namespace
+
+const char *
+backendName(Backend b)
+{
+    switch (b) {
+      case Backend::Scalar:
+        return "scalar";
+      case Backend::Sse42:
+        return "sse4.2";
+      case Backend::Avx2:
+        return "avx2";
+    }
+    return "?";
+}
+
+bool
+parseBackend(const std::string &name, Backend *out)
+{
+    if (name == "scalar")
+        *out = Backend::Scalar;
+    else if (name == "sse4.2" || name == "sse42")
+        *out = Backend::Sse42;
+    else if (name == "avx2")
+        *out = Backend::Avx2;
+    else if (name == "auto" || name.empty())
+        return false;
+    else
+        wilis_fatal("unknown kernel backend '%s' "
+                    "(auto|scalar|sse4.2|avx2)",
+                    name.c_str());
+    return true;
+}
+
+const Ops &
+ops()
+{
+    return *activeTable();
+}
+
+Backend
+activeBackend()
+{
+    return ops().backend;
+}
+
+bool
+backendSupported(Backend b)
+{
+    return tableFor(b) != nullptr && hostSupports(b);
+}
+
+std::vector<Backend>
+availableBackends()
+{
+    std::vector<Backend> v;
+    for (Backend b :
+         {Backend::Scalar, Backend::Sse42, Backend::Avx2}) {
+        if (backendSupported(b))
+            v.push_back(b);
+    }
+    return v;
+}
+
+bool
+setBackend(Backend b)
+{
+    if (!backendSupported(b))
+        return false;
+    g_active.store(tableFor(b), std::memory_order_release);
+    return true;
+}
+
+Backend
+applyPolicy(const KernelPolicy &policy)
+{
+    const char *env = std::getenv("WILIS_KERNEL_BACKEND");
+    if (env && *env)
+        return activeBackend(); // the environment pins the backend
+    Backend requested;
+    if (!parseBackend(policy.backend, &requested))
+        return activeBackend(); // "auto": keep the current table
+    if (!setBackend(requested)) {
+        wilis_warn("kernel backend '%s' unsupported on this host "
+                  "(%s); keeping %s",
+                  policy.backend.c_str(),
+                  cpu::featureString().c_str(),
+                  backendName(activeBackend()));
+    }
+    return activeBackend();
+}
+
+} // namespace kernels
+} // namespace wilis

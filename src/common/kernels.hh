@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernel registry for the PHY/decoder hot
+ * paths.
+ *
+ * The three hottest inner loops of the simulator -- soft-LLR
+ * demapping, the trellis add-compare-select sweep shared by
+ * Viterbi/SOVA/BCJR, and the per-sample complex channel arithmetic --
+ * are expressed once against the portable packed-vector layer in
+ * common/simd.hh and compiled three times: scalar, SSE4.2 and AVX2
+ * (kernels_scalar.cc / kernels_sse42.cc / kernels_avx2.cc). At
+ * startup the dispatcher picks the widest backend the host supports
+ * (CPUID via common/cpu_features.hh); tests, benches and scenario
+ * specs can force a backend through WILIS_KERNEL_BACKEND or a
+ * KernelPolicy.
+ *
+ * Numerical-equivalence policy: every backend is BIT-EXACT with the
+ * scalar reference. Integer kernels use identical i32 arithmetic;
+ * floating kernels use only IEEE-exact f64 operations (add, sub, mul,
+ * div, abs, min, max, round-to-nearest) in the same order as the
+ * scalar code, and never fuse into FMA. Backend selection therefore
+ * changes simulation *speed* only, never simulation *physics* --
+ * pinned by tests/test_simd_kernels.cc on randomized inputs and by
+ * the rate x channel grid. The layer also exposes packed f32/i16 ops
+ * (e.g. the saturating i16 ACS prototype below); those trade
+ * precision for width and are benchmarked but deliberately not wired
+ * into the decode path.
+ */
+
+#ifndef WILIS_COMMON_KERNELS_HH
+#define WILIS_COMMON_KERNELS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace wilis {
+namespace kernels {
+
+/** Kernel backend identifiers, in increasing vector width. */
+enum class Backend { Scalar = 0, Sse42 = 1, Avx2 = 2 };
+
+/** Registry name of a backend ("scalar", "sse4.2", "avx2"). */
+const char *backendName(Backend b);
+
+/**
+ * Parse a backend name ("scalar", "sse4.2"/"sse42", "avx2"). "auto"
+ * and "" return no value (meaning: best supported).
+ */
+bool parseBackend(const std::string &name, Backend *out);
+
+/**
+ * Per-scenario kernel selection, threaded through sim::ScenarioSpec /
+ * sim::NetworkSpec so sweeps can A/B backends from configuration
+ * alone. "auto" keeps the process-wide default (the widest supported
+ * backend, or whatever WILIS_KERNEL_BACKEND forced).
+ */
+struct KernelPolicy {
+    /** Requested backend name: "auto", "scalar", "sse4.2", "avx2". */
+    std::string backend = "auto";
+};
+
+/**
+ * Trellis structure handed to the ACS kernels as flat i32 arrays (one
+ * entry per state, SIMD-friendly). The vector backends additionally
+ * rely on the butterfly layout of a shift-register code --
+ * pred0[s] = 2*(s % (n/2)), pred1[s] = pred0[s] + 1,
+ * next0[s] = s / 2, next1[s] = n/2 + s / 2 -- which
+ * decode/trellis_kernels.cc asserts once when building the view.
+ */
+struct TrellisView {
+    /** Number of states (a multiple of the widest vector width). */
+    int nStates;
+    /** Predecessor state of arrival state s via choice 0 / 1. */
+    const std::int32_t *pred0;
+    const std::int32_t *pred1;
+    /** Branch-metric index (0..3) of the reverse transition 0 / 1. */
+    const std::int32_t *revOut0;
+    const std::int32_t *revOut1;
+    /** Forward next state for input 0 / 1. */
+    const std::int32_t *next0;
+    const std::int32_t *next1;
+    /** Branch-metric index (0..3) of the forward transition 0 / 1. */
+    const std::int32_t *fwdOut0;
+    const std::int32_t *fwdOut1;
+    /** i16 copies of revOut0/revOut1 for the narrow ACS prototype. */
+    const std::int16_t *revOut0_16;
+    const std::int16_t *revOut1_16;
+};
+
+/** Modulation kind for the batched demapper (matches phy::Modulation). */
+enum : int {
+    kDemapBpsk = 0,
+    kDemapQpsk = 1,
+    kDemapQam16 = 2,
+    kDemapQam64 = 3,
+};
+
+/**
+ * One backend's kernel table. All entries are non-null; the scalar
+ * table is the semantic reference for every function.
+ */
+struct Ops {
+    /** Which backend this table implements. */
+    Backend backend;
+    /** Registry name, e.g. "avx2". */
+    const char *name;
+
+    /**
+     * Forward add-compare-select over all states: pm_out[s] =
+     * max over b of (pm_in[pred_b[s]] + bm[revOut_b[s]]), recording
+     * the winning choice bit per state in @p choices and, when
+     * @p delta is non-null, the |winner - loser| margin per state.
+     */
+    void (*acsForward)(const TrellisView &tv,
+                       const std::int32_t *pm_in,
+                       const std::int32_t bm[4], std::int32_t *pm_out,
+                       std::uint64_t *choices, std::int32_t *delta);
+
+    /**
+     * Backward path-metric step: beta_out[s] = max over x of
+     * (bm[fwdOut_x[s]] + beta_next[next_x[s]]).
+     */
+    void (*acsBackward)(const TrellisView &tv,
+                        const std::int32_t *beta_next,
+                        const std::int32_t bm[4],
+                        std::int32_t *beta_out);
+
+    /**
+     * Max-log BCJR decision unit for one step: best_x =
+     * max over s of (alpha[s] + bm[fwdOut_x[s]] + beta[next_x[s]]).
+     */
+    void (*bcjrDecision)(const TrellisView &tv,
+                         const std::int32_t *alpha,
+                         const std::int32_t bm[4],
+                         const std::int32_t *beta,
+                         std::int32_t *best0, std::int32_t *best1);
+
+    /**
+     * Subtract the maximum from every metric; entries at or below
+     * @p floor_threshold are pinned to @p floor_value instead.
+     */
+    void (*normalizeMetrics)(std::int32_t *pm, int n,
+                             std::int32_t floor_threshold,
+                             std::int32_t floor_value);
+
+    /** Index of the first maximum element. */
+    int (*bestState)(const std::int32_t *pm, int n);
+
+    /**
+     * Batched soft demap of @p n equalized symbols: per symbol the
+     * Tosato-Bisaglia axis metrics of @p mod_kind (kDemap*), scaled
+     * by @p scale then the per-symbol weight (null = 1.0), quantized
+     * to @p soft_width bits with @p full_scale mapped to the
+     * positive rail. Writes bitsPerSubcarrier() values per symbol,
+     * symbol-major, to @p out.
+     */
+    void (*demapBatch)(int mod_kind, const Sample *ys,
+                       const double *weights, size_t n, double scale,
+                       int soft_width, double full_scale,
+                       SoftBit *out);
+
+    /** In-place complex scale: s[i] *= h (flat-fading application). */
+    void (*scaleComplex)(Sample *s, size_t n, Sample h);
+
+    /**
+     * Noise injection: s[i] += sigma * (gauss[2i] + j*gauss[2i+1])
+     * for @p n complex samples (gauss holds 2n unit deviates).
+     */
+    void (*axpyNoise)(Sample *s, size_t n, double sigma,
+                      const double *gauss);
+
+    /**
+     * Prototype saturating i16 ACS (the narrow path-metric variant
+     * the hardware uses). NOT bit-compatible with the i32 decode
+     * path -- exposed for benchmarking the extra vector width and
+     * pinned scalar<->SIMD-exact by tests, but not dispatched from
+     * the decoders (see the numerical-equivalence policy above).
+     */
+    void (*acsForwardI16)(const TrellisView &tv,
+                          const std::int16_t *pm_in,
+                          const std::int16_t bm[4],
+                          std::int16_t *pm_out,
+                          std::uint64_t *choices);
+
+    /**
+     * Packed f32 axpy, y[i] += a * x[i]: the layer's f32 contract
+     * (mul + add, no FMA), bit-exact across backends.
+     */
+    void (*axpyF32)(float *y, const float *x, size_t n, float a);
+};
+
+/**
+ * The active kernel table. First use resolves WILIS_KERNEL_BACKEND
+ * (unknown names are fatal; a known but unsupported backend warns and
+ * falls back) and defaults to the widest host-supported backend.
+ */
+const Ops &ops();
+
+/** Backend of the active table. */
+Backend activeBackend();
+
+/** True if @p b is compiled in and executable on this host. */
+bool backendSupported(Backend b);
+
+/** All backends executable on this host, narrowest first. */
+std::vector<Backend> availableBackends();
+
+/**
+ * Switch the active table. Returns false (and leaves the table
+ * unchanged) if the backend is unsupported on this host. Not safe
+ * to call while worker threads are mid-kernel; switch between runs.
+ */
+bool setBackend(Backend b);
+
+/**
+ * Apply a scenario's KernelPolicy: "auto" keeps the current table,
+ * anything else selects that backend. WILIS_KERNEL_BACKEND, when
+ * set, wins over per-scenario policies so CI can force a backend
+ * globally. Unknown names are fatal; unsupported ones warn and keep
+ * the current table. Returns the backend active afterwards.
+ *
+ * The table is process-global: a non-"auto" policy affects every
+ * harness in the process, so A/B comparisons must run one backend
+ * at a time (see ScenarioSpec::kernel), and backend-comparison
+ * benches/tests select tables explicitly via setBackend() instead.
+ */
+Backend applyPolicy(const KernelPolicy &policy);
+
+} // namespace kernels
+} // namespace wilis
+
+#endif // WILIS_COMMON_KERNELS_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * AVX2 instantiation of the kernel layer (4 f64 / 8 i32 lanes).
+ * CMake compiles this file with -mavx2 on x86; elsewhere the backend
+ * reports itself unavailable and dispatch falls back. No FMA flags:
+ * the kernels must not contract multiply-add chains, or they would
+ * drift from the scalar reference.
+ */
+
+#if defined(__AVX2__)
+#define WILIS_SIMD_LEVEL 2
+#endif
+#include "common/kernels_impl.hh"
+
+namespace wilis {
+namespace kernels {
+namespace detail {
+
+const Ops *
+opsAvx2()
+{
+#if defined(__AVX2__)
+    return &simd_avx2::kOps;
+#else
+    return nullptr;
+#endif
+}
+
+} // namespace detail
+} // namespace kernels
+} // namespace wilis

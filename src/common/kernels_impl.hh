@@ -1,0 +1,427 @@
+/**
+ * @file
+ * Kernel bodies of the runtime-dispatched SIMD layer, written ONCE
+ * against the portable packed types in common/simd.hh and compiled
+ * three times by kernels_scalar.cc / kernels_sse42.cc /
+ * kernels_avx2.cc (each defines WILIS_SIMD_LEVEL and is built with
+ * the matching -m flags). The level-1 instantiation of every loop IS
+ * the scalar reference: there is no separate "reference
+ * implementation" to drift from.
+ *
+ * Bit-exactness discipline (see the policy note in kernels.hh):
+ *  - integer kernels use the same i32 arithmetic at every level;
+ *  - f64 kernels use only IEEE-exact ops in the same order as the
+ *    scalar expressions they replace (demapper axis metrics, complex
+ *    multiply as mul/mul/sub + mul/mul/add, quantization as
+ *    div -> mul -> round-to-nearest -> clamp);
+ *  - vector tails fall back to scalar expressions that are textually
+ *    identical to the lane computation.
+ *
+ * The ACS kernels additionally rely on the shift-register butterfly
+ * asserted by decode/trellis_kernels.cc:
+ *   pred0[s] = 2*(s % (n/2)),  pred1[s] = pred0[s] + 1,
+ *   next0[s] = s / 2,          next1[s] = n/2 + s / 2.
+ */
+
+#ifndef WILIS_COMMON_KERNELS_IMPL_HH
+#define WILIS_COMMON_KERNELS_IMPL_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/kernels.hh"
+#include "common/simd.hh"
+
+namespace wilis {
+namespace kernels {
+namespace WILIS_SIMD_NS {
+
+using simd::WILIS_SIMD_NS::VecF32;
+using simd::WILIS_SIMD_NS::VecF64;
+using simd::WILIS_SIMD_NS::VecI16;
+using simd::WILIS_SIMD_NS::VecI32;
+
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using u64 = std::uint64_t;
+
+// ---------------------------------------------------------- trellis
+
+inline void
+acsForwardKernel(const TrellisView &tv, const i32 *pm_in,
+                 const i32 bm[4], i32 *pm_out, u64 *choices,
+                 i32 *delta)
+{
+    const int n = tv.nStates;
+    const int half = n / 2;
+    constexpr int L = VecI32::kLanes;
+    u64 ch = 0;
+    for (int s = 0; s < n; s += L) {
+        const int base = 2 * (s & (half - 1));
+        VecI32 m0 = VecI32::loadEven(pm_in + base) +
+                    VecI32::lookup4(bm, VecI32::load(tv.revOut0 + s));
+        VecI32 m1 = VecI32::loadOdd(pm_in + base) +
+                    VecI32::lookup4(bm, VecI32::load(tv.revOut1 + s));
+        VecI32 mask = VecI32::gtMask(m1, m0);
+        VecI32::blend(m0, m1, mask).store(pm_out + s);
+        ch |= static_cast<u64>(mask.moveMask()) << s;
+        if (delta)
+            VecI32::abs(m1 - m0).store(delta + s);
+    }
+    *choices = ch;
+}
+
+inline void
+acsBackwardKernel(const TrellisView &tv, const i32 *beta_next,
+                  const i32 bm[4], i32 *beta_out)
+{
+    const int n = tv.nStates;
+    const int half = n / 2;
+    constexpr int L = VecI32::kLanes;
+    for (int s = 0; s < n; s += L) {
+        VecI32 m0 =
+            VecI32::loadHalfDup(beta_next + s / 2) +
+            VecI32::lookup4(bm, VecI32::load(tv.fwdOut0 + s));
+        VecI32 m1 =
+            VecI32::loadHalfDup(beta_next + half + s / 2) +
+            VecI32::lookup4(bm, VecI32::load(tv.fwdOut1 + s));
+        VecI32::max(m0, m1).store(beta_out + s);
+    }
+}
+
+inline void
+bcjrDecisionKernel(const TrellisView &tv, const i32 *alpha,
+                   const i32 bm[4], const i32 *beta, i32 *best0,
+                   i32 *best1)
+{
+    const int n = tv.nStates;
+    const int half = n / 2;
+    constexpr int L = VecI32::kLanes;
+    VecI32 acc0 = VecI32::broadcast(*best0);
+    VecI32 acc1 = VecI32::broadcast(*best1);
+    for (int s = 0; s < n; s += L) {
+        VecI32 a = VecI32::load(alpha + s);
+        VecI32 c0 =
+            a + VecI32::lookup4(bm, VecI32::load(tv.fwdOut0 + s)) +
+            VecI32::loadHalfDup(beta + s / 2);
+        VecI32 c1 =
+            a + VecI32::lookup4(bm, VecI32::load(tv.fwdOut1 + s)) +
+            VecI32::loadHalfDup(beta + half + s / 2);
+        acc0 = VecI32::max(acc0, c0);
+        acc1 = VecI32::max(acc1, c1);
+    }
+    *best0 = acc0.reduceMax();
+    *best1 = acc1.reduceMax();
+}
+
+inline void
+normalizeMetricsKernel(i32 *pm, int n, i32 floor_threshold,
+                       i32 floor_value)
+{
+    constexpr int L = VecI32::kLanes;
+    VecI32 mv = VecI32::load(pm);
+    for (int s = L; s < n; s += L)
+        mv = VecI32::max(mv, VecI32::load(pm + s));
+    const VecI32 vmx = VecI32::broadcast(mv.reduceMax());
+    const VecI32 thr = VecI32::broadcast(floor_threshold);
+    const VecI32 fl = VecI32::broadcast(floor_value);
+    for (int s = 0; s < n; s += L) {
+        VecI32 p = VecI32::load(pm + s);
+        // Keep impossible states pinned at the floor.
+        VecI32 mask = VecI32::gtMask(p, thr);
+        VecI32::blend(fl, p - vmx, mask).store(pm + s);
+    }
+}
+
+inline int
+bestStateKernel(const i32 *pm, int n)
+{
+    constexpr int L = VecI32::kLanes;
+    VecI32 mv = VecI32::load(pm);
+    for (int s = L; s < n; s += L)
+        mv = VecI32::max(mv, VecI32::load(pm + s));
+    const i32 mx = mv.reduceMax();
+    for (int s = 0; s < n; ++s) {
+        if (pm[s] == mx)
+            return s;
+    }
+    return 0;
+}
+
+inline void
+acsForwardI16Kernel(const TrellisView &tv, const i16 *pm_in,
+                    const i16 bm[4], i16 *pm_out, u64 *choices)
+{
+    const int n = tv.nStates;
+    const int half = n / 2;
+    constexpr int L = VecI16::kLanes;
+    u64 ch = 0;
+    for (int s = 0; s < n; s += L) {
+        const int base = 2 * (s & (half - 1));
+        VecI16 m0 = VecI16::adds(
+            VecI16::loadEven(pm_in + base),
+            VecI16::lookup4(bm, VecI16::load(tv.revOut0_16 + s)));
+        VecI16 m1 = VecI16::adds(
+            VecI16::loadOdd(pm_in + base),
+            VecI16::lookup4(bm, VecI16::load(tv.revOut1_16 + s)));
+        VecI16 mask = VecI16::gtMask(m1, m0);
+        VecI16::blend(m0, m1, mask).store(pm_out + s);
+        ch |= static_cast<u64>(mask.moveMask()) << s;
+    }
+    *choices = ch;
+}
+
+// --------------------------------------------------------- demapper
+
+/**
+ * Quantize lanes of real metrics: x / full_scale * max_code, round
+ * to nearest even, clamp -- the vector form of common/fixed_point.hh
+ * quantize().
+ */
+inline VecF64
+quantizeLanes(VecF64 x, VecF64 full_scale, VecF64 max_code,
+              VecF64 min_code)
+{
+    VecF64 r = VecF64::roundNearest(x / full_scale * max_code);
+    return VecF64::max(VecF64::min(r, max_code), min_code);
+}
+
+/** Scalar tail twin of quantizeLanes (same expressions, one lane). */
+inline i32
+quantizeOne(double x, double full_scale, double max_code,
+            double min_code)
+{
+    double r = std::nearbyint(x / full_scale * max_code);
+    if (r > max_code)
+        return static_cast<i32>(max_code);
+    if (r < min_code)
+        return static_cast<i32>(min_code);
+    return static_cast<i32>(r);
+}
+
+inline void
+demapBatchKernel(int mod_kind, const Sample *ys,
+                 const double *weights, size_t n, double scale,
+                 int soft_width, double full_scale, SoftBit *out)
+{
+    const double *yd = reinterpret_cast<const double *>(ys);
+    const double max_code_d =
+        static_cast<double>((1 << (soft_width - 1)) - 1);
+    const double min_code_d =
+        static_cast<double>(-(1 << (soft_width - 1)));
+    constexpr int L = VecF64::kLanes;
+    const VecF64 vfs = VecF64::broadcast(full_scale);
+    const VecF64 vmax = VecF64::broadcast(max_code_d);
+    const VecF64 vmin = VecF64::broadcast(min_code_d);
+    const VecF64 vscale = VecF64::broadcast(scale);
+    const VecF64 vone = VecF64::broadcast(1.0);
+
+    auto weight = [&](size_t i) {
+        return weights ? VecF64::load(weights + i) : vone;
+    };
+    auto q = [&](VecF64 metric, VecF64 w) {
+        return quantizeLanes((vscale * metric) * w, vfs, vmax, vmin);
+    };
+    auto qs = [&](double metric, double w) {
+        return quantizeOne((scale * metric) * w, full_scale,
+                           max_code_d, min_code_d);
+    };
+
+    size_t i = 0;
+    switch (mod_kind) {
+      case kDemapBpsk: {
+        for (; i + L <= n; i += L) {
+            i32 tmp[L];
+            q(VecF64::loadEven(yd + 2 * i), weight(i)).storeAsI32(tmp);
+            for (int l = 0; l < L; ++l)
+                out[i + l] = tmp[l];
+        }
+        for (; i < n; ++i) {
+            double w = weights ? weights[i] : 1.0;
+            out[i] = qs(yd[2 * i], w);
+        }
+        return;
+      }
+      case kDemapQpsk: {
+        for (; i + L <= n; i += L) {
+            VecF64 w = weight(i);
+            i32 tre[L], tim[L];
+            q(VecF64::loadEven(yd + 2 * i), w).storeAsI32(tre);
+            q(VecF64::loadOdd(yd + 2 * i), w).storeAsI32(tim);
+            for (int l = 0; l < L; ++l) {
+                out[2 * (i + l)] = tre[l];
+                out[2 * (i + l) + 1] = tim[l];
+            }
+        }
+        for (; i < n; ++i) {
+            double w = weights ? weights[i] : 1.0;
+            out[2 * i] = qs(yd[2 * i], w);
+            out[2 * i + 1] = qs(yd[2 * i + 1], w);
+        }
+        return;
+      }
+      case kDemapQam16: {
+        const double k = 1.0 / std::sqrt(10.0);
+        const double c2 = 2.0 * k;
+        const VecF64 vc2 = VecF64::broadcast(c2);
+        for (; i + L <= n; i += L) {
+            VecF64 w = weight(i);
+            VecF64 re = VecF64::loadEven(yd + 2 * i);
+            VecF64 im = VecF64::loadOdd(yd + 2 * i);
+            i32 t[4][L];
+            q(re, w).storeAsI32(t[0]);
+            q(vc2 - VecF64::abs(re), w).storeAsI32(t[1]);
+            q(im, w).storeAsI32(t[2]);
+            q(vc2 - VecF64::abs(im), w).storeAsI32(t[3]);
+            for (int l = 0; l < L; ++l) {
+                SoftBit *o = out + 4 * (i + l);
+                o[0] = t[0][l];
+                o[1] = t[1][l];
+                o[2] = t[2][l];
+                o[3] = t[3][l];
+            }
+        }
+        for (; i < n; ++i) {
+            double w = weights ? weights[i] : 1.0;
+            double re = yd[2 * i];
+            double im = yd[2 * i + 1];
+            SoftBit *o = out + 4 * i;
+            o[0] = qs(re, w);
+            o[1] = qs(c2 - std::abs(re), w);
+            o[2] = qs(im, w);
+            o[3] = qs(c2 - std::abs(im), w);
+        }
+        return;
+      }
+      case kDemapQam64: {
+        const double k = 1.0 / std::sqrt(42.0);
+        const double c4 = 4.0 * k;
+        const double c2 = 2.0 * k;
+        const VecF64 vc4 = VecF64::broadcast(c4);
+        const VecF64 vc2 = VecF64::broadcast(c2);
+        for (; i + L <= n; i += L) {
+            VecF64 w = weight(i);
+            VecF64 re = VecF64::loadEven(yd + 2 * i);
+            VecF64 im = VecF64::loadOdd(yd + 2 * i);
+            VecF64 are = VecF64::abs(re);
+            VecF64 aim = VecF64::abs(im);
+            i32 t[6][L];
+            q(re, w).storeAsI32(t[0]);
+            q(vc4 - are, w).storeAsI32(t[1]);
+            q(vc2 - VecF64::abs(are - vc4), w).storeAsI32(t[2]);
+            q(im, w).storeAsI32(t[3]);
+            q(vc4 - aim, w).storeAsI32(t[4]);
+            q(vc2 - VecF64::abs(aim - vc4), w).storeAsI32(t[5]);
+            for (int l = 0; l < L; ++l) {
+                SoftBit *o = out + 6 * (i + l);
+                for (int b = 0; b < 6; ++b)
+                    o[b] = t[b][l];
+            }
+        }
+        for (; i < n; ++i) {
+            double w = weights ? weights[i] : 1.0;
+            double re = yd[2 * i];
+            double im = yd[2 * i + 1];
+            SoftBit *o = out + 6 * i;
+            o[0] = qs(re, w);
+            o[1] = qs(c4 - std::abs(re), w);
+            o[2] = qs(c2 - std::abs(std::abs(re) - c4), w);
+            o[3] = qs(im, w);
+            o[4] = qs(c4 - std::abs(im), w);
+            o[5] = qs(c2 - std::abs(std::abs(im) - c4), w);
+        }
+        return;
+      }
+    }
+}
+
+// ---------------------------------------------------------- channel
+
+inline void
+scaleComplexKernel(Sample *s, size_t n, Sample h)
+{
+    const double hr = h.real();
+    const double hi = h.imag();
+    constexpr int L = VecF64::kLanes;
+    double *d = reinterpret_cast<double *>(s);
+    const size_t total = 2 * n;
+    size_t i = 0;
+    if (L > 1) {
+        // (re, im) pairs in lanes: a = v*hr, b = swap(v)*hi,
+        // addsub -> (re*hr - im*hi, im*hr + re*hi), the exact
+        // product/sum set of the scalar complex multiply.
+        const VecF64 vhr = VecF64::broadcast(hr);
+        const VecF64 vhi = VecF64::broadcast(hi);
+        for (; i + L <= total; i += L) {
+            VecF64 v = VecF64::load(d + i);
+            VecF64::addsub(v * vhr, v.swapPairs() * vhi)
+                .store(d + i);
+        }
+    }
+    for (; i < total; i += 2) {
+        double re = d[i];
+        double im = d[i + 1];
+        d[i] = re * hr - im * hi;
+        d[i + 1] = im * hr + re * hi;
+    }
+}
+
+inline void
+axpyNoiseKernel(Sample *s, size_t n, double sigma,
+                const double *gauss)
+{
+    constexpr int L = VecF64::kLanes;
+    double *d = reinterpret_cast<double *>(s);
+    const size_t total = 2 * n;
+    const VecF64 vsig = VecF64::broadcast(sigma);
+    size_t i = 0;
+    for (; i + L <= total; i += L) {
+        (VecF64::load(d + i) + vsig * VecF64::load(gauss + i))
+            .store(d + i);
+    }
+    for (; i < total; ++i)
+        d[i] = d[i] + sigma * gauss[i];
+}
+
+inline void
+axpyF32Kernel(float *y, const float *x, size_t n, float a)
+{
+    constexpr int L = VecF32::kLanes;
+    const VecF32 va = VecF32::broadcast(a);
+    size_t i = 0;
+    for (; i + L <= n; i += L)
+        (VecF32::load(y + i) + va * VecF32::load(x + i)).store(y + i);
+    for (; i < n; ++i)
+        y[i] = y[i] + a * x[i];
+}
+
+// -------------------------------------------------------- the table
+
+#if WILIS_SIMD_LEVEL == 2
+inline constexpr Backend kBackend = Backend::Avx2;
+#elif WILIS_SIMD_LEVEL == 1
+inline constexpr Backend kBackend = Backend::Sse42;
+#else
+inline constexpr Backend kBackend = Backend::Scalar;
+#endif
+
+inline const Ops kOps = {
+    kBackend,
+    simd::WILIS_SIMD_NS::kLevelName,
+    &acsForwardKernel,
+    &acsBackwardKernel,
+    &bcjrDecisionKernel,
+    &normalizeMetricsKernel,
+    &bestStateKernel,
+    &demapBatchKernel,
+    &scaleComplexKernel,
+    &axpyNoiseKernel,
+    &acsForwardI16Kernel,
+    &axpyF32Kernel,
+};
+
+} // namespace WILIS_SIMD_NS
+} // namespace kernels
+} // namespace wilis
+
+#endif // WILIS_COMMON_KERNELS_IMPL_HH

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Scalar instantiation of the kernel layer: the bit-exactness
+ * reference every vector backend is held to. Compiled for the
+ * baseline target with no vector flags.
+ */
+
+#define WILIS_SIMD_LEVEL 0
+#include "common/kernels_impl.hh"
+
+namespace wilis {
+namespace kernels {
+namespace detail {
+
+const Ops *
+opsScalar()
+{
+    return &simd_scalar::kOps;
+}
+
+} // namespace detail
+} // namespace kernels
+} // namespace wilis

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * SSE4.2 instantiation of the kernel layer (2 f64 / 4 i32 lanes).
+ * CMake compiles this file with -msse4.2 on x86; elsewhere the
+ * backend reports itself unavailable and dispatch falls back.
+ */
+
+#if defined(__SSE4_2__)
+#define WILIS_SIMD_LEVEL 1
+#endif
+#include "common/kernels_impl.hh"
+
+namespace wilis {
+namespace kernels {
+namespace detail {
+
+const Ops *
+opsSse42()
+{
+#if defined(__SSE4_2__)
+    return &simd_sse42::kOps;
+#else
+    return nullptr;
+#endif
+}
+
+} // namespace detail
+} // namespace kernels
+} // namespace wilis

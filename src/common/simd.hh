@@ -1,0 +1,687 @@
+/**
+ * @file
+ * Portable packed-vector layer under the runtime-dispatched kernels
+ * (common/kernels.hh). One set of small wrapper types -- VecF64,
+ * VecF32, VecI32, VecI16 -- is compiled per backend level:
+ *
+ *   WILIS_SIMD_LEVEL 0  scalar reference   (1 f64 / 1 i32 lane)
+ *   WILIS_SIMD_LEVEL 1  SSE4.2             (2 f64 / 4 i32 lanes)
+ *   WILIS_SIMD_LEVEL 2  AVX2               (4 f64 / 8 i32 lanes)
+ *
+ * Each backend translation unit defines WILIS_SIMD_LEVEL before
+ * including this header (and is compiled with the matching -m
+ * flags); the types land in a level-specific namespace
+ * (simd::simd_scalar / simd::simd_sse42 / simd::simd_avx2) so the
+ * three instantiations never collide across translation units.
+ *
+ * Every operation here is IEEE-exact (add, sub, mul, div, abs, min,
+ * max, round-to-nearest-even, integer arithmetic), which is what
+ * makes the kernel layer's bit-exactness guarantee possible: a
+ * kernel written against these wrappers computes identical bits at
+ * every level. No FMA contraction is ever emitted -- products and
+ * sums stay separate instructions, matching the scalar code compiled
+ * for the baseline target.
+ */
+
+#ifndef WILIS_COMMON_SIMD_HH
+#define WILIS_COMMON_SIMD_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#ifndef WILIS_SIMD_LEVEL
+#define WILIS_SIMD_LEVEL 0
+#endif
+
+#if WILIS_SIMD_LEVEL >= 1
+#if !defined(__SSE4_2__)
+#error "WILIS_SIMD_LEVEL >= 1 requires -msse4.2"
+#endif
+#include <immintrin.h>
+#endif
+#if WILIS_SIMD_LEVEL >= 2 && !defined(__AVX2__)
+#error "WILIS_SIMD_LEVEL == 2 requires -mavx2"
+#endif
+
+#if WILIS_SIMD_LEVEL == 2
+#define WILIS_SIMD_NS simd_avx2
+#elif WILIS_SIMD_LEVEL == 1
+#define WILIS_SIMD_NS simd_sse42
+#else
+#define WILIS_SIMD_NS simd_scalar
+#endif
+
+namespace wilis {
+namespace simd {
+namespace WILIS_SIMD_NS {
+
+/** Human-readable name of this compilation level. */
+#if WILIS_SIMD_LEVEL == 2
+inline constexpr const char *kLevelName = "avx2";
+#elif WILIS_SIMD_LEVEL == 1
+inline constexpr const char *kLevelName = "sse4.2";
+#else
+inline constexpr const char *kLevelName = "scalar";
+#endif
+
+// ------------------------------------------------------------- VecF64
+
+/** Packed f64 lanes (1 / 2 / 4 by level). */
+struct VecF64 {
+#if WILIS_SIMD_LEVEL == 2
+    static constexpr int kLanes = 4;
+    __m256d v;
+
+    static VecF64 load(const double *p) { return {_mm256_loadu_pd(p)}; }
+    static VecF64 broadcast(double x) { return {_mm256_set1_pd(x)}; }
+    void store(double *p) const { _mm256_storeu_pd(p, v); }
+
+    /** Lane i <- p[2i] (e.g. real parts of interleaved complexes). */
+    static VecF64
+    loadEven(const double *p)
+    {
+        __m256d a = _mm256_loadu_pd(p);
+        __m256d b = _mm256_loadu_pd(p + 4);
+        return {_mm256_permute4x64_pd(_mm256_unpacklo_pd(a, b),
+                                      _MM_SHUFFLE(3, 1, 2, 0))};
+    }
+
+    /** Lane i <- p[2i + 1]. */
+    static VecF64
+    loadOdd(const double *p)
+    {
+        __m256d a = _mm256_loadu_pd(p);
+        __m256d b = _mm256_loadu_pd(p + 4);
+        return {_mm256_permute4x64_pd(_mm256_unpackhi_pd(a, b),
+                                      _MM_SHUFFLE(3, 1, 2, 0))};
+    }
+
+    friend VecF64 operator+(VecF64 a, VecF64 b) { return {_mm256_add_pd(a.v, b.v)}; }
+    friend VecF64 operator-(VecF64 a, VecF64 b) { return {_mm256_sub_pd(a.v, b.v)}; }
+    friend VecF64 operator*(VecF64 a, VecF64 b) { return {_mm256_mul_pd(a.v, b.v)}; }
+    friend VecF64 operator/(VecF64 a, VecF64 b) { return {_mm256_div_pd(a.v, b.v)}; }
+
+    static VecF64
+    abs(VecF64 a)
+    {
+        return {_mm256_andnot_pd(_mm256_set1_pd(-0.0), a.v)};
+    }
+    static VecF64 min(VecF64 a, VecF64 b) { return {_mm256_min_pd(a.v, b.v)}; }
+    static VecF64 max(VecF64 a, VecF64 b) { return {_mm256_max_pd(a.v, b.v)}; }
+    /** Round to nearest even (matches std::nearbyint defaults). */
+    static VecF64
+    roundNearest(VecF64 a)
+    {
+        return {_mm256_round_pd(
+            a.v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC)};
+    }
+
+    /** Swap adjacent lanes: (0,1,2,3) -> (1,0,3,2). */
+    VecF64 swapPairs() const { return {_mm256_permute_pd(v, 0x5)}; }
+    /** Lane i: even i -> a[i] - b[i], odd i -> a[i] + b[i]. */
+    static VecF64
+    addsub(VecF64 a, VecF64 b)
+    {
+        return {_mm256_addsub_pd(a.v, b.v)};
+    }
+
+    /** Convert integral-valued lanes to i32 and store. */
+    void
+    storeAsI32(std::int32_t *p) const
+    {
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(p),
+                         _mm256_cvtpd_epi32(v));
+    }
+#elif WILIS_SIMD_LEVEL == 1
+    static constexpr int kLanes = 2;
+    __m128d v;
+
+    static VecF64 load(const double *p) { return {_mm_loadu_pd(p)}; }
+    static VecF64 broadcast(double x) { return {_mm_set1_pd(x)}; }
+    void store(double *p) const { _mm_storeu_pd(p, v); }
+
+    static VecF64
+    loadEven(const double *p)
+    {
+        __m128d a = _mm_loadu_pd(p);
+        __m128d b = _mm_loadu_pd(p + 2);
+        return {_mm_shuffle_pd(a, b, 0x0)};
+    }
+    static VecF64
+    loadOdd(const double *p)
+    {
+        __m128d a = _mm_loadu_pd(p);
+        __m128d b = _mm_loadu_pd(p + 2);
+        return {_mm_shuffle_pd(a, b, 0x3)};
+    }
+
+    friend VecF64 operator+(VecF64 a, VecF64 b) { return {_mm_add_pd(a.v, b.v)}; }
+    friend VecF64 operator-(VecF64 a, VecF64 b) { return {_mm_sub_pd(a.v, b.v)}; }
+    friend VecF64 operator*(VecF64 a, VecF64 b) { return {_mm_mul_pd(a.v, b.v)}; }
+    friend VecF64 operator/(VecF64 a, VecF64 b) { return {_mm_div_pd(a.v, b.v)}; }
+
+    static VecF64
+    abs(VecF64 a)
+    {
+        return {_mm_andnot_pd(_mm_set1_pd(-0.0), a.v)};
+    }
+    static VecF64 min(VecF64 a, VecF64 b) { return {_mm_min_pd(a.v, b.v)}; }
+    static VecF64 max(VecF64 a, VecF64 b) { return {_mm_max_pd(a.v, b.v)}; }
+    static VecF64
+    roundNearest(VecF64 a)
+    {
+        return {_mm_round_pd(
+            a.v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC)};
+    }
+
+    VecF64 swapPairs() const { return {_mm_shuffle_pd(v, v, 0x1)}; }
+    static VecF64
+    addsub(VecF64 a, VecF64 b)
+    {
+        return {_mm_addsub_pd(a.v, b.v)};
+    }
+
+    void
+    storeAsI32(std::int32_t *p) const
+    {
+        __m128i r = _mm_cvtpd_epi32(v);
+        std::memcpy(p, &r, 2 * sizeof(std::int32_t));
+    }
+#else
+    static constexpr int kLanes = 1;
+    double v;
+
+    static VecF64 load(const double *p) { return {*p}; }
+    static VecF64 broadcast(double x) { return {x}; }
+    void store(double *p) const { *p = v; }
+    static VecF64 loadEven(const double *p) { return {p[0]}; }
+    static VecF64 loadOdd(const double *p) { return {p[1]}; }
+
+    friend VecF64 operator+(VecF64 a, VecF64 b) { return {a.v + b.v}; }
+    friend VecF64 operator-(VecF64 a, VecF64 b) { return {a.v - b.v}; }
+    friend VecF64 operator*(VecF64 a, VecF64 b) { return {a.v * b.v}; }
+    friend VecF64 operator/(VecF64 a, VecF64 b) { return {a.v / b.v}; }
+
+    static VecF64 abs(VecF64 a) { return {std::fabs(a.v)}; }
+    static VecF64 min(VecF64 a, VecF64 b) { return {std::fmin(a.v, b.v)}; }
+    static VecF64 max(VecF64 a, VecF64 b) { return {std::fmax(a.v, b.v)}; }
+    static VecF64 roundNearest(VecF64 a) { return {std::nearbyint(a.v)}; }
+
+    /** Degenerate single-lane stand-ins; the complex-pair kernels
+     *  branch to a dedicated scalar loop instead of using these. */
+    VecF64 swapPairs() const { return *this; }
+    static VecF64 addsub(VecF64 a, VecF64 b) { return {a.v - b.v}; }
+
+    void
+    storeAsI32(std::int32_t *p) const
+    {
+        *p = static_cast<std::int32_t>(v);
+    }
+#endif
+};
+
+// ------------------------------------------------------------- VecF32
+
+/** Packed f32 lanes (1 / 4 / 8 by level). */
+struct VecF32 {
+#if WILIS_SIMD_LEVEL == 2
+    static constexpr int kLanes = 8;
+    __m256 v;
+
+    static VecF32 load(const float *p) { return {_mm256_loadu_ps(p)}; }
+    static VecF32 broadcast(float x) { return {_mm256_set1_ps(x)}; }
+    void store(float *p) const { _mm256_storeu_ps(p, v); }
+
+    friend VecF32 operator+(VecF32 a, VecF32 b) { return {_mm256_add_ps(a.v, b.v)}; }
+    friend VecF32 operator-(VecF32 a, VecF32 b) { return {_mm256_sub_ps(a.v, b.v)}; }
+    friend VecF32 operator*(VecF32 a, VecF32 b) { return {_mm256_mul_ps(a.v, b.v)}; }
+
+    static VecF32
+    abs(VecF32 a)
+    {
+        return {_mm256_andnot_ps(_mm256_set1_ps(-0.0f), a.v)};
+    }
+    static VecF32 min(VecF32 a, VecF32 b) { return {_mm256_min_ps(a.v, b.v)}; }
+    static VecF32 max(VecF32 a, VecF32 b) { return {_mm256_max_ps(a.v, b.v)}; }
+#elif WILIS_SIMD_LEVEL == 1
+    static constexpr int kLanes = 4;
+    __m128 v;
+
+    static VecF32 load(const float *p) { return {_mm_loadu_ps(p)}; }
+    static VecF32 broadcast(float x) { return {_mm_set1_ps(x)}; }
+    void store(float *p) const { _mm_storeu_ps(p, v); }
+
+    friend VecF32 operator+(VecF32 a, VecF32 b) { return {_mm_add_ps(a.v, b.v)}; }
+    friend VecF32 operator-(VecF32 a, VecF32 b) { return {_mm_sub_ps(a.v, b.v)}; }
+    friend VecF32 operator*(VecF32 a, VecF32 b) { return {_mm_mul_ps(a.v, b.v)}; }
+
+    static VecF32
+    abs(VecF32 a)
+    {
+        return {_mm_andnot_ps(_mm_set1_ps(-0.0f), a.v)};
+    }
+    static VecF32 min(VecF32 a, VecF32 b) { return {_mm_min_ps(a.v, b.v)}; }
+    static VecF32 max(VecF32 a, VecF32 b) { return {_mm_max_ps(a.v, b.v)}; }
+#else
+    static constexpr int kLanes = 1;
+    float v;
+
+    static VecF32 load(const float *p) { return {*p}; }
+    static VecF32 broadcast(float x) { return {x}; }
+    void store(float *p) const { *p = v; }
+
+    friend VecF32 operator+(VecF32 a, VecF32 b) { return {a.v + b.v}; }
+    friend VecF32 operator-(VecF32 a, VecF32 b) { return {a.v - b.v}; }
+    friend VecF32 operator*(VecF32 a, VecF32 b) { return {a.v * b.v}; }
+
+    static VecF32 abs(VecF32 a) { return {std::fabs(a.v)}; }
+    static VecF32 min(VecF32 a, VecF32 b) { return {std::fmin(a.v, b.v)}; }
+    static VecF32 max(VecF32 a, VecF32 b) { return {std::fmax(a.v, b.v)}; }
+#endif
+};
+
+// ------------------------------------------------------------- VecI32
+
+/** Packed i32 lanes (1 / 4 / 8 by level). */
+struct VecI32 {
+#if WILIS_SIMD_LEVEL == 2
+    static constexpr int kLanes = 8;
+    __m256i v;
+
+    static VecI32
+    load(const std::int32_t *p)
+    {
+        return {_mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(p))};
+    }
+    static VecI32 broadcast(std::int32_t x) { return {_mm256_set1_epi32(x)}; }
+    void
+    store(std::int32_t *p) const
+    {
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(p), v);
+    }
+
+    /** Lane i <- p[2i]. */
+    static VecI32
+    loadEven(const std::int32_t *p)
+    {
+        const __m256i idx =
+            _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+        __m256i a = _mm256_permutevar8x32_epi32(load(p).v, idx);
+        __m256i b = _mm256_permutevar8x32_epi32(load(p + 8).v, idx);
+        return {_mm256_permute2x128_si256(a, b, 0x20)};
+    }
+    /** Lane i <- p[2i + 1]. */
+    static VecI32
+    loadOdd(const std::int32_t *p)
+    {
+        const __m256i idx =
+            _mm256_setr_epi32(1, 3, 5, 7, 0, 0, 0, 0);
+        __m256i a = _mm256_permutevar8x32_epi32(load(p).v, idx);
+        __m256i b = _mm256_permutevar8x32_epi32(load(p + 8).v, idx);
+        return {_mm256_permute2x128_si256(a, b, 0x20)};
+    }
+    /** Lane i <- p[i / 2] (reads kLanes/2 elements only). */
+    static VecI32
+    loadHalfDup(const std::int32_t *p)
+    {
+        __m128i x =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(p));
+        __m256i d = _mm256_inserti128_si256(
+            _mm256_castsi128_si256(x), x, 1);
+        const __m256i idx =
+            _mm256_setr_epi32(0, 0, 1, 1, 2, 2, 3, 3);
+        return {_mm256_permutevar8x32_epi32(d, idx)};
+    }
+    /** Lane i <- tbl[idx lane i], idx lanes in 0..3. */
+    static VecI32
+    lookup4(const std::int32_t tbl[4], VecI32 idx)
+    {
+        __m256i t = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(tbl)));
+        return {_mm256_permutevar8x32_epi32(t, idx.v)};
+    }
+
+    friend VecI32 operator+(VecI32 a, VecI32 b) { return {_mm256_add_epi32(a.v, b.v)}; }
+    friend VecI32 operator-(VecI32 a, VecI32 b) { return {_mm256_sub_epi32(a.v, b.v)}; }
+    static VecI32 max(VecI32 a, VecI32 b) { return {_mm256_max_epi32(a.v, b.v)}; }
+    static VecI32 abs(VecI32 a) { return {_mm256_abs_epi32(a.v)}; }
+
+    /** All-ones lanes where a > b. */
+    static VecI32
+    gtMask(VecI32 a, VecI32 b)
+    {
+        return {_mm256_cmpgt_epi32(a.v, b.v)};
+    }
+    /** mask lane all-ones -> b lane, else a lane. */
+    static VecI32
+    blend(VecI32 a, VecI32 b, VecI32 mask)
+    {
+        return {_mm256_blendv_epi8(a.v, b.v, mask.v)};
+    }
+    /** One bit per lane from a mask vector. */
+    unsigned
+    moveMask() const
+    {
+        return static_cast<unsigned>(
+            _mm256_movemask_ps(_mm256_castsi256_ps(v)));
+    }
+
+    std::int32_t
+    reduceMax() const
+    {
+        __m128i m = _mm_max_epi32(_mm256_castsi256_si128(v),
+                                  _mm256_extracti128_si256(v, 1));
+        m = _mm_max_epi32(m, _mm_shuffle_epi32(m, _MM_SHUFFLE(1, 0, 3, 2)));
+        m = _mm_max_epi32(m, _mm_shuffle_epi32(m, _MM_SHUFFLE(2, 3, 0, 1)));
+        return _mm_cvtsi128_si32(m);
+    }
+#elif WILIS_SIMD_LEVEL == 1
+    static constexpr int kLanes = 4;
+    __m128i v;
+
+    static VecI32
+    load(const std::int32_t *p)
+    {
+        return {_mm_loadu_si128(reinterpret_cast<const __m128i *>(p))};
+    }
+    static VecI32 broadcast(std::int32_t x) { return {_mm_set1_epi32(x)}; }
+    void
+    store(std::int32_t *p) const
+    {
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(p), v);
+    }
+
+    static VecI32
+    loadEven(const std::int32_t *p)
+    {
+        __m128 a = _mm_castsi128_ps(load(p).v);
+        __m128 b = _mm_castsi128_ps(load(p + 4).v);
+        return {_mm_castps_si128(
+            _mm_shuffle_ps(a, b, _MM_SHUFFLE(2, 0, 2, 0)))};
+    }
+    static VecI32
+    loadOdd(const std::int32_t *p)
+    {
+        __m128 a = _mm_castsi128_ps(load(p).v);
+        __m128 b = _mm_castsi128_ps(load(p + 4).v);
+        return {_mm_castps_si128(
+            _mm_shuffle_ps(a, b, _MM_SHUFFLE(3, 1, 3, 1)))};
+    }
+    static VecI32
+    loadHalfDup(const std::int32_t *p)
+    {
+        __m128i x =
+            _mm_loadl_epi64(reinterpret_cast<const __m128i *>(p));
+        return {_mm_shuffle_epi32(x, _MM_SHUFFLE(1, 1, 0, 0))};
+    }
+    static VecI32
+    lookup4(const std::int32_t tbl[4], VecI32 idx)
+    {
+        __m128i t =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(tbl));
+        // Per-lane byte control: 4*idx + {0,1,2,3}.
+        __m128i ctrl = _mm_add_epi8(
+            _mm_mullo_epi32(idx.v, _mm_set1_epi32(0x04040404)),
+            _mm_set1_epi32(0x03020100));
+        return {_mm_shuffle_epi8(t, ctrl)};
+    }
+
+    friend VecI32 operator+(VecI32 a, VecI32 b) { return {_mm_add_epi32(a.v, b.v)}; }
+    friend VecI32 operator-(VecI32 a, VecI32 b) { return {_mm_sub_epi32(a.v, b.v)}; }
+    static VecI32 max(VecI32 a, VecI32 b) { return {_mm_max_epi32(a.v, b.v)}; }
+    static VecI32 abs(VecI32 a) { return {_mm_abs_epi32(a.v)}; }
+
+    static VecI32
+    gtMask(VecI32 a, VecI32 b)
+    {
+        return {_mm_cmpgt_epi32(a.v, b.v)};
+    }
+    static VecI32
+    blend(VecI32 a, VecI32 b, VecI32 mask)
+    {
+        return {_mm_blendv_epi8(a.v, b.v, mask.v)};
+    }
+    unsigned
+    moveMask() const
+    {
+        return static_cast<unsigned>(
+            _mm_movemask_ps(_mm_castsi128_ps(v)));
+    }
+
+    std::int32_t
+    reduceMax() const
+    {
+        __m128i m = _mm_max_epi32(
+            v, _mm_shuffle_epi32(v, _MM_SHUFFLE(1, 0, 3, 2)));
+        m = _mm_max_epi32(m, _mm_shuffle_epi32(m, _MM_SHUFFLE(2, 3, 0, 1)));
+        return _mm_cvtsi128_si32(m);
+    }
+#else
+    static constexpr int kLanes = 1;
+    std::int32_t v;
+
+    static VecI32 load(const std::int32_t *p) { return {*p}; }
+    static VecI32 broadcast(std::int32_t x) { return {x}; }
+    void store(std::int32_t *p) const { *p = v; }
+    static VecI32 loadEven(const std::int32_t *p) { return {p[0]}; }
+    static VecI32 loadOdd(const std::int32_t *p) { return {p[1]}; }
+    static VecI32 loadHalfDup(const std::int32_t *p) { return {p[0]}; }
+    static VecI32
+    lookup4(const std::int32_t tbl[4], VecI32 idx)
+    {
+        return {tbl[idx.v]};
+    }
+
+    friend VecI32 operator+(VecI32 a, VecI32 b) { return {a.v + b.v}; }
+    friend VecI32 operator-(VecI32 a, VecI32 b) { return {a.v - b.v}; }
+    static VecI32 max(VecI32 a, VecI32 b) { return {std::max(a.v, b.v)}; }
+    static VecI32 abs(VecI32 a) { return {a.v < 0 ? -a.v : a.v}; }
+
+    static VecI32 gtMask(VecI32 a, VecI32 b) { return {a.v > b.v ? -1 : 0}; }
+    static VecI32
+    blend(VecI32 a, VecI32 b, VecI32 mask)
+    {
+        return {mask.v ? b.v : a.v};
+    }
+    unsigned moveMask() const { return v ? 1u : 0u; }
+    std::int32_t reduceMax() const { return v; }
+#endif
+};
+
+// ------------------------------------------------------------- VecI16
+
+/** Packed i16 lanes (1 / 8 / 16 by level) with saturating adds. */
+struct VecI16 {
+#if WILIS_SIMD_LEVEL == 2
+    static constexpr int kLanes = 16;
+    __m256i v;
+
+    static VecI16
+    load(const std::int16_t *p)
+    {
+        return {_mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(p))};
+    }
+    static VecI16 broadcast(std::int16_t x) { return {_mm256_set1_epi16(x)}; }
+    void
+    store(std::int16_t *p) const
+    {
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(p), v);
+    }
+
+    static VecI16
+    deinterleave(const std::int16_t *p, int phase)
+    {
+        // Gather p[2i + phase] for i = 0..15 (per 128-bit lane, then
+        // compact the qwords).
+        const __m256i ctrl =
+            phase == 0
+                ? _mm256_setr_epi8(0, 1, 4, 5, 8, 9, 12, 13, -1, -1,
+                                   -1, -1, -1, -1, -1, -1, 0, 1, 4, 5,
+                                   8, 9, 12, 13, -1, -1, -1, -1, -1,
+                                   -1, -1, -1)
+                : _mm256_setr_epi8(2, 3, 6, 7, 10, 11, 14, 15, -1, -1,
+                                   -1, -1, -1, -1, -1, -1, 2, 3, 6, 7,
+                                   10, 11, 14, 15, -1, -1, -1, -1, -1,
+                                   -1, -1, -1);
+        __m256i a = _mm256_shuffle_epi8(load(p).v, ctrl);
+        __m256i b = _mm256_shuffle_epi8(load(p + 16).v, ctrl);
+        __m256i qa = _mm256_permute4x64_epi64(a, _MM_SHUFFLE(3, 1, 2, 0));
+        __m256i qb = _mm256_permute4x64_epi64(b, _MM_SHUFFLE(3, 1, 2, 0));
+        return {_mm256_inserti128_si256(qa,
+                                        _mm256_castsi256_si128(qb), 1)};
+    }
+    static VecI16 loadEven(const std::int16_t *p) { return deinterleave(p, 0); }
+    static VecI16 loadOdd(const std::int16_t *p) { return deinterleave(p, 1); }
+
+    static VecI16
+    lookup4(const std::int16_t tbl[4], VecI16 idx)
+    {
+        std::int64_t t64;
+        std::memcpy(&t64, tbl, sizeof(t64));
+        __m256i t = _mm256_set1_epi64x(t64);
+        __m256i ctrl = _mm256_add_epi8(
+            _mm256_mullo_epi16(idx.v, _mm256_set1_epi16(0x0202)),
+            _mm256_set1_epi16(0x0100));
+        return {_mm256_shuffle_epi8(t, ctrl)};
+    }
+
+    /** Saturating add / subtract. */
+    static VecI16 adds(VecI16 a, VecI16 b) { return {_mm256_adds_epi16(a.v, b.v)}; }
+    static VecI16 subs(VecI16 a, VecI16 b) { return {_mm256_subs_epi16(a.v, b.v)}; }
+    static VecI16 max(VecI16 a, VecI16 b) { return {_mm256_max_epi16(a.v, b.v)}; }
+
+    static VecI16
+    gtMask(VecI16 a, VecI16 b)
+    {
+        return {_mm256_cmpgt_epi16(a.v, b.v)};
+    }
+    static VecI16
+    blend(VecI16 a, VecI16 b, VecI16 mask)
+    {
+        return {_mm256_blendv_epi8(a.v, b.v, mask.v)};
+    }
+    unsigned
+    moveMask() const
+    {
+        __m256i packed = _mm256_packs_epi16(v, _mm256_setzero_si256());
+        packed = _mm256_permute4x64_epi64(packed, _MM_SHUFFLE(3, 1, 2, 0));
+        return static_cast<unsigned>(_mm_movemask_epi8(
+                   _mm256_castsi256_si128(packed))) &
+               0xFFFFu;
+    }
+#elif WILIS_SIMD_LEVEL == 1
+    static constexpr int kLanes = 8;
+    __m128i v;
+
+    static VecI16
+    load(const std::int16_t *p)
+    {
+        return {_mm_loadu_si128(reinterpret_cast<const __m128i *>(p))};
+    }
+    static VecI16 broadcast(std::int16_t x) { return {_mm_set1_epi16(x)}; }
+    void
+    store(std::int16_t *p) const
+    {
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(p), v);
+    }
+
+    static VecI16
+    deinterleave(const std::int16_t *p, int phase)
+    {
+        const __m128i ctrl =
+            phase == 0
+                ? _mm_setr_epi8(0, 1, 4, 5, 8, 9, 12, 13, -1, -1, -1,
+                                -1, -1, -1, -1, -1)
+                : _mm_setr_epi8(2, 3, 6, 7, 10, 11, 14, 15, -1, -1,
+                                -1, -1, -1, -1, -1, -1);
+        __m128i a = _mm_shuffle_epi8(load(p).v, ctrl);
+        __m128i b = _mm_shuffle_epi8(load(p + 8).v, ctrl);
+        return {_mm_unpacklo_epi64(a, b)};
+    }
+    static VecI16 loadEven(const std::int16_t *p) { return deinterleave(p, 0); }
+    static VecI16 loadOdd(const std::int16_t *p) { return deinterleave(p, 1); }
+
+    static VecI16
+    lookup4(const std::int16_t tbl[4], VecI16 idx)
+    {
+        __m128i t =
+            _mm_loadl_epi64(reinterpret_cast<const __m128i *>(tbl));
+        __m128i ctrl = _mm_add_epi8(
+            _mm_mullo_epi16(idx.v, _mm_set1_epi16(0x0202)),
+            _mm_set1_epi16(0x0100));
+        return {_mm_shuffle_epi8(t, ctrl)};
+    }
+
+    static VecI16 adds(VecI16 a, VecI16 b) { return {_mm_adds_epi16(a.v, b.v)}; }
+    static VecI16 subs(VecI16 a, VecI16 b) { return {_mm_subs_epi16(a.v, b.v)}; }
+    static VecI16 max(VecI16 a, VecI16 b) { return {_mm_max_epi16(a.v, b.v)}; }
+
+    static VecI16
+    gtMask(VecI16 a, VecI16 b)
+    {
+        return {_mm_cmpgt_epi16(a.v, b.v)};
+    }
+    static VecI16
+    blend(VecI16 a, VecI16 b, VecI16 mask)
+    {
+        return {_mm_blendv_epi8(a.v, b.v, mask.v)};
+    }
+    unsigned
+    moveMask() const
+    {
+        __m128i packed = _mm_packs_epi16(v, _mm_setzero_si128());
+        return static_cast<unsigned>(_mm_movemask_epi8(packed)) &
+               0xFFu;
+    }
+#else
+    static constexpr int kLanes = 1;
+    std::int16_t v;
+
+    static VecI16 load(const std::int16_t *p) { return {*p}; }
+    static VecI16 broadcast(std::int16_t x) { return {x}; }
+    void store(std::int16_t *p) const { *p = v; }
+    static VecI16 loadEven(const std::int16_t *p) { return {p[0]}; }
+    static VecI16 loadOdd(const std::int16_t *p) { return {p[1]}; }
+    static VecI16
+    lookup4(const std::int16_t tbl[4], VecI16 idx)
+    {
+        return {tbl[idx.v]};
+    }
+
+    static VecI16
+    adds(VecI16 a, VecI16 b)
+    {
+        int s = static_cast<int>(a.v) + b.v;
+        return {static_cast<std::int16_t>(std::clamp(s, -32768, 32767))};
+    }
+    static VecI16
+    subs(VecI16 a, VecI16 b)
+    {
+        int s = static_cast<int>(a.v) - b.v;
+        return {static_cast<std::int16_t>(std::clamp(s, -32768, 32767))};
+    }
+    static VecI16 max(VecI16 a, VecI16 b) { return {std::max(a.v, b.v)}; }
+
+    static VecI16
+    gtMask(VecI16 a, VecI16 b)
+    {
+        return {static_cast<std::int16_t>(a.v > b.v ? -1 : 0)};
+    }
+    static VecI16
+    blend(VecI16 a, VecI16 b, VecI16 mask)
+    {
+        return {mask.v ? b.v : a.v};
+    }
+    unsigned moveMask() const { return v ? 1u : 0u; }
+#endif
+};
+
+} // namespace WILIS_SIMD_NS
+} // namespace simd
+} // namespace wilis
+
+#endif // WILIS_COMMON_SIMD_HH

@@ -37,7 +37,6 @@ void
 BcjrDecoder::decodeMaxLog(SoftView soft, std::span<SoftDecision> out)
 {
     const int steps = static_cast<int>(soft.size() / 2);
-    const TrellisTables &t = TrellisTables::get();
 
     // --- Forward PMU: alpha for every step boundary.
     std::vector<std::int32_t> &alpha = alpha_i;
@@ -100,14 +99,7 @@ BcjrDecoder::decodeMaxLog(SoftView soft, std::span<SoftDecision> out)
                 &alpha[static_cast<size_t>(j) * kStates];
             std::int32_t best1 = kMetricFloor;
             std::int32_t best0 = kMetricFloor;
-            for (int s = 0; s < kStates; ++s) {
-                std::int32_t c0 = a_j[s] + bm[t.fwdOut[s][0]] +
-                                  beta[t.fwdNext[s][0]];
-                std::int32_t c1 = a_j[s] + bm[t.fwdOut[s][1]] +
-                                  beta[t.fwdNext[s][1]];
-                best0 = std::max(best0, c0);
-                best1 = std::max(best1, c1);
-            }
+            bcjrDecision(a_j, bm, beta.data(), best0, best1);
             std::int32_t llr = best1 - best0;
             out[static_cast<size_t>(j)].bit = llr > 0 ? 1 : 0;
             out[static_cast<size_t>(j)].llr =

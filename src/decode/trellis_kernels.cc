@@ -1,6 +1,7 @@
 #include "decode/trellis_kernels.hh"
 
-#include <algorithm>
+#include "common/kernels.hh"
+#include "common/logging.hh"
 
 namespace wilis {
 namespace decode {
@@ -25,9 +26,55 @@ TrellisTables::get()
                     static_cast<std::uint8_t>(code.outputBits(s, x));
             }
         }
+
+        // Flat SIMD-friendly copies plus the butterfly-layout
+        // assertions the vector ACS kernels rely on (see
+        // common/kernels.hh): a shift-register code addresses
+        // predecessors as adjacent even/odd pairs and forward
+        // successors as half-offset duplicates.
+        Flat &f = t.flat;
+        for (int s = 0; s < kStates; ++s) {
+            f.pred0[s] = phy::ConvCode::predecessor(s, 0);
+            f.pred1[s] = phy::ConvCode::predecessor(s, 1);
+            f.revOut0[s] = t.revOut[s][0];
+            f.revOut1[s] = t.revOut[s][1];
+            f.next0[s] = t.fwdNext[s][0];
+            f.next1[s] = t.fwdNext[s][1];
+            f.fwdOut0[s] = t.fwdOut[s][0];
+            f.fwdOut1[s] = t.fwdOut[s][1];
+            f.revOut0_16[s] =
+                static_cast<std::int16_t>(t.revOut[s][0]);
+            f.revOut1_16[s] =
+                static_cast<std::int16_t>(t.revOut[s][1]);
+
+            wilis_assert(f.pred0[s] == 2 * (s % (kStates / 2)) &&
+                             f.pred1[s] == f.pred0[s] + 1,
+                         "state %d breaks the predecessor butterfly",
+                         s);
+            wilis_assert(f.next0[s] == s / 2 &&
+                             f.next1[s] == kStates / 2 + s / 2,
+                         "state %d breaks the successor butterfly",
+                         s);
+        }
         return t;
     }();
     return tables;
+}
+
+const kernels::TrellisView &
+TrellisTables::view()
+{
+    // Built against the final static storage of get() so the
+    // pointers stay valid for the process lifetime.
+    static const kernels::TrellisView v = [] {
+        const Flat &f = get().flat;
+        return kernels::TrellisView{
+            kStates,   f.pred0,      f.pred1,      f.revOut0,
+            f.revOut1, f.next0,      f.next1,      f.fwdOut0,
+            f.fwdOut1, f.revOut0_16, f.revOut1_16,
+        };
+    }();
+    return v;
 }
 
 void
@@ -35,64 +82,39 @@ acsForward(const std::int32_t pm_in[kStates], const std::int32_t bm[4],
            std::int32_t pm_out[kStates], std::uint64_t &choices,
            std::int32_t *delta)
 {
-    const TrellisTables &t = TrellisTables::get();
-    choices = 0;
-    for (int s = 0; s < kStates; ++s) {
-        int p0 = phy::ConvCode::predecessor(s, 0);
-        int p1 = phy::ConvCode::predecessor(s, 1);
-        std::int32_t m0 = pm_in[p0] + bm[t.revOut[s][0]];
-        std::int32_t m1 = pm_in[p1] + bm[t.revOut[s][1]];
-        if (m1 > m0) {
-            pm_out[s] = m1;
-            choices |= 1ull << s;
-            if (delta)
-                delta[s] = m1 - m0;
-        } else {
-            pm_out[s] = m0;
-            if (delta)
-                delta[s] = m0 - m1;
-        }
-    }
+    kernels::ops().acsForward(TrellisTables::view(), pm_in, bm,
+                              pm_out, &choices, delta);
 }
 
 void
 acsBackward(const std::int32_t beta_next[kStates],
             const std::int32_t bm[4], std::int32_t beta_out[kStates])
 {
-    const TrellisTables &t = TrellisTables::get();
-    for (int s = 0; s < kStates; ++s) {
-        std::int32_t m0 = beta_next[t.fwdNext[s][0]] +
-                          bm[t.fwdOut[s][0]];
-        std::int32_t m1 = beta_next[t.fwdNext[s][1]] +
-                          bm[t.fwdOut[s][1]];
-        beta_out[s] = std::max(m0, m1);
-    }
+    kernels::ops().acsBackward(TrellisTables::view(), beta_next, bm,
+                               beta_out);
+}
+
+void
+bcjrDecision(const std::int32_t alpha[kStates],
+             const std::int32_t bm[4],
+             const std::int32_t beta[kStates], std::int32_t &best0,
+             std::int32_t &best1)
+{
+    kernels::ops().bcjrDecision(TrellisTables::view(), alpha, bm,
+                                beta, &best0, &best1);
 }
 
 void
 normalizeMetrics(std::int32_t pm[kStates])
 {
-    std::int32_t mx = pm[0];
-    for (int s = 1; s < kStates; ++s)
-        mx = std::max(mx, pm[s]);
-    for (int s = 0; s < kStates; ++s) {
-        // Keep impossible states pinned at the floor.
-        if (pm[s] <= kMetricFloor / 2)
-            pm[s] = kMetricFloor;
-        else
-            pm[s] -= mx;
-    }
+    kernels::ops().normalizeMetrics(pm, kStates, kMetricFloor / 2,
+                                    kMetricFloor);
 }
 
 int
 bestState(const std::int32_t pm[kStates])
 {
-    int best = 0;
-    for (int s = 1; s < kStates; ++s) {
-        if (pm[s] > pm[best])
-            best = s;
-    }
-    return best;
+    return kernels::ops().bestState(pm, kStates);
 }
 
 } // namespace decode

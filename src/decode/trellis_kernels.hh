@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "common/kernels.hh"
 #include "common/types.hh"
 #include "phy/conv_code.hh"
 
@@ -40,8 +41,26 @@ struct TrellisTables {
     /** Forward view: 2-bit coded output for (state, input). */
     std::uint8_t fwdOut[kStates][2];
 
+    /**
+     * The same structure as flat i32/i16 arrays plus the
+     * kernels::TrellisView over them, the form the SIMD kernel
+     * backends consume (see common/kernels.hh). Building it asserts
+     * the shift-register butterfly layout the vector ACS relies on.
+     */
+    struct Flat {
+        std::int32_t pred0[kStates], pred1[kStates];
+        std::int32_t revOut0[kStates], revOut1[kStates];
+        std::int32_t next0[kStates], next1[kStates];
+        std::int32_t fwdOut0[kStates], fwdOut1[kStates];
+        std::int16_t revOut0_16[kStates], revOut1_16[kStates];
+    };
+    Flat flat;
+
     /** The process-wide tables. */
     static const TrellisTables &get();
+
+    /** The kernel-layer view of the process-wide tables. */
+    static const kernels::TrellisView &view();
 };
 
 /**
@@ -83,6 +102,17 @@ void acsForward(const std::int32_t pm_in[kStates],
 void acsBackward(const std::int32_t beta_next[kStates],
                  const std::int32_t bm[4],
                  std::int32_t beta_out[kStates]);
+
+/**
+ * Max-log BCJR decision unit for one trellis step: folds
+ * max(alpha[s] + bm[out(s,x)] + beta[next(s,x)]) over all states
+ * into @p best0 / @p best1 (per input hypothesis x), which the
+ * caller must pre-seed (typically with kMetricFloor).
+ */
+void bcjrDecision(const std::int32_t alpha[kStates],
+                  const std::int32_t bm[4],
+                  const std::int32_t beta[kStates],
+                  std::int32_t &best0, std::int32_t &best1);
 
 /** Subtract the maximum from @p pm so metrics stay bounded. */
 void normalizeMetrics(std::int32_t pm[kStates]);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/fixed_point.hh"
+#include "common/kernels.hh"
 #include "common/logging.hh"
 
 namespace wilis {
@@ -109,6 +110,17 @@ Demapper::demap(Sample y, SoftVec &out, double weight) const
     SoftBit soft[6];
     int n = demap(y, soft, weight);
     out.insert(out.end(), soft, soft + n);
+}
+
+void
+Demapper::demapBatch(const Sample *ys, const double *weights,
+                     size_t n, SoftBit *out) const
+{
+    // Modulation enumerators coincide with the kernel layer's
+    // kDemap* kinds.
+    kernels::ops().demapBatch(static_cast<int>(mod), ys, weights, n,
+                              scale, cfg.softWidth, cfg.fullScale,
+                              out);
 }
 
 SoftVec

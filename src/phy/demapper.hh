@@ -81,6 +81,18 @@ class Demapper
     int demap(Sample y, SoftBit *out, double weight) const;
 
     /**
+     * Batched demap of @p n equalized symbols (typically one OFDM
+     * symbol's data carriers) through the runtime-dispatched SIMD
+     * kernel layer: writes n * bitsPerSubcarrier() quantized soft
+     * values to @p out, symbol-major, bit-exactly equal to n calls
+     * of the per-symbol demap(). @p weights holds one confidence
+     * weight per symbol, or nullptr for the unweighted hardware
+     * path.
+     */
+    void demapBatch(const Sample *ys, const double *weights, size_t n,
+                    SoftBit *out) const;
+
+    /**
      * Demap one symbol into real-valued (unquantized) metrics,
      * appended to @p out. Used by calibration and tests.
      */

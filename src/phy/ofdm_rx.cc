@@ -89,7 +89,9 @@ OfdmReceiver::demodulate(SampleView samples, size_t payload_bits,
     SampleSpan body = arena.alloc<Sample>(OfdmGeometry::kFftSize);
     SoftSpan sym_soft = arena.alloc<SoftBit>(
         static_cast<size_t>(params.nCbps));
-    const int n_bpsc = params.nBpsc;
+    SampleSpan eq = arena.alloc<Sample>(OfdmGeometry::kDataCarriers);
+    std::span<double> csi_w =
+        arena.alloc<double>(OfdmGeometry::kDataCarriers);
     for (int s = 0; s < nsym; ++s) {
         const size_t base = static_cast<size_t>(s) *
                             OfdmGeometry::kSymbolLen;
@@ -98,15 +100,23 @@ OfdmReceiver::demodulate(SampleView samples, size_t payload_bits,
                            body);
         fft.forward(body);
 
+        // Equalize the data carriers, then soft-demap the whole
+        // symbol in one batched kernel call.
         for (int d = 0; d < OfdmGeometry::kDataCarriers; ++d) {
             int bin = OfdmGeometry::dataBin(d);
             Sample h = csi ? csi->binGain(packet_index, s, bin)
                            : Sample(1.0, 0.0);
-            Sample y = body[static_cast<size_t>(bin)] / h;
-            double w = cfg.applyCsiWeight ? std::abs(h) : 1.0;
-            demapper.demap(y, &sym_soft[static_cast<size_t>(
-                                  d * n_bpsc)], w);
+            eq[static_cast<size_t>(d)] =
+                body[static_cast<size_t>(bin)] / h;
+            if (cfg.applyCsiWeight)
+                csi_w[static_cast<size_t>(d)] = std::abs(h);
         }
+        demapper.demapBatch(eq.data(),
+                            cfg.applyCsiWeight ? csi_w.data()
+                                               : nullptr,
+                            static_cast<size_t>(
+                                OfdmGeometry::kDataCarriers),
+                            sym_soft.data());
         interleaver.deinterleave(
             sym_soft,
             soft_stream.subspan(static_cast<size_t>(s) *

@@ -2,6 +2,7 @@
 
 #include <deque>
 
+#include "common/kernels.hh"
 #include "common/logging.hh"
 #include "decode/soft_decoder.hh"
 #include "phy/conv_code.hh"
@@ -1052,7 +1053,9 @@ LiTransceiver::LiTransceiver(phy::RateIndex rate,
 LiTransceiver::LiTransceiver(const ScenarioSpec &spec)
     : LiTransceiver(spec.rate, spec.rx, spec.channel, spec.channelCfg,
                     spec.clocks)
-{}
+{
+    kernels::applyPolicy(spec.kernel);
+}
 
 LiTransceiver::~LiTransceiver() = default;
 

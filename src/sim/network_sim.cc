@@ -7,6 +7,7 @@
 
 #include "channel/fading.hh"
 #include "common/frame_arena.hh"
+#include "common/kernels.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/thread_pool.hh"
@@ -103,6 +104,7 @@ class WorkerPhyPool
 NetworkSim::NetworkSim(const NetworkSpec &spec)
     : spec_(spec), estimator(softphy::analyticRateEstimator(spec.link.rx))
 {
+    kernels::applyPolicy(spec_.link.kernel);
     wilis_assert(spec_.numUsers >= 1, "network needs >= 1 user");
     wilis_assert(spec_.link.rate >= 0 &&
                      spec_.link.rate < phy::kNumRates,

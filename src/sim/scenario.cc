@@ -42,6 +42,14 @@ ScenarioSpec::withPayloadBits(size_t bits) const
 }
 
 ScenarioSpec
+ScenarioSpec::withKernelBackend(const std::string &backend) const
+{
+    ScenarioSpec s = *this;
+    s.kernel.backend = backend;
+    return s;
+}
+
+ScenarioSpec
 ScenarioSpec::withChannelSeed(std::uint64_t seed) const
 {
     ScenarioSpec s = *this;
@@ -73,6 +81,7 @@ ScenarioSpec::testbench() const
     cfg.channel = channel;
     cfg.channelCfg = channelCfg;
     cfg.payloadSeed = payloadSeed;
+    cfg.kernel = kernel;
     return cfg;
 }
 
@@ -87,6 +96,7 @@ ScenarioSpec::fromTestbench(const TestbenchConfig &cfg,
     s.channelCfg = cfg.channelCfg;
     s.payloadSeed = cfg.payloadSeed;
     s.payloadBits = payload_bits;
+    s.kernel = cfg.kernel;
     return s;
 }
 
@@ -112,6 +122,7 @@ ScenarioSpec::applyConfig(const li::Config &cfg)
     clocks.decoderMhz =
         cfg.getDouble("decoder_mhz", clocks.decoderMhz);
     clocks.hostMhz = cfg.getDouble("host_mhz", clocks.hostMhz);
+    kernel.backend = cfg.getString("kernel_backend", kernel.backend);
 
     for (const auto &kv : cfg.entries()) {
         const std::string &key = kv.first;
@@ -150,6 +161,7 @@ ScenarioSpec::toConfig() const
     cfg.set("baseband_mhz", strprintf("%g", clocks.basebandMhz));
     cfg.set("decoder_mhz", strprintf("%g", clocks.decoderMhz));
     cfg.set("host_mhz", strprintf("%g", clocks.hostMhz));
+    cfg.set("kernel_backend", kernel.backend);
     for (const auto &kv : channelCfg.entries())
         cfg.set("channel." + kv.first, kv.second);
     for (const auto &kv : rx.decoderCfg.entries())
@@ -334,7 +346,9 @@ NetworkSpec::applyConfig(const li::Config &cfg)
         if (kv.first.rfind("link.", 0) == 0)
             link_cfg.set(kv.first.substr(5), kv.second);
         else if (kv.first == "rate" || kv.first == "snr_db" ||
-                 kv.first == "payload_bits" || kv.first == "decoder")
+                 kv.first == "payload_bits" ||
+                 kv.first == "decoder" ||
+                 kv.first == "kernel_backend")
             link_cfg.set(kv.first, kv.second);
     }
     link.applyConfig(link_cfg);

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/kernels.hh"
 #include "li/config.hh"
 #include "mac/arq.hh"
 #include "phy/ofdm_rx.hh"
@@ -65,10 +66,26 @@ struct ScenarioSpec {
     std::uint64_t payloadSeed = 0x5EED;
     /** LI clock-domain assignment. */
     ScenarioClocks clocks;
+    /**
+     * SIMD kernel backend for this scenario ("auto", "scalar",
+     * "sse4.2", "avx2"), so runs can A/B backends from
+     * configuration alone. Backends are bit-exact; this changes
+     * speed only. WILIS_KERNEL_BACKEND overrides it process-wide.
+     *
+     * Selection is PROCESS-GLOBAL (one dispatch table), applied
+     * when a harness is constructed: A/B backends sequentially --
+     * one backend per run -- not by mixing kernel_backend values
+     * across cells of one multi-threaded sweep, where the last
+     * constructed cell would silently win the timing attribution
+     * for all workers (results stay bit-identical either way).
+     */
+    kernels::KernelPolicy kernel;
 
     // ---- fluent copies for grid expansion ------------------------
     /** Copy with the rate replaced. */
     ScenarioSpec withRate(phy::RateIndex r) const;
+    /** Copy with the kernel backend replaced. */
+    ScenarioSpec withKernelBackend(const std::string &backend) const;
     /** Copy with the channel registry name replaced. */
     ScenarioSpec withChannel(const std::string &name) const;
     /** Copy with the channel "snr_db" parameter replaced. */
@@ -95,7 +112,8 @@ struct ScenarioSpec {
      * Overlay the keys present in @p cfg onto this spec (absent
      * keys keep their current values). Keys: rate, channel,
      * payload_bits, payload_seed, decoder, soft_width, csi_weight,
-     * scrambler_seed, baseband_mhz, decoder_mhz, host_mhz, name;
+     * scrambler_seed, baseband_mhz, decoder_mhz, host_mhz, name,
+     * kernel_backend;
      * "channel.<k>" and "decoder.<k>" pass <k> through to the
      * channel / decoder sub-configs; "snr_db" and "seed" are
      * forwarded to the channel as the common shorthand.
@@ -198,8 +216,8 @@ struct NetworkSpec {
      * frame_interval_us, arq (stopwait|selective), arq_window,
      * arq_max_attempts, ack_delay, pber_lo, pber_hi, net_seed;
      * "link.<k>" keys pass <k> through to the link template, and
-     * the common shorthands rate, snr_db, payload_bits and decoder
-     * are forwarded to it directly.
+     * the common shorthands rate, snr_db, payload_bits, decoder and
+     * kernel_backend are forwarded to it directly.
      */
     void applyConfig(const li::Config &cfg);
 

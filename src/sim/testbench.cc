@@ -8,6 +8,7 @@ namespace sim {
 
 Testbench::Testbench(const TestbenchConfig &cfg_) : cfg(cfg_)
 {
+    kernels::applyPolicy(cfg.kernel);
     tx_ = std::make_unique<phy::OfdmTransmitter>(
         cfg.rate, cfg.rx.scramblerSeed);
     rx_ = std::make_unique<phy::OfdmReceiver>(cfg.rate, cfg.rx);

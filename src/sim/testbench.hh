@@ -17,6 +17,7 @@
 
 #include "channel/channel.hh"
 #include "common/frame_arena.hh"
+#include "common/kernels.hh"
 #include "common/random.hh"
 #include "common/types.hh"
 #include "phy/ofdm_rx.hh"
@@ -39,6 +40,8 @@ struct TestbenchConfig {
     li::Config channelCfg;
     /** Seed for random payload generation. */
     std::uint64_t payloadSeed = 0x5EED;
+    /** SIMD kernel backend selection ("auto" = widest supported). */
+    kernels::KernelPolicy kernel;
 };
 
 /** One packet's worth of results. */

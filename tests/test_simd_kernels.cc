@@ -1,0 +1,433 @@
+/**
+ * @file
+ * Kernel-dispatch test suite: every SIMD backend available on the
+ * host must be BIT-EXACT with the scalar reference on randomized
+ * inputs for each kernel in the table (demapper LLRs, forward /
+ * backward ACS, the BCJR decision unit, metric normalization,
+ * channel complex scale and noise injection, and the prototype i16
+ * saturating ACS), and forcing the scalar backend must reproduce the
+ * full-pipeline results of the widest backend on a rate x channel
+ * grid -- the property that makes test_bitexact_grid's pins
+ * backend-independent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/cpu_features.hh"
+#include "common/kernels.hh"
+#include "common/random.hh"
+#include "decode/trellis_kernels.hh"
+#include "phy/demapper.hh"
+#include "sim/scenario.hh"
+#include "sim/testbench.hh"
+
+using namespace wilis;
+using kernels::Backend;
+using kernels::Ops;
+
+namespace {
+
+const Ops &
+tableOf(Backend b)
+{
+    EXPECT_TRUE(kernels::setBackend(b));
+    return kernels::ops();
+}
+
+/** Backends to verify against scalar (may be just {scalar}). */
+std::vector<Backend>
+vectorBackends()
+{
+    std::vector<Backend> v;
+    for (Backend b : kernels::availableBackends()) {
+        if (b != Backend::Scalar)
+            v.push_back(b);
+    }
+    return v;
+}
+
+std::vector<std::int32_t>
+randomMetrics(SplitMix64 &rng, size_t n, std::int32_t spread)
+{
+    std::vector<std::int32_t> v(n);
+    for (auto &x : v) {
+        x = static_cast<std::int32_t>(rng.nextBelow(
+                static_cast<std::uint64_t>(2 * spread))) -
+            spread;
+        // Sprinkle floor states like a real PMU sweep has.
+        if (rng.nextBelow(8) == 0)
+            x = decode::kMetricFloor;
+    }
+    return v;
+}
+
+} // namespace
+
+class SimdKernelTest : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        // Leave the process-wide table as the widest backend so test
+        // order cannot leak a forced scalar table into other suites.
+        kernels::setBackend(kernels::availableBackends().back());
+    }
+};
+
+TEST_F(SimdKernelTest, RegistryReportsHostBackends)
+{
+    auto avail = kernels::availableBackends();
+    ASSERT_FALSE(avail.empty());
+    EXPECT_EQ(avail.front(), Backend::Scalar);
+    for (Backend b : avail)
+        EXPECT_TRUE(kernels::backendSupported(b));
+    // Names round-trip through the parser.
+    for (Backend b : avail) {
+        Backend parsed;
+        ASSERT_TRUE(kernels::parseBackend(kernels::backendName(b),
+                                          &parsed));
+        EXPECT_EQ(parsed, b);
+    }
+    Backend ignored;
+    EXPECT_FALSE(kernels::parseBackend("auto", &ignored));
+    if (cpu::hasAvx2()) {
+        EXPECT_EQ(avail.back(), Backend::Avx2);
+    }
+}
+
+TEST_F(SimdKernelTest, AcsForwardMatchesScalar)
+{
+    const auto &tv = decode::TrellisTables::view();
+    SplitMix64 rng(0xAC51);
+    for (Backend b : vectorBackends()) {
+        const Ops &vec = tableOf(b);
+        const Ops &ref = tableOf(Backend::Scalar);
+        for (int round = 0; round < 200; ++round) {
+            auto pm = randomMetrics(rng, decode::kStates, 1 << 20);
+            std::int32_t bm[4];
+            for (auto &x : bm)
+                x = static_cast<std::int32_t>(rng.nextBelow(4096)) -
+                    2048;
+
+            std::int32_t out_ref[decode::kStates];
+            std::int32_t out_vec[decode::kStates];
+            std::int32_t d_ref[decode::kStates];
+            std::int32_t d_vec[decode::kStates];
+            std::uint64_t ch_ref = 0, ch_vec = 0;
+            bool want_delta = (round % 2) == 0;
+            ref.acsForward(tv, pm.data(), bm, out_ref, &ch_ref,
+                           want_delta ? d_ref : nullptr);
+            vec.acsForward(tv, pm.data(), bm, out_vec, &ch_vec,
+                           want_delta ? d_vec : nullptr);
+
+            ASSERT_EQ(ch_ref, ch_vec)
+                << kernels::backendName(b) << " round " << round;
+            ASSERT_EQ(0, std::memcmp(out_ref, out_vec,
+                                     sizeof(out_ref)))
+                << kernels::backendName(b) << " round " << round;
+            if (want_delta) {
+                ASSERT_EQ(0,
+                          std::memcmp(d_ref, d_vec, sizeof(d_ref)))
+                    << kernels::backendName(b) << " round " << round;
+            }
+        }
+    }
+}
+
+TEST_F(SimdKernelTest, AcsBackwardAndBcjrDecisionMatchScalar)
+{
+    const auto &tv = decode::TrellisTables::view();
+    SplitMix64 rng(0xBC38);
+    for (Backend b : vectorBackends()) {
+        const Ops &vec = tableOf(b);
+        const Ops &ref = tableOf(Backend::Scalar);
+        for (int round = 0; round < 200; ++round) {
+            auto beta = randomMetrics(rng, decode::kStates, 1 << 20);
+            auto alpha = randomMetrics(rng, decode::kStates, 1 << 20);
+            std::int32_t bm[4];
+            for (auto &x : bm)
+                x = static_cast<std::int32_t>(rng.nextBelow(4096)) -
+                    2048;
+
+            std::int32_t out_ref[decode::kStates];
+            std::int32_t out_vec[decode::kStates];
+            ref.acsBackward(tv, beta.data(), bm, out_ref);
+            vec.acsBackward(tv, beta.data(), bm, out_vec);
+            ASSERT_EQ(0, std::memcmp(out_ref, out_vec,
+                                     sizeof(out_ref)))
+                << kernels::backendName(b) << " round " << round;
+
+            std::int32_t b0r = decode::kMetricFloor;
+            std::int32_t b1r = decode::kMetricFloor;
+            std::int32_t b0v = decode::kMetricFloor;
+            std::int32_t b1v = decode::kMetricFloor;
+            ref.bcjrDecision(tv, alpha.data(), bm, beta.data(), &b0r,
+                             &b1r);
+            vec.bcjrDecision(tv, alpha.data(), bm, beta.data(), &b0v,
+                             &b1v);
+            ASSERT_EQ(b0r, b0v) << kernels::backendName(b);
+            ASSERT_EQ(b1r, b1v) << kernels::backendName(b);
+        }
+    }
+}
+
+TEST_F(SimdKernelTest, NormalizeAndBestStateMatchScalar)
+{
+    SplitMix64 rng(0x4049);
+    for (Backend b : vectorBackends()) {
+        const Ops &vec = tableOf(b);
+        const Ops &ref = tableOf(Backend::Scalar);
+        for (int round = 0; round < 200; ++round) {
+            auto pm = randomMetrics(rng, decode::kStates, 1 << 24);
+            auto pm_vec = pm;
+            ref.normalizeMetrics(pm.data(), decode::kStates,
+                                 decode::kMetricFloor / 2,
+                                 decode::kMetricFloor);
+            vec.normalizeMetrics(pm_vec.data(), decode::kStates,
+                                 decode::kMetricFloor / 2,
+                                 decode::kMetricFloor);
+            ASSERT_EQ(pm, pm_vec)
+                << kernels::backendName(b) << " round " << round;
+            ASSERT_EQ(ref.bestState(pm.data(), decode::kStates),
+                      vec.bestState(pm.data(), decode::kStates));
+        }
+        // Tie-breaking: first index of the maximum wins.
+        std::vector<std::int32_t> ties(decode::kStates, 7);
+        EXPECT_EQ(0, vec.bestState(ties.data(), decode::kStates));
+        ties[5] = 9;
+        ties[40] = 9;
+        EXPECT_EQ(5, vec.bestState(ties.data(), decode::kStates));
+    }
+}
+
+TEST_F(SimdKernelTest, AcsForwardI16MatchesScalar)
+{
+    const auto &tv = decode::TrellisTables::view();
+    SplitMix64 rng(0x116A);
+    for (Backend b : vectorBackends()) {
+        const Ops &vec = tableOf(b);
+        const Ops &ref = tableOf(Backend::Scalar);
+        for (int round = 0; round < 200; ++round) {
+            std::int16_t pm[decode::kStates];
+            for (auto &x : pm)
+                x = static_cast<std::int16_t>(rng.next());
+            std::int16_t bm[4];
+            for (auto &x : bm)
+                x = static_cast<std::int16_t>(rng.nextBelow(512)) -
+                    256;
+            std::int16_t out_ref[decode::kStates];
+            std::int16_t out_vec[decode::kStates];
+            std::uint64_t ch_ref = 0, ch_vec = 0;
+            ref.acsForwardI16(tv, pm, bm, out_ref, &ch_ref);
+            vec.acsForwardI16(tv, pm, bm, out_vec, &ch_vec);
+            ASSERT_EQ(ch_ref, ch_vec)
+                << kernels::backendName(b) << " round " << round;
+            ASSERT_EQ(0, std::memcmp(out_ref, out_vec,
+                                     sizeof(out_ref)))
+                << kernels::backendName(b) << " round " << round;
+        }
+    }
+}
+
+TEST_F(SimdKernelTest, DemapBatchMatchesScalarAndPerSymbolDemap)
+{
+    SplitMix64 rng(0xDE3A9);
+    for (int mod = 0; mod < 4; ++mod) {
+        auto m = static_cast<phy::Modulation>(mod);
+        phy::Demapper::Config dcfg;
+        dcfg.softWidth = 6;
+        phy::Demapper dm(m, dcfg);
+        const int bits = phy::bitsPerSubcarrier(m);
+
+        // Mixed magnitudes: in-range, saturating, and tiny.
+        const size_t n = 131; // deliberately not lane-aligned
+        SampleVec ys(n);
+        std::vector<double> ws(n);
+        for (size_t i = 0; i < n; ++i) {
+            double mag = (i % 3 == 0) ? 8.0 : 1.0;
+            ys[i] = Sample((rng.nextDouble() * 2.0 - 1.0) * mag,
+                           (rng.nextDouble() * 2.0 - 1.0) * mag);
+            ws[i] = 0.25 + rng.nextDouble();
+        }
+
+        const double *weight_sets[] = {nullptr, ws.data()};
+        for (const double *weights : weight_sets) {
+            // Reference: the per-symbol scalar demap the receiver
+            // used before batching.
+            SoftVec ref(n * static_cast<size_t>(bits));
+            kernels::setBackend(Backend::Scalar);
+            for (size_t i = 0; i < n; ++i) {
+                dm.demap(ys[i],
+                         &ref[i * static_cast<size_t>(bits)],
+                         weights ? weights[i] : 1.0);
+            }
+            for (Backend b : kernels::availableBackends()) {
+                kernels::setBackend(b);
+                SoftVec got(n * static_cast<size_t>(bits), -999);
+                dm.demapBatch(ys.data(), weights, n, got.data());
+                ASSERT_EQ(ref, got)
+                    << "mod " << mod << " backend "
+                    << kernels::backendName(b)
+                    << (weights ? " weighted" : " unweighted");
+            }
+        }
+    }
+}
+
+TEST_F(SimdKernelTest, ChannelKernelsMatchScalar)
+{
+    SplitMix64 rng(0xC4A2);
+    const size_t n = 203; // odd tail on purpose
+    SampleVec base(n);
+    std::vector<double> gauss(2 * n);
+    for (auto &s : base)
+        s = Sample(rng.nextDouble() * 2.0 - 1.0,
+                   rng.nextDouble() * 2.0 - 1.0);
+    for (auto &g : gauss)
+        g = rng.nextDouble() * 4.0 - 2.0;
+    const Sample h(0.7310529, -0.3912047);
+    const double sigma = 0.1638;
+
+    const Ops &ref = tableOf(Backend::Scalar);
+    SampleVec scaled_ref = base;
+    ref.scaleComplex(scaled_ref.data(), n, h);
+    SampleVec noisy_ref = base;
+    ref.axpyNoise(noisy_ref.data(), n, sigma, gauss.data());
+
+    // The scalar kernel must itself match the expression it
+    // replaced: samples[i] *= h via std::complex.
+    SampleVec direct = base;
+    for (auto &s : direct)
+        s *= h;
+    for (size_t i = 0; i < n; ++i)
+        ASSERT_EQ(direct[i], scaled_ref[i]) << "sample " << i;
+
+    for (Backend b : vectorBackends()) {
+        const Ops &vec = tableOf(b);
+        SampleVec scaled = base;
+        vec.scaleComplex(scaled.data(), n, h);
+        SampleVec noisy = base;
+        vec.axpyNoise(noisy.data(), n, sigma, gauss.data());
+        ASSERT_EQ(0, std::memcmp(scaled.data(), scaled_ref.data(),
+                                 n * sizeof(Sample)))
+            << kernels::backendName(b);
+        ASSERT_EQ(0, std::memcmp(noisy.data(), noisy_ref.data(),
+                                 n * sizeof(Sample)))
+            << kernels::backendName(b);
+    }
+}
+
+TEST_F(SimdKernelTest, AxpyF32MatchesScalar)
+{
+    SplitMix64 rng(0xF32A);
+    const size_t n = 517;
+    std::vector<float> x(n), y0(n);
+    for (size_t i = 0; i < n; ++i) {
+        x[i] = static_cast<float>(rng.nextDouble() * 2.0 - 1.0);
+        y0[i] = static_cast<float>(rng.nextDouble() * 2.0 - 1.0);
+    }
+    const float a = 0.33719f;
+    const Ops &ref = tableOf(Backend::Scalar);
+    std::vector<float> want = y0;
+    ref.axpyF32(want.data(), x.data(), n, a);
+    for (Backend b : vectorBackends()) {
+        const Ops &vec = tableOf(b);
+        std::vector<float> got = y0;
+        vec.axpyF32(got.data(), x.data(), n, a);
+        ASSERT_EQ(0, std::memcmp(want.data(), got.data(),
+                                 n * sizeof(float)))
+            << kernels::backendName(b);
+    }
+}
+
+/**
+ * Forcing the scalar backend reproduces the full-pipeline frame
+ * results of the widest backend over a rate x channel grid -- the
+ * scenario-level statement of the bit-exactness policy, and what
+ * keeps the pins in test_bitexact_grid backend-independent. Exercises
+ * all three decoders so Viterbi, SOVA and BCJR kernels are all
+ * covered end to end.
+ */
+TEST_F(SimdKernelTest, ScalarBackendReproducesGridResults)
+{
+    struct Cell {
+        int rate;
+        const char *channel;
+        const char *decoder;
+    };
+    const Cell cells[] = {
+        {0, "awgn", "viterbi"}, {3, "awgn", "sova"},
+        {5, "awgn", "bcjr"},    {1, "rayleigh", "viterbi"},
+        {4, "rayleigh", "bcjr"}, {6, "ar1", "sova"},
+    };
+    for (const Cell &cell : cells) {
+        sim::ScenarioSpec spec;
+        spec.rate = cell.rate;
+        spec.channel = cell.channel;
+        spec.channelCfg = li::Config::fromString(
+            "snr_db=9,doppler_hz=25,seed=77");
+        spec.rx.decoder = cell.decoder;
+        spec.payloadBits = 300;
+
+        struct Run {
+            BitVec bits;
+            std::vector<SoftDecision> soft;
+            std::uint64_t errors = 0;
+        };
+        auto run_with = [&](Backend backend) {
+            sim::Testbench tb(spec);
+            // Select the table directly rather than through the
+            // spec policy: applyPolicy defers to
+            // WILIS_KERNEL_BACKEND, and CI runs this suite under a
+            // forced env backend -- the comparison must still be
+            // scalar vs widest, not current vs current.
+            EXPECT_TRUE(kernels::setBackend(backend));
+            Run r;
+            for (std::uint64_t p = 0; p < 3; ++p) {
+                sim::FrameResult fr =
+                    tb.runFrame(spec.payloadBits, p);
+                r.bits.insert(r.bits.end(), fr.rx.payload.begin(),
+                              fr.rx.payload.end());
+                r.soft.insert(r.soft.end(), fr.rx.soft.begin(),
+                              fr.rx.soft.end());
+                r.errors += fr.bitErrors;
+            }
+            return r;
+        };
+
+        Run scalar = run_with(Backend::Scalar);
+        Run widest = run_with(kernels::availableBackends().back());
+        ASSERT_EQ(scalar.bits, widest.bits)
+            << cell.rate << "/" << cell.channel << "/"
+            << cell.decoder;
+        ASSERT_EQ(scalar.errors, widest.errors);
+        ASSERT_EQ(scalar.soft.size(), widest.soft.size());
+        for (size_t i = 0; i < scalar.soft.size(); ++i) {
+            ASSERT_EQ(scalar.soft[i].bit, widest.soft[i].bit);
+            ASSERT_EQ(scalar.soft[i].llr, widest.soft[i].llr)
+                << "hint " << i;
+        }
+    }
+}
+
+TEST_F(SimdKernelTest, KernelPolicyRoundTripsThroughConfig)
+{
+    sim::ScenarioSpec spec;
+    spec.kernel.backend = "scalar";
+    li::Config cfg = spec.toConfig();
+    EXPECT_EQ("scalar", cfg.getString("kernel_backend"));
+    sim::ScenarioSpec back = sim::ScenarioSpec::fromConfig(cfg);
+    EXPECT_EQ("scalar", back.kernel.backend);
+
+    // NetworkSpec forwards the shorthand to its link template.
+    sim::NetworkSpec net;
+    net.applyConfig(li::Config::fromString("kernel_backend=scalar"));
+    EXPECT_EQ("scalar", net.link.kernel.backend);
+    sim::NetworkSpec round =
+        sim::NetworkSpec::fromConfig(net.toConfig());
+    EXPECT_EQ("scalar", round.link.kernel.backend);
+}
