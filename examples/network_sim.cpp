@@ -61,11 +61,13 @@ main(int argc, char **argv)
                   li::Config::fromString(what));
 
     std::printf("network: %s — %d users, %s arrivals, %s ARQ "
-                "(window %d), %.0f Hz Doppler, SNR %g±%g dB\n",
+                "(window %d), %.0f Hz Doppler, SNR %g±%g dB, "
+                "%s fidelity\n",
                 spec.name.c_str(), spec.numUsers,
                 spec.arrivalModel.c_str(),
                 mac::arqModeName(spec.arqMode), spec.arqWindow,
-                spec.dopplerHz, spec.link.snrDb(), spec.snrSpreadDb);
+                spec.dopplerHz, spec.link.snrDb(), spec.snrSpreadDb,
+                sim::fidelityModeName(spec.fidelity.mode));
 
     sim::NetworkSim sim(spec);
     sim::NetworkResult res = sim.run(slots, threads);
@@ -93,6 +95,18 @@ main(int argc, char **argv)
     }
 
     const sim::UserStats &agg = res.aggregate;
+    if (agg.analyticFrames)
+        std::printf("\nfidelity mix: %llu full-PHY + %llu analytic "
+                    "frame slots (%.1f%% bit-exact)\n",
+                    static_cast<unsigned long long>(
+                        agg.fullPhyFrames),
+                    static_cast<unsigned long long>(
+                        agg.analyticFrames),
+                    agg.framesSent
+                        ? 100.0 *
+                              static_cast<double>(agg.fullPhyFrames) /
+                              static_cast<double>(agg.framesSent)
+                        : 0.0);
     std::printf("\naggregate: %llu frames, %.1f%% clean, %llu rtx, "
                 "%llu delivered, %llu dropped, %.3f Mb/s cell "
                 "goodput, p50/p95 latency %.0f/%.0f slots\n",

@@ -15,7 +15,30 @@
 
 namespace wilis {
 
-/** Welford running mean / variance accumulator. */
+/**
+ * Running mean / *sample* variance accumulator (the n-1 Bessel
+ * convention -- these accumulators summarize sampled simulation
+ * outcomes, not whole populations).
+ *
+ * The state is moment sums of (x - offset), the offset being the
+ * first sample seen: shifting by a ballpark location keeps the
+ * squared sums small so variance() does not catastrophically cancel
+ * for large-mean/small-spread streams, while the sums themselves
+ * stay *exact* for integer-valued samples (latency slots, attempt
+ * counts -- the streams the network simulator shards per user).
+ * merge() translates the other accumulator's sums to this offset
+ * and adds; every translation term is again exact on integer data,
+ * so merging shards in any grouping is bit-equal to one single-pass
+ * accumulation, and agrees to rounding error on real-valued data.
+ *
+ * The anchor is only as good as the first sample: a stream whose
+ * opening sample is a far outlier from the rest (orders of
+ * magnitude off the bulk location) re-creates the cancellation the
+ * shift exists to avoid. Welford's recurrence would handle that,
+ * but cannot make sharded merges bit-equal to a single pass; this
+ * codebase's streams (latencies, attempt counts, noise deviates,
+ * powers) are stationary, so the first sample is representative.
+ */
 class RunningStats
 {
   public:
@@ -23,26 +46,40 @@ class RunningStats
     void
     add(double x)
     {
+        if (n == 0)
+            offset = x;
         n += 1;
-        double delta = x - mean_;
-        mean_ += delta / static_cast<double>(n);
-        m2 += delta * (x - mean_);
+        double d = x - offset;
+        sum += d;
+        sum_sq += d * d;
     }
 
     /** Number of samples seen. */
     std::uint64_t count() const { return n; }
 
     /** Sample mean (0 if empty). */
-    double mean() const { return n ? mean_ : 0.0; }
+    double
+    mean() const
+    {
+        return n ? offset + sum / static_cast<double>(n) : 0.0;
+    }
 
-    /** Population variance (0 if fewer than 2 samples). */
+    /** Sample variance, n-1 denominator (0 if fewer than 2 samples). */
     double
     variance() const
     {
-        return n > 1 ? m2 / static_cast<double>(n) : 0.0;
+        if (n < 2)
+            return 0.0;
+        // Guard the subtraction: rounding can push the centered sum
+        // a hair negative when the variance is ~0.
+        double centered =
+            sum_sq - sum * sum / static_cast<double>(n);
+        if (centered < 0.0)
+            centered = 0.0;
+        return centered / static_cast<double>(n - 1);
     }
 
-    /** Population standard deviation. */
+    /** Sample standard deviation. */
     double stddev() const { return std::sqrt(variance()); }
 
     /** Merge another accumulator into this one. */
@@ -55,18 +92,21 @@ class RunningStats
             *this = other;
             return;
         }
-        double total = static_cast<double>(n + other.n);
-        double delta = other.mean_ - mean_;
-        m2 += other.m2 + delta * delta * static_cast<double>(n) *
-                             static_cast<double>(other.n) / total;
-        mean_ += delta * static_cast<double>(other.n) / total;
+        // Translate the other shard's moments to this offset:
+        // sum (x - o)^2 = sum (x - o') ^2 + s*(2*sum(x - o') + n*s)
+        // with s = o' - o. Exact for integer samples and offsets.
+        const double s = other.offset - offset;
+        const double on = static_cast<double>(other.n);
+        sum_sq += other.sum_sq + s * (2.0 * other.sum + on * s);
+        sum += other.sum + on * s;
         n += other.n;
     }
 
   private:
     std::uint64_t n = 0;
-    double mean_ = 0.0;
-    double m2 = 0.0;
+    double offset = 0.0;
+    double sum = 0.0;
+    double sum_sq = 0.0;
 };
 
 /**

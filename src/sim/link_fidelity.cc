@@ -1,0 +1,100 @@
+#include "sim/link_fidelity.hh"
+
+#include <cmath>
+#include <complex>
+
+#include "channel/channel.hh"
+#include "common/logging.hh"
+#include "softphy/calibration_table.hh"
+
+namespace wilis {
+namespace sim {
+
+const char *
+fidelityModeName(FidelityMode mode)
+{
+    switch (mode) {
+      case FidelityMode::Full:
+        return "full";
+      case FidelityMode::Analytic:
+        return "analytic";
+      case FidelityMode::Auto:
+        return "auto";
+    }
+    return "?";
+}
+
+FidelityMode
+fidelityModeFromName(const std::string &name)
+{
+    if (name == "full")
+        return FidelityMode::Full;
+    if (name == "analytic")
+        return FidelityMode::Analytic;
+    if (name == "auto")
+        return FidelityMode::Auto;
+    wilis_fatal("unknown fidelity mode '%s' (full|analytic|auto)",
+                name.c_str());
+}
+
+bool
+FidelityPolicy::fullPhySlot(std::uint64_t t) const
+{
+    switch (mode) {
+      case FidelityMode::Full:
+        return true;
+      case FidelityMode::Analytic:
+        return false;
+      case FidelityMode::Auto:
+        break;
+    }
+    if (t < warmupSlots)
+        return true;
+    if (refreshPeriod == 0 || refreshSlots == 0)
+        return false;
+    return (t - warmupSlots) % refreshPeriod < refreshSlots;
+}
+
+AnalyticLink::AnalyticLink(const softphy::CalibrationTable *table,
+                           const channel::Channel *chan,
+                           double mean_snr_db,
+                           std::uint64_t draw_stream)
+    : table_(table), chan_(chan), mean_snr_db_(mean_snr_db),
+      draws_(draw_stream)
+{
+    wilis_assert(table_ && table_->valid(),
+                 "analytic link needs a calibration table");
+    wilis_assert(chan_ != nullptr, "analytic link needs a channel");
+}
+
+double
+AnalyticLink::effectiveSnrDb(std::uint64_t t) const
+{
+    // Block fading: one gain per slot; conditioning on |h|^2 turns
+    // the slot into a flat channel at the effective SNR, which is
+    // exactly what the table was calibrated against.
+    const double h2 = std::norm(chan_->gain(t, 0));
+    if (h2 <= 0.0)
+        return -300.0; // a dropped slot: below any calibrated bin
+    return mean_snr_db_ + 10.0 * std::log10(h2);
+}
+
+LinkFrameResult
+AnalyticLink::transmit(phy::RateIndex rate, std::uint64_t seq,
+                       std::uint64_t t)
+{
+    (void)seq; // payload content does not exist on the fast path
+    const double snr_eff = effectiveSnrDb(t);
+    const double per = table_->per(rate, snr_eff);
+    LinkFrameResult res;
+    // Keyed by the slot index alone: a retransmission in a later
+    // slot draws fresh slot randomness, exactly like the full PHY's
+    // per-slot noise streams.
+    res.ok = draws_.doubleAt(t) >= per;
+    res.pber = table_->pberFeedback(rate, snr_eff, res.ok);
+    res.fullPhy = false;
+    return res;
+}
+
+} // namespace sim
+} // namespace wilis

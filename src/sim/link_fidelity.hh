@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The per-link fidelity ladder of the hybrid network simulator: one
+ * interface, two interchangeable backends.
+ *
+ *  - "full"     -- the bit-exact PHY path (tx -> channel -> rx ->
+ *                  decode), unchanged from sim::NetworkSim's
+ *                  original frame loop.
+ *  - "analytic" -- a calibrated fast path: the slot's fading gain is
+ *                  folded into an effective SNR, the frame outcome
+ *                  is drawn from a softphy::CalibrationTable
+ *                  (per-rate, per-SNR-bin frame error rates measured
+ *                  offline against the full PHY), and the SoftRate
+ *                  feedback is the table's calibrated packet-BER
+ *                  statistic. Roughly three orders of magnitude
+ *                  cheaper per slot.
+ *  - "auto"     -- full PHY for a per-user warm-up prefix and
+ *                  periodic refresh windows, analytic in between:
+ *                  the mixed-fidelity operating point WiLIS argues
+ *                  for (bit-exact where it matters, modeled where it
+ *                  does not).
+ *
+ * Both backends produce the same LinkFrameResult, so SoftRate and
+ * ARQ consume frame outcomes without knowing which fidelity produced
+ * them. All analytic randomness is keyed by (master seed, user,
+ * slot) through the counter generator -- never by worker id -- so
+ * every mode stays bit-identical across thread counts, and the
+ * fidelity schedule itself is a pure function of the slot index.
+ */
+
+#ifndef WILIS_SIM_LINK_FIDELITY_HH
+#define WILIS_SIM_LINK_FIDELITY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.hh"
+#include "phy/modulation.hh"
+
+namespace wilis {
+
+namespace channel {
+class Channel;
+}
+namespace softphy {
+class CalibrationTable;
+}
+
+namespace sim {
+
+/** Which backend simulates a link's frame slots. */
+enum class FidelityMode {
+    /** Bit-exact PHY for every slot. */
+    Full = 0,
+    /** Calibrated analytic model for every slot. */
+    Analytic = 1,
+    /** Full PHY for warm-up/refresh slots, analytic in between. */
+    Auto = 2,
+};
+
+/** Config-file name of @p mode ("full" / "analytic" / "auto"). */
+const char *fidelityModeName(FidelityMode mode);
+
+/** Inverse of fidelityModeName(); fatal on unknown names. */
+FidelityMode fidelityModeFromName(const std::string &name);
+
+/**
+ * Per-link fidelity selection, threaded through sim::NetworkSpec.
+ * The schedule knobs only matter in Auto mode.
+ */
+struct FidelityPolicy {
+    /** Backend selection. */
+    FidelityMode mode = FidelityMode::Full;
+    /** Auto: leading slots per user simulated with the full PHY. */
+    std::uint64_t warmupSlots = 16;
+    /** Auto: slots between the starts of two refresh windows. */
+    std::uint64_t refreshPeriod = 64;
+    /** Auto: full-PHY slots at the start of each refresh window. */
+    std::uint64_t refreshSlots = 4;
+
+    /**
+     * True if slot @p t of a user timeline runs the full PHY under
+     * this policy -- a pure function of the slot index, so the
+     * fidelity schedule can never depend on sharding.
+     */
+    bool fullPhySlot(std::uint64_t t) const;
+};
+
+/** Frame outcome as seen by the MAC, whatever fidelity produced it. */
+struct LinkFrameResult {
+    /** True if the frame decoded (or was drawn) error-free. */
+    bool ok = false;
+    /** SoftPHY packet-BER feedback for SoftRate. */
+    double pber = 0.0;
+    /** True if the bit-exact PHY produced this result. */
+    bool fullPhy = false;
+};
+
+/**
+ * One link's frame-slot simulator. Implementations are created per
+ * user timeline by sim::NetworkSim and hold only borrowed state
+ * (worker PHY context, channel, calibration table), so they are
+ * cheap to construct and never shared across workers.
+ */
+class LinkFidelity
+{
+  public:
+    virtual ~LinkFidelity() = default;
+
+    /**
+     * Simulate the transmission of sequence number @p seq at slot
+     * @p t with rate @p rate.
+     */
+    virtual LinkFrameResult transmit(phy::RateIndex rate,
+                                     std::uint64_t seq,
+                                     std::uint64_t t) = 0;
+
+    /** Registry-style backend name ("full", "analytic", "auto"). */
+    virtual const char *name() const = 0;
+};
+
+/**
+ * The calibrated analytic backend, exposed for tests and for
+ * composition by the Auto backend (sim::NetworkSim instantiates it
+ * internally; the full-PHY backend lives in network_sim.cc because
+ * it borrows the worker PHY context defined there).
+ *
+ * Per transmit(): effective SNR = mean link SNR + 10 log10 |h(t)|^2,
+ * success drawn as uniform(seed, t) >= PER(rate, snr_eff), feedback
+ * = calibrated packet BER conditioned on the outcome.
+ */
+class AnalyticLink : public LinkFidelity
+{
+  public:
+    /**
+     * @param table     Calibration table (borrowed, non-null).
+     * @param chan      The link's fading channel (borrowed); only
+     *                  gain() is consulted -- no samples flow.
+     * @param mean_snr_db Link mean SNR incl. the user's offset.
+     * @param draw_stream Per-user stream key for the success draws
+     *                  ((master seed, user)-derived by NetworkSim).
+     */
+    AnalyticLink(const softphy::CalibrationTable *table,
+                 const channel::Channel *chan, double mean_snr_db,
+                 std::uint64_t draw_stream);
+
+    LinkFrameResult transmit(phy::RateIndex rate, std::uint64_t seq,
+                             std::uint64_t t) override;
+    const char *name() const override { return "analytic"; }
+
+    /** Effective SNR of slot @p t in dB (fading folded in). */
+    double effectiveSnrDb(std::uint64_t t) const;
+
+  private:
+    const softphy::CalibrationTable *table_;
+    const channel::Channel *chan_;
+    double mean_snr_db_;
+    CounterRng draws_;
+};
+
+} // namespace sim
+} // namespace wilis
+
+#endif // WILIS_SIM_LINK_FIDELITY_HH

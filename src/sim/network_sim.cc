@@ -1,6 +1,7 @@
 #include "sim/network_sim.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -15,6 +16,7 @@
 #include "mac/softrate.hh"
 #include "phy/ofdm_rx.hh"
 #include "phy/ofdm_tx.hh"
+#include "sim/link_fidelity.hh"
 #include "softphy/softphy.hh"
 
 namespace wilis {
@@ -30,6 +32,8 @@ UserStats::merge(const UserStats &other)
     delivered += other.delivered;
     dropped += other.dropped;
     goodputBits += other.goodputBits;
+    fullPhyFrames += other.fullPhyFrames;
+    analyticFrames += other.analyticFrames;
     latencySlots.merge(other.latencySlots);
     latencyHist.merge(other.latencyHist);
     attemptsHist.merge(other.attemptsHist);
@@ -71,6 +75,89 @@ struct WorkerPhy {
     }
 };
 
+/**
+ * The bit-exact fidelity backend: the original NetworkSim frame
+ * transaction (tx -> channel -> rx -> decode) behind the
+ * LinkFidelity interface. Borrows the leased worker PHY context and
+ * the user's channel for the duration of one user timeline.
+ */
+class FullPhyLink : public LinkFidelity
+{
+  public:
+    FullPhyLink(WorkerPhy &phy, const ScenarioSpec &link,
+                channel::Channel &chan,
+                const softphy::BerEstimator &estimator,
+                std::uint64_t payload_seed)
+        : phy_(phy), link_(link), chan_(chan), est_(estimator),
+          payload_seed_(payload_seed)
+    {}
+
+    LinkFrameResult
+    transmit(phy::RateIndex rate, std::uint64_t seq,
+             std::uint64_t t) override
+    {
+        phy_.arena.reset();
+        BitSpan payload = phy_.arena.alloc<Bit>(link_.payloadBits);
+        // Same derivation as Testbench::makePayloadInto, keyed by
+        // sequence number so a retransmission resends the same bits.
+        fillDeterministicBits(payload, payload_seed_, seq);
+
+        FrameContext ctx(phy_.arena);
+        SampleSpan samples =
+            phy_.txAt(rate, link_.rx).modulate(payload, ctx);
+        chan_.apply(samples, t);
+        phy::RxFrame rx_frame =
+            phy_.rxAt(rate, link_.rx)
+                .demodulate(samples, link_.payloadBits, &chan_, t,
+                            ctx);
+
+        LinkFrameResult res;
+        res.ok = rx_frame.bitErrors(payload) == 0;
+        res.pber = est_.packetBerForRate(rate, rx_frame.soft);
+        res.fullPhy = true;
+        return res;
+    }
+
+    const char *name() const override { return "full"; }
+
+  private:
+    WorkerPhy &phy_;
+    const ScenarioSpec &link_;
+    channel::Channel &chan_;
+    const softphy::BerEstimator &est_;
+    std::uint64_t payload_seed_;
+};
+
+/**
+ * The mixed-fidelity backend: full PHY on the policy's warm-up and
+ * refresh slots, calibrated analytic in between. The schedule is a
+ * pure function of the slot index (FidelityPolicy::fullPhySlot), so
+ * it cannot depend on sharding.
+ */
+class AutoLink : public LinkFidelity
+{
+  public:
+    AutoLink(const FidelityPolicy &policy, FullPhyLink &full,
+             AnalyticLink &fast)
+        : policy_(policy), full_(full), fast_(fast)
+    {}
+
+    LinkFrameResult
+    transmit(phy::RateIndex rate, std::uint64_t seq,
+             std::uint64_t t) override
+    {
+        return policy_.fullPhySlot(t) ? full_.transmit(rate, seq, t)
+                                      : fast_.transmit(rate, seq, t);
+    }
+
+    const char *name() const override { return "auto"; }
+
+  private:
+    const FidelityPolicy &policy_;
+    FullPhyLink &full_;
+    AnalyticLink &fast_;
+};
+
 /** Mutex-guarded free list of worker PHY contexts. */
 class WorkerPhyPool
 {
@@ -102,13 +189,103 @@ class WorkerPhyPool
 } // namespace
 
 NetworkSim::NetworkSim(const NetworkSpec &spec)
-    : spec_(spec), estimator(softphy::analyticRateEstimator(spec.link.rx))
+    : NetworkSim(spec, nullptr)
+{}
+
+NetworkSim::NetworkSim(
+    const NetworkSpec &spec,
+    std::shared_ptr<const softphy::CalibrationTable> table)
+    : spec_(spec),
+      estimator(softphy::analyticRateEstimator(spec.link.rx)),
+      calib(std::move(table))
 {
     kernels::applyPolicy(spec_.link.kernel);
     wilis_assert(spec_.numUsers >= 1, "network needs >= 1 user");
     wilis_assert(spec_.link.rate >= 0 &&
                      spec_.link.rate < phy::kNumRates,
                  "initial rate %d out of range", spec_.link.rate);
+    ensureCalibration();
+}
+
+softphy::CalibrationTable::BuildSpec
+NetworkSim::calibrationBuildSpec(const NetworkSpec &spec)
+{
+    softphy::CalibrationTable::BuildSpec b;
+    b.rx = spec.link.rx;
+    b.payloadBits = spec.link.payloadBits;
+    // Conditioning on the per-slot fading gain reduces every slot to
+    // a flat channel at the effective SNR, so the table is measured
+    // against "awgn" across the SNR range the cell's users can
+    // actually reach: mean +- near/far spread, widened by typical
+    // Rayleigh excursions (deep fades below bin 0 clamp to its
+    // PER ~ 1 edge, peaks above the top bin to its residual).
+    b.channel = "awgn";
+    const double mean = spec.link.snrDb();
+    b.snrStepDb = 2.0;
+    b.snrLoDb = mean - spec.snrSpreadDb - 18.0;
+    const double hi = mean + spec.snrSpreadDb + 8.0;
+    b.numBins = static_cast<int>(
+        std::ceil((hi - b.snrLoDb) / b.snrStepDb));
+    return b;
+}
+
+void
+NetworkSim::ensureCalibration()
+{
+    if (spec_.fidelity.mode == FidelityMode::Full) {
+        return; // the bit-exact path needs no table
+    }
+    if (!calib) {
+        calib = std::make_shared<const softphy::CalibrationTable>(
+            spec_.calibrationFile.empty()
+                ? softphy::CalibrationTable::build(
+                      calibrationBuildSpec(spec_))
+                : softphy::CalibrationTable::load(
+                      spec_.calibrationFile));
+    }
+    wilis_assert(calib->valid(),
+                 "fidelity mode '%s' needs a valid calibration table",
+                 fidelityModeName(spec_.fidelity.mode));
+    // A table measured for a different frame geometry or receiver
+    // still *runs*, but its error rates describe another link; warn
+    // loudly instead of silently mis-modeling. The channel kind is
+    // part of that contract: the analytic path already conditions
+    // on the per-slot fading gain, so its table must be flat
+    // ("awgn") -- a fading-averaged table would count fading twice.
+    const softphy::CalibrationTable::BuildSpec want =
+        calibrationBuildSpec(spec_);
+    if (calib->payloadBits() != spec_.link.payloadBits ||
+        calib->decoder() != spec_.link.rx.decoder ||
+        calib->softWidth() != spec_.link.rx.demapper.softWidth ||
+        calib->channelKind() != want.channel) {
+        wilis_warn(
+            "calibration table (payload %zu, decoder %s, width %d, "
+            "channel %s) does not match the link template "
+            "(payload %zu, decoder %s, width %d, channel %s); "
+            "analytic statistics will be biased",
+            calib->payloadBits(), calib->decoder().c_str(),
+            calib->softWidth(), calib->channelKind().c_str(),
+            spec_.link.payloadBits,
+            spec_.link.rx.decoder.c_str(),
+            spec_.link.rx.demapper.softWidth,
+            want.channel.c_str());
+    }
+    // SNR coverage is provenance too: lookups outside the calibrated
+    // window clamp to the edge bins, so a cell whose users live
+    // beyond the table's range would be silently modeled at the
+    // nearest calibrated SNR.
+    const double have_hi =
+        calib->snrLoDb() + calib->numBins() * calib->snrStepDb();
+    const double want_hi =
+        want.snrLoDb + want.numBins * want.snrStepDb;
+    if (calib->snrLoDb() > want.snrLoDb + 1e-9 ||
+        have_hi < want_hi - 1e-9) {
+        wilis_warn(
+            "calibration table covers [%g, %g] dB but this cell "
+            "needs [%g, %g] dB; out-of-range slots clamp to the "
+            "edge bins",
+            calib->snrLoDb(), have_hi, want.snrLoDb, want_hi);
+    }
 }
 
 NetworkSim::UserSeeds
@@ -124,6 +301,10 @@ NetworkSim::userSeeds(int user) const
     s.channelSeed = root.at(1);
     s.payloadSeed = root.at(2);
     s.arrivalStream = root.at(3);
+    // Counter 4 extends the PR 2 scheme without disturbing the
+    // existing streams: full-fidelity runs stay bit-identical to
+    // their pre-fidelity trajectories.
+    s.fidelityStream = root.at(4);
     return s;
 }
 
@@ -177,11 +358,42 @@ NetworkSim::run(std::uint64_t slots, int threads)
     auto run_user = [&](std::uint64_t u) {
         std::unique_ptr<WorkerPhy> phy = phy_pool.acquire();
         const UserSeeds seeds = userSeeds(static_cast<int>(u));
+        const double mean_snr_db =
+            spec_.link.snrDb() + seeds.snrOffsetDb;
 
         channel::Ar1FadingChannel chan(
-            spec_.link.snrDb() + seeds.snrOffsetDb, spec_.dopplerHz,
-            spec_.frameIntervalUs, seeds.channelSeed);
+            mean_snr_db, spec_.dopplerHz, spec_.frameIntervalUs,
+            seeds.channelSeed);
         const CounterRng arrivals(seeds.arrivalStream);
+
+        // The fidelity ladder: both backends are constructed (they
+        // are cheap shells over borrowed state) and the policy picks
+        // which one -- or, under "auto", which mix -- simulates this
+        // user's slots.
+        FullPhyLink full_link(*phy, spec_.link, chan, estimator,
+                              seeds.payloadSeed);
+        std::unique_ptr<AnalyticLink> fast_link;
+        if (spec_.fidelity.mode != FidelityMode::Full)
+            fast_link = std::make_unique<AnalyticLink>(
+                calib.get(), &chan, mean_snr_db,
+                seeds.fidelityStream);
+        std::unique_ptr<AutoLink> auto_link;
+        if (spec_.fidelity.mode == FidelityMode::Auto)
+            auto_link = std::make_unique<AutoLink>(
+                spec_.fidelity, full_link, *fast_link);
+        LinkFidelity *link = nullptr;
+        switch (spec_.fidelity.mode) {
+          case FidelityMode::Full:
+            link = &full_link;
+            break;
+          case FidelityMode::Analytic:
+            link = fast_link.get();
+            break;
+          case FidelityMode::Auto:
+            link = auto_link.get();
+            break;
+        }
+        wilis_assert(link != nullptr, "no fidelity backend selected");
 
         mac::SoftRateMac::Config src;
         src.pberLo = spec_.pberLo;
@@ -235,29 +447,18 @@ NetworkSim::run(std::uint64_t slots, int threads)
             }
 
             const phy::RateIndex rate = softrate.currentRate();
-            phy->arena.reset();
-            BitSpan payload = phy->arena.alloc<Bit>(payload_bits);
-            // Same derivation as Testbench::makePayloadInto, keyed
-            // by sequence number so a retransmission resends the
-            // same bits.
-            fillDeterministicBits(payload, seeds.payloadSeed, seq);
+            const LinkFrameResult res = link->transmit(rate, seq, t);
 
-            FrameContext ctx(phy->arena);
-            SampleSpan samples =
-                phy->txAt(rate, spec_.link.rx).modulate(payload, ctx);
-            chan.apply(samples, t);
-            phy::RxFrame rx_frame =
-                phy->rxAt(rate, spec_.link.rx)
-                    .demodulate(samples, payload_bits, &chan, t, ctx);
-
-            const bool ok = rx_frame.bitErrors(payload) == 0;
             ++st.framesSent;
-            st.framesOk += ok ? 1 : 0;
+            st.framesOk += res.ok ? 1 : 0;
+            if (res.fullPhy)
+                ++st.fullPhyFrames;
+            else
+                ++st.analyticFrames;
             st.rateHist.add(static_cast<double>(rate));
 
-            softrate.onFeedback(
-                estimator.packetBerForRate(rate, rx_frame.soft));
-            arq.onSendResult(seq, ok);
+            softrate.onFeedback(res.pber);
+            arq.onSendResult(seq, res.ok);
         }
 
         // Drain acknowledgements still in flight at the horizon so

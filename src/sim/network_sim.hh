@@ -24,12 +24,14 @@
 #define WILIS_SIM_NETWORK_SIM_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/stats.hh"
 #include "phy/modulation.hh"
 #include "sim/scenario.hh"
 #include "softphy/ber_estimator.hh"
+#include "softphy/calibration_table.hh"
 
 namespace wilis {
 namespace sim {
@@ -64,6 +66,10 @@ struct UserStats {
     std::uint64_t dropped = 0;
     /** Payload bits of delivered frames. */
     std::uint64_t goodputBits = 0;
+    /** Transmissions simulated by the bit-exact PHY. */
+    std::uint64_t fullPhyFrames = 0;
+    /** Transmissions drawn from the calibrated analytic model. */
+    std::uint64_t analyticFrames = 0;
 
     /** Delivery latency in slots (first transmission -> delivery). */
     RunningStats latencySlots;
@@ -123,10 +129,42 @@ struct NetworkResult {
 class NetworkSim
 {
   public:
+    /**
+     * Build a simulator for @p spec. When the fidelity mode is
+     * analytic/auto, the calibration table comes from
+     * spec.calibrationFile if set, else from a fresh offline sweep
+     * (calibrationBuildSpec(spec); deterministic but not free --
+     * share one table across sims via the two-argument constructor
+     * when comparing modes).
+     */
     explicit NetworkSim(const NetworkSpec &spec);
+
+    /** Build with an injected (pre-built or shared) table. */
+    NetworkSim(const NetworkSpec &spec,
+               std::shared_ptr<const softphy::CalibrationTable> table);
 
     /** The network description in use. */
     const NetworkSpec &spec() const { return spec_; }
+
+    /**
+     * The calibration table backing the analytic path. Non-null
+     * whenever the fidelity mode is analytic/auto; in full mode it
+     * is null unless one was injected (a full-fidelity run never
+     * consults it either way).
+     */
+    const softphy::CalibrationTable *calibration() const
+    {
+        return calib.get();
+    }
+
+    /**
+     * The offline sweep NetworkSim would run to calibrate @p spec:
+     * the link template's receiver/payload against a flat channel
+     * across the SNR range its users can reach (mean SNR +- spread
+     * plus fading excursions).
+     */
+    static softphy::CalibrationTable::BuildSpec
+    calibrationBuildSpec(const NetworkSpec &spec);
 
     /** Deterministic mean-SNR offset of @p user in dB. */
     double userSnrOffsetDb(int user) const;
@@ -152,12 +190,18 @@ class NetworkSim
         std::uint64_t channelSeed;
         std::uint64_t payloadSeed;
         std::uint64_t arrivalStream;
+        /** Analytic-path success draws ((seed, user, slot)-keyed). */
+        std::uint64_t fidelityStream;
     };
 
     UserSeeds userSeeds(int user) const;
 
+    /** Load or measure the table when the policy needs one. */
+    void ensureCalibration();
+
     NetworkSpec spec_;
     softphy::BerEstimator estimator;
+    std::shared_ptr<const softphy::CalibrationTable> calib;
 };
 
 } // namespace sim

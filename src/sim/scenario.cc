@@ -338,6 +338,17 @@ NetworkSpec::applyConfig(const li::Config &cfg)
     pberLo = cfg.getDouble("pber_lo", pberLo);
     pberHi = cfg.getDouble("pber_hi", pberHi);
     seed = cfg.getUint64("net_seed", seed);
+    if (cfg.has("fidelity"))
+        fidelity.mode =
+            fidelityModeFromName(cfg.getString("fidelity"));
+    fidelity.warmupSlots =
+        cfg.getUint64("fidelity_warmup", fidelity.warmupSlots);
+    fidelity.refreshPeriod = cfg.getUint64("fidelity_refresh_period",
+                                           fidelity.refreshPeriod);
+    fidelity.refreshSlots = cfg.getUint64("fidelity_refresh_slots",
+                                          fidelity.refreshSlots);
+    calibrationFile =
+        cfg.getString("calibration_file", calibrationFile);
 
     // Pass-throughs to the link template: explicit "link.<k>" keys
     // plus the common shorthands.
@@ -383,6 +394,18 @@ NetworkSpec::toConfig() const
     cfg.set("pber_hi", strprintf("%g", pberHi));
     cfg.set("net_seed",
             strprintf("%llu", static_cast<unsigned long long>(seed)));
+    cfg.set("fidelity", fidelityModeName(fidelity.mode));
+    cfg.set("fidelity_warmup",
+            strprintf("%llu", static_cast<unsigned long long>(
+                                  fidelity.warmupSlots)));
+    cfg.set("fidelity_refresh_period",
+            strprintf("%llu", static_cast<unsigned long long>(
+                                  fidelity.refreshPeriod)));
+    cfg.set("fidelity_refresh_slots",
+            strprintf("%llu", static_cast<unsigned long long>(
+                                  fidelity.refreshSlots)));
+    if (!calibrationFile.empty())
+        cfg.set("calibration_file", calibrationFile);
     const li::Config link_cfg = link.toConfig();
     for (const auto &kv : link_cfg.entries())
         cfg.set("link." + kv.first, kv.second);
@@ -436,6 +459,34 @@ networkRegistry()
             s.name = "cell-stopwait";
             s.arqMode = mac::ArqMode::StopAndWait;
             s.ackDelaySlots = 2;
+            return s;
+        });
+        r.add("cell-1k", [] {
+            // The scale step: a thousand users on the calibrated
+            // analytic fast path (full PHY here would cost ~1000x
+            // a cell-16 run).
+            NetworkSpec s = baseCell();
+            s.name = "cell-1k";
+            s.numUsers = 1024;
+            s.fidelity.mode = FidelityMode::Analytic;
+            return s;
+        });
+        r.add("dense-analytic", [] {
+            // cell-dense's bursty contention at analytic cost.
+            NetworkSpec s = baseCell();
+            s.name = "dense-analytic";
+            s.numUsers = 256;
+            s.arrivalModel = "bernoulli";
+            s.arrivalProb = 0.5;
+            s.fidelity.mode = FidelityMode::Analytic;
+            return s;
+        });
+        r.add("cell-auto", [] {
+            // Mixed fidelity: bit-exact warm-up + periodic refresh,
+            // analytic in between.
+            NetworkSpec s = baseCell();
+            s.name = "cell-auto";
+            s.fidelity.mode = FidelityMode::Auto;
             return s;
         });
         return r;

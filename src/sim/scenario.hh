@@ -32,6 +32,7 @@
 #include "li/config.hh"
 #include "mac/arq.hh"
 #include "phy/ofdm_rx.hh"
+#include "sim/link_fidelity.hh"
 
 namespace wilis {
 namespace sim {
@@ -211,10 +212,29 @@ struct NetworkSpec {
     std::uint64_t seed = 0xCE11;
 
     /**
+     * Per-link fidelity ladder (see sim::LinkFidelity): "full" runs
+     * the bit-exact PHY every slot, "analytic" draws frame outcomes
+     * from a calibrated softphy::CalibrationTable, "auto" mixes the
+     * two on a warm-up + periodic-refresh schedule.
+     */
+    FidelityPolicy fidelity;
+
+    /**
+     * Calibration table file for the analytic/auto modes. Empty
+     * means sim::NetworkSim measures a table itself at construction
+     * (deterministic, but costs a small offline sweep); non-empty
+     * loads a committed table (see examples/build_calibration).
+     */
+    std::string calibrationFile;
+
+    /**
      * Overlay the keys present in @p cfg onto this spec. Keys:
      * name, users, arrival, arrival_prob, doppler_hz, snr_spread_db,
      * frame_interval_us, arq (stopwait|selective), arq_window,
-     * arq_max_attempts, ack_delay, pber_lo, pber_hi, net_seed;
+     * arq_max_attempts, ack_delay, pber_lo, pber_hi, net_seed,
+     * fidelity (full|analytic|auto), fidelity_warmup,
+     * fidelity_refresh_period, fidelity_refresh_slots,
+     * calibration_file;
      * "link.<k>" keys pass <k> through to the link template, and
      * the common shorthands rate, snr_db, payload_bits, decoder and
      * kernel_backend are forwarded to it directly.

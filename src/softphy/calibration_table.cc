@@ -1,0 +1,420 @@
+#include "softphy/calibration_table.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "sim/sweep.hh"
+#include "softphy/softphy.hh"
+
+namespace wilis {
+namespace softphy {
+
+namespace {
+
+/** Packet-BER estimates are clamped into [kPberFloor, 1] before the
+ *  log sums so a zero estimate cannot produce -inf. */
+constexpr double kPberFloor = 1e-12;
+
+double
+clampPber(double pber)
+{
+    if (pber < kPberFloor)
+        return kPberFloor;
+    if (pber > 1.0)
+        return 1.0;
+    return pber;
+}
+
+} // namespace
+
+double
+CalibrationCell::per() const
+{
+    if (!frames)
+        return 1.0;
+    return static_cast<double>(frames - ok) /
+           static_cast<double>(frames);
+}
+
+double
+CalibrationCell::pberOkGeo() const
+{
+    if (ok)
+        return std::exp(sumLogPberOk / static_cast<double>(ok));
+    // Every calibrated frame failed here: the best available
+    // conditional statistic is the errored-frame mean.
+    if (frames)
+        return pberBadGeo();
+    return kPberFloor;
+}
+
+double
+CalibrationCell::pberBadGeo() const
+{
+    const std::uint64_t bad = frames - ok;
+    if (bad)
+        return std::exp(sumLogPberBad / static_cast<double>(bad));
+    if (frames)
+        return pberOkGeo();
+    return 0.5;
+}
+
+void
+CalibrationCell::merge(const CalibrationCell &other)
+{
+    frames += other.frames;
+    ok += other.ok;
+    sumPber += other.sumPber;
+    sumLogPberOk += other.sumLogPberOk;
+    sumLogPberBad += other.sumLogPberBad;
+}
+
+CalibrationTable
+CalibrationTable::build(const BuildSpec &spec)
+{
+    wilis_assert(spec.numBins >= 1, "calibration needs >= 1 SNR bin");
+    wilis_assert(spec.snrStepDb > 0.0,
+                 "calibration needs a positive SNR step");
+    wilis_assert(spec.packetsPerCell >= 1,
+                 "calibration needs >= 1 packet per cell");
+
+    CalibrationTable t;
+    t.channel_ = spec.channel;
+    t.decoder_ = spec.rx.decoder;
+    t.soft_width_ = spec.rx.demapper.softWidth;
+    t.payload_bits_ = spec.payloadBits;
+    t.packets_ = spec.packetsPerCell;
+    t.seed_ = spec.seed;
+    t.snr_lo_ = spec.snrLoDb;
+    t.snr_step_ = spec.snrStepDb;
+    t.num_bins_ = spec.numBins;
+    t.cells.assign(static_cast<size_t>(phy::kNumRates) *
+                       static_cast<size_t>(spec.numBins),
+                   CalibrationCell());
+
+    const BerEstimator estimator = analyticRateEstimator(spec.rx);
+    const CounterRng root(spec.seed);
+
+    for (int rate = 0; rate < phy::kNumRates; ++rate) {
+        const CounterRng rate_rng =
+            root.fork(static_cast<std::uint64_t>(rate));
+        for (int bin = 0; bin < spec.numBins; ++bin) {
+            sim::ScenarioSpec scen;
+            scen.name = strprintf("cal/r%d/b%d", rate, bin);
+            scen.rate = rate;
+            scen.rx = spec.rx;
+            scen.channel = spec.channel;
+            scen.channelCfg.set(
+                "snr_db",
+                strprintf("%.17g", t.binCenterDb(bin)));
+            scen.channelCfg.set(
+                "seed",
+                strprintf("%llu",
+                          static_cast<unsigned long long>(
+                              rate_rng.at(2 * static_cast<std::uint64_t>(
+                                                  bin)))));
+            scen.payloadBits = spec.payloadBits;
+            scen.payloadSeed =
+                rate_rng.at(2 * static_cast<std::uint64_t>(bin) + 1);
+
+            // Per-packet staging buffers reduced in packet order, so
+            // the accumulated sums are independent of how the sweep
+            // shards packets over workers.
+            std::vector<std::uint8_t> ok_by_packet(
+                spec.packetsPerCell, 0);
+            std::vector<double> pber_by_packet(spec.packetsPerCell,
+                                               0.0);
+            sim::sweepFrames(
+                scen, spec.packetsPerCell, spec.threads,
+                [&](int, const sim::FrameResult &res,
+                    std::uint64_t p) {
+                    ok_by_packet[static_cast<size_t>(p)] =
+                        res.ok ? 1 : 0;
+                    pber_by_packet[static_cast<size_t>(p)] =
+                        clampPber(estimator.packetBerForRate(
+                            rate, res.rx.soft));
+                });
+
+            CalibrationCell &cell = t.cellAt(rate, bin);
+            for (std::uint64_t p = 0; p < spec.packetsPerCell; ++p) {
+                const double pber =
+                    pber_by_packet[static_cast<size_t>(p)];
+                cell.frames += 1;
+                cell.sumPber += pber;
+                if (ok_by_packet[static_cast<size_t>(p)]) {
+                    cell.ok += 1;
+                    cell.sumLogPberOk += std::log(pber);
+                } else {
+                    cell.sumLogPberBad += std::log(pber);
+                }
+            }
+        }
+    }
+    return t;
+}
+
+double
+CalibrationTable::binCenterDb(int bin) const
+{
+    return snr_lo_ + (static_cast<double>(bin) + 0.5) * snr_step_;
+}
+
+int
+CalibrationTable::binOf(double snr_db) const
+{
+    int bin = static_cast<int>(
+        std::floor((snr_db - snr_lo_) / snr_step_));
+    if (bin < 0)
+        bin = 0;
+    if (bin >= num_bins_)
+        bin = num_bins_ - 1;
+    return bin;
+}
+
+CalibrationCell &
+CalibrationTable::cellAt(int rate, int bin)
+{
+    return cells[static_cast<size_t>(rate) *
+                     static_cast<size_t>(num_bins_) +
+                 static_cast<size_t>(bin)];
+}
+
+const CalibrationCell &
+CalibrationTable::cell(phy::RateIndex rate, int bin) const
+{
+    wilis_assert(valid(), "calibration table is empty");
+    wilis_assert(rate >= 0 && rate < phy::kNumRates,
+                 "rate %d out of range", rate);
+    wilis_assert(bin >= 0 && bin < num_bins_, "bin %d out of %d",
+                 bin, num_bins_);
+    return cells[static_cast<size_t>(rate) *
+                     static_cast<size_t>(num_bins_) +
+                 static_cast<size_t>(bin)];
+}
+
+void
+CalibrationTable::lerpCoords(double snr_db, int *b0, int *b1,
+                             double *frac) const
+{
+    // Continuous coordinate in units of bins, 0 at bin 0's center.
+    double x = (snr_db - snr_lo_) / snr_step_ - 0.5;
+    if (x <= 0.0) {
+        *b0 = *b1 = 0;
+        *frac = 0.0;
+        return;
+    }
+    if (x >= static_cast<double>(num_bins_ - 1)) {
+        *b0 = *b1 = num_bins_ - 1;
+        *frac = 0.0;
+        return;
+    }
+    *b0 = static_cast<int>(std::floor(x));
+    *b1 = *b0 + 1;
+    *frac = x - static_cast<double>(*b0);
+}
+
+double
+CalibrationTable::per(phy::RateIndex rate, double snr_db) const
+{
+    wilis_assert(valid(), "calibration table is empty");
+    wilis_assert(rate >= 0 && rate < phy::kNumRates,
+                 "rate %d out of range", rate);
+    int b0, b1;
+    double frac;
+    lerpCoords(snr_db, &b0, &b1, &frac);
+    const double p0 = cell(rate, b0).per();
+    const double p1 = cell(rate, b1).per();
+    return p0 + (p1 - p0) * frac;
+}
+
+double
+CalibrationTable::pberFeedback(phy::RateIndex rate, double snr_db,
+                               bool ok) const
+{
+    wilis_assert(valid(), "calibration table is empty");
+    wilis_assert(rate >= 0 && rate < phy::kNumRates,
+                 "rate %d out of range", rate);
+    int b0, b1;
+    double frac;
+    lerpCoords(snr_db, &b0, &b1, &frac);
+    const CalibrationCell &c0 = cell(rate, b0);
+    const CalibrationCell &c1 = cell(rate, b1);
+    const double l0 =
+        std::log(ok ? c0.pberOkGeo() : c0.pberBadGeo());
+    const double l1 =
+        std::log(ok ? c1.pberOkGeo() : c1.pberBadGeo());
+    return std::exp(l0 + (l1 - l0) * frac);
+}
+
+std::string
+CalibrationTable::serialize() const
+{
+    wilis_assert(valid(), "cannot serialize an empty table");
+    std::ostringstream out;
+    out << "# WiLIS network calibration table\n";
+    out << "version 1\n";
+    out << "channel " << channel_ << "\n";
+    out << "decoder " << decoder_ << "\n";
+    out << "soft_width " << soft_width_ << "\n";
+    out << "payload_bits " << payload_bits_ << "\n";
+    out << "packets_per_cell " << packets_ << "\n";
+    out << "seed " << seed_ << "\n";
+    out << strprintf("snr_lo_db %.17g\n", snr_lo_);
+    out << strprintf("snr_step_db %.17g\n", snr_step_);
+    out << "num_bins " << num_bins_ << "\n";
+    out << "num_rates " << phy::kNumRates << "\n";
+    for (int rate = 0; rate < phy::kNumRates; ++rate) {
+        for (int bin = 0; bin < num_bins_; ++bin) {
+            const CalibrationCell &c = cell(rate, bin);
+            out << strprintf(
+                "cell %d %d %llu %llu %.17g %.17g %.17g\n", rate,
+                bin, static_cast<unsigned long long>(c.frames),
+                static_cast<unsigned long long>(c.ok), c.sumPber,
+                c.sumLogPberOk, c.sumLogPberBad);
+        }
+    }
+    return out.str();
+}
+
+CalibrationTable
+CalibrationTable::parse(const std::string &text)
+{
+    CalibrationTable t;
+    int num_rates = 0;
+    int version = 0;
+    std::uint64_t cells_seen = 0;
+    std::vector<bool> seen;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string key;
+        ls >> key;
+        if (key == "version") {
+            ls >> version;
+            wilis_assert(version == 1,
+                         "unsupported calibration table version %d",
+                         version);
+        } else if (key == "channel") {
+            ls >> t.channel_;
+        } else if (key == "decoder") {
+            ls >> t.decoder_;
+        } else if (key == "soft_width") {
+            ls >> t.soft_width_;
+        } else if (key == "payload_bits") {
+            ls >> t.payload_bits_;
+        } else if (key == "packets_per_cell") {
+            ls >> t.packets_;
+        } else if (key == "seed") {
+            ls >> t.seed_;
+        } else if (key == "snr_lo_db") {
+            ls >> t.snr_lo_;
+        } else if (key == "snr_step_db") {
+            ls >> t.snr_step_;
+            wilis_assert(t.snr_step_ > 0.0,
+                         "calibration table needs a positive SNR "
+                         "step, got %g",
+                         t.snr_step_);
+        } else if (key == "num_bins") {
+            // The cells vector is sized from this value at the
+            // first 'cell' line; changing it afterwards would let
+            // later bounds checks pass against a stale allocation.
+            wilis_assert(t.cells.empty(),
+                         "calibration table geometry after cells");
+            ls >> t.num_bins_;
+        } else if (key == "num_rates") {
+            wilis_assert(t.cells.empty(),
+                         "calibration table geometry after cells");
+            ls >> num_rates;
+        } else if (key == "cell") {
+            wilis_assert(t.num_bins_ > 0 && num_rates > 0,
+                         "calibration cell before table geometry");
+            if (t.cells.empty()) {
+                t.cells.assign(static_cast<size_t>(phy::kNumRates) *
+                                   static_cast<size_t>(t.num_bins_),
+                               CalibrationCell());
+                seen.assign(t.cells.size(), false);
+            }
+            int rate = -1, bin = -1;
+            unsigned long long frames = 0, ok = 0;
+            CalibrationCell c;
+            ls >> rate >> bin >> frames >> ok >> c.sumPber >>
+                c.sumLogPberOk >> c.sumLogPberBad;
+            wilis_assert(!ls.fail(),
+                         "malformed calibration cell line '%s'",
+                         line.c_str());
+            wilis_assert(rate >= 0 && rate < phy::kNumRates &&
+                             bin >= 0 && bin < t.num_bins_,
+                         "calibration cell (%d, %d) out of range",
+                         rate, bin);
+            c.frames = frames;
+            c.ok = ok;
+            wilis_assert(c.ok <= c.frames,
+                         "calibration cell (%d, %d): ok > frames",
+                         rate, bin);
+            // Duplicates must not count toward completeness, or a
+            // repeated line could mask a missing (empty, PER ~ 1)
+            // cell.
+            const size_t idx =
+                static_cast<size_t>(rate) *
+                    static_cast<size_t>(t.num_bins_) +
+                static_cast<size_t>(bin);
+            wilis_assert(!seen[idx],
+                         "duplicate calibration cell (%d, %d)", rate,
+                         bin);
+            seen[idx] = true;
+            t.cellAt(rate, bin) = c;
+            ++cells_seen;
+        } else {
+            wilis_fatal("unknown calibration table key '%s'",
+                        key.c_str());
+        }
+    }
+    wilis_assert(version == 1, "missing calibration table version");
+    wilis_assert(t.num_bins_ >= 1 && t.snr_step_ > 0.0,
+                 "calibration table has no usable SNR geometry");
+    wilis_assert(num_rates == phy::kNumRates,
+                 "calibration table covers %d rates, need %d",
+                 num_rates, phy::kNumRates);
+    wilis_assert(cells_seen ==
+                     static_cast<std::uint64_t>(phy::kNumRates) *
+                         static_cast<std::uint64_t>(t.num_bins_),
+                 "calibration table is missing cells (%llu of %llu)",
+                 static_cast<unsigned long long>(cells_seen),
+                 static_cast<unsigned long long>(
+                     static_cast<std::uint64_t>(phy::kNumRates) *
+                     static_cast<std::uint64_t>(t.num_bins_)));
+    return t;
+}
+
+void
+CalibrationTable::save(const std::string &path) const
+{
+    std::ofstream out(path);
+    wilis_assert(out.good(), "cannot write calibration table to %s",
+                 path.c_str());
+    out << serialize();
+    out.close();
+    wilis_assert(out.good(), "short write saving calibration table %s",
+                 path.c_str());
+}
+
+CalibrationTable
+CalibrationTable::load(const std::string &path)
+{
+    std::ifstream in(path);
+    wilis_assert(in.good(), "cannot read calibration table %s",
+                 path.c_str());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse(buf.str());
+}
+
+} // namespace softphy
+} // namespace wilis

@@ -10,10 +10,75 @@
 #include <numeric>
 
 #include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
 
 using namespace wilis;
+
+TEST(RunningStats, SampleVarianceConvention)
+{
+    // The n-1 (Bessel) convention, matching the n > 1 gate: {1,2,3}
+    // has sample variance exactly 1 (population form would say 2/3).
+    RunningStats st;
+    st.add(1.0);
+    st.add(2.0);
+    st.add(3.0);
+    EXPECT_EQ(st.count(), 3u);
+    EXPECT_DOUBLE_EQ(st.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(st.variance(), 1.0);
+    EXPECT_DOUBLE_EQ(st.stddev(), 1.0);
+
+    // Degenerate counts stay gated to 0.
+    RunningStats one;
+    one.add(5.0);
+    EXPECT_EQ(one.variance(), 0.0);
+    EXPECT_EQ(RunningStats().variance(), 0.0);
+}
+
+TEST(RunningStats, LargeMeanSmallSpreadDoesNotCancel)
+{
+    // Raw sum-of-squares accumulation would lose every significant
+    // digit here (sum_sq ~ n*1e16 against a unit spread) and report
+    // variance 0; the offset-shifted moments must not.
+    RunningStats st;
+    for (int i = 0; i < 2000; ++i)
+        st.add(1.0e8 + static_cast<double>(i % 2));
+    EXPECT_NEAR(st.mean(), 1.0e8 + 0.5, 1e-6);
+    EXPECT_NEAR(st.variance(), 0.25, 1e-3);
+
+    // And merging two such shards keeps the spread visible too.
+    RunningStats a, b;
+    for (int i = 0; i < 1000; ++i) {
+        a.add(1.0e8 + static_cast<double>(i % 2));
+        b.add(1.0e8 + static_cast<double>((i + 1) % 2));
+    }
+    a.merge(b);
+    EXPECT_NEAR(a.variance(), 0.25, 1e-3);
+}
+
+TEST(RunningStats, ShardMergeIsBitEqualToSinglePass)
+{
+    // The UserStats aggregation pattern: per-user shards accumulate
+    // integer-valued latencies sequentially and merge in user order.
+    // Integer samples keep every moment sum exact, so the merged
+    // mean and variance must be BIT-equal to one single-pass
+    // accumulation over the concatenated stream -- not merely close.
+    SplitMix64 rng(0x57A75);
+    RunningStats whole, shard_a, shard_b;
+    for (int i = 0; i < 4096; ++i) {
+        double latency_slots =
+            static_cast<double>(rng.nextBelow(64)); // integer slots
+        whole.add(latency_slots);
+        (i < 2048 ? shard_a : shard_b).add(latency_slots);
+    }
+    shard_a.merge(shard_b);
+    EXPECT_EQ(shard_a.count(), whole.count());
+    EXPECT_EQ(shard_a.mean(), whole.mean());
+    EXPECT_EQ(shard_a.variance(), whole.variance());
+    EXPECT_EQ(shard_a.stddev(), whole.stddev());
+}
 
 TEST(Strprintf, FormatsLikePrintf)
 {
