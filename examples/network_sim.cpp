@@ -1,12 +1,17 @@
 /**
  * @file
- * Multi-user cell demo: N links with per-user near/far SNR offsets
- * ride an AR(1) fading timeline, each running SoftRate rate
- * adaptation over a windowed ARQ. Prints a per-user table and the
- * aggregate latency / rate-usage histograms.
+ * Multi-user network demo. Single-cell specs run N independent
+ * links with per-user near/far SNR offsets on an AR(1) fading
+ * timeline; multi-cell specs (cells=RxC) run the interference-aware
+ * deployment: 2-D user placement, pathloss + shadowing link
+ * budgets, per-slot SINR over same-slot interfering cells, traffic
+ * queues and a per-cell scheduler. Prints a per-user table (capped
+ * for large deployments), a per-cell summary and the aggregate
+ * latency / rate-usage histograms.
  *
  * Run: ./build/network_sim [preset|k=v,...] [slots] [threads]
  *      ./build/network_sim cell-16 200 4
+ *      ./build/network_sim grid-3x3 400 4          # from repo root
  *      ./build/network_sim "users=8,snr_db=18,arq=stopwait" 100
  */
 
@@ -15,6 +20,7 @@
 #include <cstdlib>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "phy/modulation.hh"
 #include "sim/network_sim.hh"
@@ -60,41 +66,106 @@ main(int argc, char **argv)
             : sim::NetworkSpec::fromConfig(
                   li::Config::fromString(what));
 
-    std::printf("network: %s — %d users, %s arrivals, %s ARQ "
-                "(window %d), %.0f Hz Doppler, SNR %g±%g dB, "
-                "%s fidelity\n",
-                spec.name.c_str(), spec.numUsers,
-                spec.arrivalModel.c_str(),
-                mac::arqModeName(spec.arqMode), spec.arqWindow,
-                spec.dopplerHz, spec.link.snrDb(), spec.snrSpreadDb,
-                sim::fidelityModeName(spec.fidelity.mode));
+    if (spec.multicell())
+        std::printf("network: %s — %dx%d cells, %d users, %s "
+                    "traffic (load %g), %s scheduler, %s ARQ "
+                    "(window %d), %.0f Hz Doppler, %s fidelity\n",
+                    spec.name.c_str(), spec.topology.rows,
+                    spec.topology.cols, spec.numUsers,
+                    mac::trafficKindName(spec.traffic.kind),
+                    spec.traffic.load,
+                    mac::schedulerKindName(spec.scheduler.kind),
+                    mac::arqModeName(spec.arqMode), spec.arqWindow,
+                    spec.dopplerHz,
+                    sim::fidelityModeName(spec.fidelity.mode));
+    else
+        std::printf("network: %s — %d users, %s arrivals, %s ARQ "
+                    "(window %d), %.0f Hz Doppler, SNR %g±%g dB, "
+                    "%s fidelity\n",
+                    spec.name.c_str(), spec.numUsers,
+                    spec.arrivalModel.c_str(),
+                    mac::arqModeName(spec.arqMode), spec.arqWindow,
+                    spec.dopplerHz, spec.link.snrDb(),
+                    spec.snrSpreadDb,
+                    sim::fidelityModeName(spec.fidelity.mode));
 
     sim::NetworkSim sim(spec);
     sim::NetworkResult res = sim.run(slots, threads);
 
-    std::printf("\n%-5s %-9s %-7s %-8s %-7s %-7s %-9s %-10s %-8s\n",
-                "user", "snr dB", "sent", "ok%", "rtx", "drop",
-                "goodput", "latency", "top rate");
-    for (const sim::UserStats &u : res.users) {
-        // Most used rate for the narrative column.
-        int top = 0;
-        for (int b = 1; b < u.rateHist.numBins(); ++b)
-            if (u.rateHist.count(b) > u.rateHist.count(top))
-                top = b;
+    // Per-user detail reads well to a few dozen users; a 10k-user
+    // deployment speaks through the per-cell and aggregate views.
+    if (res.users.size() <= 64) {
+        // The cell column only means something on a grid.
         std::printf(
-            "%-5d %-9.1f %-7llu %-8.1f %-7llu %-7llu %-9.3f "
-            "%-10.1f %s\n",
-            u.user, spec.link.snrDb() + u.snrOffsetDb,
-            static_cast<unsigned long long>(u.framesSent),
-            100.0 * u.frameSuccessRate(),
-            static_cast<unsigned long long>(u.retransmissions),
-            static_cast<unsigned long long>(u.dropped),
-            u.goodputMbps(res.slots, spec.frameIntervalUs),
-            u.latencySlots.mean(),
-            phy::rateTable(top).name().c_str());
+            "\n%-5s %s%-9s %-7s %-8s %-7s %-7s %-9s %-10s %-8s\n",
+            "user", spec.multicell() ? "cell  " : "", "snr dB",
+            "sent", "ok%", "rtx", "drop", "goodput", "latency",
+            "top rate");
+        for (const sim::UserStats &u : res.users) {
+            // Most used rate for the narrative column.
+            int top = 0;
+            for (int b = 1; b < u.rateHist.numBins(); ++b)
+                if (u.rateHist.count(b) > u.rateHist.count(top))
+                    top = b;
+            std::printf("%-5d ", u.user);
+            if (spec.multicell())
+                std::printf("%-5d ", u.servingCell);
+            const double snr =
+                spec.multicell()
+                    ? u.meanSnrDb
+                    : spec.link.snrDb() + u.snrOffsetDb;
+            std::printf(
+                "%-9.1f %-7llu %-8.1f %-7llu %-7llu "
+                "%-9.3f %-10.1f %s\n",
+                snr,
+                static_cast<unsigned long long>(u.framesSent),
+                100.0 * u.frameSuccessRate(),
+                static_cast<unsigned long long>(u.retransmissions),
+                static_cast<unsigned long long>(u.dropped),
+                u.goodputMbps(res.slots, spec.frameIntervalUs),
+                u.latencySlots.mean(),
+                phy::rateTable(top).name().c_str());
+        }
+    }
+
+    if (spec.multicell()) {
+        // Per-cell roll-up: merge each cell's users in user order
+        // (deterministic, like the aggregate).
+        std::vector<sim::UserStats> cells(
+            static_cast<size_t>(res.cells));
+        std::vector<int> population(static_cast<size_t>(res.cells),
+                                    0);
+        for (const sim::UserStats &u : res.users) {
+            cells[static_cast<size_t>(u.servingCell)].merge(u);
+            ++population[static_cast<size_t>(u.servingCell)];
+        }
+        std::printf("\n%-5s %-6s %-8s %-8s %-9s %-10s %-10s\n",
+                    "cell", "users", "sent", "ok%", "goodput",
+                    "sinr dB", "queue dr");
+        for (int c = 0; c < res.cells; ++c) {
+            const sim::UserStats &cs =
+                cells[static_cast<size_t>(c)];
+            std::printf(
+                "%-5d %-6d %-8llu %-8.1f %-9.3f %-10.1f %-10llu\n",
+                c, population[static_cast<size_t>(c)],
+                static_cast<unsigned long long>(cs.framesSent),
+                100.0 * cs.frameSuccessRate(),
+                cs.goodputMbps(res.slots, spec.frameIntervalUs),
+                cs.sinrDb.mean(),
+                static_cast<unsigned long long>(cs.queueDrops));
+        }
     }
 
     const sim::UserStats &agg = res.aggregate;
+    if (spec.multicell())
+        std::printf("\ntraffic: %llu arrivals, %llu queue drops, "
+                    "mean queue wait %.1f slots, mean SINR %.1f dB, "
+                    "%llu contention-stalled user-slots\n",
+                    static_cast<unsigned long long>(agg.arrivals),
+                    static_cast<unsigned long long>(agg.queueDrops),
+                    agg.queueWaitSlots.mean(), agg.sinrDb.mean(),
+                    static_cast<unsigned long long>(
+                        agg.stalledSlots));
     if (agg.analyticFrames)
         std::printf("\nfidelity mix: %llu full-PHY + %llu analytic "
                     "frame slots (%.1f%% bit-exact)\n",

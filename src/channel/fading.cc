@@ -11,27 +11,11 @@
 namespace wilis {
 namespace channel {
 
-RayleighChannel::RayleighChannel(const li::Config &cfg)
-    : RayleighChannel(
-          cfg.getDouble("snr_db", 10.0),
-          cfg.getDouble("doppler_hz", 20.0),
-          static_cast<std::uint64_t>(cfg.getInt("seed", 1)),
-          cfg.getDouble("packet_interval_us", 2000.0),
-          static_cast<int>(cfg.getInt("threads", 1)),
-          cfg.getBool("common_noise", false),
-          cfg.getBool("block_fading", false))
-{}
-
-RayleighChannel::RayleighChannel(double snr_db, double doppler_hz,
-                                 std::uint64_t seed,
-                                 double packet_interval_us_,
-                                 int threads, bool common_noise,
-                                 bool block_fading)
-    : awgn(snr_db, seed, threads, common_noise), doppler(doppler_hz),
-      packet_interval_us(packet_interval_us_),
-      block_fading_(block_fading)
+JakesFader::JakesFader(double doppler_hz, std::uint64_t seed)
+    : doppler(doppler_hz)
 {
-    wilis_assert(doppler_hz >= 0.0, "negative Doppler %f", doppler_hz);
+    wilis_assert(doppler_hz >= 0.0, "negative Doppler %f",
+                 doppler_hz);
     // Deterministic oscillator bank (Clarke model): arrival angles
     // uniformly spread with a random rotation, independent random
     // phases for the in-phase and quadrature processes.
@@ -49,7 +33,7 @@ RayleighChannel::RayleighChannel(double snr_db, double doppler_hz,
 }
 
 Sample
-RayleighChannel::gainAt(double t_us) const
+JakesFader::gainAt(double t_us) const
 {
     // Clarke sum-of-sinusoids with independent I/Q phase banks:
     // each component has variance M/2 before normalization, so
@@ -66,6 +50,28 @@ RayleighChannel::gainAt(double t_us) const
     double norm = 1.0 / std::sqrt(static_cast<double>(kOscillators));
     return Sample(re * norm, im * norm);
 }
+
+RayleighChannel::RayleighChannel(const li::Config &cfg)
+    : RayleighChannel(
+          cfg.getDouble("snr_db", 10.0),
+          cfg.getDouble("doppler_hz", 20.0),
+          static_cast<std::uint64_t>(cfg.getInt("seed", 1)),
+          cfg.getDouble("packet_interval_us", 2000.0),
+          static_cast<int>(cfg.getInt("threads", 1)),
+          cfg.getBool("common_noise", false),
+          cfg.getBool("block_fading", false))
+{}
+
+RayleighChannel::RayleighChannel(double snr_db, double doppler_hz,
+                                 std::uint64_t seed,
+                                 double packet_interval_us_,
+                                 int threads, bool common_noise,
+                                 bool block_fading)
+    : awgn(snr_db, seed, threads, common_noise),
+      fader(doppler_hz, seed),
+      packet_interval_us(packet_interval_us_),
+      block_fading_(block_fading)
+{}
 
 Sample
 RayleighChannel::gain(std::uint64_t packet_index,

@@ -20,6 +20,39 @@
 namespace wilis {
 namespace channel {
 
+/**
+ * The bare Jakes/Clarke sum-of-sinusoids Rayleigh fading process,
+ * split out of RayleighChannel so the multi-cell network simulator
+ * can evaluate per-user fading gains at arbitrary slot times
+ * without paying for an AWGN channel per user. The oscillator bank
+ * is deterministic in the seed, evaluation is random-access (a pure
+ * function of absolute time), and E[|h|^2] = 1.
+ */
+class JakesFader
+{
+  public:
+    /**
+     * @param doppler_hz Maximum Doppler frequency.
+     * @param seed       Oscillator bank seed; equal seeds produce
+     *                   the identical fading trajectory.
+     */
+    JakesFader(double doppler_hz, std::uint64_t seed);
+
+    /** Maximum Doppler frequency in Hz. */
+    double dopplerHz() const { return doppler; }
+
+    /** Complex fading gain at absolute time @p t_us. */
+    Sample gainAt(double t_us) const;
+
+  private:
+    static constexpr int kOscillators = 16;
+
+    double doppler;
+    std::array<double, kOscillators> freq_scale; // cos(arrival angle)
+    std::array<double, kOscillators> phase_i;
+    std::array<double, kOscillators> phase_q;
+};
+
 /** Rayleigh flat-fading + AWGN channel. */
 class RayleighChannel : public Channel
 {
@@ -52,21 +85,16 @@ class RayleighChannel : public Channel
     }
 
     /** Maximum Doppler frequency in Hz. */
-    double dopplerHz() const { return doppler; }
+    double dopplerHz() const { return fader.dopplerHz(); }
 
   private:
     /** Fading gain at absolute time @p t_us (microseconds). */
-    Sample gainAt(double t_us) const;
-
-    static constexpr int kOscillators = 16;
+    Sample gainAt(double t_us) const { return fader.gainAt(t_us); }
 
     AwgnChannel awgn;
-    double doppler;
+    JakesFader fader;
     double packet_interval_us;
     bool block_fading_;
-    std::array<double, kOscillators> freq_scale; // cos(arrival angle)
-    std::array<double, kOscillators> phase_i;
-    std::array<double, kOscillators> phase_q;
 };
 
 /**

@@ -210,13 +210,40 @@ class Arq
         drainDeliverable(now, out);
     }
 
+    /** True if a NACKed frame is waiting for retransmission. */
+    bool
+    hasResend() const
+    {
+        for (std::uint64_t s = deliver_next; s < next_new; ++s) {
+            if (win[static_cast<size_t>(
+                        s % static_cast<std::uint64_t>(win.size()))]
+                    .state == State::NeedsResend)
+                return true;
+        }
+        return false;
+    }
+
+    /** True if the window can admit a never-transmitted frame. */
+    bool
+    windowHasRoom() const
+    {
+        return next_new - deliver_next <
+               static_cast<std::uint64_t>(win.size());
+    }
+
     /**
      * Sequence number to transmit at slot @p now.
+     * @param allow_new Admit a never-transmitted frame when no
+     *        retransmission is pending; pass false when the traffic
+     *        queue has nothing new to offer (the scheduler-driven
+     *        network simulator gates new frames on arrivals).
      * @return false if the link should stay idle this slot (window
-     *         stalled on outstanding acknowledgements).
+     *         stalled on outstanding acknowledgements, or nothing
+     *         to send).
      */
     bool
-    nextToSend(std::uint64_t now, std::uint64_t &seq)
+    nextToSend(std::uint64_t now, std::uint64_t &seq,
+               bool allow_new = true)
     {
         // Oldest NACKed frame first.
         for (std::uint64_t s = deliver_next; s < next_new; ++s) {
@@ -230,9 +257,8 @@ class Arq
                 return true;
             }
         }
-        // Else a new frame if the window has room.
-        if (next_new - deliver_next <
-            static_cast<std::uint64_t>(win.size())) {
+        // Else a new frame if offered and the window has room.
+        if (allow_new && windowHasRoom()) {
             Slot &slot = slotFor(next_new);
             slot.state = State::AwaitingAck;
             slot.firstTx = now;

@@ -1,0 +1,108 @@
+#include "mac/scheduler.hh"
+
+#include "common/logging.hh"
+
+namespace wilis {
+namespace mac {
+
+const char *
+schedulerKindName(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::RoundRobin:
+        return "round_robin";
+      case SchedulerKind::ProportionalFair:
+        return "proportional_fair";
+    }
+    return "?";
+}
+
+SchedulerKind
+schedulerKindFromName(const std::string &name)
+{
+    if (name == "round_robin" || name == "rr")
+        return SchedulerKind::RoundRobin;
+    if (name == "proportional_fair" || name == "pf")
+        return SchedulerKind::ProportionalFair;
+    wilis_fatal("unknown scheduler '%s' "
+                "(round_robin|proportional_fair)",
+                name.c_str());
+}
+
+CellScheduler::CellScheduler(const Config &cfg, int num_users)
+    : cfg_(cfg), num_users_(num_users)
+{
+    wilis_assert(num_users_ >= 0, "negative user count %d",
+                 num_users_);
+    wilis_assert(cfg_.pfHorizonSlots >= 1.0,
+                 "PF horizon %g slots < 1", cfg_.pfHorizonSlots);
+    if (cfg_.kind == SchedulerKind::ProportionalFair)
+        avg_.assign(static_cast<size_t>(num_users_), 0.0);
+}
+
+int
+CellScheduler::pick(const std::vector<std::uint8_t> &eligible,
+                    const std::vector<double> &inst_rate) const
+{
+    wilis_assert(static_cast<int>(eligible.size()) == num_users_,
+                 "eligibility vector size %zu != %d users",
+                 eligible.size(), num_users_);
+    if (num_users_ == 0)
+        return -1;
+    if (cfg_.kind == SchedulerKind::RoundRobin) {
+        for (int i = 0; i < num_users_; ++i) {
+            const int u = (cursor_ + i) % num_users_;
+            if (eligible[static_cast<size_t>(u)])
+                return u;
+        }
+        return -1;
+    }
+    // Proportional fair: argmax inst/avg with a floor on the
+    // average so a never-served user wins its first contention.
+    // Ties break to the lowest index -- scheduling stays a pure
+    // function of the inputs.
+    int best = -1;
+    double best_metric = 0.0;
+    for (int u = 0; u < num_users_; ++u) {
+        if (!eligible[static_cast<size_t>(u)])
+            continue;
+        const double avg =
+            avg_[static_cast<size_t>(u)] > 1e-12
+                ? avg_[static_cast<size_t>(u)]
+                : 1e-12;
+        const double metric =
+            inst_rate[static_cast<size_t>(u)] / avg;
+        if (best < 0 || metric > best_metric) {
+            best = u;
+            best_metric = metric;
+        }
+    }
+    return best;
+}
+
+void
+CellScheduler::update(int granted, double served_bits)
+{
+    if (cfg_.kind == SchedulerKind::RoundRobin) {
+        if (granted >= 0)
+            cursor_ = (granted + 1) % num_users_;
+        return;
+    }
+    const double a = 1.0 / cfg_.pfHorizonSlots;
+    for (int u = 0; u < num_users_; ++u) {
+        const double served = u == granted ? served_bits : 0.0;
+        avg_[static_cast<size_t>(u)] =
+            (1.0 - a) * avg_[static_cast<size_t>(u)] + a * served;
+    }
+}
+
+double
+CellScheduler::averageRate(int local_user) const
+{
+    wilis_assert(cfg_.kind == SchedulerKind::ProportionalFair,
+                 "averageRate() is a proportional-fair statistic");
+    return avg_[static_cast<size_t>(local_user)];
+}
+
+} // namespace mac
+} // namespace wilis

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Per-cell slot scheduler of the multi-cell network simulator: the
+ * MAC-level arbitration layer that decides which single user
+ * transmits in each cell's slot, instead of every user transmitting
+ * every slot ("Modelling MAC-Layer Communications in Wireless
+ * Systems" motivates treating this arbitration as a first-class
+ * modeled layer).
+ *
+ * Two disciplines:
+ *  - round_robin        -- cycle through the cell's users, skipping
+ *    ones with nothing to send; the fairness baseline.
+ *  - proportional_fair  -- grant argmax of instantaneous rate over
+ *    exponentially averaged served throughput (the classic PF
+ *    metric), trading peak throughput against starvation.
+ *
+ * Both are pure functions of (cell state, per-slot inputs), with
+ * deterministic tie-breaks (lowest user index), so scheduling can
+ * never depend on worker sharding.
+ */
+
+#ifndef WILIS_MAC_SCHEDULER_HH
+#define WILIS_MAC_SCHEDULER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wilis {
+namespace mac {
+
+/** Arbitration discipline of a cell's slot scheduler. */
+enum class SchedulerKind {
+    /** Cyclic grants over backlogged users. */
+    RoundRobin,
+    /** Instantaneous rate / average throughput argmax. */
+    ProportionalFair,
+};
+
+/** Config-file name ("round_robin" / "proportional_fair"). */
+const char *schedulerKindName(SchedulerKind kind);
+
+/** Inverse of schedulerKindName(); fatal on unknown names. */
+SchedulerKind schedulerKindFromName(const std::string &name);
+
+/**
+ * One cell's scheduler state. Users are addressed by their local
+ * index within the cell (0..numUsers-1); the caller owns the
+ * mapping to global user ids.
+ */
+class CellScheduler
+{
+  public:
+    /** Scheduler configuration. */
+    struct Config {
+        /** Arbitration discipline. */
+        SchedulerKind kind = SchedulerKind::RoundRobin;
+        /**
+         * Proportional-fair averaging horizon in slots (the EWMA
+         * time constant of the served-throughput estimate).
+         */
+        double pfHorizonSlots = 64.0;
+    };
+
+    /** Build a scheduler for a cell of @p num_users users. */
+    CellScheduler(const Config &cfg, int num_users);
+
+    /**
+     * Pick the user to grant this slot.
+     * @param eligible  Per-user flag: has something to send.
+     * @param inst_rate Per-user instantaneous rate estimate; only
+     *                  consulted by proportional_fair, and only at
+     *                  eligible indices.
+     * @return the granted local user index, or -1 if no user is
+     *         eligible. Does not mutate state; call update() with
+     *         the result to close the slot.
+     */
+    int pick(const std::vector<std::uint8_t> &eligible,
+             const std::vector<double> &inst_rate) const;
+
+    /**
+     * Close the slot: advance the round-robin cursor / decay the PF
+     * throughput averages.
+     * @param granted     pick()'s return value (-1 = idle slot).
+     * @param served_bits Bits served to the granted user this slot.
+     */
+    void update(int granted, double served_bits);
+
+    /** PF average served throughput of @p local_user (bits/slot). */
+    double averageRate(int local_user) const;
+
+  private:
+    Config cfg_;
+    int num_users_;
+    int cursor_ = 0;          // round robin: last granted + 1
+    std::vector<double> avg_; // PF served-throughput EWMA
+};
+
+} // namespace mac
+} // namespace wilis
+
+#endif // WILIS_MAC_SCHEDULER_HH

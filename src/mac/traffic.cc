@@ -1,0 +1,141 @@
+#include "mac/traffic.hh"
+
+#include <cmath>
+
+namespace wilis {
+namespace mac {
+
+const char *
+trafficKindName(TrafficKind kind)
+{
+    switch (kind) {
+      case TrafficKind::FullBuffer:
+        return "full_buffer";
+      case TrafficKind::Poisson:
+        return "poisson";
+      case TrafficKind::OnOff:
+        return "onoff";
+    }
+    return "?";
+}
+
+TrafficKind
+trafficKindFromName(const std::string &name)
+{
+    if (name == "full_buffer")
+        return TrafficKind::FullBuffer;
+    if (name == "poisson")
+        return TrafficKind::Poisson;
+    if (name == "onoff")
+        return TrafficKind::OnOff;
+    wilis_fatal("unknown traffic model '%s' "
+                "(full_buffer|poisson|onoff)",
+                name.c_str());
+}
+
+TrafficSource::TrafficSource(const TrafficSpec &spec,
+                             std::uint64_t stream_seed)
+    : spec_(spec), rng_(stream_seed),
+      transitions_(rng_.fork(0x70661Eull).fork(0xD11ull))
+{
+    // The upper bound keeps Knuth's product sampler in its working
+    // range (exp(-load) underflows near 708 and the loop would
+    // return underflow counts, not Poisson draws); dozens of frame
+    // arrivals per user per slot is already far beyond any cell's
+    // service rate.
+    wilis_assert(spec_.load >= 0.0 && spec_.load <= 64.0,
+                 "traffic load %g outside [0, 64] frames/slot",
+                 spec_.load);
+    wilis_assert(spec_.queueLimit >= 1, "queue limit %d < 1",
+                 spec_.queueLimit);
+    wilis_assert(spec_.onSlots >= 1.0 && spec_.offSlots >= 1.0,
+                 "ON/OFF dwell means (%g, %g) must be >= 1 slot",
+                 spec_.onSlots, spec_.offSlots);
+    if (spec_.kind != TrafficKind::FullBuffer)
+        queue_.resize(static_cast<size_t>(spec_.queueLimit));
+    // Start the ON/OFF chain in its stationary distribution so a
+    // cell's initial load is representative, not synchronized.
+    if (spec_.kind == TrafficKind::OnOff)
+        on_ = rng_.doubleAt(0x0FF0Full) <
+              spec_.onSlots / (spec_.onSlots + spec_.offSlots);
+}
+
+int
+TrafficSource::poissonAt(std::uint64_t t, double mean) const
+{
+    // Knuth's product-of-uniforms sampler on the slot's own
+    // sub-stream; the draw count varies per slot, which is why each
+    // slot forks its own counter space.
+    const CounterRng slot = rng_.fork(t);
+    const double limit = std::exp(-mean);
+    double prod = 1.0;
+    int k = 0;
+    do {
+        prod *= slot.doubleAt(static_cast<std::uint64_t>(k));
+        ++k;
+    } while (prod > limit);
+    return k - 1;
+}
+
+void
+TrafficSource::push(std::uint64_t arrival_slot)
+{
+    ++arrivals_;
+    if (depth_ >= spec_.queueLimit) {
+        ++drops_;
+        return;
+    }
+    const int tail =
+        (head_ + depth_) % static_cast<int>(queue_.size());
+    queue_[static_cast<size_t>(tail)] = arrival_slot;
+    ++depth_;
+}
+
+void
+TrafficSource::tick(std::uint64_t t)
+{
+    switch (spec_.kind) {
+      case TrafficKind::FullBuffer:
+        return;
+      case TrafficKind::Poisson: {
+        const int n = poissonAt(t, spec_.load);
+        for (int i = 0; i < n; ++i)
+            push(t);
+        return;
+      }
+      case TrafficKind::OnOff:
+        break;
+    }
+    // Geometric dwell times: one keyed transition draw per slot,
+    // evaluated before this slot's arrivals so a freshly started
+    // burst delivers immediately.
+    const double u = transitions_.doubleAt(t);
+    if (on_) {
+        if (u < 1.0 / spec_.onSlots)
+            on_ = false;
+    } else {
+        if (u < 1.0 / spec_.offSlots)
+            on_ = true;
+    }
+    if (on_) {
+        const int n = poissonAt(t, spec_.load);
+        for (int i = 0; i < n; ++i)
+            push(t);
+    }
+}
+
+std::uint64_t
+TrafficSource::pop(std::uint64_t now)
+{
+    if (spec_.kind == TrafficKind::FullBuffer)
+        return now;
+    wilis_assert(depth_ > 0, "pop() from an empty traffic queue");
+    const std::uint64_t arrival =
+        queue_[static_cast<size_t>(head_)];
+    head_ = (head_ + 1) % static_cast<int>(queue_.size());
+    --depth_;
+    return arrival;
+}
+
+} // namespace mac
+} // namespace wilis

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Per-user traffic models and the head-of-line frame queue feeding
+ * the per-cell scheduler of the multi-cell network simulator.
+ *
+ * Three arrival processes are modeled:
+ *  - "full_buffer" -- the user always has a frame to send (the
+ *    classic capacity-evaluation workload); nothing queues.
+ *  - "poisson"     -- frames arrive as an independent Poisson count
+ *    per slot with a configurable mean load.
+ *  - "onoff"       -- a two-state Markov burst model: geometric ON
+ *    and OFF dwell times, Poisson arrivals while ON (the bursty
+ *    workload that makes scheduling and queueing visible).
+ *
+ * Every draw is keyed by (user stream, slot) through the
+ * counter-based generator, and the ON/OFF state evolves once per
+ * slot in slot order, so a user's arrival sequence is a pure
+ * function of (spec, stream seed) -- bit-identical for any worker
+ * thread count, like the rest of the simulator.
+ */
+
+#ifndef WILIS_MAC_TRAFFIC_HH
+#define WILIS_MAC_TRAFFIC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace wilis {
+namespace mac {
+
+/** Arrival process of one user's traffic source. */
+enum class TrafficKind {
+    /** Always backlogged; frames materialize at service time. */
+    FullBuffer,
+    /** Independent Poisson frame arrivals per slot. */
+    Poisson,
+    /** Markov ON/OFF bursts with Poisson arrivals while ON. */
+    OnOff,
+};
+
+/** Config-file name ("full_buffer" / "poisson" / "onoff"). */
+const char *trafficKindName(TrafficKind kind);
+
+/** Inverse of trafficKindName(); fatal on unknown names. */
+TrafficKind trafficKindFromName(const std::string &name);
+
+/** Declarative traffic-model parameters (per user). */
+struct TrafficSpec {
+    /** Arrival process. */
+    TrafficKind kind = TrafficKind::FullBuffer;
+    /**
+     * Mean frame arrivals per slot: the Poisson rate ("poisson"),
+     * or the rate while ON ("onoff"). Ignored by "full_buffer".
+     */
+    double load = 0.5;
+    /** Mean ON dwell in slots (geometric; "onoff" only). */
+    double onSlots = 32.0;
+    /** Mean OFF dwell in slots (geometric; "onoff" only). */
+    double offSlots = 96.0;
+    /** Frame queue capacity; arrivals beyond it are dropped. */
+    int queueLimit = 64;
+};
+
+/**
+ * One user's arrival process plus bounded FIFO frame queue. The
+ * queue stores arrival slots so the scheduler's grant can account
+ * head-of-line queueing delay. Drive it once per slot with tick(),
+ * in slot order.
+ */
+class TrafficSource
+{
+  public:
+    /** @param stream_seed Per-user arrival stream key. */
+    TrafficSource(const TrafficSpec &spec,
+                  std::uint64_t stream_seed);
+
+    /** The parameters in use. */
+    const TrafficSpec &spec() const { return spec_; }
+
+    /**
+     * Advance to slot @p t: evolve the ON/OFF state, draw this
+     * slot's arrivals and enqueue them (dropping overflow). Must be
+     * called once per slot with increasing @p t.
+     */
+    void tick(std::uint64_t t);
+
+    /** True if a frame is ready to send. */
+    bool
+    backlogged() const
+    {
+        return spec_.kind == TrafficKind::FullBuffer || depth_ > 0;
+    }
+
+    /**
+     * Dequeue the head-of-line frame and return its arrival slot
+     * (@p now for "full_buffer", whose frames materialize at
+     * service). Only valid when backlogged().
+     */
+    std::uint64_t pop(std::uint64_t now);
+
+    /** Frames currently queued (always 0 for "full_buffer"). */
+    int depth() const { return depth_; }
+
+    /** Total frames arrived so far (0 for "full_buffer"). */
+    std::uint64_t arrivals() const { return arrivals_; }
+
+    /** Arrivals dropped on a full queue. */
+    std::uint64_t drops() const { return drops_; }
+
+    /** True if the ON/OFF chain is currently ON. */
+    bool on() const { return on_; }
+
+  private:
+    /** Poisson(@p mean) count from this slot's sub-stream. */
+    int poissonAt(std::uint64_t t, double mean) const;
+
+    void push(std::uint64_t arrival_slot);
+
+    TrafficSpec spec_;
+    CounterRng rng_;
+    /**
+     * ON/OFF dwell-transition stream, double-forked so it can
+     * never collide with the per-slot Poisson sub-streams
+     * rng_.fork(t) (a single fork keyed by the raw slot index).
+     */
+    CounterRng transitions_;
+    std::vector<std::uint64_t> queue_; // ring of arrival slots
+    int head_ = 0;
+    int depth_ = 0;
+    bool on_ = false;
+    std::uint64_t arrivals_ = 0;
+    std::uint64_t drops_ = 0;
+};
+
+} // namespace mac
+} // namespace wilis
+
+#endif // WILIS_MAC_TRAFFIC_HH

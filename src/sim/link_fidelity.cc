@@ -67,9 +67,20 @@ AnalyticLink::AnalyticLink(const softphy::CalibrationTable *table,
     wilis_assert(chan_ != nullptr, "analytic link needs a channel");
 }
 
+AnalyticLink::AnalyticLink(const softphy::CalibrationTable *table,
+                           std::uint64_t draw_stream)
+    : table_(table), chan_(nullptr), mean_snr_db_(0.0),
+      draws_(draw_stream)
+{
+    wilis_assert(table_ && table_->valid(),
+                 "analytic link needs a calibration table");
+}
+
 double
 AnalyticLink::effectiveSnrDb(std::uint64_t t) const
 {
+    wilis_assert(chan_ != nullptr,
+                 "channel-less analytic link: use drawAt()");
     // Block fading: one gain per slot; conditioning on |h|^2 turns
     // the slot into a flat channel at the effective SNR, which is
     // exactly what the table was calibrated against.
@@ -80,20 +91,26 @@ AnalyticLink::effectiveSnrDb(std::uint64_t t) const
 }
 
 LinkFrameResult
-AnalyticLink::transmit(phy::RateIndex rate, std::uint64_t seq,
-                       std::uint64_t t)
+AnalyticLink::drawAt(phy::RateIndex rate, std::uint64_t t,
+                     double snr_eff_db)
 {
-    (void)seq; // payload content does not exist on the fast path
-    const double snr_eff = effectiveSnrDb(t);
-    const double per = table_->per(rate, snr_eff);
+    const double per = table_->per(rate, snr_eff_db);
     LinkFrameResult res;
     // Keyed by the slot index alone: a retransmission in a later
     // slot draws fresh slot randomness, exactly like the full PHY's
     // per-slot noise streams.
     res.ok = draws_.doubleAt(t) >= per;
-    res.pber = table_->pberFeedback(rate, snr_eff, res.ok);
+    res.pber = table_->pberFeedback(rate, snr_eff_db, res.ok);
     res.fullPhy = false;
     return res;
+}
+
+LinkFrameResult
+AnalyticLink::transmit(phy::RateIndex rate, std::uint64_t seq,
+                       std::uint64_t t)
+{
+    (void)seq; // payload content does not exist on the fast path
+    return drawAt(rate, t, effectiveSnrDb(t));
 }
 
 } // namespace sim

@@ -144,9 +144,29 @@ class AnalyticLink : public LinkFidelity
                  const channel::Channel *chan, double mean_snr_db,
                  std::uint64_t draw_stream);
 
+    /**
+     * Channel-less form for callers that supply the effective SNR
+     * themselves through drawAt() -- the multi-cell simulator folds
+     * pathloss, shadowing, fading and same-slot interference into
+     * one SINR and reuses this link's calibrated draw unchanged.
+     * transmit() is invalid on a channel-less link.
+     */
+    AnalyticLink(const softphy::CalibrationTable *table,
+                 std::uint64_t draw_stream);
+
     LinkFrameResult transmit(phy::RateIndex rate, std::uint64_t seq,
                              std::uint64_t t) override;
     const char *name() const override { return "analytic"; }
+
+    /**
+     * The effective-SNR hook shared by every analytic caller: draw
+     * the frame outcome of slot @p t at @p snr_eff_db from the
+     * calibration table -- success as uniform(stream, t) >=
+     * PER(rate, snr), feedback as the calibrated packet BER
+     * conditioned on the outcome.
+     */
+    LinkFrameResult drawAt(phy::RateIndex rate, std::uint64_t t,
+                           double snr_eff_db);
 
     /** Effective SNR of slot @p t in dB (fading folded in). */
     double effectiveSnrDb(std::uint64_t t) const;

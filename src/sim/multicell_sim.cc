@@ -1,0 +1,388 @@
+#include "sim/multicell_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "channel/awgn.hh"
+#include "channel/fading.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/thread_pool.hh"
+#include "mac/arq.hh"
+#include "mac/scheduler.hh"
+#include "mac/softrate.hh"
+#include "mac/traffic.hh"
+#include "sim/link_fidelity.hh"
+#include "sim/worker_phy.hh"
+
+namespace wilis {
+namespace sim {
+
+namespace {
+
+/**
+ * Unit-mean exponential deviate (Rayleigh power fading) for one
+ * interference link at one slot, keyed so any (user, cell, slot)
+ * can be regenerated independently. Interferer identity changes
+ * slot to slot, so i.i.d. per-slot fading is the right model --
+ * temporal correlation only matters on the serving link, where the
+ * rate controller tracks it.
+ */
+double
+interferenceFade(const CounterRng &stream, std::uint64_t counter)
+{
+    double u = 1.0 - stream.doubleAt(counter);
+    if (u < 1e-300)
+        u = 1e-300;
+    return -std::log(u);
+}
+
+/** One user's per-run state, owned by its serving cell. */
+struct McUser {
+    McUser(const NetworkSpec &spec, const Topology &topo, int id_,
+           const softphy::CalibrationTable *table)
+        : id(id_), cell(topo.servingCell(id_)),
+          meanSnrDb(topo.servingSnrDb(id_)),
+          servGainLin(topo.linkGainLin(id_, cell)),
+          // Chained forks: one purpose family, then the user id,
+          // so no user's stream can alias another family's
+          // (XOR-ing ids into the constant would collide at
+          // user counts above the constants' XOR distance).
+          seeds(CounterRng(spec.seed)
+                    .fork(0xCE77ull)
+                    .fork(static_cast<std::uint64_t>(id_))),
+          fader(spec.dopplerHz, seeds.at(0)),
+          traffic(spec.traffic, seeds.at(2)),
+          interfStream(seeds.at(4)), payloadSeed(seeds.at(1)),
+          awgnSeed(seeds.at(5))
+    {
+        mac::SoftRateMac::Config src;
+        src.pberLo = spec.pberLo;
+        src.pberHi = spec.pberHi;
+        src.initialRate = spec.link.rate;
+        softrate = mac::SoftRateMac(src);
+
+        mac::Arq::Config ac;
+        ac.mode = spec.arqMode;
+        ac.window = spec.arqWindow;
+        ac.maxAttempts = spec.arqMaxAttempts;
+        ac.ackDelaySlots = spec.ackDelaySlots;
+        arq = std::make_unique<mac::Arq>(ac);
+
+        if (table)
+            analytic =
+                std::make_unique<AnalyticLink>(table, seeds.at(3));
+
+        stats.user = id;
+        stats.servingCell = cell;
+        stats.meanSnrDb = meanSnrDb;
+    }
+
+    /** Serving-link |h|^2 at slot @p t (memoized per slot). */
+    double
+    fadingPower(std::uint64_t t, double frame_interval_us)
+    {
+        if (h2_slot != t || !h2_valid) {
+            h2 = std::norm(fader.gainAt(static_cast<double>(t) *
+                                        frame_interval_us));
+            h2_slot = t;
+            h2_valid = true;
+        }
+        return h2;
+    }
+
+    int id;
+    int cell;
+    double meanSnrDb;
+    double servGainLin;
+    CounterRng seeds;
+    channel::JakesFader fader;
+    mac::TrafficSource traffic;
+    mac::SoftRateMac softrate;
+    std::unique_ptr<mac::Arq> arq;
+    std::unique_ptr<AnalyticLink> analytic;
+    std::unique_ptr<channel::AwgnChannel> awgn; // full rung, lazy
+    CounterRng interfStream;
+    std::uint64_t payloadSeed;
+    std::uint64_t awgnSeed;
+    UserStats stats;
+
+    double h2 = 0.0;
+    std::uint64_t h2_slot = 0;
+    bool h2_valid = false;
+};
+
+/** One cell's scheduler state plus its slot decision. */
+struct McCell {
+    std::vector<int> users; // global ids, increasing
+    std::unique_ptr<mac::CellScheduler> sched;
+    std::vector<std::uint8_t> eligible;
+    std::vector<double> instRate;
+    std::vector<mac::Arq::Delivery> deliveries;
+
+    // Phase-1 outputs consumed by every cell's phase 2.
+    int grantedUser = -1; // global id, -1 = idle slot
+    std::uint64_t grantedSeq = 0;
+};
+
+/** Record one ARQ delivery into the user's statistics. */
+void
+recordDelivery(UserStats &st, const mac::Arq::Delivery &d,
+               size_t payload_bits)
+{
+    st.attemptsHist.add(static_cast<double>(d.attempts));
+    if (d.dropped) {
+        ++st.dropped;
+        return;
+    }
+    ++st.delivered;
+    st.goodputBits += payload_bits;
+    st.latencySlots.add(static_cast<double>(d.latencySlots));
+    st.latencyHist.add(static_cast<double>(d.latencySlots));
+}
+
+} // namespace
+
+NetworkResult
+runMulticellNetwork(
+    const NetworkSpec &spec, const Topology &topo,
+    const softphy::BerEstimator &estimator,
+    std::shared_ptr<const softphy::CalibrationTable> calib,
+    std::uint64_t slots, int threads)
+{
+    const int cells = topo.numCells();
+    const int num_users = topo.numUsers();
+    const size_t payload_bits = spec.link.payloadBits;
+    const softphy::CalibrationTable *table =
+        spec.fidelity.mode != FidelityMode::Full ? calib.get()
+                                                 : nullptr;
+
+    NetworkResult res;
+    res.spec = spec;
+    res.slots = slots;
+    res.cells = cells;
+
+    // Per-user and per-cell state, all owned by the serving cell's
+    // work item once the slot loop starts.
+    std::vector<McUser> users;
+    users.reserve(static_cast<size_t>(num_users));
+    for (int u = 0; u < num_users; ++u)
+        users.emplace_back(spec, topo, u, table);
+
+    std::vector<McCell> cell_state(static_cast<size_t>(cells));
+    for (int c = 0; c < cells; ++c) {
+        McCell &cs = cell_state[static_cast<size_t>(c)];
+        cs.users = topo.cellUsers(c);
+        cs.sched = std::make_unique<mac::CellScheduler>(
+            spec.scheduler, static_cast<int>(cs.users.size()));
+        cs.eligible.resize(cs.users.size());
+        cs.instRate.assign(cs.users.size(), 0.0);
+        cs.deliveries.reserve(
+            static_cast<size_t>(spec.arqWindow) + 1);
+    }
+
+    // The cross-cell coupling: which cells transmit this slot.
+    // Written by each cell's phase 1 (own index only), read by
+    // every cell's phase 2 after the barrier.
+    std::vector<std::uint8_t> active(static_cast<size_t>(cells), 0);
+
+    WorkerPhyPool phy_pool;
+
+    // ---- phase 1: deliver ACKs, draw traffic, schedule ----------
+    auto phase_schedule = [&](std::uint64_t ci, std::uint64_t t) {
+        McCell &cs = cell_state[static_cast<size_t>(ci)];
+        for (size_t i = 0; i < cs.users.size(); ++i) {
+            McUser &u = users[static_cast<size_t>(cs.users[i])];
+            cs.deliveries.clear();
+            u.arq->tick(t, cs.deliveries);
+            for (const auto &d : cs.deliveries)
+                recordDelivery(u.stats, d, payload_bits);
+            u.traffic.tick(t);
+            const bool can_send =
+                u.arq->hasResend() ||
+                (u.traffic.backlogged() && u.arq->windowHasRoom());
+            cs.eligible[i] = can_send ? 1 : 0;
+            // Proportional fair ranks by the noise-limited
+            // instantaneous rate (interference is unknown until
+            // every cell has scheduled); only eligible users pay
+            // for the fading evaluation.
+            if (can_send &&
+                spec.scheduler.kind ==
+                    mac::SchedulerKind::ProportionalFair) {
+                const double h2 =
+                    u.fadingPower(t, spec.frameIntervalUs);
+                cs.instRate[i] =
+                    std::log2(1.0 + u.servGainLin * h2);
+            }
+        }
+
+        const int pick = cs.sched->pick(cs.eligible, cs.instRate);
+        if (pick < 0) {
+            cs.grantedUser = -1;
+            active[static_cast<size_t>(ci)] = 0;
+            // Idle slots still close the scheduler's slot: the PF
+            // throughput averages must decay while a cell is
+            // silent, or the next burst would see stale metrics.
+            cs.sched->update(-1, 0.0);
+            return;
+        }
+        McUser &u = users[static_cast<size_t>(cs.users[
+            static_cast<size_t>(pick)])];
+        const bool allow_new =
+            u.traffic.backlogged() && u.arq->windowHasRoom();
+        const std::uint64_t prev_next = u.arq->nextSeq();
+        std::uint64_t seq = 0;
+        const bool sending = u.arq->nextToSend(t, seq, allow_new);
+        wilis_assert(sending, "scheduler granted an idle user");
+        if (u.arq->nextSeq() != prev_next) {
+            // A never-transmitted frame leaves the traffic queue.
+            const std::uint64_t arrival = u.traffic.pop(t);
+            u.stats.queueWaitSlots.add(
+                static_cast<double>(t - arrival));
+        }
+        cs.grantedUser = u.id;
+        cs.grantedSeq = seq;
+        active[static_cast<size_t>(ci)] = 1;
+        // PF averages track attempted service; outcome-independent
+        // so the slot can close here.
+        cs.sched->update(pick, static_cast<double>(payload_bits));
+        // Contention accounting: eligible but passed over.
+        for (size_t i = 0; i < cs.users.size(); ++i) {
+            if (cs.eligible[i] && static_cast<int>(i) != pick)
+                ++users[static_cast<size_t>(cs.users[i])]
+                      .stats.stalledSlots;
+        }
+    };
+
+    // ---- phase 2: SINR over the active set, transmit ------------
+    auto phase_transmit = [&](std::uint64_t ci, std::uint64_t t) {
+        McCell &cs = cell_state[static_cast<size_t>(ci)];
+        if (cs.grantedUser < 0)
+            return;
+        McUser &u = users[static_cast<size_t>(cs.grantedUser)];
+        const int serv = static_cast<int>(ci);
+
+        const double h2 = u.fadingPower(t, spec.frameIntervalUs);
+        const double sig = u.servGainLin * h2;
+        double interference = 0.0;
+        for (int c2 = 0; c2 < cells; ++c2) {
+            if (c2 == serv || !active[static_cast<size_t>(c2)])
+                continue;
+            interference +=
+                topo.linkGainLin(u.id, c2) *
+                interferenceFade(
+                    u.interfStream,
+                    t * static_cast<std::uint64_t>(cells) +
+                        static_cast<std::uint64_t>(c2));
+        }
+        const double sinr_lin = sig / (1.0 + interference);
+        const double sinr_db =
+            sinr_lin > 0.0 ? 10.0 * std::log10(sinr_lin) : -300.0;
+
+        const phy::RateIndex rate = u.softrate.currentRate();
+        LinkFrameResult fr;
+        if (spec.fidelity.fullPhySlot(t)) {
+            // The bit-exact rung, conditioned on this slot's SINR:
+            // the frame runs tx -> AWGN at the effective SINR ->
+            // rx -> decode (interference enters as Gaussian noise,
+            // the same conditioning the calibration table uses).
+            if (!u.awgn)
+                u.awgn = std::make_unique<channel::AwgnChannel>(
+                    sinr_db, u.awgnSeed);
+            else
+                u.awgn->setSnrDb(sinr_db);
+            std::unique_ptr<WorkerPhy> phy = phy_pool.acquire();
+            phy->arena.reset();
+            BitSpan payload =
+                phy->arena.alloc<Bit>(payload_bits);
+            fillDeterministicBits(payload, u.payloadSeed,
+                                  cs.grantedSeq);
+            FrameContext ctx(phy->arena);
+            SampleSpan samples =
+                phy->txAt(rate, spec.link.rx)
+                    .modulate(payload, ctx);
+            u.awgn->apply(samples, t);
+            phy::RxFrame rx_frame =
+                phy->rxAt(rate, spec.link.rx)
+                    .demodulate(samples, payload_bits,
+                                u.awgn.get(), t, ctx);
+            fr.ok = rx_frame.bitErrors(payload) == 0;
+            fr.pber = estimator.packetBerForRate(rate,
+                                                 rx_frame.soft);
+            fr.fullPhy = true;
+            phy_pool.release(std::move(phy));
+        } else {
+            fr = u.analytic->drawAt(rate, t, sinr_db);
+        }
+
+        ++u.stats.framesSent;
+        u.stats.framesOk += fr.ok ? 1 : 0;
+        if (fr.fullPhy)
+            ++u.stats.fullPhyFrames;
+        else
+            ++u.stats.analyticFrames;
+        u.stats.rateHist.add(static_cast<double>(rate));
+        u.stats.sinrDb.add(sinr_db);
+        u.softrate.onFeedback(fr.pber);
+        u.arq->onSendResult(cs.grantedSeq, fr.ok);
+    };
+
+    int n = threads > 0
+                ? threads
+                : static_cast<int>(std::max(
+                      1u, std::thread::hardware_concurrency()));
+    n = std::min(n, cells);
+    std::unique_ptr<ThreadPool> pool;
+    if (n > 1)
+        pool = std::make_unique<ThreadPool>(n);
+
+    for (std::uint64_t t = 0; t < slots; ++t) {
+        if (pool) {
+            pool->parallelFor(
+                static_cast<std::uint64_t>(cells),
+                [&](std::uint64_t ci) { phase_schedule(ci, t); });
+            pool->parallelFor(
+                static_cast<std::uint64_t>(cells),
+                [&](std::uint64_t ci) { phase_transmit(ci, t); });
+        } else {
+            for (int c = 0; c < cells; ++c)
+                phase_schedule(static_cast<std::uint64_t>(c), t);
+            for (int c = 0; c < cells; ++c)
+                phase_transmit(static_cast<std::uint64_t>(c), t);
+        }
+    }
+
+    // Drain acknowledgements still in flight at the horizon so
+    // their deliveries are counted (no new transmissions).
+    for (McUser &u : users) {
+        std::vector<mac::Arq::Delivery> tail;
+        for (std::uint64_t t = slots;
+             t <= slots + spec.ackDelaySlots; ++t) {
+            tail.clear();
+            u.arq->tick(t, tail);
+            for (const auto &d : tail)
+                recordDelivery(u.stats, d, payload_bits);
+        }
+        u.stats.retransmissions = u.arq->retransmissions();
+        u.stats.arrivals = u.traffic.arrivals();
+        u.stats.queueDrops = u.traffic.drops();
+    }
+
+    res.users.resize(static_cast<size_t>(num_users));
+    for (int u = 0; u < num_users; ++u)
+        res.users[static_cast<size_t>(u)] =
+            users[static_cast<size_t>(u)].stats;
+
+    // Aggregate in user order: the merge sequence is fixed, so the
+    // merged floating-point statistics are deterministic too.
+    res.aggregate = UserStats();
+    res.aggregate.user = -1;
+    for (const UserStats &u : res.users)
+        res.aggregate.merge(u);
+    return res;
+}
+
+} // namespace sim
+} // namespace wilis

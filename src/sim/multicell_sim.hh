@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The multi-cell engine behind sim::NetworkSim: a cell grid
+ * (sim::Topology) evolving in lockstep over the shared slotted
+ * timeline with per-slot SINR from same-slot interfering cells,
+ * per-user traffic queues (mac::TrafficSource) and a per-cell slot
+ * scheduler (mac::CellScheduler) arbitrating who transmits. ARQ,
+ * SoftRate and the fidelity ladder consume the scheduler's grants
+ * unchanged.
+ *
+ * Execution model: each slot runs two phases, each sharded one cell
+ * per work item across the common::ThreadPool.
+ *
+ *   Phase 1 (schedule) -- per cell: deliver due ACKs, draw traffic
+ *       arrivals, evaluate eligibility and (for proportional fair)
+ *       the instantaneous rate metric, and pick this slot's grant.
+ *       The only cross-cell output is the per-cell activity flag +
+ *       granted user.
+ *   Phase 2 (transmit) -- per cell: fold the grant's serving gain,
+ *       per-slot fading and the *other* cells' phase-1 activity
+ *       into an effective SINR, push it through the fidelity rung
+ *       (calibrated analytic draw, or the bit-exact PHY at the
+ *       conditioned SINR), and feed ARQ/SoftRate.
+ *
+ * All mutable state is owned by exactly one cell (its users'
+ * queues, ARQ windows, schedulers, statistics) or one worker (PHY
+ * contexts), every random stream is keyed by (seed, user, slot) or
+ * (seed, user, cell, slot), and the phase barrier makes the
+ * activity set each cell observes independent of sharding -- so a
+ * deployment of any size is bit-identical at any thread count.
+ *
+ * Internal to sim::NetworkSim; call NetworkSim::run() instead.
+ */
+
+#ifndef WILIS_SIM_MULTICELL_SIM_HH
+#define WILIS_SIM_MULTICELL_SIM_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/network_sim.hh"
+#include "sim/topology.hh"
+#include "softphy/ber_estimator.hh"
+#include "softphy/calibration_table.hh"
+
+namespace wilis {
+namespace sim {
+
+/**
+ * Run @p slots frame slots of the multi-cell deployment @p topo
+ * described by @p spec. @p calib backs the analytic fidelity rung
+ * (must be valid unless the mode is "full"); @p estimator feeds
+ * SoftRate on the full-PHY rung.
+ */
+NetworkResult runMulticellNetwork(
+    const NetworkSpec &spec, const Topology &topo,
+    const softphy::BerEstimator &estimator,
+    std::shared_ptr<const softphy::CalibrationTable> calib,
+    std::uint64_t slots, int threads);
+
+} // namespace sim
+} // namespace wilis
+
+#endif // WILIS_SIM_MULTICELL_SIM_HH

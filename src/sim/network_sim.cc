@@ -17,6 +17,8 @@
 #include "phy/ofdm_rx.hh"
 #include "phy/ofdm_tx.hh"
 #include "sim/link_fidelity.hh"
+#include "sim/multicell_sim.hh"
+#include "sim/worker_phy.hh"
 #include "softphy/softphy.hh"
 
 namespace wilis {
@@ -34,46 +36,17 @@ UserStats::merge(const UserStats &other)
     goodputBits += other.goodputBits;
     fullPhyFrames += other.fullPhyFrames;
     analyticFrames += other.analyticFrames;
+    arrivals += other.arrivals;
+    queueDrops += other.queueDrops;
     latencySlots.merge(other.latencySlots);
+    queueWaitSlots.merge(other.queueWaitSlots);
+    sinrDb.merge(other.sinrDb);
     latencyHist.merge(other.latencyHist);
     attemptsHist.merge(other.attemptsHist);
     rateHist.merge(other.rateHist);
 }
 
 namespace {
-
-/**
- * Per-worker PHY context: one transmitter/receiver pair per rate
- * (built lazily -- a run that never visits QAM64 never pays for it)
- * and the frame arena backing the zero-copy packet path. Leased to
- * one user timeline at a time, so at most `threads` contexts ever
- * exist regardless of the user count.
- */
-struct WorkerPhy {
-    std::array<std::unique_ptr<phy::OfdmTransmitter>, phy::kNumRates>
-        tx;
-    std::array<std::unique_ptr<phy::OfdmReceiver>, phy::kNumRates> rx;
-    FrameArena arena;
-
-    phy::OfdmTransmitter &
-    txAt(phy::RateIndex r, const phy::OfdmReceiver::Config &cfg)
-    {
-        auto &slot = tx[static_cast<size_t>(r)];
-        if (!slot)
-            slot = std::make_unique<phy::OfdmTransmitter>(
-                r, cfg.scramblerSeed);
-        return *slot;
-    }
-
-    phy::OfdmReceiver &
-    rxAt(phy::RateIndex r, const phy::OfdmReceiver::Config &cfg)
-    {
-        auto &slot = rx[static_cast<size_t>(r)];
-        if (!slot)
-            slot = std::make_unique<phy::OfdmReceiver>(r, cfg);
-        return *slot;
-    }
-};
 
 /**
  * The bit-exact fidelity backend: the original NetworkSim frame
@@ -158,34 +131,6 @@ class AutoLink : public LinkFidelity
     AnalyticLink &fast_;
 };
 
-/** Mutex-guarded free list of worker PHY contexts. */
-class WorkerPhyPool
-{
-  public:
-    std::unique_ptr<WorkerPhy>
-    acquire()
-    {
-        std::lock_guard<std::mutex> lock(mtx);
-        if (!free_.empty()) {
-            auto w = std::move(free_.back());
-            free_.pop_back();
-            return w;
-        }
-        return std::make_unique<WorkerPhy>();
-    }
-
-    void
-    release(std::unique_ptr<WorkerPhy> w)
-    {
-        std::lock_guard<std::mutex> lock(mtx);
-        free_.push_back(std::move(w));
-    }
-
-  private:
-    std::mutex mtx;
-    std::vector<std::unique_ptr<WorkerPhy>> free_;
-};
-
 } // namespace
 
 NetworkSim::NetworkSim(const NetworkSpec &spec)
@@ -204,6 +149,10 @@ NetworkSim::NetworkSim(
     wilis_assert(spec_.link.rate >= 0 &&
                      spec_.link.rate < phy::kNumRates,
                  "initial rate %d out of range", spec_.link.rate);
+    if (spec_.multicell())
+        topo = std::make_unique<Topology>(spec_.topology,
+                                          spec_.numUsers,
+                                          spec_.seed);
     ensureCalibration();
 }
 
@@ -220,8 +169,38 @@ NetworkSim::calibrationBuildSpec(const NetworkSpec &spec)
     // Rayleigh excursions (deep fades below bin 0 clamp to its
     // PER ~ 1 edge, peaks above the top bin to its residual).
     b.channel = "awgn";
-    const double mean = spec.link.snrDb();
     b.snrStepDb = 2.0;
+    if (spec.multicell()) {
+        // The deployment's SNR span comes from the link-budget
+        // extremes, not the single-cell spread: cell edge with a
+        // deep shadowing draw at the bottom (interference pushes
+        // further down, where the table's PER ~ 1 edge bin already
+        // saturates), minimum distance with a high draw at the
+        // top. 2.5 sigma covers ~99% of shadowing draws.
+        const channel::PathlossModel pl(spec.topology.pathloss, 0);
+        const double shadow =
+            2.5 * spec.topology.pathloss.shadowSigmaDb;
+        double lo = spec.topology.pathloss.refSnrDb -
+                    pl.pathlossDb(spec.topology.cellRadiusM) -
+                    shadow - 12.0;
+        double hi =
+            spec.topology.pathloss.refSnrDb -
+            pl.pathlossDb(spec.topology.minDistanceM) + shadow;
+        // Clamp to the PHY's informative window: below -10 dB every
+        // rate has saturated to PER ~ 1 and above 28 dB every rate
+        // is at its residual, so bins outside it measure nothing
+        // the edge clamping doesn't already model (and the
+        // committed network_calibration.txt covers exactly this
+        // window). lo is clamped below the hi ceiling so even an
+        // all-users-near-the-mast geometry keeps >= 1 bin.
+        lo = std::min(std::max(lo, -10.0), 28.0 - b.snrStepDb);
+        hi = std::min(std::max(hi, lo + b.snrStepDb), 28.0);
+        b.snrLoDb = lo;
+        b.numBins = static_cast<int>(
+            std::ceil((hi - b.snrLoDb) / b.snrStepDb));
+        return b;
+    }
+    const double mean = spec.link.snrDb();
     b.snrLoDb = mean - spec.snrSpreadDb - 18.0;
     const double hi = mean + spec.snrSpreadDb + 8.0;
     b.numBins = static_cast<int>(
@@ -339,6 +318,10 @@ NetworkSim::userLinkSpec(int user) const
 NetworkResult
 NetworkSim::run(std::uint64_t slots, int threads)
 {
+    if (spec_.multicell())
+        return runMulticellNetwork(spec_, *topo, estimator, calib,
+                                   slots, threads);
+
     NetworkResult res;
     res.spec = spec_;
     res.slots = slots;

@@ -30,6 +30,7 @@
 #include "common/stats.hh"
 #include "phy/modulation.hh"
 #include "sim/scenario.hh"
+#include "sim/topology.hh"
 #include "softphy/ber_estimator.hh"
 #include "softphy/calibration_table.hh"
 
@@ -51,12 +52,20 @@ struct UserStats {
     int user = -1;
     /** Deterministic per-user mean SNR offset in dB. */
     double snrOffsetDb = 0.0;
+    /** Serving cell (multi-cell runs; -1 single-cell/aggregate). */
+    int servingCell = -1;
+    /** Serving-link mean SNR in dB (pathloss + shadowing). */
+    double meanSnrDb = 0.0;
 
     /** Slots in which this user transmitted a frame. */
     std::uint64_t framesSent = 0;
     /** Transmissions decoded without payload errors. */
     std::uint64_t framesOk = 0;
-    /** Slots offered traffic but stalled on the ARQ window. */
+    /**
+     * Slots the user had traffic but could not transmit: stalled
+     * on the ARQ window (single-cell), or eligible but passed over
+     * by the cell scheduler (multi-cell contention).
+     */
     std::uint64_t stalledSlots = 0;
     /** Retransmission transmissions (attempts beyond the first). */
     std::uint64_t retransmissions = 0;
@@ -70,9 +79,17 @@ struct UserStats {
     std::uint64_t fullPhyFrames = 0;
     /** Transmissions drawn from the calibrated analytic model. */
     std::uint64_t analyticFrames = 0;
+    /** Traffic-model frame arrivals (0 under full buffer). */
+    std::uint64_t arrivals = 0;
+    /** Arrivals dropped on a full traffic queue. */
+    std::uint64_t queueDrops = 0;
 
     /** Delivery latency in slots (first transmission -> delivery). */
     RunningStats latencySlots;
+    /** Head-of-line wait from arrival to first transmission. */
+    RunningStats queueWaitSlots;
+    /** Per-transmission effective SINR in dB (multi-cell runs). */
+    RunningStats sinrDb;
     /** Delivery latency distribution (1-slot bins). */
     Histogram latencyHist{kLatencyBins, 1.0};
     /** Attempts per delivered/dropped frame (1-wide bins). */
@@ -107,6 +124,8 @@ struct NetworkResult {
     NetworkSpec spec;
     /** Slots simulated. */
     std::uint64_t slots = 0;
+    /** Cells in the deployment (1 for single-cell runs). */
+    int cells = 1;
     /** Per-user statistics, indexed by user. */
     std::vector<UserStats> users;
     /** Exact merge of all users (user == -1). */
@@ -121,10 +140,18 @@ struct NetworkResult {
 };
 
 /**
- * The multi-user cell simulator. Construction derives the shared
- * analytic SoftPHY tables; run() executes the slotted timeline and
- * is deterministic for any thread count (and repeatable: every run
+ * The multi-user network simulator. Construction derives the shared
+ * analytic SoftPHY tables (and, for multi-cell specs, realizes the
+ * deployment geometry); run() executes the slotted timeline and is
+ * deterministic for any thread count (and repeatable: every run
  * rebuilds the per-user sessions from the spec's master seed).
+ *
+ * A 1x1 topology runs the original single-cell engine: independent
+ * links, every user transmitting every slot. A larger grid runs
+ * the multi-cell engine (see sim/multicell_sim.hh): pathloss +
+ * shadowing link budgets from sim::Topology, per-slot SINR over
+ * same-slot interfering cells, per-user traffic queues and a
+ * per-cell scheduler arbitrating the slot.
  */
 class NetworkSim
 {
@@ -170,6 +197,12 @@ class NetworkSim
     double userSnrOffsetDb(int user) const;
 
     /**
+     * The realized deployment geometry; non-null only for
+     * multi-cell specs (spec().multicell()).
+     */
+    const Topology *topology() const { return topo.get(); }
+
+    /**
      * Fully resolved per-user link scenario: the link template with
      * the user's AR(1) channel configuration and derived seeds
      * substituted (exported for tools and tests; run() derives the
@@ -202,6 +235,7 @@ class NetworkSim
     NetworkSpec spec_;
     softphy::BerEstimator estimator;
     std::shared_ptr<const softphy::CalibrationTable> calib;
+    std::unique_ptr<Topology> topo; // multi-cell specs only
 };
 
 } // namespace sim

@@ -1,13 +1,56 @@
 #include "sim/scenario.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
+#include <set>
 
 #include "common/logging.hh"
 #include "sim/testbench.hh"
 
 namespace wilis {
 namespace sim {
+
+namespace {
+
+/**
+ * Reject config keys outside the documented set. Silent acceptance
+ * of a misspelled key ("payload_bit=512") used to leave the default
+ * in place and the experiment quietly wrong; a config typo is a
+ * user error, so it is fatal with the offending key named. Keys
+ * with an allowed prefix ("channel.", "link.", ...) pass through
+ * untouched -- their sub-config owns their validation.
+ */
+void
+rejectUnknownKeys(const li::Config &cfg, const char *spec_name,
+                  const std::set<std::string> &known,
+                  const std::vector<std::string> &prefixes)
+{
+    for (const auto &kv : cfg.entries()) {
+        const std::string &key = kv.first;
+        if (known.count(key))
+            continue;
+        bool prefixed = false;
+        for (const std::string &p : prefixes) {
+            if (key.rfind(p, 0) == 0 && key.size() > p.size()) {
+                prefixed = true;
+                break;
+            }
+        }
+        if (prefixed)
+            continue;
+        std::string valid;
+        for (const std::string &k : known) {
+            if (!valid.empty())
+                valid += ", ";
+            valid += k;
+        }
+        wilis_fatal("unknown %s key '%s' (valid keys: %s)",
+                    spec_name, key.c_str(), valid.c_str());
+    }
+}
+
+} // namespace
 
 ScenarioSpec
 ScenarioSpec::withRate(phy::RateIndex r) const
@@ -103,6 +146,16 @@ ScenarioSpec::fromTestbench(const TestbenchConfig &cfg,
 void
 ScenarioSpec::applyConfig(const li::Config &cfg)
 {
+    static const std::set<std::string> known = {
+        "name",          "rate",        "channel",
+        "payload_bits",  "payload_seed", "decoder",
+        "soft_width",    "csi_weight",  "scrambler_seed",
+        "baseband_mhz",  "decoder_mhz", "host_mhz",
+        "kernel_backend", "snr_db",     "seed",
+    };
+    rejectUnknownKeys(cfg, "ScenarioSpec", known,
+                      {"channel.", "decoder."});
+
     name = cfg.getString("name", name);
     rate = static_cast<phy::RateIndex>(cfg.getInt("rate", rate));
     wilis_assert(rate >= 0 && rate < phy::kNumRates,
@@ -314,6 +367,34 @@ scenarioPresetNames()
 void
 NetworkSpec::applyConfig(const li::Config &cfg)
 {
+    static const std::set<std::string> known = {
+        "name",           "users",
+        "arrival",        "arrival_prob",
+        "doppler_hz",     "snr_spread_db",
+        "frame_interval_us", "arq",
+        "arq_window",     "arq_max_attempts",
+        "ack_delay",      "pber_lo",
+        "pber_hi",        "net_seed",
+        "fidelity",       "fidelity_warmup",
+        "fidelity_refresh_period", "fidelity_refresh_slots",
+        "calibration_file",
+        // multi-cell: topology + propagation
+        "cells",          "cell_spacing_m",
+        "cell_radius_m",  "min_distance_m",
+        "ref_snr_db",     "ref_distance_m",
+        "pathloss_exp",   "shadow_sigma_db",
+        // multi-cell: traffic + scheduling
+        "traffic",        "traffic_load",
+        "on_slots",       "off_slots",
+        "queue_limit",    "scheduler",
+        "pf_horizon",
+        // link-template shorthands
+        "rate",           "snr_db",
+        "payload_bits",   "decoder",
+        "kernel_backend",
+    };
+    rejectUnknownKeys(cfg, "NetworkSpec", known, {"link."});
+
     name = cfg.getString("name", name);
     numUsers =
         static_cast<int>(cfg.getInt("users", numUsers));
@@ -350,6 +431,45 @@ NetworkSpec::applyConfig(const li::Config &cfg)
     calibrationFile =
         cfg.getString("calibration_file", calibrationFile);
 
+    if (cfg.has("cells")) {
+        const std::string grid = cfg.getString("cells");
+        int rows = 0;
+        int cols = 0;
+        char tail = '\0';
+        if (std::sscanf(grid.c_str(), "%dx%d%c", &rows, &cols,
+                        &tail) != 2 ||
+            rows < 1 || cols < 1)
+            wilis_fatal("malformed cells '%s' (expected RxC, "
+                        "e.g. cells=3x3)",
+                        grid.c_str());
+        topology.rows = rows;
+        topology.cols = cols;
+    }
+    topology.cellSpacingM =
+        cfg.getDouble("cell_spacing_m", topology.cellSpacingM);
+    topology.cellRadiusM =
+        cfg.getDouble("cell_radius_m", topology.cellRadiusM);
+    topology.minDistanceM =
+        cfg.getDouble("min_distance_m", topology.minDistanceM);
+    topology.pathloss =
+        channel::PathlossModel::specFromConfig(cfg,
+                                               topology.pathloss);
+
+    if (cfg.has("traffic"))
+        traffic.kind = mac::trafficKindFromName(
+            cfg.getString("traffic"));
+    traffic.load = cfg.getDouble("traffic_load", traffic.load);
+    traffic.onSlots = cfg.getDouble("on_slots", traffic.onSlots);
+    traffic.offSlots = cfg.getDouble("off_slots", traffic.offSlots);
+    traffic.queueLimit = static_cast<int>(
+        cfg.getInt("queue_limit", traffic.queueLimit));
+
+    if (cfg.has("scheduler"))
+        scheduler.kind = mac::schedulerKindFromName(
+            cfg.getString("scheduler"));
+    scheduler.pfHorizonSlots =
+        cfg.getDouble("pf_horizon", scheduler.pfHorizonSlots);
+
     // Pass-throughs to the link template: explicit "link.<k>" keys
     // plus the common shorthands.
     li::Config link_cfg;
@@ -363,6 +483,41 @@ NetworkSpec::applyConfig(const li::Config &cfg)
             link_cfg.set(kv.first, kv.second);
     }
     link.applyConfig(link_cfg);
+
+    // The multi-cell engine derives per-user SNRs from the
+    // topology and offers traffic through the traffic model, so
+    // the single-cell knobs below have no effect there. Accepting
+    // them alongside cells=RxC would be exactly the
+    // silently-wrong-experiment failure the strict key check
+    // exists to prevent.
+    if (multicell()) {
+        for (const char *key :
+             {"arrival", "arrival_prob", "snr_spread_db",
+              "snr_db"}) {
+            if (cfg.has(key))
+                wilis_fatal("single-cell key '%s' has no effect in "
+                            "multi-cell mode (cells=%dx%d); use the "
+                            "traffic/topology keys instead",
+                            key, topology.rows, topology.cols);
+        }
+    } else {
+        // ...and symmetrically: the topology/traffic/scheduler
+        // keys only drive the multi-cell engine, so accepting them
+        // without a grid would run the single-cell engine with the
+        // experiment quietly missing its traffic model.
+        for (const char *key :
+             {"cell_spacing_m", "cell_radius_m", "min_distance_m",
+              "ref_snr_db", "ref_distance_m", "pathloss_exp",
+              "shadow_sigma_db", "traffic", "traffic_load",
+              "on_slots", "off_slots", "queue_limit", "scheduler",
+              "pf_horizon"}) {
+            if (cfg.has(key))
+                wilis_fatal("multi-cell key '%s' has no effect "
+                            "without a cell grid; add cells=RxC "
+                            "(e.g. cells=3x3)",
+                            key);
+        }
+    }
 }
 
 NetworkSpec
@@ -379,10 +534,15 @@ NetworkSpec::toConfig() const
     li::Config cfg;
     cfg.set("name", name);
     cfg.set("users", strprintf("%d", numUsers));
-    cfg.set("arrival", arrivalModel);
-    cfg.set("arrival_prob", strprintf("%g", arrivalProb));
+    // The single-cell traffic/SNR knobs are meaningless (and
+    // rejected) alongside a multi-cell grid, so a multi-cell spec
+    // round-trips without them.
+    if (!multicell()) {
+        cfg.set("arrival", arrivalModel);
+        cfg.set("arrival_prob", strprintf("%g", arrivalProb));
+        cfg.set("snr_spread_db", strprintf("%g", snrSpreadDb));
+    }
     cfg.set("doppler_hz", strprintf("%g", dopplerHz));
-    cfg.set("snr_spread_db", strprintf("%g", snrSpreadDb));
     cfg.set("frame_interval_us", strprintf("%g", frameIntervalUs));
     cfg.set("arq", mac::arqModeName(arqMode));
     cfg.set("arq_window", strprintf("%d", arqWindow));
@@ -406,6 +566,37 @@ NetworkSpec::toConfig() const
                                   fidelity.refreshSlots)));
     if (!calibrationFile.empty())
         cfg.set("calibration_file", calibrationFile);
+    // The multi-cell keys are rejected by applyConfig() on
+    // single-cell specs (and vice versa for the single-cell knobs
+    // above), so each engine's spec round-trips with exactly its
+    // own key set.
+    if (multicell()) {
+        cfg.set("cells",
+                strprintf("%dx%d", topology.rows, topology.cols));
+        cfg.set("cell_spacing_m",
+                strprintf("%g", topology.cellSpacingM));
+        cfg.set("cell_radius_m",
+                strprintf("%g", topology.cellRadiusM));
+        cfg.set("min_distance_m",
+                strprintf("%g", topology.minDistanceM));
+        cfg.set("ref_snr_db",
+                strprintf("%g", topology.pathloss.refSnrDb));
+        cfg.set("ref_distance_m",
+                strprintf("%g", topology.pathloss.refDistanceM));
+        cfg.set("pathloss_exp",
+                strprintf("%g", topology.pathloss.exponent));
+        cfg.set("shadow_sigma_db",
+                strprintf("%g", topology.pathloss.shadowSigmaDb));
+        cfg.set("traffic", mac::trafficKindName(traffic.kind));
+        cfg.set("traffic_load", strprintf("%g", traffic.load));
+        cfg.set("on_slots", strprintf("%g", traffic.onSlots));
+        cfg.set("off_slots", strprintf("%g", traffic.offSlots));
+        cfg.set("queue_limit", strprintf("%d", traffic.queueLimit));
+        cfg.set("scheduler",
+                mac::schedulerKindName(scheduler.kind));
+        cfg.set("pf_horizon",
+                strprintf("%g", scheduler.pfHorizonSlots));
+    }
     const li::Config link_cfg = link.toConfig();
     for (const auto &kv : link_cfg.entries())
         cfg.set("link." + kv.first, kv.second);
@@ -487,6 +678,59 @@ networkRegistry()
             NetworkSpec s = baseCell();
             s.name = "cell-auto";
             s.fidelity.mode = FidelityMode::Auto;
+            return s;
+        });
+        r.add("grid-3x3", [] {
+            // The multi-cell starter: 9 cells, 4 users each,
+            // Poisson traffic through round-robin scheduling, SINR
+            // from same-slot interfering cells, analytic fidelity
+            // off the committed calibration table (run from the
+            // repo root, or override calibration_file=).
+            NetworkSpec s = baseCell();
+            s.name = "grid-3x3";
+            s.numUsers = 36;
+            s.topology.rows = 3;
+            s.topology.cols = 3;
+            s.topology.cellSpacingM = 500.0;
+            s.topology.cellRadiusM = 250.0;
+            // 4 users/cell at 0.2 frames/slot offers ~0.8 of the
+            // one-grant-per-slot cell capacity: busy but stable.
+            s.traffic.kind = mac::TrafficKind::Poisson;
+            s.traffic.load = 0.2;
+            s.scheduler.kind = mac::SchedulerKind::RoundRobin;
+            s.fidelity.mode = FidelityMode::Analytic;
+            s.calibrationFile = "data/network_calibration.txt";
+            return s;
+        });
+        r.add("dense-urban-10k", [] {
+            // The deployment-scale step: a 10x10 urban grid with
+            // 10k+ bursty users under proportional-fair
+            // scheduling, only reachable on the calibrated
+            // analytic rung (full PHY here would cost ~3 orders
+            // of magnitude more per slot).
+            NetworkSpec s = baseCell();
+            s.name = "dense-urban-10k";
+            s.numUsers = 10240;
+            s.topology.rows = 10;
+            s.topology.cols = 10;
+            s.topology.cellSpacingM = 200.0;
+            s.topology.cellRadiusM = 100.0;
+            s.topology.minDistanceM = 10.0;
+            s.topology.pathloss.refSnrDb = 44.0;
+            s.topology.pathloss.exponent = 3.8;
+            s.topology.pathloss.shadowSigmaDb = 8.0;
+            s.dopplerHz = 10.0; // pedestrian mobility
+            // ~102 users/cell with a 25% ON duty cycle at 0.04
+            // frames/slot while ON offers ~1.02x each cell's
+            // one-grant-per-slot capacity: bursts queue and drain,
+            // the congested-but-live regime dense urban means.
+            s.traffic.kind = mac::TrafficKind::OnOff;
+            s.traffic.load = 0.04;
+            s.traffic.onSlots = 24.0;
+            s.traffic.offSlots = 72.0;
+            s.scheduler.kind = mac::SchedulerKind::ProportionalFair;
+            s.fidelity.mode = FidelityMode::Analytic;
+            s.calibrationFile = "data/network_calibration.txt";
             return s;
         });
         return r;

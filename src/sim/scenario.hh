@@ -31,8 +31,11 @@
 #include "common/kernels.hh"
 #include "li/config.hh"
 #include "mac/arq.hh"
+#include "mac/scheduler.hh"
+#include "mac/traffic.hh"
 #include "phy/ofdm_rx.hh"
 #include "sim/link_fidelity.hh"
+#include "sim/topology.hh"
 
 namespace wilis {
 namespace sim {
@@ -117,7 +120,8 @@ struct ScenarioSpec {
      * kernel_backend;
      * "channel.<k>" and "decoder.<k>" pass <k> through to the
      * channel / decoder sub-configs; "snr_db" and "seed" are
-     * forwarded to the channel as the common shorthand.
+     * forwarded to the channel as the common shorthand. Any other
+     * key is a hard error ("unknown ScenarioSpec key ...").
      */
     void applyConfig(const li::Config &cfg);
 
@@ -228,16 +232,42 @@ struct NetworkSpec {
     std::string calibrationFile;
 
     /**
+     * Cell-grid deployment geometry. A 1x1 grid (the default) runs
+     * the single-cell legacy timeline -- every user transmitting
+     * every slot on an independent link, exactly the PR 2-4
+     * trajectories. Any larger grid engages the multi-cell engine:
+     * per-user 2-D placement, pathloss + shadowing link budgets,
+     * per-slot SINR over the same-slot interfering cells, traffic
+     * queues and a per-cell scheduler.
+     */
+    TopologySpec topology;
+
+    /** Per-user traffic model (multi-cell engine). */
+    mac::TrafficSpec traffic;
+
+    /** Per-cell slot scheduler (multi-cell engine). */
+    mac::CellScheduler::Config scheduler;
+
+    /** True if this spec engages the multi-cell engine. */
+    bool multicell() const { return topology.multicell(); }
+
+    /**
      * Overlay the keys present in @p cfg onto this spec. Keys:
      * name, users, arrival, arrival_prob, doppler_hz, snr_spread_db,
      * frame_interval_us, arq (stopwait|selective), arq_window,
      * arq_max_attempts, ack_delay, pber_lo, pber_hi, net_seed,
      * fidelity (full|analytic|auto), fidelity_warmup,
      * fidelity_refresh_period, fidelity_refresh_slots,
-     * calibration_file;
+     * calibration_file; multi-cell keys cells ("RxC", e.g. "3x3"),
+     * cell_spacing_m, cell_radius_m, min_distance_m, ref_snr_db,
+     * ref_distance_m, pathloss_exp, shadow_sigma_db, traffic
+     * (full_buffer|poisson|onoff), traffic_load, on_slots,
+     * off_slots, queue_limit, scheduler
+     * (round_robin|proportional_fair), pf_horizon;
      * "link.<k>" keys pass <k> through to the link template, and
      * the common shorthands rate, snr_db, payload_bits, decoder and
-     * kernel_backend are forwarded to it directly.
+     * kernel_backend are forwarded to it directly. Any other key is
+     * a hard error ("unknown NetworkSpec key ...").
      */
     void applyConfig(const li::Config &cfg);
 

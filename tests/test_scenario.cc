@@ -69,6 +69,112 @@ TEST(ScenarioSpec, FromConfigString)
     EXPECT_EQ(s.channelCfg.getInt("num_taps", 0), 6);
 }
 
+TEST(ScenarioSpec, RejectsUnknownKeysWithAPinnedError)
+{
+    // A misspelled key used to be silently accepted, leaving the
+    // default in place and the experiment quietly wrong; it is now
+    // fatal with the offending key named.
+    EXPECT_DEATH(ScenarioSpec::fromConfig(li::Config::fromString(
+                     "rate=3,payload_bit=512")),
+                 "unknown ScenarioSpec key 'payload_bit'");
+    EXPECT_DEATH(ScenarioSpec::fromConfig(
+                     li::Config::fromString("snr=10")),
+                 "unknown ScenarioSpec key 'snr'");
+    // Prefixed pass-throughs stay open: their sub-config owns them.
+    ScenarioSpec s = ScenarioSpec::fromConfig(li::Config::fromString(
+        "channel.custom_knob=1,decoder.window=9"));
+    EXPECT_EQ(s.channelCfg.getInt("custom_knob", 0), 1);
+    // A bare prefix is not a key.
+    EXPECT_DEATH(ScenarioSpec::fromConfig(
+                     li::Config::fromString("channel.=1")),
+                 "unknown ScenarioSpec key 'channel.'");
+}
+
+TEST(ScenarioSpec, RejectsMalformedValues)
+{
+    EXPECT_DEATH(ScenarioSpec::fromConfig(
+                     li::Config::fromString("rate=fast")),
+                 "");
+    EXPECT_DEATH(ScenarioSpec::fromConfig(
+                     li::Config::fromString("rate=9")),
+                 "rate index 9 out of range");
+}
+
+TEST(NetworkSpecStrict, RejectsUnknownKeysWithAPinnedError)
+{
+    EXPECT_DEATH(NetworkSpec::fromConfig(li::Config::fromString(
+                     "users=8,user=9")),
+                 "unknown NetworkSpec key 'user'");
+    EXPECT_DEATH(NetworkSpec::fromConfig(li::Config::fromString(
+                     "cells=3x3,schedular=round_robin")),
+                 "unknown NetworkSpec key 'schedular'");
+    // The link.* pass-through still reaches the link template --
+    // and the template rejects ITS unknown keys too.
+    NetworkSpec ok = NetworkSpec::fromConfig(
+        li::Config::fromString("link.soft_width=5"));
+    EXPECT_EQ(ok.link.rx.demapper.softWidth, 5);
+    EXPECT_DEATH(NetworkSpec::fromConfig(li::Config::fromString(
+                     "link.soft_widht=5")),
+                 "unknown ScenarioSpec key 'soft_widht'");
+}
+
+TEST(NetworkSpecStrict, RejectsSingleCellKeysInMulticellConfigs)
+{
+    // arrival/arrival_prob/snr_spread_db/snr_db only drive the
+    // single-cell engine; pairing them with a grid would silently
+    // change nothing.
+    EXPECT_DEATH(NetworkSpec::fromConfig(li::Config::fromString(
+                     "cells=3x3,arrival=bernoulli")),
+                 "single-cell key 'arrival' has no effect in "
+                 "multi-cell mode");
+    EXPECT_DEATH(NetworkSpec::fromConfig(li::Config::fromString(
+                     "cells=2x2,snr_db=18")),
+                 "single-cell key 'snr_db' has no effect");
+    // ...and symmetrically: multi-cell-only keys without a grid
+    // would silently run the single-cell engine minus its traffic
+    // model.
+    EXPECT_DEATH(NetworkSpec::fromConfig(li::Config::fromString(
+                     "users=16,traffic=poisson,traffic_load=0.2")),
+                 "multi-cell key 'traffic' has no effect without a "
+                 "cell grid");
+    EXPECT_DEATH(NetworkSpec::fromConfig(li::Config::fromString(
+                     "scheduler=proportional_fair")),
+                 "multi-cell key 'scheduler' has no effect");
+    // Each engine's spec round-trips with exactly its own key set.
+    NetworkSpec grid;
+    grid.topology.rows = 2;
+    grid.topology.cols = 2;
+    const li::Config cfg = grid.toConfig();
+    EXPECT_FALSE(cfg.has("arrival"));
+    EXPECT_FALSE(cfg.has("snr_spread_db"));
+    NetworkSpec back = NetworkSpec::fromConfig(cfg);
+    EXPECT_TRUE(back.multicell());
+    NetworkSpec single;
+    const li::Config scfg = single.toConfig();
+    EXPECT_FALSE(scfg.has("cells"));
+    EXPECT_FALSE(scfg.has("traffic"));
+    EXPECT_FALSE(NetworkSpec::fromConfig(scfg).multicell());
+}
+
+TEST(NetworkSpecStrict, RejectsMalformedValues)
+{
+    EXPECT_DEATH(NetworkSpec::fromConfig(
+                     li::Config::fromString("cells=9")),
+                 "malformed cells '9'");
+    EXPECT_DEATH(NetworkSpec::fromConfig(
+                     li::Config::fromString("cells=3x")),
+                 "malformed cells '3x'");
+    EXPECT_DEATH(NetworkSpec::fromConfig(
+                     li::Config::fromString("traffic=bursty")),
+                 "unknown traffic model 'bursty'");
+    EXPECT_DEATH(NetworkSpec::fromConfig(
+                     li::Config::fromString("scheduler=fifo")),
+                 "unknown scheduler 'fifo'");
+    EXPECT_DEATH(NetworkSpec::fromConfig(
+                     li::Config::fromString("arrival=sometimes")),
+                 "unknown arrival model 'sometimes'");
+}
+
 TEST(ScenarioSpec, FluentHelpersDoNotMutateOriginal)
 {
     ScenarioSpec base;

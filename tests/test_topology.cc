@@ -1,0 +1,386 @@
+/**
+ * @file
+ * Multi-cell building blocks: the log-distance pathloss +
+ * log-normal shadowing model, the deterministic cell-grid topology
+ * with per-user 2-D placement, the JakesFader extraction (pinned
+ * against RayleighChannel), the per-user traffic models and the
+ * per-cell schedulers. Everything here must be a pure function of
+ * its seeds -- replayable in any order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "channel/fading.hh"
+#include "channel/pathloss.hh"
+#include "mac/arq.hh"
+#include "mac/scheduler.hh"
+#include "mac/traffic.hh"
+#include "phy/ofdm_symbol.hh"
+#include "sim/topology.hh"
+
+using namespace wilis;
+
+// ------------------------------------------------------- pathloss
+
+TEST(Pathloss, LogDistanceMonotoneAndAnchored)
+{
+    channel::PathlossSpec spec;
+    spec.refSnrDb = 40.0;
+    spec.refDistanceM = 10.0;
+    spec.exponent = 3.5;
+    spec.shadowSigmaDb = 0.0;
+    channel::PathlossModel pl(spec, 1);
+
+    // Inside the reference distance the model is flat.
+    EXPECT_DOUBLE_EQ(pl.pathlossDb(5.0), 0.0);
+    EXPECT_DOUBLE_EQ(pl.pathlossDb(10.0), 0.0);
+    // One decade of distance costs 10 * n dB.
+    EXPECT_NEAR(pl.pathlossDb(100.0), 35.0, 1e-12);
+    EXPECT_LT(pl.pathlossDb(50.0), pl.pathlossDb(200.0));
+    // With sigma 0 the link SNR is exactly ref - pathloss.
+    EXPECT_NEAR(pl.linkSnrDb(100.0, 3, 7), 5.0, 1e-12);
+}
+
+TEST(Pathloss, ShadowingIsKeyedAndScaled)
+{
+    channel::PathlossSpec spec;
+    spec.shadowSigmaDb = 8.0;
+    channel::PathlossModel a(spec, 42);
+    channel::PathlossModel b(spec, 42);
+    channel::PathlossModel c(spec, 43);
+
+    // Same (seed, user, cell) -> same draw, regardless of instance
+    // or query order.
+    EXPECT_DOUBLE_EQ(a.shadowingDb(4, 2), b.shadowingDb(4, 2));
+    EXPECT_DOUBLE_EQ(a.shadowingDb(0, 0), b.shadowingDb(0, 0));
+    EXPECT_NE(a.shadowingDb(4, 2), c.shadowingDb(4, 2));
+    EXPECT_NE(a.shadowingDb(4, 2), a.shadowingDb(4, 3));
+    EXPECT_NE(a.shadowingDb(4, 2), a.shadowingDb(5, 2));
+
+    // Zero-mean, sigma-scaled: check moments over many links.
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        const double s = a.shadowingDb(i, i % 7);
+        sum += s;
+        sq += s * s;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.5);
+    EXPECT_NEAR(std::sqrt(sq / n), 8.0, 0.5);
+}
+
+// ------------------------------------------------------- topology
+
+namespace {
+
+sim::TopologySpec
+gridSpec(int rows, int cols)
+{
+    sim::TopologySpec t;
+    t.rows = rows;
+    t.cols = cols;
+    t.cellSpacingM = 500.0;
+    t.cellRadiusM = 250.0;
+    t.minDistanceM = 20.0;
+    return t;
+}
+
+} // namespace
+
+TEST(Topology, GridGeometryAndRoundRobinAssignment)
+{
+    sim::Topology topo(gridSpec(2, 3), 13, 0xBEEF);
+    EXPECT_EQ(topo.numCells(), 6);
+    EXPECT_EQ(topo.numUsers(), 13);
+
+    // Row-major cell centers on the spacing lattice.
+    EXPECT_DOUBLE_EQ(topo.cellCenter(0).x, 0.0);
+    EXPECT_DOUBLE_EQ(topo.cellCenter(2).x, 1000.0);
+    EXPECT_DOUBLE_EQ(topo.cellCenter(3).y, 500.0);
+
+    // Users round-robin across cells; populations differ by <= 1.
+    for (int u = 0; u < 13; ++u)
+        EXPECT_EQ(topo.servingCell(u), u % 6) << "user " << u;
+    for (int c = 0; c < 6; ++c) {
+        const auto &users = topo.cellUsers(c);
+        EXPECT_GE(static_cast<int>(users.size()), 2);
+        EXPECT_LE(static_cast<int>(users.size()), 3);
+        for (int u : users)
+            EXPECT_EQ(topo.servingCell(u), c);
+    }
+}
+
+TEST(Topology, PlacementIsDeterministicAndInsideTheCell)
+{
+    sim::Topology a(gridSpec(3, 3), 36, 0xCAFE);
+    sim::Topology b(gridSpec(3, 3), 36, 0xCAFE);
+    sim::Topology c(gridSpec(3, 3), 36, 0xCAFF);
+
+    bool any_moved = false;
+    for (int u = 0; u < 36; ++u) {
+        EXPECT_DOUBLE_EQ(a.userPosition(u).x, b.userPosition(u).x);
+        EXPECT_DOUBLE_EQ(a.userPosition(u).y, b.userPosition(u).y);
+        any_moved |= a.userPosition(u).x != c.userPosition(u).x;
+
+        const double d = a.servingDistanceM(u);
+        EXPECT_GE(d, 20.0) << "user " << u;
+        EXPECT_LT(d, 250.0) << "user " << u;
+        // The recorded serving distance is the actual Euclidean
+        // distance to the serving center.
+        const sim::Position p = a.userPosition(u);
+        const sim::Position bs = a.cellCenter(a.servingCell(u));
+        const double dx = p.x - bs.x;
+        const double dy = p.y - bs.y;
+        EXPECT_NEAR(std::sqrt(dx * dx + dy * dy), d, 1e-9);
+    }
+    EXPECT_TRUE(any_moved) << "different seeds, different drop";
+}
+
+TEST(Topology, InterferenceDegradesSinrBelowSnr)
+{
+    sim::TopologySpec spec = gridSpec(3, 3);
+    spec.pathloss.shadowSigmaDb = 0.0;
+    sim::Topology topo(spec, 18, 1);
+    for (int u = 0; u < 18; ++u) {
+        // The serving link is the strongest (no shadowing, nearest
+        // center by construction of the drop)...
+        const int serv = topo.servingCell(u);
+        for (int c = 0; c < 9; ++c) {
+            if (c != serv) {
+                EXPECT_GT(topo.linkSnrDb(u, serv),
+                          topo.linkSnrDb(u, c))
+                    << "user " << u << " cell " << c;
+            }
+        }
+        // ...and all-cells-on interference always costs SINR.
+        EXPECT_LT(topo.staticSinrDb(u), topo.servingSnrDb(u));
+    }
+}
+
+// ----------------------------------------------------- JakesFader
+
+TEST(JakesFader, PinsTheRayleighChannelFadingProcess)
+{
+    // The fader was extracted from RayleighChannel; same seed and
+    // Doppler must reproduce the channel's gain trajectory exactly
+    // (the refactor may not move any PR 1-4 physics).
+    const std::uint64_t seed = 77;
+    channel::JakesFader fader(20.0, seed);
+    channel::RayleighChannel chan(10.0, 20.0, seed);
+    for (std::uint64_t p : {0ull, 1ull, 5ull, 9ull}) {
+        for (int s : {0, 1, 3}) {
+            const double t_us =
+                static_cast<double>(p) * 2000.0 +
+                s * phy::OfdmGeometry::kSymbolUs;
+            EXPECT_EQ(fader.gainAt(t_us), chan.gain(p, s))
+                << "packet " << p << " symbol " << s;
+        }
+    }
+
+    // Unit mean power over a long stretch.
+    double acc = 0.0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i)
+        acc += std::norm(fader.gainAt(i * 2000.0));
+    EXPECT_NEAR(acc / n, 1.0, 0.15);
+}
+
+// -------------------------------------------------------- traffic
+
+TEST(Traffic, FullBufferIsAlwaysBackloggedAndQueueless)
+{
+    mac::TrafficSpec spec;
+    spec.kind = mac::TrafficKind::FullBuffer;
+    mac::TrafficSource src(spec, 1);
+    for (std::uint64_t t = 0; t < 5; ++t) {
+        src.tick(t);
+        EXPECT_TRUE(src.backlogged());
+        EXPECT_EQ(src.depth(), 0);
+        EXPECT_EQ(src.pop(t), t) << "frames materialize at service";
+    }
+    EXPECT_EQ(src.arrivals(), 0u);
+    EXPECT_EQ(src.drops(), 0u);
+}
+
+TEST(Traffic, PoissonMatchesItsMeanAndReplays)
+{
+    mac::TrafficSpec spec;
+    spec.kind = mac::TrafficKind::Poisson;
+    spec.load = 0.3;
+    spec.queueLimit = 1000000; // count arrivals, not drops
+    mac::TrafficSource a(spec, 99);
+    mac::TrafficSource b(spec, 99);
+    const std::uint64_t slots = 20000;
+    for (std::uint64_t t = 0; t < slots; ++t) {
+        a.tick(t);
+        b.tick(t);
+    }
+    EXPECT_EQ(a.arrivals(), b.arrivals()) << "same seed, same draw";
+    const double mean =
+        static_cast<double>(a.arrivals()) /
+        static_cast<double>(slots);
+    EXPECT_NEAR(mean, 0.3, 0.02);
+}
+
+TEST(Traffic, OnOffBurstsAndQueueBound)
+{
+    mac::TrafficSpec spec;
+    spec.kind = mac::TrafficKind::OnOff;
+    spec.load = 1.0;
+    spec.onSlots = 16.0;
+    spec.offSlots = 48.0;
+    spec.queueLimit = 8;
+    mac::TrafficSource src(spec, 7);
+
+    std::uint64_t on_slots = 0;
+    const std::uint64_t slots = 20000;
+    for (std::uint64_t t = 0; t < slots; ++t) {
+        src.tick(t);
+        on_slots += src.on() ? 1 : 0;
+        EXPECT_LE(src.depth(), 8);
+    }
+    // Duty cycle ~ on / (on + off) = 25%.
+    const double duty = static_cast<double>(on_slots) /
+                        static_cast<double>(slots);
+    EXPECT_NEAR(duty, 0.25, 0.05);
+    // Nothing ever drained the queue, so the bound must have
+    // dropped most of the burst traffic.
+    EXPECT_GT(src.arrivals(), slots / 8);
+    EXPECT_EQ(src.drops() + 8, src.arrivals());
+}
+
+TEST(Traffic, QueueIsFifoWithArrivalStamps)
+{
+    mac::TrafficSpec spec;
+    spec.kind = mac::TrafficKind::Poisson;
+    spec.load = 0.9;
+    mac::TrafficSource src(spec, 3);
+    std::uint64_t last = 0;
+    bool first = true;
+    for (std::uint64_t t = 0; t < 200; ++t) {
+        src.tick(t);
+        if (src.backlogged()) {
+            const std::uint64_t arrival = src.pop(t);
+            EXPECT_LE(arrival, t);
+            if (!first) {
+                EXPECT_GE(arrival, last) << "FIFO order";
+            }
+            last = arrival;
+            first = false;
+        }
+    }
+    EXPECT_FALSE(first) << "load 0.9 must produce arrivals";
+}
+
+// ------------------------------------------------------ scheduler
+
+TEST(Scheduler, RoundRobinCyclesOverEligibleUsers)
+{
+    mac::CellScheduler::Config cfg;
+    cfg.kind = mac::SchedulerKind::RoundRobin;
+    mac::CellScheduler sched(cfg, 4);
+
+    std::vector<std::uint8_t> all(4, 1);
+    std::vector<double> rate(4, 0.0);
+    std::vector<int> grants;
+    for (int i = 0; i < 8; ++i) {
+        const int pick = sched.pick(all, rate);
+        grants.push_back(pick);
+        sched.update(pick, 1000.0);
+    }
+    EXPECT_EQ(grants,
+              (std::vector<int>{0, 1, 2, 3, 0, 1, 2, 3}));
+
+    // Ineligible users are skipped without losing the rotation.
+    std::vector<std::uint8_t> some = {0, 1, 0, 1};
+    const int pick = sched.pick(some, rate);
+    EXPECT_EQ(pick, 1);
+    sched.update(pick, 1000.0);
+    EXPECT_EQ(sched.pick(some, rate), 3);
+
+    std::vector<std::uint8_t> none(4, 0);
+    EXPECT_EQ(sched.pick(none, rate), -1);
+}
+
+TEST(Scheduler, ProportionalFairBalancesRateAndStarvation)
+{
+    mac::CellScheduler::Config cfg;
+    cfg.kind = mac::SchedulerKind::ProportionalFair;
+    cfg.pfHorizonSlots = 16.0;
+    mac::CellScheduler sched(cfg, 2);
+
+    // Constant unequal channels: proportional fairness converges
+    // to *equal airtime* (that is its defining property -- the
+    // stronger user wins throughput, not slots).
+    std::vector<std::uint8_t> all(2, 1);
+    std::vector<double> rate = {3.0, 1.0};
+    int grants0 = 0;
+    for (int i = 0; i < 400; ++i) {
+        const int pick = sched.pick(all, rate);
+        if (pick == 0)
+            ++grants0;
+        sched.update(pick, rate[static_cast<size_t>(pick)]);
+    }
+    EXPECT_NEAR(grants0, 200, 20)
+        << "constant channels -> equal airtime";
+
+    // Fluctuating channel: PF rides the peaks. User 0 alternates
+    // between a strong and a weak slot; nearly every grant it gets
+    // must land on a strong one.
+    mac::CellScheduler opp(cfg, 2);
+    int strong_grants = 0;
+    int weak_grants = 0;
+    for (int i = 0; i < 400; ++i) {
+        const bool strong = i % 2 == 0;
+        std::vector<double> r = {strong ? 4.0 : 0.5, 1.0};
+        const int pick = opp.pick(all, r);
+        if (pick == 0)
+            (strong ? strong_grants : weak_grants) += 1;
+        opp.update(pick, r[static_cast<size_t>(pick)]);
+    }
+    EXPECT_GT(strong_grants, 8 * (weak_grants + 1))
+        << "PF must schedule the fluctuating user at its peaks";
+    EXPECT_GT(strong_grants, 50);
+
+    // Deterministic tie-break: equal metrics pick the lowest index.
+    mac::CellScheduler tie(cfg, 3);
+    std::vector<std::uint8_t> el(3, 1);
+    std::vector<double> eq(3, 2.0);
+    EXPECT_EQ(tie.pick(el, eq), 0);
+}
+
+// ----------------------------------------------- ARQ grant gating
+
+TEST(Arq, NewFramesAreGatedByAllowNew)
+{
+    mac::Arq::Config cfg;
+    cfg.mode = mac::ArqMode::SelectiveRepeat;
+    cfg.window = 4;
+    cfg.ackDelaySlots = 0;
+    mac::Arq arq(cfg);
+
+    EXPECT_TRUE(arq.windowHasRoom());
+    EXPECT_FALSE(arq.hasResend());
+
+    // Nothing queued: allow_new=false keeps the link idle.
+    std::uint64_t seq = 0;
+    EXPECT_FALSE(arq.nextToSend(0, seq, false));
+
+    // A failed new frame becomes a resend that ignores the gate.
+    EXPECT_TRUE(arq.nextToSend(0, seq, true));
+    EXPECT_EQ(seq, 0u);
+    arq.onSendResult(seq, false);
+    EXPECT_TRUE(arq.hasResend());
+    EXPECT_TRUE(arq.nextToSend(1, seq, false));
+    EXPECT_EQ(seq, 0u);
+    arq.onSendResult(seq, true);
+
+    std::vector<mac::Arq::Delivery> out;
+    arq.tick(2, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].attempts, 2);
+}
