@@ -9,10 +9,11 @@
  * for large deployments), a per-cell summary and the aggregate
  * latency / rate-usage histograms.
  *
- * Run: ./build/network_sim [preset|k=v,...] [slots] [threads]
+ * Run: ./build/network_sim [preset[,k=v,...]|k=v,...] [slots] [threads]
  *      ./build/network_sim cell-16 200 4
  *      ./build/network_sim grid-3x3 400 4          # from repo root
  *      ./build/network_sim "users=8,snr_db=18,arq=stopwait" 100
+ *      ./build/network_sim grid-3x3,engine=peruser 200 2
  */
 
 #include <algorithm>
@@ -60,11 +61,20 @@ main(int argc, char **argv)
         argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 120;
     int threads = argc > 3 ? std::atoi(argv[3]) : 0;
 
-    sim::NetworkSpec spec =
-        sim::hasNetworkPreset(what)
-            ? sim::networkPreset(what)
-            : sim::NetworkSpec::fromConfig(
-                  li::Config::fromString(what));
+    // A preset name, a bare config string, or a preset with k=v
+    // overrides appended ("grid-3x3,engine=peruser").
+    sim::NetworkSpec spec;
+    const size_t comma = what.find(',');
+    const std::string head = what.substr(0, comma);
+    if (sim::hasNetworkPreset(head)) {
+        spec = sim::networkPreset(head);
+        if (comma != std::string::npos)
+            spec.applyConfig(
+                li::Config::fromString(what.substr(comma + 1)));
+    } else {
+        spec = sim::NetworkSpec::fromConfig(
+            li::Config::fromString(what));
+    }
 
     if (spec.multicell())
         std::printf("network: %s — %dx%d cells, %d users, %s "

@@ -99,6 +99,31 @@ enum : int {
 };
 
 /**
+ * Flattened view of a softphy::CalibrationTable consumed by the
+ * batched PER-interpolation kernel (perDrawBatch): per (rate, bin)
+ * cell the measured frame error rate and the log geometric-mean
+ * packet BERs of clean/errored frames, precomputed through the same
+ * call chain CalibrationTable::pberFeedback() uses inline, so the
+ * batched draw is bit-identical to the scalar one. The arrays are
+ * indexed [rate * num_bins + bin] and owned by the caller (see
+ * CalibrationTable::flatten()).
+ */
+struct PerTableView {
+    /** CalibrationCell::per() per cell. */
+    const double *per;
+    /** std::log(CalibrationCell::pberOkGeo()) per cell. */
+    const double *logPberOk;
+    /** std::log(CalibrationCell::pberBadGeo()) per cell. */
+    const double *logPberBad;
+    /** SNR bins per rate row. */
+    int numBins;
+    /** Lower edge of SNR bin 0, in dB. */
+    double snrLoDb;
+    /** SNR bin width in dB. */
+    double snrStepDb;
+};
+
+/**
  * One backend's kernel table. All entries are non-null; the scalar
  * table is the semantic reference for every function.
  */
@@ -190,6 +215,70 @@ struct Ops {
      * (mul + add, no FMA), bit-exact across backends.
      */
     void (*axpyF32)(float *y, const float *x, size_t n, float a);
+
+    // ---- structure-of-arrays analytic-engine kernels -------------
+    // (see docs/ARCHITECTURE.md "Structure-of-arrays analytic
+    // engine"). Transcendentals (log, log10, exp) are evaluated by
+    // the ONE libm call the scalar code makes, per lane, in every
+    // backend -- only the surrounding integer mixing and IEEE-exact
+    // f64 arithmetic is vectorized, which is what keeps the batched
+    // paths bit-identical to the per-user scalar walks they replace.
+
+    /**
+     * Batched keyed counter-RNG draw: out[i] = the u01 double
+     * common::CounterRng(keys[i]).doubleAt(counter) yields -- many
+     * independent per-user streams sampled at one shared counter
+     * (one slot), the multi-cell engine's (seed, user, cell, slot)
+     * key scheme evaluated in lanes.
+     */
+    void (*rngU01Keyed)(const std::uint64_t *keys, size_t n,
+                        std::uint64_t counter, double *out);
+
+    /**
+     * Batched SINR accumulation over the users x cells linear gain
+     * matrix, one granted user per lane entry: per entry i with
+     * serving cell serving[i] and gain row gain_rows[i],
+     *
+     *   interf = sum over c != serving[i], active[c] != 0, ascending
+     *            of gain_rows[i][c] * fade(keys[i], t * cells + c)
+     *   fade(k, ctr) = -log(max(1 - u01(k, ctr), 1e-300))  (iid exp)
+     *   lin = sig[i] / (1 + interf)
+     *   sinr_db[i] = lin > 0 ? 10 * log10(lin) : zero_sinr_db
+     *
+     * The interference sum stays sequential in ascending cell order
+     * in every backend (FP addition is not associative); lanes
+     * vectorize the u64 counter mixing across entries.
+     */
+    void (*sinrAccumBatch)(const double *const *gain_rows,
+                           const std::int32_t *serving,
+                           const std::uint64_t *fade_keys,
+                           const std::uint8_t *active, int cells,
+                           std::uint64_t t, const double *sig,
+                           size_t n, double zero_sinr_db,
+                           double *sinr_db);
+
+    /**
+     * Batched PER-table interpolation + Bernoulli frame draw over a
+     * flattened calibration table: per entry i, replicate
+     * AnalyticLink::drawAt(rates[i], t, snr_db[i]) for a draw stream
+     * keyed keys[i] -- linear-interpolated PER lookup, ok[i] =
+     * (u01(keys[i], t) >= per), and the log-interpolated calibrated
+     * packet-BER feedback conditioned on the outcome.
+     */
+    void (*perDrawBatch)(const PerTableView &tv,
+                         const std::int32_t *rates,
+                         const double *snr_db,
+                         const std::uint64_t *keys, std::uint64_t t,
+                         size_t n, std::uint8_t *ok, double *pber);
+
+    /**
+     * Proportional-fair EWMA decay over a cell's users: avg[i] =
+     * (1 - a) * avg[i] + a * served_i, where served_i is
+     * served_bits for i == granted and 0.0 otherwise (the
+     * mac::CellScheduler::update() recurrence, element-parallel).
+     */
+    void (*pfDecay)(double *avg, size_t n, double a,
+                    std::int32_t granted, double served_bits);
 };
 
 /**

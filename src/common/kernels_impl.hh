@@ -40,9 +40,11 @@ using simd::WILIS_SIMD_NS::VecF32;
 using simd::WILIS_SIMD_NS::VecF64;
 using simd::WILIS_SIMD_NS::VecI16;
 using simd::WILIS_SIMD_NS::VecI32;
+using simd::WILIS_SIMD_NS::VecU64;
 
 using i16 = std::int16_t;
 using i32 = std::int32_t;
+using u8 = std::uint8_t;
 using u64 = std::uint64_t;
 
 // ---------------------------------------------------------- trellis
@@ -395,6 +397,198 @@ axpyF32Kernel(float *y, const float *x, size_t n, float a)
         y[i] = y[i] + a * x[i];
 }
 
+// ---------------------------------- SoA analytic-engine kernels
+//
+// Batched twins of the multi-cell analytic fast path's scalar
+// expressions (Ops doc comments in kernels.hh give the contract).
+// The integer counter mixing -- the CounterRng recipe from
+// common/random.hh -- runs in u64 lanes, where exactness is free.
+// Everything that touches a libm transcendental (log, log10, exp,
+// floor) stays ONE scalar call per lane in every backend, because
+// vectorized transcendental approximations would break the
+// bit-exactness guarantee the engine equivalence tests pin.
+
+/** Scalar twin of CounterRng::at(counter) for key @p key. */
+inline u64
+mixKeyedOne(u64 key, u64 counter)
+{
+    u64 z = key + 0x9e3779b97f4a7c15ull * (counter + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z ^= key >> 32;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Lane form of mixKeyedOne: kLanes keys, one shared counter. */
+inline VecU64
+mixKeyedLanes(VecU64 keys, u64 counter)
+{
+    VecU64 z = keys +
+               VecU64::broadcast(0x9e3779b97f4a7c15ull * (counter + 1));
+    z = VecU64::mulLo(z ^ z.template shr<30>(),
+                      VecU64::broadcast(0xbf58476d1ce4e5b9ull));
+    z = z ^ keys.template shr<32>();
+    z = VecU64::mulLo(z ^ z.template shr<27>(),
+                      VecU64::broadcast(0x94d049bb133111ebull));
+    return z ^ z.template shr<31>();
+}
+
+/** CounterRng::doubleAt's raw-bits -> [0, 1) conversion. */
+inline double
+u01FromBits(u64 bits)
+{
+    return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+inline void
+rngU01KeyedKernel(const u64 *keys, size_t n, u64 counter, double *out)
+{
+    constexpr int L = VecU64::kLanes;
+    u64 bits[L];
+    size_t i = 0;
+    for (; i + L <= n; i += L) {
+        mixKeyedLanes(VecU64::load(keys + i), counter).store(bits);
+        for (int l = 0; l < L; ++l)
+            out[i + l] = u01FromBits(bits[l]);
+    }
+    for (; i < n; ++i)
+        out[i] = u01FromBits(mixKeyedOne(keys[i], counter));
+}
+
+inline void
+sinrAccumBatchKernel(const double *const *gain_rows,
+                     const i32 *serving, const u64 *fade_keys,
+                     const u8 *active, int cells, u64 t,
+                     const double *sig, size_t n, double zero_sinr_db,
+                     double *sinr_db)
+{
+    constexpr int L = VecU64::kLanes;
+    const u64 base = t * static_cast<u64>(cells);
+    u64 bits[L];
+    size_t i = 0;
+    for (; i + L <= n; i += L) {
+        // Interference accumulates per lane in the same ascending
+        // cell order as the per-user engine's scalar loop (FP
+        // addition is order-sensitive); only the counter mixing
+        // vectorizes across the block's entries.
+        double interf[L] = {};
+        const VecU64 keys = VecU64::load(fade_keys + i);
+        for (int c = 0; c < cells; ++c) {
+            if (!active[c])
+                continue;
+            mixKeyedLanes(keys, base + static_cast<u64>(c))
+                .store(bits);
+            for (int l = 0; l < L; ++l) {
+                if (serving[i + l] == c)
+                    continue;
+                double u = 1.0 - u01FromBits(bits[l]);
+                if (u < 1e-300)
+                    u = 1e-300;
+                const double fade = -std::log(u);
+                interf[l] = interf[l] + gain_rows[i + l][c] * fade;
+            }
+        }
+        for (int l = 0; l < L; ++l) {
+            const double lin = sig[i + l] / (1.0 + interf[l]);
+            sinr_db[i + l] =
+                lin > 0.0 ? 10.0 * std::log10(lin) : zero_sinr_db;
+        }
+    }
+    for (; i < n; ++i) {
+        double interf = 0.0;
+        for (int c = 0; c < cells; ++c) {
+            if (!active[c] || serving[i] == c)
+                continue;
+            double u = 1.0 -
+                       u01FromBits(mixKeyedOne(
+                           fade_keys[i], base + static_cast<u64>(c)));
+            if (u < 1e-300)
+                u = 1e-300;
+            const double fade = -std::log(u);
+            interf = interf + gain_rows[i][c] * fade;
+        }
+        const double lin = sig[i] / (1.0 + interf);
+        sinr_db[i] = lin > 0.0 ? 10.0 * std::log10(lin) : zero_sinr_db;
+    }
+}
+
+/**
+ * Per-entry core of perDrawBatch: textual twin of
+ * CalibrationTable::lerpCoords() + per() + pberFeedback() plus the
+ * Bernoulli frame draw from AnalyticLink::drawAt(), reading the
+ * flattened table rows instead of calling back into softphy.
+ */
+inline void
+perDrawOne(const PerTableView &tv, i32 rate, double snr, u64 bits,
+           u8 *ok, double *pber)
+{
+    const double x = (snr - tv.snrLoDb) / tv.snrStepDb - 0.5;
+    int b0, b1;
+    double frac;
+    if (x <= 0.0) {
+        b0 = b1 = 0;
+        frac = 0.0;
+    } else if (x >= static_cast<double>(tv.numBins - 1)) {
+        b0 = b1 = tv.numBins - 1;
+        frac = 0.0;
+    } else {
+        b0 = static_cast<int>(std::floor(x));
+        b1 = b0 + 1;
+        frac = x - static_cast<double>(b0);
+    }
+    const int row = rate * tv.numBins;
+    const double p0 = tv.per[row + b0];
+    const double p1 = tv.per[row + b1];
+    const double per = p0 + (p1 - p0) * frac;
+    const bool frame_ok = u01FromBits(bits) >= per;
+    const double *logs = frame_ok ? tv.logPberOk : tv.logPberBad;
+    const double l0 = logs[row + b0];
+    const double l1 = logs[row + b1];
+    *ok = frame_ok ? 1 : 0;
+    *pber = std::exp(l0 + (l1 - l0) * frac);
+}
+
+inline void
+perDrawBatchKernel(const PerTableView &tv, const i32 *rates,
+                   const double *snr_db, const u64 *keys, u64 t,
+                   size_t n, u8 *ok, double *pber)
+{
+    constexpr int L = VecU64::kLanes;
+    u64 bits[L];
+    size_t i = 0;
+    for (; i + L <= n; i += L) {
+        mixKeyedLanes(VecU64::load(keys + i), t).store(bits);
+        for (int l = 0; l < L; ++l)
+            perDrawOne(tv, rates[i + l], snr_db[i + l], bits[l],
+                       ok + i + l, pber + i + l);
+    }
+    for (; i < n; ++i)
+        perDrawOne(tv, rates[i], snr_db[i], mixKeyedOne(keys[i], t),
+                   ok + i, pber + i);
+}
+
+inline void
+pfDecayKernel(double *avg, size_t n, double a, i32 granted,
+              double served_bits)
+{
+    constexpr int L = VecF64::kLanes;
+    const double keep = 1.0 - a;
+    // Compute the granted element from its pre-decay value first,
+    // exactly as the scheduler's single-pass scalar loop would.
+    double g = 0.0;
+    if (granted >= 0)
+        g = keep * avg[granted] + a * served_bits;
+    const VecF64 vkeep = VecF64::broadcast(keep);
+    const VecF64 vzero = VecF64::broadcast(a * 0.0);
+    size_t i = 0;
+    for (; i + L <= n; i += L)
+        (vkeep * VecF64::load(avg + i) + vzero).store(avg + i);
+    for (; i < n; ++i)
+        avg[i] = keep * avg[i] + a * 0.0;
+    if (granted >= 0)
+        avg[granted] = g;
+}
+
 // -------------------------------------------------------- the table
 
 #if WILIS_SIMD_LEVEL == 2
@@ -418,6 +612,10 @@ inline const Ops kOps = {
     &axpyNoiseKernel,
     &acsForwardI16Kernel,
     &axpyF32Kernel,
+    &rngU01KeyedKernel,
+    &sinrAccumBatchKernel,
+    &perDrawBatchKernel,
+    &pfDecayKernel,
 };
 
 } // namespace WILIS_SIMD_NS

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Lockstep worker team for slot-synchronous simulation loops.
+ *
+ * ThreadPool::parallelFor pays two condition-variable handshakes per
+ * call (wake + join), so a slot loop that calls it twice per slot --
+ * schedule phase, transmit phase -- spends four mutex round trips
+ * per simulated slot. That fixed cost is what made the grid-3x3
+ * 4-thread bench *slower* than the single-thread run. LockstepTeam
+ * keeps its workers inside the slot loop for the whole run and
+ * separates phases with a counter/generation barrier: a bounded spin
+ * (cheap when each worker owns a core) that falls back to yielding
+ * (so oversubscribed hosts -- CI runners, laptops -- make progress
+ * instead of burning the shared core).
+ *
+ * Usage: run(body) executes body(worker) concurrently on size()
+ * workers, the calling thread acting as worker 0; inside the body,
+ * barrier() separates phases. Every worker must reach every
+ * barrier() the same number of times, and a team must not be
+ * re-entered while a run() is in flight.
+ */
+
+#ifndef WILIS_COMMON_LOCKSTEP_HH
+#define WILIS_COMMON_LOCKSTEP_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace wilis {
+
+/** Fixed-size worker team synchronized by a phase barrier. */
+class LockstepTeam
+{
+  public:
+    /** @param num_workers Workers including the caller (min 1). */
+    explicit LockstepTeam(int num_workers)
+        : n_(num_workers < 1 ? 1 : num_workers),
+          // Spinning only pays when every worker owns a hardware
+          // thread; on an oversubscribed host the spinner is
+          // stealing cycles from the worker it is waiting for.
+          spin_iters_(static_cast<unsigned>(n_) <=
+                              std::thread::hardware_concurrency()
+                          ? kSpinIters
+                          : 0)
+    {}
+
+    LockstepTeam(const LockstepTeam &) = delete;
+    LockstepTeam &operator=(const LockstepTeam &) = delete;
+
+    /** Number of workers, the calling thread included. */
+    int size() const { return n_; }
+
+    /**
+     * Execute body(worker) for worker in [0, size()) concurrently;
+     * the calling thread runs worker 0. Returns when every worker
+     * has finished. Threads are spawned per run(), which is in the
+     * noise for anything that iterates a slot loop inside the body.
+     */
+    void
+    run(const std::function<void(int)> &body)
+    {
+        if (n_ == 1) {
+            body(0);
+            return;
+        }
+        std::vector<std::thread> extras;
+        extras.reserve(static_cast<size_t>(n_ - 1));
+        for (int w = 1; w < n_; ++w)
+            extras.emplace_back([&body, w] { body(w); });
+        body(0);
+        for (std::thread &t : extras)
+            t.join();
+    }
+
+    /**
+     * Wait until all size() workers arrive. The last arriver resets
+     * the arrival counter before releasing the generation, so the
+     * barrier is immediately reusable for the next phase.
+     */
+    void
+    barrier()
+    {
+        if (n_ == 1)
+            return;
+        const std::uint64_t gen =
+            generation_.load(std::memory_order_acquire);
+        if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            n_) {
+            arrived_.store(0, std::memory_order_relaxed);
+            generation_.fetch_add(1, std::memory_order_release);
+            return;
+        }
+        int spins = 0;
+        while (generation_.load(std::memory_order_acquire) == gen) {
+            if (++spins > spin_iters_)
+                std::this_thread::yield();
+        }
+    }
+
+  private:
+    /** Spins before conceding the core to whoever holds the work. */
+    static constexpr int kSpinIters = 256;
+
+    int n_;
+    int spin_iters_;
+    alignas(64) std::atomic<int> arrived_{0};
+    alignas(64) std::atomic<std::uint64_t> generation_{0};
+};
+
+} // namespace wilis
+
+#endif // WILIS_COMMON_LOCKSTEP_HH

@@ -680,6 +680,112 @@ struct VecI16 {
 #endif
 };
 
+// ------------------------------------------------------------- VecU64
+
+/**
+ * Packed u64 lanes (1 / 2 / 4 by level), the integer substrate of
+ * the batched counter-RNG kernels (common/random.hh SplitMix64-style
+ * mixing in lanes). Only the operations that mix needs exist: add,
+ * xor, logical shifts and a low-64 multiply. SSE/AVX2 have no 64x64
+ * low multiply, so mulLo() composes it from 32x32 widening products
+ * -- exact integer arithmetic, so every level computes identical
+ * lane values (the kernel bit-exactness guarantee does not even need
+ * IEEE reasoning here).
+ */
+struct VecU64 {
+#if WILIS_SIMD_LEVEL == 2
+    static constexpr int kLanes = 4;
+    __m256i v;
+
+    static VecU64
+    load(const std::uint64_t *p)
+    {
+        return {_mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(p))};
+    }
+    static VecU64
+    broadcast(std::uint64_t x)
+    {
+        return {_mm256_set1_epi64x(static_cast<long long>(x))};
+    }
+    void
+    store(std::uint64_t *p) const
+    {
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(p), v);
+    }
+
+    friend VecU64 operator+(VecU64 a, VecU64 b) { return {_mm256_add_epi64(a.v, b.v)}; }
+    friend VecU64 operator^(VecU64 a, VecU64 b) { return {_mm256_xor_si256(a.v, b.v)}; }
+    /** Logical right shift by an immediate count. */
+    template <int N> VecU64 shr() const { return {_mm256_srli_epi64(v, N)}; }
+    /** Logical left shift by an immediate count. */
+    template <int N> VecU64 shl() const { return {_mm256_slli_epi64(v, N)}; }
+
+    /** Low 64 bits of the per-lane product (exact mod 2^64). */
+    static VecU64
+    mulLo(VecU64 a, VecU64 b)
+    {
+        // lo64(a*b) = a_lo*b_lo + ((a_lo*b_hi + a_hi*b_lo) << 32),
+        // where mul_epu32 multiplies the low 32 bits of each qword.
+        __m256i a_hi = _mm256_srli_epi64(a.v, 32);
+        __m256i b_hi = _mm256_srli_epi64(b.v, 32);
+        __m256i lo = _mm256_mul_epu32(a.v, b.v);
+        __m256i cross = _mm256_add_epi64(_mm256_mul_epu32(a_hi, b.v),
+                                         _mm256_mul_epu32(a.v, b_hi));
+        return {_mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32))};
+    }
+#elif WILIS_SIMD_LEVEL == 1
+    static constexpr int kLanes = 2;
+    __m128i v;
+
+    static VecU64
+    load(const std::uint64_t *p)
+    {
+        return {_mm_loadu_si128(reinterpret_cast<const __m128i *>(p))};
+    }
+    static VecU64
+    broadcast(std::uint64_t x)
+    {
+        return {_mm_set1_epi64x(static_cast<long long>(x))};
+    }
+    void
+    store(std::uint64_t *p) const
+    {
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(p), v);
+    }
+
+    friend VecU64 operator+(VecU64 a, VecU64 b) { return {_mm_add_epi64(a.v, b.v)}; }
+    friend VecU64 operator^(VecU64 a, VecU64 b) { return {_mm_xor_si128(a.v, b.v)}; }
+    template <int N> VecU64 shr() const { return {_mm_srli_epi64(v, N)}; }
+    template <int N> VecU64 shl() const { return {_mm_slli_epi64(v, N)}; }
+
+    static VecU64
+    mulLo(VecU64 a, VecU64 b)
+    {
+        __m128i a_hi = _mm_srli_epi64(a.v, 32);
+        __m128i b_hi = _mm_srli_epi64(b.v, 32);
+        __m128i lo = _mm_mul_epu32(a.v, b.v);
+        __m128i cross = _mm_add_epi64(_mm_mul_epu32(a_hi, b.v),
+                                      _mm_mul_epu32(a.v, b_hi));
+        return {_mm_add_epi64(lo, _mm_slli_epi64(cross, 32))};
+    }
+#else
+    static constexpr int kLanes = 1;
+    std::uint64_t v;
+
+    static VecU64 load(const std::uint64_t *p) { return {*p}; }
+    static VecU64 broadcast(std::uint64_t x) { return {x}; }
+    void store(std::uint64_t *p) const { *p = v; }
+
+    friend VecU64 operator+(VecU64 a, VecU64 b) { return {a.v + b.v}; }
+    friend VecU64 operator^(VecU64 a, VecU64 b) { return {a.v ^ b.v}; }
+    template <int N> VecU64 shr() const { return {v >> N}; }
+    template <int N> VecU64 shl() const { return {v << N}; }
+
+    static VecU64 mulLo(VecU64 a, VecU64 b) { return {a.v * b.v}; }
+#endif
+};
+
 } // namespace WILIS_SIMD_NS
 } // namespace simd
 } // namespace wilis

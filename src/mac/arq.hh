@@ -211,16 +211,42 @@ class Arq
     }
 
     /** True if a NACKed frame is waiting for retransmission. */
-    bool
-    hasResend() const
+    bool hasResend() const { return resend_count > 0; }
+
+    /**
+     * Slot at which the oldest in-flight acknowledgement matures,
+     * or UINT64_MAX when none is pending. The pending ring is
+     * ordered by due slot (sends happen at strictly increasing
+     * slots), so this bounds every queued acknowledgement.
+     */
+    std::uint64_t
+    nextAckDue() const
     {
-        for (std::uint64_t s = deliver_next; s < next_new; ++s) {
-            if (win[static_cast<size_t>(
-                        s % static_cast<std::uint64_t>(win.size()))]
-                    .state == State::NeedsResend)
-                return true;
-        }
-        return false;
+        return pending_count ? pending[pending_head].dueSlot
+                             : UINT64_MAX;
+    }
+
+    /** True if the in-order head is already deliverable. */
+    bool
+    headHasDelivery() const
+    {
+        if (deliver_next >= next_new)
+            return false;
+        const Slot &head = win[static_cast<size_t>(
+            deliver_next % static_cast<std::uint64_t>(win.size()))];
+        return head.state == State::Acked ||
+               head.state == State::Failed;
+    }
+
+    /**
+     * True if tick(@p now) would be a no-op: no acknowledgement has
+     * matured and nothing is deliverable. Lets slot-loop drivers
+     * skip the per-slot ARQ walk for idle users.
+     */
+    bool
+    quiescentAt(std::uint64_t now) const
+    {
+        return nextAckDue() > now && !headHasDelivery();
     }
 
     /** True if the window can admit a never-transmitted frame. */
@@ -246,15 +272,18 @@ class Arq
                bool allow_new = true)
     {
         // Oldest NACKed frame first.
-        for (std::uint64_t s = deliver_next; s < next_new; ++s) {
-            Slot &slot = slotFor(s);
-            if (slot.state == State::NeedsResend) {
-                slot.state = State::AwaitingAck;
-                slot.sentAt = now;
-                ++slot.attempts;
-                ++retrans;
-                seq = s;
-                return true;
+        if (resend_count > 0) {
+            for (std::uint64_t s = deliver_next; s < next_new; ++s) {
+                Slot &slot = slotFor(s);
+                if (slot.state == State::NeedsResend) {
+                    slot.state = State::AwaitingAck;
+                    --resend_count;
+                    slot.sentAt = now;
+                    ++slot.attempts;
+                    ++retrans;
+                    seq = s;
+                    return true;
+                }
             }
         }
         // Else a new frame if offered and the window has room.
@@ -333,11 +362,14 @@ class Arq
     void
     resolve(Slot &slot, bool ok)
     {
+        // NeedsResend is entered only here and left only in
+        // nextToSend(), so a simple counter keeps hasResend() O(1).
         if (ok) {
             slot.state = State::Acked;
         } else if (cfg_.maxAttempts == 0 ||
                    slot.attempts < cfg_.maxAttempts) {
             slot.state = State::NeedsResend;
+            ++resend_count;
         } else {
             slot.state = State::Failed;
         }
@@ -365,6 +397,7 @@ class Arq
     std::vector<PendingAck> pending; // circular, capacity = window
     size_t pending_head = 0;
     size_t pending_count = 0;
+    int resend_count = 0;
     std::uint64_t next_new = 0;
     std::uint64_t deliver_next = 0;
     std::uint64_t retrans = 0;

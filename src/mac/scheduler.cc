@@ -1,5 +1,6 @@
 #include "mac/scheduler.hh"
 
+#include "common/kernels.hh"
 #include "common/logging.hh"
 
 namespace wilis {
@@ -88,12 +89,13 @@ CellScheduler::update(int granted, double served_bits)
             cursor_ = (granted + 1) % num_users_;
         return;
     }
+    // The EWMA decay runs as the pfDecay kernel: element-parallel
+    // (1 - a) * avg + a * served with served nonzero only for the
+    // granted user, bit-identical to the scalar recurrence on every
+    // backend.
     const double a = 1.0 / cfg_.pfHorizonSlots;
-    for (int u = 0; u < num_users_; ++u) {
-        const double served = u == granted ? served_bits : 0.0;
-        avg_[static_cast<size_t>(u)] =
-            (1.0 - a) * avg_[static_cast<size_t>(u)] + a * served;
-    }
+    kernels::ops().pfDecay(avg_.data(), avg_.size(), a, granted,
+                           served_bits);
 }
 
 double

@@ -86,7 +86,7 @@ AnalyticLink::effectiveSnrDb(std::uint64_t t) const
     // exactly what the table was calibrated against.
     const double h2 = std::norm(chan_->gain(t, 0));
     if (h2 <= 0.0)
-        return -300.0; // a dropped slot: below any calibrated bin
+        return kZeroSinrDb; // a dropped slot
     return mean_snr_db_ + 10.0 * std::log10(h2);
 }
 
@@ -103,6 +103,25 @@ AnalyticLink::drawAt(phy::RateIndex rate, std::uint64_t t,
     res.pber = table_->pberFeedback(rate, snr_eff_db, res.ok);
     res.fullPhy = false;
     return res;
+}
+
+void
+AnalyticLink::drawBatch(const kernels::PerTableView &tv,
+                        std::span<const std::int32_t> rates,
+                        std::span<const double> snr_eff_db,
+                        std::span<const std::uint64_t> draw_keys,
+                        std::uint64_t t, std::span<std::uint8_t> ok,
+                        std::span<double> pber)
+{
+    const size_t n = rates.size();
+    wilis_assert(snr_eff_db.size() == n && draw_keys.size() == n &&
+                     ok.size() == n && pber.size() == n,
+                 "drawBatch spans disagree on length");
+    if (n == 0)
+        return;
+    kernels::ops().perDrawBatch(tv, rates.data(), snr_eff_db.data(),
+                                draw_keys.data(), t, n, ok.data(),
+                                pber.data());
 }
 
 LinkFrameResult

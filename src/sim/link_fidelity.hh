@@ -32,8 +32,10 @@
 #define WILIS_SIM_LINK_FIDELITY_HH
 
 #include <cstdint>
+#include <span>
 #include <string>
 
+#include "common/kernels.hh"
 #include "common/random.hh"
 #include "phy/modulation.hh"
 
@@ -47,6 +49,16 @@ class CalibrationTable;
 }
 
 namespace sim {
+
+/**
+ * Effective SNR/SINR assigned to a slot with no usable signal (a
+ * dropped fade, or a zero signal term in the multi-cell SINR): far
+ * below any calibrated bin, so the PER lookup saturates at the
+ * worst-case row edge. Shared by the scalar per-user path, the
+ * batched SoA kernels and the analytic link so every path bins a
+ * dead slot identically.
+ */
+inline constexpr double kZeroSinrDb = -300.0;
 
 /** Which backend simulates a link's frame slots. */
 enum class FidelityMode {
@@ -167,6 +179,22 @@ class AnalyticLink : public LinkFidelity
      */
     LinkFrameResult drawAt(phy::RateIndex rate, std::uint64_t t,
                            double snr_eff_db);
+
+    /**
+     * Span-based batch sibling of drawAt(): one calibrated draw per
+     * entry for slot @p t, evaluated by the runtime-dispatched
+     * perDrawBatch kernel over a flattened table
+     * (CalibrationTable::flatten()). Entry i replicates bit-for-bit
+     * what drawAt(rates[i], t, snr_eff_db[i]) returns on an
+     * AnalyticLink whose draw stream is keyed @p draw_keys[i].
+     * All spans must have equal length.
+     */
+    static void drawBatch(const kernels::PerTableView &tv,
+                          std::span<const std::int32_t> rates,
+                          std::span<const double> snr_eff_db,
+                          std::span<const std::uint64_t> draw_keys,
+                          std::uint64_t t, std::span<std::uint8_t> ok,
+                          std::span<double> pber);
 
     /** Effective SNR of slot @p t in dB (fading folded in). */
     double effectiveSnrDb(std::uint64_t t) const;

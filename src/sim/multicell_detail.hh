@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Pieces shared by the two multi-cell engine implementations
+ * (multicell_sim.cc, multicell_soa.cc) that must stay textually
+ * identical between them: statistics recording and the scalar
+ * interference fade. Internal to the sim module.
+ */
+
+#ifndef WILIS_SIM_MULTICELL_DETAIL_HH
+#define WILIS_SIM_MULTICELL_DETAIL_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/random.hh"
+#include "mac/arq.hh"
+#include "sim/network_sim.hh"
+
+namespace wilis {
+namespace sim {
+namespace detail {
+
+/**
+ * Unit-mean exponential deviate (Rayleigh power fading) for one
+ * interference link at one slot, keyed so any (user, cell, slot)
+ * can be regenerated independently. Interferer identity changes
+ * slot to slot, so i.i.d. per-slot fading is the right model --
+ * temporal correlation only matters on the serving link, where the
+ * rate controller tracks it. The batched twin lives in the
+ * sinrAccumBatch kernel (common/kernels_impl.hh).
+ */
+inline double
+interferenceFade(const CounterRng &stream, std::uint64_t counter)
+{
+    double u = 1.0 - stream.doubleAt(counter);
+    if (u < 1e-300)
+        u = 1e-300;
+    return -std::log(u);
+}
+
+/** Record one ARQ delivery into the user's statistics. */
+inline void
+recordDelivery(UserStats &st, const mac::Arq::Delivery &d,
+               size_t payload_bits)
+{
+    st.attemptsHist.add(static_cast<double>(d.attempts));
+    if (d.dropped) {
+        ++st.dropped;
+        return;
+    }
+    ++st.delivered;
+    st.goodputBits += payload_bits;
+    st.latencySlots.add(static_cast<double>(d.latencySlots));
+    st.latencyHist.add(static_cast<double>(d.latencySlots));
+}
+
+} // namespace detail
+} // namespace sim
+} // namespace wilis
+
+#endif // WILIS_SIM_MULTICELL_DETAIL_HH

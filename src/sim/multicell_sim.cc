@@ -7,14 +7,15 @@
 
 #include "channel/awgn.hh"
 #include "channel/fading.hh"
+#include "common/lockstep.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
-#include "common/thread_pool.hh"
 #include "mac/arq.hh"
 #include "mac/scheduler.hh"
 #include "mac/softrate.hh"
 #include "mac/traffic.hh"
 #include "sim/link_fidelity.hh"
+#include "sim/multicell_detail.hh"
 #include "sim/worker_phy.hh"
 
 namespace wilis {
@@ -22,22 +23,8 @@ namespace sim {
 
 namespace {
 
-/**
- * Unit-mean exponential deviate (Rayleigh power fading) for one
- * interference link at one slot, keyed so any (user, cell, slot)
- * can be regenerated independently. Interferer identity changes
- * slot to slot, so i.i.d. per-slot fading is the right model --
- * temporal correlation only matters on the serving link, where the
- * rate controller tracks it.
- */
-double
-interferenceFade(const CounterRng &stream, std::uint64_t counter)
-{
-    double u = 1.0 - stream.doubleAt(counter);
-    if (u < 1e-300)
-        u = 1e-300;
-    return -std::log(u);
-}
+using detail::interferenceFade;
+using detail::recordDelivery;
 
 /** One user's per-run state, owned by its serving cell. */
 struct McUser {
@@ -127,26 +114,10 @@ struct McCell {
     std::uint64_t grantedSeq = 0;
 };
 
-/** Record one ARQ delivery into the user's statistics. */
-void
-recordDelivery(UserStats &st, const mac::Arq::Delivery &d,
-               size_t payload_bits)
-{
-    st.attemptsHist.add(static_cast<double>(d.attempts));
-    if (d.dropped) {
-        ++st.dropped;
-        return;
-    }
-    ++st.delivered;
-    st.goodputBits += payload_bits;
-    st.latencySlots.add(static_cast<double>(d.latencySlots));
-    st.latencyHist.add(static_cast<double>(d.latencySlots));
-}
-
 } // namespace
 
 NetworkResult
-runMulticellNetwork(
+runMulticellPerUser(
     const NetworkSpec &spec, const Topology &topo,
     const softphy::BerEstimator &estimator,
     std::shared_ptr<const softphy::CalibrationTable> calib,
@@ -165,7 +136,7 @@ runMulticellNetwork(
     res.cells = cells;
 
     // Per-user and per-cell state, all owned by the serving cell's
-    // work item once the slot loop starts.
+    // worker once the slot loop starts.
     std::vector<McUser> users;
     users.reserve(static_cast<size_t>(num_users));
     for (int u = 0; u < num_users; ++u)
@@ -195,10 +166,15 @@ runMulticellNetwork(
         McCell &cs = cell_state[static_cast<size_t>(ci)];
         for (size_t i = 0; i < cs.users.size(); ++i) {
             McUser &u = users[static_cast<size_t>(cs.users[i])];
-            cs.deliveries.clear();
-            u.arq->tick(t, cs.deliveries);
-            for (const auto &d : cs.deliveries)
-                recordDelivery(u.stats, d, payload_bits);
+            // tick() is a no-op for a quiescent ARQ (no matured
+            // acknowledgement, nothing deliverable), which is the
+            // common case at low load -- skip the walk.
+            if (!u.arq->quiescentAt(t)) {
+                cs.deliveries.clear();
+                u.arq->tick(t, cs.deliveries);
+                for (const auto &d : cs.deliveries)
+                    recordDelivery(u.stats, d, payload_bits);
+            }
             u.traffic.tick(t);
             const bool can_send =
                 u.arq->hasResend() ||
@@ -278,8 +254,9 @@ runMulticellNetwork(
                         static_cast<std::uint64_t>(c2));
         }
         const double sinr_lin = sig / (1.0 + interference);
-        const double sinr_db =
-            sinr_lin > 0.0 ? 10.0 * std::log10(sinr_lin) : -300.0;
+        const double sinr_db = sinr_lin > 0.0
+                                   ? 10.0 * std::log10(sinr_lin)
+                                   : kZeroSinrDb;
 
         const phy::RateIndex rate = u.softrate.currentRate();
         LinkFrameResult fr;
@@ -334,25 +311,30 @@ runMulticellNetwork(
                 : static_cast<int>(std::max(
                       1u, std::thread::hardware_concurrency()));
     n = std::min(n, cells);
-    std::unique_ptr<ThreadPool> pool;
-    if (n > 1)
-        pool = std::make_unique<ThreadPool>(n);
 
-    for (std::uint64_t t = 0; t < slots; ++t) {
-        if (pool) {
-            pool->parallelFor(
-                static_cast<std::uint64_t>(cells),
-                [&](std::uint64_t ci) { phase_schedule(ci, t); });
-            pool->parallelFor(
-                static_cast<std::uint64_t>(cells),
-                [&](std::uint64_t ci) { phase_transmit(ci, t); });
-        } else {
-            for (int c = 0; c < cells; ++c)
+    // The whole slot loop runs inside one LockstepTeam::run():
+    // cells are statically partitioned across workers (each cell's
+    // state has exactly one owner, so static and dynamic sharding
+    // compute identical results) and the two phases are separated
+    // by barriers -- two per slot, where the old per-slot
+    // ThreadPool::parallelFor pair cost four condition-variable
+    // handshakes (the grid-3x3 thread-scaling regression).
+    LockstepTeam team(n);
+    const int chunk = (cells + n - 1) / n;
+    team.run([&](int w) {
+        const int c_lo = std::min(cells, w * chunk);
+        const int c_hi = std::min(cells, c_lo + chunk);
+        for (std::uint64_t t = 0; t < slots; ++t) {
+            for (int c = c_lo; c < c_hi; ++c)
                 phase_schedule(static_cast<std::uint64_t>(c), t);
-            for (int c = 0; c < cells; ++c)
+            team.barrier();
+            for (int c = c_lo; c < c_hi; ++c)
                 phase_transmit(static_cast<std::uint64_t>(c), t);
+            // Phase 1 of slot t+1 rewrites active[] -- every
+            // cell's phase 2 must have read it first.
+            team.barrier();
         }
-    }
+    });
 
     // Drain acknowledgements still in flight at the horizon so
     // their deliveries are counted (no new transmissions).
@@ -382,6 +364,22 @@ runMulticellNetwork(
     for (const UserStats &u : res.users)
         res.aggregate.merge(u);
     return res;
+}
+
+NetworkResult
+runMulticellNetwork(
+    const NetworkSpec &spec, const Topology &topo,
+    const softphy::BerEstimator &estimator,
+    std::shared_ptr<const softphy::CalibrationTable> calib,
+    std::uint64_t slots, int threads,
+    std::shared_ptr<McSoaCache> *cache)
+{
+    if (spec.engine == "peruser")
+        return runMulticellPerUser(spec, topo, estimator,
+                                   std::move(calib), slots, threads);
+    // "soa" and its "auto" alias.
+    return runMulticellSoa(spec, topo, estimator, std::move(calib),
+                           slots, threads, cache);
 }
 
 } // namespace sim

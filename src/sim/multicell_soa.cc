@@ -1,0 +1,559 @@
+/**
+ * @file
+ * The structure-of-arrays multi-cell engine: the batched twin of
+ * runMulticellPerUser() (multicell_sim.cc). Identical simulation
+ * semantics -- same phases, same random streams, same update order
+ * per user -- but per-user state lives in per-cell contiguous
+ * arrays instead of McUser objects, and phase 2's math runs through
+ * the runtime-dispatched kernels:
+ *
+ *   sinrAccumBatch -- interference fades (counter-RNG in u64
+ *       lanes), gain-weighted accumulation and dB conversion for
+ *       every granted user of a worker's cells in one call;
+ *   perDrawBatch   -- calibrated PER interpolation + Bernoulli
+ *       frame draws over the flattened table for the same batch.
+ *
+ * Because every kernel lane computes the textually identical scalar
+ * expression (see kernels_impl.hh), the engine reproduces the
+ * per-user engine's NetworkResult bit-for-bit at any thread count
+ * and any kernel backend -- pinned by tests/test_multicell.cc and
+ * the slow-label equivalence test in tests/test_simd_kernels.cc.
+ *
+ * Immutable derived per-user state (Jakes oscillator banks, forked
+ * stream keys, serving gains, the flattened calibration table) is a
+ * pure function of (spec, topology, table) and is cached across
+ * run() calls in McSoaCache, owned by NetworkSim.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <thread>
+#include <vector>
+
+#include "channel/awgn.hh"
+#include "channel/fading.hh"
+#include "common/kernels.hh"
+#include "common/lockstep.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "mac/arq.hh"
+#include "mac/scheduler.hh"
+#include "mac/softrate.hh"
+#include "mac/traffic.hh"
+#include "sim/link_fidelity.hh"
+#include "sim/multicell_detail.hh"
+#include "sim/multicell_sim.hh"
+#include "sim/worker_phy.hh"
+
+namespace wilis {
+namespace sim {
+
+using detail::recordDelivery;
+
+/** See the declaration in multicell_sim.hh. */
+struct McSoaCache {
+    // ---- fingerprint of the inputs this cache was derived from
+    std::uint64_t seed = 0;
+    double dopplerHz = 0.0;
+    double frameIntervalUs = 0.0;
+    const Topology *topo = nullptr;
+    const softphy::CalibrationTable *table = nullptr;
+
+    // ---- layout: SoA index = position in cell-major user order
+    // (cell 0's users by increasing id, then cell 1's, ...), so
+    // each cell's state is one contiguous block.
+    std::vector<int> order;               // soa index -> user id
+    std::vector<int> soaOf;               // user id -> soa index
+    std::vector<std::uint32_t> cellBegin; // cells + 1 offsets
+
+    // ---- immutable per-user derived state, soa-indexed
+    std::vector<std::int32_t> serving;    // serving cell
+    std::vector<double> servGain;         // serving link, linear
+    std::vector<double> meanSnr;          // serving link, dB
+    std::vector<const double *> gainRows; // into topo's matrix
+    std::vector<std::uint64_t> faderSeed;
+    std::vector<std::uint64_t> payloadSeed;
+    std::vector<std::uint64_t> trafficSeed;
+    std::vector<std::uint64_t> drawKey;  // analytic success draws
+    std::vector<std::uint64_t> interfKey; // interference fades
+    std::vector<std::uint64_t> awgnSeed;
+    std::vector<channel::JakesFader> faders; // gainAt() is const
+
+    // ---- flattened calibration (analytic/auto modes only)
+    softphy::FlatCalibration flat;
+    bool hasFlat = false;
+
+    // Cross-run memo of the serving-link |h|^2 per (slot, user):
+    // JakesFader::gainAt() is a pure function of (fader, t), so a
+    // value computed in one run is valid in every later run of the
+    // same spec -- memoization cannot change results. Filled lazily
+    // (PF evaluates only eligible users); bounded by kH2MemoBytes,
+    // slots past h2Slots fall back to the per-run memo. Within a
+    // run each user's entries are written by the one worker that
+    // owns its cell, so access is race-free.
+    static constexpr std::uint64_t kH2MemoBytes = 64ull << 20;
+    std::uint64_t h2Slots = 0;      // slots covered by the memo
+    std::vector<double> h2;         // [slot * users + user]
+    std::vector<std::uint8_t> h2Known;
+};
+
+namespace {
+
+bool
+cacheMatches(const McSoaCache &c, const NetworkSpec &spec,
+             const Topology &topo,
+             const softphy::CalibrationTable *table)
+{
+    return c.seed == spec.seed && c.dopplerHz == spec.dopplerHz &&
+           c.frameIntervalUs == spec.frameIntervalUs &&
+           c.topo == &topo && c.table == table &&
+           static_cast<int>(c.order.size()) == topo.numUsers();
+}
+
+std::shared_ptr<McSoaCache>
+buildCache(const NetworkSpec &spec, const Topology &topo,
+           const softphy::CalibrationTable *table)
+{
+    const int cells = topo.numCells();
+    const int num_users = topo.numUsers();
+    auto cache = std::make_shared<McSoaCache>();
+    cache->seed = spec.seed;
+    cache->dopplerHz = spec.dopplerHz;
+    cache->frameIntervalUs = spec.frameIntervalUs;
+    cache->topo = &topo;
+    cache->table = table;
+
+    cache->order.reserve(static_cast<size_t>(num_users));
+    cache->cellBegin.reserve(static_cast<size_t>(cells) + 1);
+    cache->cellBegin.push_back(0);
+    for (int c = 0; c < cells; ++c) {
+        for (int id : topo.cellUsers(c))
+            cache->order.push_back(id);
+        cache->cellBegin.push_back(
+            static_cast<std::uint32_t>(cache->order.size()));
+    }
+    cache->soaOf.assign(static_cast<size_t>(num_users), -1);
+    for (int i = 0; i < num_users; ++i)
+        cache->soaOf[static_cast<size_t>(cache->order[
+            static_cast<size_t>(i)])] = i;
+
+    const size_t n = static_cast<size_t>(num_users);
+    cache->serving.resize(n);
+    cache->servGain.resize(n);
+    cache->meanSnr.resize(n);
+    cache->gainRows.resize(n);
+    cache->faderSeed.resize(n);
+    cache->payloadSeed.resize(n);
+    cache->trafficSeed.resize(n);
+    cache->drawKey.resize(n);
+    cache->interfKey.resize(n);
+    cache->awgnSeed.resize(n);
+    cache->faders.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        const int id = cache->order[i];
+        const int cell = topo.servingCell(id);
+        cache->serving[i] = static_cast<std::int32_t>(cell);
+        cache->servGain[i] = topo.linkGainLin(id, cell);
+        cache->meanSnr[i] = topo.servingSnrDb(id);
+        cache->gainRows[i] = topo.gainRow(id);
+        // The exact seed chain of McUser: one purpose family, then
+        // the user id, then the per-purpose counters.
+        const CounterRng seeds =
+            CounterRng(spec.seed)
+                .fork(0xCE77ull)
+                .fork(static_cast<std::uint64_t>(id));
+        cache->faderSeed[i] = seeds.at(0);
+        cache->payloadSeed[i] = seeds.at(1);
+        cache->trafficSeed[i] = seeds.at(2);
+        cache->drawKey[i] = seeds.at(3);
+        cache->interfKey[i] = seeds.at(4);
+        cache->awgnSeed[i] = seeds.at(5);
+        cache->faders.emplace_back(spec.dopplerHz,
+                                   cache->faderSeed[i]);
+    }
+
+    if (table) {
+        cache->flat = table->flatten();
+        cache->hasFlat = true;
+    }
+    return cache;
+}
+
+} // namespace
+
+NetworkResult
+runMulticellSoa(
+    const NetworkSpec &spec, const Topology &topo,
+    const softphy::BerEstimator &estimator,
+    std::shared_ptr<const softphy::CalibrationTable> calib,
+    std::uint64_t slots, int threads,
+    std::shared_ptr<McSoaCache> *cache_slot)
+{
+    const int cells = topo.numCells();
+    const int num_users = topo.numUsers();
+    const size_t payload_bits = spec.link.payloadBits;
+    const softphy::CalibrationTable *table =
+        spec.fidelity.mode != FidelityMode::Full ? calib.get()
+                                                 : nullptr;
+    if (spec.fidelity.mode != FidelityMode::Full)
+        wilis_assert(table && table->valid(),
+                     "analytic fidelity needs a calibration table");
+
+    // Immutable derived state: reuse the caller's cache when it
+    // matches, else (re)derive. A local cache serves one-shot
+    // callers.
+    std::shared_ptr<McSoaCache> local;
+    std::shared_ptr<McSoaCache> &slot =
+        cache_slot ? *cache_slot : local;
+    if (!slot || !cacheMatches(*slot, spec, topo, table))
+        slot = buildCache(spec, topo, table);
+    McSoaCache &cache = *slot;
+    // Grow the cross-run |h|^2 memo to cover this run (bounded);
+    // resize preserves filled slots because the layout is
+    // slot-major.
+    {
+        const std::uint64_t users64 =
+            static_cast<std::uint64_t>(topo.numUsers());
+        const std::uint64_t cap = std::max<std::uint64_t>(
+            1, McSoaCache::kH2MemoBytes / (8 * users64));
+        const std::uint64_t want = std::min(slots, cap);
+        if (want > cache.h2Slots) {
+            cache.h2.resize(want * users64);
+            cache.h2Known.resize(want * users64, 0);
+            cache.h2Slots = want;
+        }
+    }
+    const kernels::PerTableView flat_view =
+        cache.hasFlat ? cache.flat.view() : kernels::PerTableView{};
+
+    NetworkResult res;
+    res.spec = spec;
+    res.slots = slots;
+    res.cells = cells;
+
+    // ---- mutable per-user state, soa-indexed -------------------
+    const size_t nu = static_cast<size_t>(num_users);
+    mac::SoftRateMac::Config src;
+    src.pberLo = spec.pberLo;
+    src.pberHi = spec.pberHi;
+    src.initialRate = spec.link.rate;
+    mac::Arq::Config ac;
+    ac.mode = spec.arqMode;
+    ac.window = spec.arqWindow;
+    ac.maxAttempts = spec.arqMaxAttempts;
+    ac.ackDelaySlots = spec.ackDelaySlots;
+
+    std::vector<mac::Arq> arqs;
+    std::vector<mac::TrafficSource> traffic;
+    std::vector<mac::SoftRateMac> softrate;
+    std::vector<UserStats> stats(nu);
+    arqs.reserve(nu);
+    traffic.reserve(nu);
+    softrate.reserve(nu);
+    for (size_t i = 0; i < nu; ++i) {
+        arqs.emplace_back(ac);
+        traffic.emplace_back(spec.traffic, cache.trafficSeed[i]);
+        softrate.emplace_back(src);
+        stats[i].user = cache.order[i];
+        stats[i].servingCell = cache.serving[i];
+        stats[i].meanSnrDb = cache.meanSnr[i];
+    }
+    // Serving-link |h|^2 memo (per user, per slot), matching
+    // McUser::fadingPower().
+    std::vector<double> h2val(nu, 0.0);
+    std::vector<std::uint64_t> h2slot(nu, 0);
+    std::vector<std::uint8_t> h2valid(nu, 0);
+    auto fadingPower = [&](int i, std::uint64_t t) {
+        const size_t s = static_cast<size_t>(i);
+        if (t < cache.h2Slots) {
+            const size_t e = static_cast<size_t>(t) * nu + s;
+            if (!cache.h2Known[e]) {
+                cache.h2[e] = std::norm(cache.faders[s].gainAt(
+                    static_cast<double>(t) *
+                    spec.frameIntervalUs));
+                cache.h2Known[e] = 1;
+            }
+            return cache.h2[e];
+        }
+        if (h2slot[s] != t || !h2valid[s]) {
+            h2val[s] = std::norm(cache.faders[s].gainAt(
+                static_cast<double>(t) * spec.frameIntervalUs));
+            h2slot[s] = t;
+            h2valid[s] = 1;
+        }
+        return h2val[s];
+    };
+    // Full-PHY rung only, lazily constructed like McUser::awgn.
+    std::vector<std::unique_ptr<channel::AwgnChannel>> awgn(nu);
+
+    // ---- per-cell state ----------------------------------------
+    std::vector<mac::CellScheduler> scheds;
+    scheds.reserve(static_cast<size_t>(cells));
+    std::vector<std::vector<std::uint8_t>> eligible(
+        static_cast<size_t>(cells));
+    std::vector<std::vector<double>> inst_rate(
+        static_cast<size_t>(cells));
+    std::vector<std::vector<mac::Arq::Delivery>> deliveries(
+        static_cast<size_t>(cells));
+    for (int c = 0; c < cells; ++c) {
+        const size_t cn = cache.cellBegin[static_cast<size_t>(c) + 1] -
+                          cache.cellBegin[static_cast<size_t>(c)];
+        scheds.emplace_back(spec.scheduler, static_cast<int>(cn));
+        eligible[static_cast<size_t>(c)].resize(cn);
+        inst_rate[static_cast<size_t>(c)].assign(cn, 0.0);
+        deliveries[static_cast<size_t>(c)].reserve(
+            static_cast<size_t>(spec.arqWindow) + 1);
+    }
+    std::vector<int> granted_soa(static_cast<size_t>(cells), -1);
+    std::vector<std::uint64_t> granted_seq(
+        static_cast<size_t>(cells), 0);
+    std::vector<std::uint8_t> active(static_cast<size_t>(cells), 0);
+
+    WorkerPhyPool phy_pool;
+    const bool pf = spec.scheduler.kind ==
+                    mac::SchedulerKind::ProportionalFair;
+
+    // ---- phase 1: deliver ACKs, draw traffic, schedule ---------
+    auto phase_schedule = [&](int c, std::uint64_t t) {
+        const std::uint32_t lo =
+            cache.cellBegin[static_cast<size_t>(c)];
+        const std::uint32_t hi =
+            cache.cellBegin[static_cast<size_t>(c) + 1];
+        std::vector<std::uint8_t> &elig =
+            eligible[static_cast<size_t>(c)];
+        std::vector<double> &inst =
+            inst_rate[static_cast<size_t>(c)];
+        std::vector<mac::Arq::Delivery> &del =
+            deliveries[static_cast<size_t>(c)];
+        for (std::uint32_t i = lo; i < hi; ++i) {
+            if (!arqs[i].quiescentAt(t)) {
+                del.clear();
+                arqs[i].tick(t, del);
+                for (const auto &d : del)
+                    recordDelivery(stats[i], d, payload_bits);
+            }
+            traffic[i].tick(t);
+            const bool can_send =
+                arqs[i].hasResend() ||
+                (traffic[i].backlogged() &&
+                 arqs[i].windowHasRoom());
+            elig[i - lo] = can_send ? 1 : 0;
+            if (can_send && pf) {
+                const double h2 =
+                    fadingPower(static_cast<int>(i), t);
+                inst[i - lo] =
+                    std::log2(1.0 + cache.servGain[i] * h2);
+            }
+        }
+
+        const int pick = scheds[static_cast<size_t>(c)].pick(
+            elig, inst);
+        if (pick < 0) {
+            granted_soa[static_cast<size_t>(c)] = -1;
+            active[static_cast<size_t>(c)] = 0;
+            scheds[static_cast<size_t>(c)].update(-1, 0.0);
+            return;
+        }
+        const std::uint32_t g =
+            lo + static_cast<std::uint32_t>(pick);
+        const bool allow_new =
+            traffic[g].backlogged() && arqs[g].windowHasRoom();
+        const std::uint64_t prev_next = arqs[g].nextSeq();
+        std::uint64_t seq = 0;
+        const bool sending = arqs[g].nextToSend(t, seq, allow_new);
+        wilis_assert(sending, "scheduler granted an idle user");
+        if (arqs[g].nextSeq() != prev_next) {
+            const std::uint64_t arrival = traffic[g].pop(t);
+            stats[g].queueWaitSlots.add(
+                static_cast<double>(t - arrival));
+        }
+        granted_soa[static_cast<size_t>(c)] = static_cast<int>(g);
+        granted_seq[static_cast<size_t>(c)] = seq;
+        active[static_cast<size_t>(c)] = 1;
+        scheds[static_cast<size_t>(c)].update(
+            pick, static_cast<double>(payload_bits));
+        for (std::uint32_t i = lo; i < hi; ++i) {
+            if (elig[i - lo] &&
+                static_cast<int>(i - lo) != pick)
+                ++stats[i].stalledSlots;
+        }
+    };
+
+    // ---- phase 2: batched SINR + draws over the active set -----
+    // Worker-local gather buffers: one entry per granted cell.
+    struct Scratch {
+        std::vector<int> gi;            // soa index
+        std::vector<int> cell;          // owning cell
+        std::vector<std::int32_t> serving;
+        std::vector<const double *> rows;
+        std::vector<std::uint64_t> fade_keys;
+        std::vector<std::uint64_t> draw_keys;
+        std::vector<std::int32_t> rates;
+        std::vector<double> sig;
+        std::vector<double> sinr_db;
+        std::vector<double> pber;
+        std::vector<std::uint8_t> ok;
+
+        explicit Scratch(size_t cap)
+            : gi(cap), cell(cap), serving(cap), rows(cap),
+              fade_keys(cap), draw_keys(cap), rates(cap), sig(cap),
+              sinr_db(cap), pber(cap), ok(cap)
+        {}
+    };
+
+    auto phase_transmit = [&](Scratch &sc, int c_lo, int c_hi,
+                              std::uint64_t t) {
+        size_t k = 0;
+        for (int c = c_lo; c < c_hi; ++c) {
+            const int g = granted_soa[static_cast<size_t>(c)];
+            if (g < 0)
+                continue;
+            const size_t gs = static_cast<size_t>(g);
+            sc.gi[k] = g;
+            sc.cell[k] = c;
+            sc.serving[k] = static_cast<std::int32_t>(c);
+            sc.rows[k] = cache.gainRows[gs];
+            sc.fade_keys[k] = cache.interfKey[gs];
+            sc.draw_keys[k] = cache.drawKey[gs];
+            sc.rates[k] = static_cast<std::int32_t>(
+                softrate[gs].currentRate());
+            sc.sig[k] = cache.servGain[gs] * fadingPower(g, t);
+            ++k;
+        }
+        if (k == 0)
+            return;
+
+        const kernels::Ops &ops = kernels::ops();
+        ops.sinrAccumBatch(sc.rows.data(), sc.serving.data(),
+                           sc.fade_keys.data(), active.data(),
+                           cells, t, sc.sig.data(), k, kZeroSinrDb,
+                           sc.sinr_db.data());
+
+        if (spec.fidelity.fullPhySlot(t)) {
+            // The bit-exact rung, one frame at a time -- identical
+            // to the per-user engine's full-PHY branch, fed by the
+            // batch-computed SINR (same bits as the scalar sum).
+            for (size_t j = 0; j < k; ++j) {
+                const size_t g = static_cast<size_t>(sc.gi[j]);
+                const double sinr_db = sc.sinr_db[j];
+                const phy::RateIndex rate =
+                    static_cast<phy::RateIndex>(sc.rates[j]);
+                if (!awgn[g])
+                    awgn[g] =
+                        std::make_unique<channel::AwgnChannel>(
+                            sinr_db, cache.awgnSeed[g]);
+                else
+                    awgn[g]->setSnrDb(sinr_db);
+                const std::uint64_t seq =
+                    granted_seq[static_cast<size_t>(sc.cell[j])];
+                std::unique_ptr<WorkerPhy> phy =
+                    phy_pool.acquire();
+                phy->arena.reset();
+                BitSpan payload =
+                    phy->arena.alloc<Bit>(payload_bits);
+                fillDeterministicBits(payload,
+                                      cache.payloadSeed[g], seq);
+                FrameContext ctx(phy->arena);
+                SampleSpan samples =
+                    phy->txAt(rate, spec.link.rx)
+                        .modulate(payload, ctx);
+                awgn[g]->apply(samples, t);
+                phy::RxFrame rx_frame =
+                    phy->rxAt(rate, spec.link.rx)
+                        .demodulate(samples, payload_bits,
+                                    awgn[g].get(), t, ctx);
+                const bool ok =
+                    rx_frame.bitErrors(payload) == 0;
+                const double pber = estimator.packetBerForRate(
+                    rate, rx_frame.soft);
+                phy_pool.release(std::move(phy));
+
+                UserStats &st = stats[g];
+                ++st.framesSent;
+                st.framesOk += ok ? 1 : 0;
+                ++st.fullPhyFrames;
+                st.rateHist.add(static_cast<double>(rate));
+                st.sinrDb.add(sinr_db);
+                softrate[g].onFeedback(pber);
+                arqs[g].onSendResult(seq, ok);
+            }
+            return;
+        }
+
+        // The analytic rung: calibrated PER draws for the whole
+        // batch in one kernel call.
+        ops.perDrawBatch(flat_view, sc.rates.data(),
+                         sc.sinr_db.data(), sc.draw_keys.data(), t,
+                         k, sc.ok.data(), sc.pber.data());
+        for (size_t j = 0; j < k; ++j) {
+            const size_t g = static_cast<size_t>(sc.gi[j]);
+            UserStats &st = stats[g];
+            ++st.framesSent;
+            st.framesOk += sc.ok[j] ? 1 : 0;
+            ++st.analyticFrames;
+            st.rateHist.add(static_cast<double>(sc.rates[j]));
+            st.sinrDb.add(sc.sinr_db[j]);
+            softrate[g].onFeedback(sc.pber[j]);
+            arqs[g].onSendResult(
+                granted_seq[static_cast<size_t>(sc.cell[j])],
+                sc.ok[j] != 0);
+        }
+    };
+
+    int n = threads > 0
+                ? threads
+                : static_cast<int>(std::max(
+                      1u, std::thread::hardware_concurrency()));
+    n = std::min(n, cells);
+
+    LockstepTeam team(n);
+    const int chunk = (cells + n - 1) / n;
+    team.run([&](int w) {
+        const int c_lo = std::min(cells, w * chunk);
+        const int c_hi = std::min(cells, c_lo + chunk);
+        Scratch sc(static_cast<size_t>(c_hi - c_lo));
+        for (std::uint64_t t = 0; t < slots; ++t) {
+            for (int c = c_lo; c < c_hi; ++c)
+                phase_schedule(c, t);
+            team.barrier();
+            phase_transmit(sc, c_lo, c_hi, t);
+            // Phase 1 of slot t+1 rewrites active[] -- every
+            // worker's phase 2 must have read it first.
+            team.barrier();
+        }
+    });
+
+    // Drain acknowledgements still in flight at the horizon, in
+    // user-id order like the per-user engine.
+    std::vector<mac::Arq::Delivery> tail;
+    for (int id = 0; id < num_users; ++id) {
+        const size_t i = static_cast<size_t>(
+            cache.soaOf[static_cast<size_t>(id)]);
+        for (std::uint64_t t = slots;
+             t <= slots + spec.ackDelaySlots; ++t) {
+            tail.clear();
+            arqs[i].tick(t, tail);
+            for (const auto &d : tail)
+                recordDelivery(stats[i], d, payload_bits);
+        }
+        stats[i].retransmissions = arqs[i].retransmissions();
+        stats[i].arrivals = traffic[i].arrivals();
+        stats[i].queueDrops = traffic[i].drops();
+    }
+
+    res.users.resize(nu);
+    for (int id = 0; id < num_users; ++id)
+        res.users[static_cast<size_t>(id)] =
+            stats[static_cast<size_t>(
+                cache.soaOf[static_cast<size_t>(id)])];
+
+    res.aggregate = UserStats();
+    res.aggregate.user = -1;
+    for (const UserStats &u : res.users)
+        res.aggregate.merge(u);
+    return res;
+}
+
+} // namespace sim
+} // namespace wilis

@@ -320,7 +320,7 @@ NetworkSim::run(std::uint64_t slots, int threads)
 {
     if (spec_.multicell())
         return runMulticellNetwork(spec_, *topo, estimator, calib,
-                                   slots, threads);
+                                   slots, threads, &soaCache);
 
     NetworkResult res;
     res.spec = spec_;

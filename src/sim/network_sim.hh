@@ -37,6 +37,8 @@
 namespace wilis {
 namespace sim {
 
+struct McSoaCache; // sim/multicell_sim.hh
+
 /**
  * Outcome of one user's link over a network run; the aggregate is
  * the exact merge of all users (in user order, so merged floating-
@@ -236,6 +238,10 @@ class NetworkSim
     softphy::BerEstimator estimator;
     std::shared_ptr<const softphy::CalibrationTable> calib;
     std::unique_ptr<Topology> topo; // multi-cell specs only
+    // Immutable derived state the SoA multi-cell engine reuses
+    // across run() calls (fader banks, stream keys, flattened
+    // calibration). Opaque; see sim/multicell_sim.hh.
+    std::shared_ptr<McSoaCache> soaCache;
 };
 
 } // namespace sim

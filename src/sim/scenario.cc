@@ -387,7 +387,7 @@ NetworkSpec::applyConfig(const li::Config &cfg)
         "traffic",        "traffic_load",
         "on_slots",       "off_slots",
         "queue_limit",    "scheduler",
-        "pf_horizon",
+        "pf_horizon",     "engine",
         // link-template shorthands
         "rate",           "snr_db",
         "payload_bits",   "decoder",
@@ -470,6 +470,13 @@ NetworkSpec::applyConfig(const li::Config &cfg)
     scheduler.pfHorizonSlots =
         cfg.getDouble("pf_horizon", scheduler.pfHorizonSlots);
 
+    engine = cfg.getString("engine", engine);
+    wilis_assert(engine == "auto" || engine == "soa" ||
+                     engine == "peruser",
+                 "unknown multi-cell engine '%s' "
+                 "(auto|soa|peruser)",
+                 engine.c_str());
+
     // Pass-throughs to the link template: explicit "link.<k>" keys
     // plus the common shorthands.
     li::Config link_cfg;
@@ -510,7 +517,7 @@ NetworkSpec::applyConfig(const li::Config &cfg)
               "ref_snr_db", "ref_distance_m", "pathloss_exp",
               "shadow_sigma_db", "traffic", "traffic_load",
               "on_slots", "off_slots", "queue_limit", "scheduler",
-              "pf_horizon"}) {
+              "pf_horizon", "engine"}) {
             if (cfg.has(key))
                 wilis_fatal("multi-cell key '%s' has no effect "
                             "without a cell grid; add cells=RxC "
@@ -596,6 +603,7 @@ NetworkSpec::toConfig() const
                 mac::schedulerKindName(scheduler.kind));
         cfg.set("pf_horizon",
                 strprintf("%g", scheduler.pfHorizonSlots));
+        cfg.set("engine", engine);
     }
     const li::Config link_cfg = link.toConfig();
     for (const auto &kv : link_cfg.entries())

@@ -248,6 +248,16 @@ struct NetworkSpec {
     /** Per-cell slot scheduler (multi-cell engine). */
     mac::CellScheduler::Config scheduler;
 
+    /**
+     * Multi-cell execution engine: "soa" runs the batched
+     * structure-of-arrays slot loop (the default resolution of
+     * "auto"), "peruser" the original per-user object walk kept as
+     * the bit-exact reference. Both produce identical NetworkResults
+     * for any spec, thread count and kernel backend; the knob exists
+     * for equivalence tests and A/B benchmarking.
+     */
+    std::string engine = "auto";
+
     /** True if this spec engages the multi-cell engine. */
     bool multicell() const { return topology.multicell(); }
 

@@ -122,6 +122,17 @@ class Topology
     }
 
     /**
+     * User @p u's full row of the users x cells linear gain matrix
+     * (numCells() entries), the input of the batched SINR kernel.
+     */
+    const double *
+    gainRow(int u) const
+    {
+        return gains_.data() + static_cast<size_t>(at(u)) *
+                                   static_cast<size_t>(numCells());
+    }
+
+    /**
      * Geometry SINR of user @p u in dB with every cell transmitting
      * (no fading, unit-mean interference): the classic wrap-free
      * grid SINR map, exposed for tests and the example's narrative

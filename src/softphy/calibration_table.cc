@@ -250,6 +250,25 @@ CalibrationTable::pberFeedback(phy::RateIndex rate, double snr_db,
     return std::exp(l0 + (l1 - l0) * frac);
 }
 
+FlatCalibration
+CalibrationTable::flatten() const
+{
+    wilis_assert(valid(), "cannot flatten an empty table");
+    FlatCalibration flat;
+    flat.numBins = num_bins_;
+    flat.snrLoDb = snr_lo_;
+    flat.snrStepDb = snr_step_;
+    flat.per.reserve(cells.size());
+    flat.logPberOk.reserve(cells.size());
+    flat.logPberBad.reserve(cells.size());
+    for (const CalibrationCell &c : cells) {
+        flat.per.push_back(c.per());
+        flat.logPberOk.push_back(std::log(c.pberOkGeo()));
+        flat.logPberBad.push_back(std::log(c.pberBadGeo()));
+    }
+    return flat;
+}
+
 std::string
 CalibrationTable::serialize() const
 {

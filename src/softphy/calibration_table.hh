@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/kernels.hh"
 #include "phy/modulation.hh"
 #include "phy/ofdm_rx.hh"
 
@@ -64,6 +65,33 @@ struct CalibrationCell {
 
     /** Fold another cell's observations into this one. */
     void merge(const CalibrationCell &other);
+};
+
+/**
+ * Owning flattened form of a CalibrationTable for the batched
+ * PER-interpolation kernel: the per-cell frame error rate and log
+ * geometric-mean packet BERs precomputed through the very accessors
+ * the scalar lookup calls inline (CalibrationCell::per(),
+ * std::log(pberOkGeo()/pberBadGeo())), so a batched draw over
+ * view() is bit-identical to the scalar one. Arrays are indexed
+ * [rate * numBins + bin]; view() borrows from this object, which
+ * must outlive it.
+ */
+struct FlatCalibration {
+    std::vector<double> per;
+    std::vector<double> logPberOk;
+    std::vector<double> logPberBad;
+    int numBins = 0;
+    double snrLoDb = 0.0;
+    double snrStepDb = 1.0;
+
+    /** Non-owning kernel view of this flattened table. */
+    kernels::PerTableView
+    view() const
+    {
+        return {per.data(),  logPberOk.data(), logPberBad.data(),
+                numBins,     snrLoDb,          snrStepDb};
+    }
 };
 
 /**
@@ -159,6 +187,13 @@ class CalibrationTable
      */
     double pberFeedback(phy::RateIndex rate, double snr_db,
                         bool ok) const;
+
+    /**
+     * Precompute the flattened per-cell arrays the batched PER
+     * kernel reads (see FlatCalibration). Call once per run, not
+     * per slot.
+     */
+    FlatCalibration flatten() const;
 
     /** Serialize to the versioned text format (round-trips). */
     std::string serialize() const;

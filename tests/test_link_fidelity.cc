@@ -18,8 +18,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <memory>
+#include <span>
+#include <vector>
 
+#include "common/random.hh"
 #include "sim/link_fidelity.hh"
 #include "sim/network_sim.hh"
 #include "sim/sweep.hh"
@@ -179,6 +183,89 @@ TEST(CalibrationTable, SerializeParseRoundTripsExactly)
             EXPECT_EQ(a.sumLogPberBad, c.sumLogPberBad);
         }
     }
+}
+
+// ------------------------------------------- batched draw sibling
+
+TEST(LinkFidelity, DrawBatchMatchesDrawAtBitForBit)
+{
+    std::shared_ptr<const softphy::CalibrationTable> t =
+        sharedTable();
+    const softphy::FlatCalibration flat = t->flatten();
+
+    SplitMix64 rng(0xD4A3);
+    const size_t n = 97;
+    std::vector<std::int32_t> rates(n);
+    std::vector<double> snr(n);
+    std::vector<std::uint64_t> keys(n);
+    for (size_t i = 0; i < n; ++i) {
+        rates[i] = static_cast<std::int32_t>(
+            rng.nextBelow(phy::kNumRates));
+        // In-range, off both table edges, and the zero-SINR
+        // sentinel itself.
+        snr[i] = (i % 13 == 0)
+                     ? kZeroSinrDb
+                     : -20.0 + rng.nextDouble() * 60.0;
+        keys[i] = rng.next();
+    }
+    for (std::uint64_t slot :
+         {std::uint64_t(0), std::uint64_t(421)}) {
+        std::vector<std::uint8_t> ok(n, 9);
+        std::vector<double> pber(n, -1.0);
+        AnalyticLink::drawBatch(flat.view(), rates, snr, keys, slot,
+                                ok, pber);
+        for (size_t i = 0; i < n; ++i) {
+            AnalyticLink link(t.get(), keys[i]);
+            const LinkFrameResult fr = link.drawAt(
+                static_cast<phy::RateIndex>(rates[i]), slot,
+                snr[i]);
+            ASSERT_EQ(fr.ok, ok[i] != 0)
+                << "entry " << i << " slot " << slot;
+            ASSERT_EQ(fr.pber, pber[i])
+                << "entry " << i << " slot " << slot;
+            ASSERT_FALSE(fr.fullPhy);
+        }
+    }
+}
+
+/**
+ * A zero-signal user (sig = 0, so SINR collapses to the shared
+ * kZeroSinrDb sentinel rather than -inf) must see identical frame
+ * statistics through the scalar drawAt() path and the batched
+ * drawBatch() path -- the guarantee that lets the SoA engine feed
+ * the sentinel through the kernels unchanged.
+ */
+TEST(LinkFidelity, ZeroSignalUserIdenticalInScalarAndBatchedPaths)
+{
+    std::shared_ptr<const softphy::CalibrationTable> t =
+        sharedTable();
+    const softphy::FlatCalibration flat = t->flatten();
+    const std::uint64_t key = 0x5EED;
+    AnalyticLink link(t.get(), key);
+
+    const std::int32_t rate = 2;
+    std::uint64_t sent = 0, ok_scalar = 0, ok_batch = 0;
+    for (std::uint64_t slot = 0; slot < 200; ++slot) {
+        const LinkFrameResult fr = link.drawAt(
+            static_cast<phy::RateIndex>(rate), slot, kZeroSinrDb);
+        std::uint8_t ok = 9;
+        double pber = -1.0;
+        AnalyticLink::drawBatch(
+            flat.view(), std::span(&rate, 1),
+            std::span<const double>(&kZeroSinrDb, 1),
+            std::span(&key, 1), slot, std::span(&ok, 1),
+            std::span(&pber, 1));
+        ASSERT_EQ(fr.ok, ok != 0) << "slot " << slot;
+        ASSERT_EQ(fr.pber, pber) << "slot " << slot;
+        ++sent;
+        ok_scalar += fr.ok ? 1 : 0;
+        ok_batch += ok ? 1 : 0;
+    }
+    EXPECT_EQ(ok_scalar, ok_batch);
+    // At the sentinel the table's lowest bin governs: deep in the
+    // noise, virtually nothing survives.
+    EXPECT_LT(static_cast<double>(ok_scalar),
+              0.5 * static_cast<double>(sent));
 }
 
 // ------------------------------------- table vs fresh ground truth

@@ -21,6 +21,9 @@
 #include "common/random.hh"
 #include "decode/trellis_kernels.hh"
 #include "phy/demapper.hh"
+#include "phy/modulation.hh"
+#include "sim/link_fidelity.hh"
+#include "sim/multicell_detail.hh"
 #include "sim/scenario.hh"
 #include "sim/testbench.hh"
 
@@ -341,6 +344,199 @@ TEST_F(SimdKernelTest, AxpyF32MatchesScalar)
         ASSERT_EQ(0, std::memcmp(want.data(), got.data(),
                                  n * sizeof(float)))
             << kernels::backendName(b);
+    }
+}
+
+// ------------------------- SoA analytic-engine kernels (PR 6) ----
+
+TEST_F(SimdKernelTest, RngU01KeyedMatchesCounterRngAndScalar)
+{
+    SplitMix64 rng(0x9E37);
+    const size_t n = 517; // odd tail on purpose
+    std::vector<std::uint64_t> keys(n);
+    for (auto &k : keys)
+        k = rng.next();
+    for (std::uint64_t counter :
+         {std::uint64_t(0), std::uint64_t(1), std::uint64_t(12345),
+          std::uint64_t(0x7FFFFFFFFFFFull)}) {
+        const Ops &ref = tableOf(Backend::Scalar);
+        std::vector<double> want(n, -1.0);
+        ref.rngU01Keyed(keys.data(), n, counter, want.data());
+        // The scalar kernel must itself be the CounterRng
+        // expression it batches.
+        for (size_t i = 0; i < n; ++i)
+            ASSERT_EQ(CounterRng(keys[i]).doubleAt(counter),
+                      want[i])
+                << "lane " << i << " counter " << counter;
+        for (Backend b : vectorBackends()) {
+            const Ops &vec = tableOf(b);
+            std::vector<double> got(n, -2.0);
+            vec.rngU01Keyed(keys.data(), n, counter, got.data());
+            ASSERT_EQ(0, std::memcmp(want.data(), got.data(),
+                                     n * sizeof(double)))
+                << kernels::backendName(b) << " counter "
+                << counter;
+        }
+    }
+}
+
+TEST_F(SimdKernelTest, SinrAccumBatchMatchesScalarReference)
+{
+    SplitMix64 rng(0x51A8);
+    const int cells = 13;
+    const size_t n = 101; // odd tail on purpose
+    std::vector<std::vector<double>> gains(
+        n, std::vector<double>(static_cast<size_t>(cells)));
+    std::vector<const double *> rows(n);
+    std::vector<std::int32_t> serving(n);
+    std::vector<std::uint64_t> fade_keys(n);
+    std::vector<std::uint8_t> active(static_cast<size_t>(cells));
+    std::vector<double> sig(n);
+    for (auto &a : active)
+        a = rng.nextBelow(4) != 0 ? 1 : 0; // mostly-on, some idle
+    for (size_t i = 0; i < n; ++i) {
+        for (auto &g : gains[i])
+            g = rng.nextDouble() * 1e-3;
+        rows[i] = gains[i].data();
+        serving[i] =
+            static_cast<std::int32_t>(rng.nextBelow(cells));
+        fade_keys[i] = rng.next();
+        // Sprinkle zero-signal entries: they must come out as
+        // exactly the named sentinel, not -inf.
+        sig[i] = (i % 17 == 0) ? 0.0 : rng.nextDouble() * 50.0;
+    }
+
+    for (std::uint64_t t :
+         {std::uint64_t(0), std::uint64_t(7),
+          std::uint64_t(91234)}) {
+        // Reference: the per-user engine's scalar expression,
+        // written out longhand.
+        std::vector<double> want(n);
+        for (size_t i = 0; i < n; ++i) {
+            const CounterRng stream(fade_keys[i]);
+            double interference = 0.0;
+            for (int c2 = 0; c2 < cells; ++c2) {
+                if (c2 == serving[i] ||
+                    !active[static_cast<size_t>(c2)])
+                    continue;
+                interference +=
+                    gains[i][static_cast<size_t>(c2)] *
+                    sim::detail::interferenceFade(
+                        stream,
+                        t * static_cast<std::uint64_t>(cells) +
+                            static_cast<std::uint64_t>(c2));
+            }
+            const double lin = sig[i] / (1.0 + interference);
+            want[i] = lin > 0.0 ? 10.0 * std::log10(lin)
+                                : sim::kZeroSinrDb;
+        }
+        for (Backend b : kernels::availableBackends()) {
+            const Ops &ops = tableOf(b);
+            std::vector<double> got(n, -1.0);
+            ops.sinrAccumBatch(rows.data(), serving.data(),
+                               fade_keys.data(), active.data(),
+                               cells, t, sig.data(), n,
+                               sim::kZeroSinrDb, got.data());
+            ASSERT_EQ(0, std::memcmp(want.data(), got.data(),
+                                     n * sizeof(double)))
+                << kernels::backendName(b) << " t " << t;
+            for (size_t i = 0; i < n; i += 17)
+                ASSERT_EQ(sim::kZeroSinrDb, got[i])
+                    << "zero-signal entry " << i << " backend "
+                    << kernels::backendName(b);
+        }
+    }
+}
+
+TEST_F(SimdKernelTest, PerDrawBatchMatchesScalarAcrossBackends)
+{
+    // A synthetic flattened table: the cross-backend contract does
+    // not care where the numbers came from, only that every lane
+    // interpolates and draws bit-identically.
+    SplitMix64 rng(0x9E4D);
+    const int bins = 9;
+    kernels::PerTableView tv;
+    std::vector<double> per(
+        static_cast<size_t>(phy::kNumRates * bins));
+    std::vector<double> log_ok(per.size()), log_bad(per.size());
+    for (size_t i = 0; i < per.size(); ++i) {
+        per[i] = rng.nextDouble();
+        log_ok[i] = -12.0 * rng.nextDouble() - 0.5;
+        log_bad[i] = -4.0 * rng.nextDouble() - 0.1;
+    }
+    tv.per = per.data();
+    tv.logPberOk = log_ok.data();
+    tv.logPberBad = log_bad.data();
+    tv.numBins = bins;
+    tv.snrLoDb = -4.0;
+    tv.snrStepDb = 2.5;
+
+    const size_t n = 73; // odd tail on purpose
+    std::vector<std::int32_t> rates(n);
+    std::vector<double> snr(n);
+    std::vector<std::uint64_t> keys(n);
+    for (size_t i = 0; i < n; ++i) {
+        rates[i] =
+            static_cast<std::int32_t>(rng.nextBelow(phy::kNumRates));
+        // In-range, below-range and above-range SNRs so both edge
+        // clamps and the interior interpolation are exercised.
+        snr[i] = -10.0 + rng.nextDouble() * 40.0;
+        keys[i] = rng.next();
+    }
+    for (std::uint64_t t :
+         {std::uint64_t(0), std::uint64_t(5151)}) {
+        const Ops &ref = tableOf(Backend::Scalar);
+        std::vector<std::uint8_t> ok_ref(n, 9);
+        std::vector<double> pber_ref(n, -1.0);
+        ref.perDrawBatch(tv, rates.data(), snr.data(), keys.data(),
+                         t, n, ok_ref.data(), pber_ref.data());
+        for (Backend b : vectorBackends()) {
+            const Ops &vec = tableOf(b);
+            std::vector<std::uint8_t> ok(n, 7);
+            std::vector<double> pber(n, -2.0);
+            vec.perDrawBatch(tv, rates.data(), snr.data(),
+                             keys.data(), t, n, ok.data(),
+                             pber.data());
+            ASSERT_EQ(ok_ref, ok)
+                << kernels::backendName(b) << " t " << t;
+            ASSERT_EQ(0, std::memcmp(pber_ref.data(), pber.data(),
+                                     n * sizeof(double)))
+                << kernels::backendName(b) << " t " << t;
+        }
+    }
+}
+
+TEST_F(SimdKernelTest, PfDecayMatchesScalarReference)
+{
+    SplitMix64 rng(0xF0EC);
+    const size_t n = 37; // odd tail on purpose
+    const double a = 1.0 / 48.0;
+    const double served_bits = 8192.0;
+    std::vector<double> base(n);
+    for (auto &x : base)
+        x = rng.nextDouble() * 1e5 + 1.0;
+    for (std::int32_t granted :
+         {std::int32_t(-1), std::int32_t(0), std::int32_t(17),
+          static_cast<std::int32_t>(n - 1)}) {
+        // Reference: the loop CellScheduler::update() used before
+        // batching.
+        std::vector<double> want = base;
+        for (size_t i = 0; i < n; ++i) {
+            const double inst =
+                static_cast<std::int32_t>(i) == granted
+                    ? served_bits
+                    : 0.0;
+            want[i] = (1.0 - a) * want[i] + a * inst;
+        }
+        for (Backend b : kernels::availableBackends()) {
+            const Ops &ops = tableOf(b);
+            std::vector<double> got = base;
+            ops.pfDecay(got.data(), n, a, granted, served_bits);
+            ASSERT_EQ(0, std::memcmp(want.data(), got.data(),
+                                     n * sizeof(double)))
+                << kernels::backendName(b) << " granted "
+                << granted;
+        }
     }
 }
 
