@@ -180,6 +180,44 @@ main(int argc, char **argv)
         }
     }
 
+    // ---- dense-urban-10k latency: trace-derived percentiles ------
+    bench::banner("dense-urban-10k latency (traced run)");
+    {
+        // One traced run of the same deployment: the packet event
+        // trace yields head-of-line queue wait (arrival -> first
+        // grant) and end-to-end latency (arrival -> in-order
+        // delivery) distributions; the percentiles gate regressions
+        // as lower-is-better metrics.
+        const std::uint64_t slots = bench::scaled(200, 50);
+        sim::NetworkSpec spec = sim::networkPreset("dense-urban-10k");
+        spec.trace = true;
+        sim::NetworkResult res = sim::NetworkSim(spec).run(slots, 4);
+        const Histogram &qw = res.aggregate.queueWaitHist;
+        const Histogram &e2e = res.aggregate.e2eLatencyHist;
+        const double qw_p50 = qw.quantile(0.5);
+        const double qw_p99 = qw.quantile(0.99);
+        const double e2e_p50 = e2e.quantile(0.5);
+        const double e2e_p99 = e2e.quantile(0.99);
+        report.metric("p50_queue_wait_dense10k", qw_p50, "slots",
+                      false);
+        report.metric("p99_queue_wait_dense10k", qw_p99, "slots",
+                      false);
+        report.metric("p50_e2e_latency_dense10k", e2e_p50, "slots",
+                      false);
+        report.metric("p99_e2e_latency_dense10k", e2e_p99, "slots",
+                      false);
+        std::printf("%-20s %-9s %-9s\n", "", "p50", "p99");
+        std::printf("%-20s %-9.1f %-9.1f\n", "queue wait (slots)",
+                    qw_p50, qw_p99);
+        std::printf("%-20s %-9.1f %-9.1f\n", "e2e latency (slots)",
+                    e2e_p50, e2e_p99);
+        if (e2e.total() == 0) {
+            std::fprintf(stderr, "FAIL: traced run delivered no "
+                                 "packets\n");
+            ++failures;
+        }
+    }
+
     // ---- scheduler A/B: throughput vs fairness -------------------
     bench::banner("scheduler A/B: round_robin vs proportional_fair");
     {

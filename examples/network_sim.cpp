@@ -10,10 +10,16 @@
  * latency / rate-usage histograms.
  *
  * Run: ./build/network_sim [preset[,k=v,...]|k=v,...] [slots] [threads]
+ *                          [--trace FILE]
  *      ./build/network_sim cell-16 200 4
  *      ./build/network_sim grid-3x3 400 4          # from repo root
  *      ./build/network_sim "users=8,snr_db=18,arq=stopwait" 100
  *      ./build/network_sim grid-3x3,engine=peruser 200 2
+ *      ./build/network_sim grid-3x3 200 4 --trace trace.txt
+ *
+ * --trace FILE records the per-packet event trace (enqueue / grant
+ * / tx / ack / drop / expire) and saves it to FILE; the trace is
+ * bit-identical for any thread count and either multi-cell engine.
  */
 
 #include <algorithm>
@@ -23,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "mac/packet_trace.hh"
 #include "phy/modulation.hh"
 #include "sim/network_sim.hh"
 
@@ -56,10 +63,27 @@ printHistogram(const char *title, const Histogram &h,
 int
 main(int argc, char **argv)
 {
-    std::string what = argc > 1 ? argv[1] : "cell-16";
+    // Peel off "--trace FILE" anywhere on the line, then read the
+    // positionals as before.
+    std::string trace_file;
+    std::vector<std::string> pos;
+    for (int a = 1; a < argc; ++a) {
+        if (std::string(argv[a]) == "--trace") {
+            if (a + 1 >= argc) {
+                std::fprintf(stderr,
+                             "--trace needs a file argument\n");
+                return 1;
+            }
+            trace_file = argv[++a];
+        } else {
+            pos.emplace_back(argv[a]);
+        }
+    }
+    std::string what = pos.size() > 0 ? pos[0] : "cell-16";
     std::uint64_t slots =
-        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 120;
-    int threads = argc > 3 ? std::atoi(argv[3]) : 0;
+        pos.size() > 1 ? std::strtoull(pos[1].c_str(), nullptr, 10)
+                       : 120;
+    int threads = pos.size() > 2 ? std::atoi(pos[2].c_str()) : 0;
 
     // A preset name, a bare config string, or a preset with k=v
     // overrides appended ("grid-3x3,engine=peruser").
@@ -99,8 +123,18 @@ main(int argc, char **argv)
                     spec.snrSpreadDb,
                     sim::fidelityModeName(spec.fidelity.mode));
 
+    if (!trace_file.empty())
+        spec.trace = true;
+
     sim::NetworkSim sim(spec);
     sim::NetworkResult res = sim.run(slots, threads);
+
+    if (!trace_file.empty()) {
+        res.trace->save(trace_file);
+        std::printf("trace: %zu events -> %s\n",
+                    res.trace->entries().size(),
+                    trace_file.c_str());
+    }
 
     // Per-user detail reads well to a few dozen users; a 10k-user
     // deployment speaks through the per-cell and aggregate views.

@@ -7,8 +7,7 @@
 namespace wilis {
 
 Histogram::Histogram(int num_bins, double bin_width, double lo)
-    : counts(static_cast<size_t>(num_bins), 0), width_(bin_width),
-      lo_(lo)
+    : nbins_(num_bins), width_(bin_width), lo_(lo)
 {
     wilis_assert(num_bins >= 1, "histogram needs >= 1 bin, got %d",
                  num_bins);
@@ -19,6 +18,8 @@ Histogram::Histogram(int num_bins, double bin_width, double lo)
 void
 Histogram::add(double x)
 {
+    if (counts.empty())
+        counts.assign(static_cast<size_t>(nbins_), 0);
     double idx = (x - lo_) / width_;
     int bin = idx <= 0.0 ? 0 : static_cast<int>(idx);
     if (bin >= numBins())
@@ -50,6 +51,10 @@ Histogram::merge(const Histogram &other)
     wilis_assert(other.numBins() == numBins() &&
                      other.width_ == width_ && other.lo_ == lo_,
                  "merging histograms with different binning");
+    if (other.total_ == 0)
+        return;
+    if (counts.empty())
+        counts.assign(static_cast<size_t>(nbins_), 0);
     for (int b = 0; b < numBins(); ++b)
         counts[static_cast<size_t>(b)] +=
             other.counts[static_cast<size_t>(b)];

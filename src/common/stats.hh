@@ -182,6 +182,12 @@ class BinnedErrorCounter
  * Values below the range clamp into the first bin, values at or
  * above the range into the last, so totals always equal the number
  * of add() calls and histograms with identical binning merge exactly.
+ *
+ * The bin array is allocated on the first add() (or the first merge
+ * of a non-empty histogram): the network simulator constructs and
+ * merges several histograms per user per run, the large majority of
+ * which never see a sample, and eagerly zeroing 10k+ users' worth of
+ * bins each rep is measurable against the SoA engine's slot loop.
  */
 class Histogram
 {
@@ -197,12 +203,13 @@ class Histogram
     void add(double x);
 
     /** Number of bins. */
-    int numBins() const { return static_cast<int>(counts.size()); }
+    int numBins() const { return nbins_; }
 
     /** Observations recorded in @p bin. */
     std::uint64_t count(int bin) const
     {
-        return counts[static_cast<size_t>(bin)];
+        return counts.empty() ? 0
+                              : counts[static_cast<size_t>(bin)];
     }
 
     /** Total observations recorded. */
@@ -227,7 +234,8 @@ class Histogram
     void merge(const Histogram &other);
 
   private:
-    std::vector<std::uint64_t> counts;
+    std::vector<std::uint64_t> counts; // empty until first sample
+    int nbins_;
     double width_;
     double lo_;
     std::uint64_t total_ = 0;

@@ -193,6 +193,19 @@ class Arq
     std::uint64_t retransmissions() const { return retrans; }
 
     /**
+     * Transmission attempts consumed so far by @p seq. Valid for
+     * frames still in the window (transmitted, not yet delivered);
+     * 1 right after a frame's first nextToSend() grant.
+     */
+    int
+    attemptsOf(std::uint64_t seq) const
+    {
+        return win[static_cast<size_t>(
+                       seq % static_cast<std::uint64_t>(win.size()))]
+            .attempts;
+    }
+
+    /**
      * Process acknowledgements arriving at slot @p now and append
      * any frames that become deliverable -- in sequence order -- to
      * @p out. Must be called with non-decreasing @p now.

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Deterministic per-packet event trace of the upper stack.
+ *
+ * Every packet-visible MAC event -- enqueue, queue drop, scheduler
+ * grant, transmission, in-order delivery (ack) and retry-budget
+ * expiry -- is recorded with its slot timestamp and packet identity
+ * (cell, user, traffic class, per-user sequence number). Engines
+ * record into per-shard buffers (one shard per cell in the
+ * multi-cell engines, one per user in the single-cell engine), so
+ * recording is race-free without locks; finalize() then sorts every
+ * entry into the canonical order (cell, user, seq, slot, event),
+ * which is a total key over the events one run can produce.
+ *
+ * That makes the finalized trace a pure function of the NetworkSpec:
+ * independent of the worker-thread count, of the cell sharding, and
+ * of which engine (peruser or soa) produced it -- so a saved trace
+ * is byte-diffable against any later run of the same spec, which is
+ * the differential-testing workhorse pinning every MAC, scheduler
+ * and engine change (tests/test_packet_trace.cc and the committed
+ * golden trace under data/).
+ *
+ * The text format is versioned and all-integer (the class and event
+ * columns are fixed-name strings), so a committed fixture is stable
+ * across platforms -- no floating-point formatting is involved.
+ */
+
+#ifndef WILIS_MAC_PACKET_TRACE_HH
+#define WILIS_MAC_PACKET_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mac/traffic.hh"
+
+namespace wilis {
+namespace mac {
+
+/** What happened to a packet at one slot. */
+enum class PacketEvent : std::uint8_t {
+    /** Entered its traffic queue (arg0 = queue depth after). */
+    Enqueue,
+    /**
+     * Dropped from a full queue (arg0 = 0 for a tail-dropped
+     * arrival, 1 for a head-of-line eviction under drop_head;
+     * arg1 = the dropped packet's age in slots).
+     */
+    QueueDrop,
+    /**
+     * Granted the slot by its cell's scheduler (arg0 = transmission
+     * attempts after this grant, arg1 = queue wait in slots on the
+     * first attempt, 0 on retransmissions).
+     */
+    Grant,
+    /** Transmitted (arg0 = decoded clean, arg1 = rate index). */
+    Tx,
+    /**
+     * Delivered in order by the ARQ (arg0 = attempts consumed,
+     * arg1 = end-to-end latency in slots, arrival to delivery).
+     */
+    Ack,
+    /**
+     * Dropped by the ARQ after exhausting its retry budget
+     * (arg0 = attempts consumed, arg1 = slots since arrival).
+     */
+    Expire,
+};
+
+/** Trace-file name of @p ev ("enq", "qdrop", "grant", ...). */
+const char *packetEventName(PacketEvent ev);
+
+/** Inverse of packetEventName(); fatal on unknown names. */
+PacketEvent packetEventFromName(const std::string &name);
+
+/**
+ * The per-packet event log. Thread contract: record() calls must be
+ * partitioned by shard (each shard written by exactly one thread at
+ * a time); finalize() and everything after it are single-threaded.
+ */
+class PacketTrace
+{
+  public:
+    /** One traced event. */
+    struct Entry {
+        /** Slot timestamp. */
+        std::uint64_t slot = 0;
+        /** Serving cell (0 in single-cell runs). */
+        std::int32_t cell = 0;
+        /** Global user id. */
+        std::int32_t user = 0;
+        /** Traffic class of the packet. */
+        TrafficClass cls = TrafficClass::Data;
+        /** Per-user packet sequence number (arrival order). */
+        std::uint64_t seq = 0;
+        /** What happened. */
+        PacketEvent event = PacketEvent::Enqueue;
+        /** Event-specific argument (see PacketEvent). */
+        std::int64_t arg0 = 0;
+        /** Event-specific argument (see PacketEvent). */
+        std::int64_t arg1 = 0;
+
+        /** Field-wise equality. */
+        bool operator==(const Entry &other) const = default;
+    };
+
+    /** Build a trace with @p shards race-free recording lanes. */
+    explicit PacketTrace(int shards = 1);
+
+    /** Append @p e to shard @p shard (pre-finalize only). */
+    void record(int shard, const Entry &e);
+
+    /**
+     * Merge all shards and sort into the canonical
+     * (cell, user, seq, slot, event) order. Idempotent; required
+     * before entries() / toText() / save() / diff().
+     */
+    void finalize();
+
+    /** True once finalize() has run. */
+    bool finalized() const { return finalized_; }
+
+    /** The canonically ordered events (finalized traces only). */
+    const std::vector<Entry> &entries() const;
+
+    /** Serialize to the versioned text format. */
+    std::string toText() const;
+
+    /** Write toText() to @p path; fatal on I/O errors. */
+    void save(const std::string &path) const;
+
+    /**
+     * Parse a trace saved by save(); fatal on a missing file, a
+     * version-header mismatch or a malformed line. The result is
+     * finalized.
+     */
+    static PacketTrace load(const std::string &path);
+
+    /**
+     * First divergence between two finalized traces, or the empty
+     * string when they are identical. The message names the entry
+     * index and shows both sides' text lines.
+     */
+    static std::string diff(const PacketTrace &a,
+                            const PacketTrace &b);
+
+  private:
+    std::vector<std::vector<Entry>> shards_;
+    std::vector<Entry> entries_;
+    bool finalized_ = false;
+};
+
+} // namespace mac
+} // namespace wilis
+
+#endif // WILIS_MAC_PACKET_TRACE_HH

@@ -30,6 +30,23 @@ schedulerKindFromName(const std::string &name)
                 name.c_str());
 }
 
+const char *
+contentionModeName(ContentionMode mode)
+{
+    return mode == ContentionMode::Fixed ? "fixed" : "none";
+}
+
+ContentionMode
+contentionModeFromName(const std::string &name)
+{
+    if (name == "none")
+        return ContentionMode::None;
+    if (name == "fixed")
+        return ContentionMode::Fixed;
+    wilis_fatal("unknown contention mode '%s' (none|fixed)",
+                name.c_str());
+}
+
 CellScheduler::CellScheduler(const Config &cfg, int num_users)
     : cfg_(cfg), num_users_(num_users)
 {
@@ -43,18 +60,37 @@ CellScheduler::CellScheduler(const Config &cfg, int num_users)
 
 int
 CellScheduler::pick(const std::vector<std::uint8_t> &eligible,
-                    const std::vector<double> &inst_rate) const
+                    const std::vector<double> &inst_rate,
+                    const std::vector<std::uint8_t> *urgent) const
 {
     wilis_assert(static_cast<int>(eligible.size()) == num_users_,
                  "eligibility vector size %zu != %d users",
                  eligible.size(), num_users_);
     if (num_users_ == 0)
         return -1;
+    // Class-aware preemption: when any eligible user is urgent,
+    // restrict the discipline to the eligible-and-urgent subset.
+    bool any_urgent = false;
+    if (urgent) {
+        wilis_assert(static_cast<int>(urgent->size()) == num_users_,
+                     "urgency vector size %zu != %d users",
+                     urgent->size(), num_users_);
+        for (int u = 0; u < num_users_; ++u) {
+            if (eligible[static_cast<size_t>(u)] &&
+                (*urgent)[static_cast<size_t>(u)]) {
+                any_urgent = true;
+                break;
+            }
+        }
+    }
     if (cfg_.kind == SchedulerKind::RoundRobin) {
         for (int i = 0; i < num_users_; ++i) {
             const int u = (cursor_ + i) % num_users_;
-            if (eligible[static_cast<size_t>(u)])
-                return u;
+            if (!eligible[static_cast<size_t>(u)])
+                continue;
+            if (any_urgent && !(*urgent)[static_cast<size_t>(u)])
+                continue;
+            return u;
         }
         return -1;
     }
@@ -66,6 +102,8 @@ CellScheduler::pick(const std::vector<std::uint8_t> &eligible,
     double best_metric = 0.0;
     for (int u = 0; u < num_users_; ++u) {
         if (!eligible[static_cast<size_t>(u)])
+            continue;
+        if (any_urgent && !(*urgent)[static_cast<size_t>(u)])
             continue;
         const double avg =
             avg_[static_cast<size_t>(u)] > 1e-12

@@ -44,6 +44,28 @@ const char *schedulerKindName(SchedulerKind kind);
 SchedulerKind schedulerKindFromName(const std::string &name);
 
 /**
+ * Medium-contention model of a cell (per LL-SimpleWireless's fixed
+ * bandwidth sharing): how granting a slot with k contenders charges
+ * the cell's airtime.
+ */
+enum class ContentionMode {
+    /** One grant per slot regardless of contenders (ideal TDMA). */
+    None,
+    /**
+     * Fixed 1/k sharing: a grant contested by k eligible users
+     * occupies the cell's medium for k slots, so each contender
+     * sees 1/k of the bandwidth under sustained contention.
+     */
+    Fixed,
+};
+
+/** Config-file name ("none" / "fixed"). */
+const char *contentionModeName(ContentionMode mode);
+
+/** Inverse of contentionModeName(); fatal on unknown names. */
+ContentionMode contentionModeFromName(const std::string &name);
+
+/**
  * One cell's scheduler state. Users are addressed by their local
  * index within the cell (0..numUsers-1); the caller owns the
  * mapping to global user ids.
@@ -60,6 +82,8 @@ class CellScheduler
          * time constant of the served-throughput estimate).
          */
         double pfHorizonSlots = 64.0;
+        /** Medium-contention model the engines apply per grant. */
+        ContentionMode contention = ContentionMode::None;
     };
 
     /** Build a scheduler for a cell of @p num_users users. */
@@ -71,12 +95,23 @@ class CellScheduler
      * @param inst_rate Per-user instantaneous rate estimate; only
      *                  consulted by proportional_fair, and only at
      *                  eligible indices.
+     * @param urgent    Optional per-user flag: class-aware
+     *                  arbitration. When any eligible user is
+     *                  urgent (has queued control traffic), the
+     *                  pick is restricted to the eligible-and-
+     *                  urgent subset -- control preempts data --
+     *                  and the discipline (RR cursor / PF metric)
+     *                  operates within that subset. Null or
+     *                  all-false behaves exactly like the
+     *                  two-argument overload.
      * @return the granted local user index, or -1 if no user is
      *         eligible. Does not mutate state; call update() with
      *         the result to close the slot.
      */
     int pick(const std::vector<std::uint8_t> &eligible,
-             const std::vector<double> &inst_rate) const;
+             const std::vector<double> &inst_rate,
+             const std::vector<std::uint8_t> *urgent =
+                 nullptr) const;
 
     /**
      * Close the slot: advance the round-robin cursor / decay the PF

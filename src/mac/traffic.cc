@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "mac/packet_trace.hh"
+
 namespace wilis {
 namespace mac {
 
@@ -33,10 +35,56 @@ trafficKindFromName(const std::string &name)
                 name.c_str());
 }
 
+const char *
+trafficClassName(TrafficClass cls)
+{
+    return cls == TrafficClass::Control ? "ctrl" : "data";
+}
+
+TrafficClass
+trafficClassFromName(const std::string &name)
+{
+    if (name == "ctrl")
+        return TrafficClass::Control;
+    if (name == "data")
+        return TrafficClass::Data;
+    wilis_fatal("unknown traffic class '%s' (ctrl|data)",
+                name.c_str());
+}
+
+const char *
+qdiscKindName(QdiscKind kind)
+{
+    switch (kind) {
+      case QdiscKind::Fifo:
+        return "fifo";
+      case QdiscKind::StrictPriority:
+        return "priority";
+      case QdiscKind::DropHead:
+        return "drop_head";
+    }
+    return "?";
+}
+
+QdiscKind
+qdiscKindFromName(const std::string &name)
+{
+    if (name == "fifo")
+        return QdiscKind::Fifo;
+    if (name == "priority" || name == "strict_priority")
+        return QdiscKind::StrictPriority;
+    if (name == "drop_head")
+        return QdiscKind::DropHead;
+    wilis_fatal("unknown queue discipline '%s' "
+                "(fifo|priority|drop_head)",
+                name.c_str());
+}
+
 TrafficSource::TrafficSource(const TrafficSpec &spec,
                              std::uint64_t stream_seed)
     : spec_(spec), rng_(stream_seed),
-      transitions_(rng_.fork(0x70661Eull).fork(0xD11ull))
+      transitions_(rng_.fork(0x70661Eull).fork(0xD11ull)),
+      ctrlRng_(rng_.fork(0x70661Eull).fork(0xC7A1ull))
 {
     // The upper bound keeps Knuth's product sampler in its working
     // range (exp(-load) underflows near 708 and the loop would
@@ -46,13 +94,21 @@ TrafficSource::TrafficSource(const TrafficSpec &spec,
     wilis_assert(spec_.load >= 0.0 && spec_.load <= 64.0,
                  "traffic load %g outside [0, 64] frames/slot",
                  spec_.load);
+    wilis_assert(spec_.controlRate >= 0.0 &&
+                     spec_.controlRate <= 64.0,
+                 "control rate %g outside [0, 64] frames/slot",
+                 spec_.controlRate);
     wilis_assert(spec_.queueLimit >= 1, "queue limit %d < 1",
                  spec_.queueLimit);
     wilis_assert(spec_.onSlots >= 1.0 && spec_.offSlots >= 1.0,
                  "ON/OFF dwell means (%g, %g) must be >= 1 slot",
                  spec_.onSlots, spec_.offSlots);
+    // Each ring holds at most queueLimit packets because the limit
+    // bounds the *total* depth across both classes.
     if (spec_.kind != TrafficKind::FullBuffer)
-        queue_.resize(static_cast<size_t>(spec_.queueLimit));
+        data_.slots.resize(static_cast<size_t>(spec_.queueLimit));
+    if (spec_.controlRate > 0.0)
+        ctrl_.slots.resize(static_cast<size_t>(spec_.queueLimit));
     // Start the ON/OFF chain in its stationary distribution so a
     // cell's initial load is representative, not synchronized.
     if (spec_.kind == TrafficKind::OnOff)
@@ -61,46 +117,106 @@ TrafficSource::TrafficSource(const TrafficSpec &spec,
 }
 
 int
-TrafficSource::poissonAt(std::uint64_t t, double mean) const
+TrafficSource::poissonFrom(const CounterRng &slot_stream,
+                           double mean)
 {
     // Knuth's product-of-uniforms sampler on the slot's own
     // sub-stream; the draw count varies per slot, which is why each
     // slot forks its own counter space.
-    const CounterRng slot = rng_.fork(t);
     const double limit = std::exp(-mean);
     double prod = 1.0;
     int k = 0;
     do {
-        prod *= slot.doubleAt(static_cast<std::uint64_t>(k));
+        prod *= slot_stream.doubleAt(static_cast<std::uint64_t>(k));
         ++k;
     } while (prod > limit);
     return k - 1;
 }
 
+int
+TrafficSource::poissonAt(std::uint64_t t, double mean) const
+{
+    return poissonFrom(rng_.fork(t), mean);
+}
+
 void
-TrafficSource::push(std::uint64_t arrival_slot)
+TrafficSource::traceDrop(const Packet &p, std::uint64_t now,
+                         bool head_evicted)
+{
+    if (!trace_)
+        return;
+    trace_->record(
+        traceShard_,
+        PacketTrace::Entry{now, traceCell_, traceUser_, p.cls,
+                           p.seq, PacketEvent::QueueDrop,
+                           head_evicted ? 1 : 0,
+                           static_cast<std::int64_t>(now -
+                                                     p.arrival)});
+}
+
+void
+TrafficSource::evictOldest(std::uint64_t now)
+{
+    // Global-oldest across both rings: sequence numbers are
+    // assigned in arrival order, so the smaller head seq is the
+    // older packet.
+    Ring &r = ctrl_.depth == 0 ? data_
+              : data_.depth == 0
+                  ? ctrl_
+                  : (ctrl_.front().seq < data_.front().seq ? ctrl_
+                                                           : data_);
+    const Packet victim = r.popFront();
+    ++drops_;
+    traceDrop(victim, now, true);
+}
+
+void
+TrafficSource::push(TrafficClass cls, std::uint64_t arrival_slot)
 {
     ++arrivals_;
-    if (depth_ >= spec_.queueLimit) {
-        ++drops_;
-        return;
+    const Packet p{arrival_slot, pktSeq_++, cls};
+    if (ctrl_.depth + data_.depth >= spec_.queueLimit) {
+        if (spec_.qdisc == QdiscKind::DropHead) {
+            evictOldest(arrival_slot);
+        } else {
+            // fifo/priority drop the arrival (tail drop).
+            ++drops_;
+            traceDrop(p, arrival_slot, false);
+            return;
+        }
     }
+    Ring &r = cls == TrafficClass::Control ? ctrl_ : data_;
     const int tail =
-        (head_ + depth_) % static_cast<int>(queue_.size());
-    queue_[static_cast<size_t>(tail)] = arrival_slot;
-    ++depth_;
+        (r.head + r.depth) % static_cast<int>(r.slots.size());
+    r.slots[static_cast<size_t>(tail)] = p;
+    ++r.depth;
+    if (trace_)
+        trace_->record(
+            traceShard_,
+            PacketTrace::Entry{arrival_slot, traceCell_,
+                               traceUser_, cls, p.seq,
+                               PacketEvent::Enqueue,
+                               ctrl_.depth + data_.depth, 0});
 }
 
 void
 TrafficSource::tick(std::uint64_t t)
 {
+    // Control arrivals first, so a same-slot control packet sorts
+    // ahead of the slot's data arrivals in sequence order.
+    if (spec_.controlRate > 0.0) {
+        const int n =
+            poissonFrom(ctrlRng_.fork(t), spec_.controlRate);
+        for (int i = 0; i < n; ++i)
+            push(TrafficClass::Control, t);
+    }
     switch (spec_.kind) {
       case TrafficKind::FullBuffer:
         return;
       case TrafficKind::Poisson: {
         const int n = poissonAt(t, spec_.load);
         for (int i = 0; i < n; ++i)
-            push(t);
+            push(TrafficClass::Data, t);
         return;
       }
       case TrafficKind::OnOff:
@@ -120,21 +236,26 @@ TrafficSource::tick(std::uint64_t t)
     if (on_) {
         const int n = poissonAt(t, spec_.load);
         for (int i = 0; i < n; ++i)
-            push(t);
+            push(TrafficClass::Data, t);
     }
 }
 
-std::uint64_t
+Packet
 TrafficSource::pop(std::uint64_t now)
 {
+    if (ctrl_.depth > 0) {
+        // Strict priority always serves control first; fifo and
+        // drop_head serve the globally oldest head.
+        if (spec_.qdisc == QdiscKind::StrictPriority ||
+            data_.depth == 0 ||
+            ctrl_.front().seq < data_.front().seq)
+            return ctrl_.popFront();
+    }
     if (spec_.kind == TrafficKind::FullBuffer)
-        return now;
-    wilis_assert(depth_ > 0, "pop() from an empty traffic queue");
-    const std::uint64_t arrival =
-        queue_[static_cast<size_t>(head_)];
-    head_ = (head_ + 1) % static_cast<int>(queue_.size());
-    --depth_;
-    return arrival;
+        return Packet{now, pktSeq_++, TrafficClass::Data};
+    wilis_assert(data_.depth > 0,
+                 "pop() from an empty traffic queue");
+    return data_.popFront();
 }
 
 } // namespace mac

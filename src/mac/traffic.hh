@@ -1,6 +1,6 @@
 /**
  * @file
- * Per-user traffic models and the head-of-line frame queue feeding
+ * Per-user traffic models and the head-of-line packet queue feeding
  * the per-cell scheduler of the multi-cell network simulator.
  *
  * Three arrival processes are modeled:
@@ -11,6 +11,14 @@
  *  - "onoff"       -- a two-state Markov burst model: geometric ON
  *    and OFF dwell times, Poisson arrivals while ON (the bursty
  *    workload that makes scheduling and queueing visible).
+ *
+ * On top of the data process, a per-slot Poisson *control* stream
+ * (controlRate > 0) models the low-volume high-priority plane
+ * (beacons, association, ARQ feedback in LL-SimpleWireless terms).
+ * Both classes share one bounded queue drained under a pluggable
+ * discipline: "fifo" (global arrival order), "priority" (control
+ * strictly first) or "drop_head" (fifo service, but overflow evicts
+ * the oldest queued packet instead of the arrival).
  *
  * Every draw is keyed by (user stream, slot) through the
  * counter-based generator, and the ON/OFF state evolves once per
@@ -32,6 +40,8 @@
 namespace wilis {
 namespace mac {
 
+class PacketTrace; // mac/packet_trace.hh
+
 /** Arrival process of one user's traffic source. */
 enum class TrafficKind {
     /** Always backlogged; frames materialize at service time. */
@@ -48,9 +58,47 @@ const char *trafficKindName(TrafficKind kind);
 /** Inverse of trafficKindName(); fatal on unknown names. */
 TrafficKind trafficKindFromName(const std::string &name);
 
+/** Traffic class of one packet. */
+enum class TrafficClass : std::uint8_t {
+    /** Control plane: low volume, scheduled ahead of data. */
+    Control,
+    /** Data plane: the bulk traffic the arrival model generates. */
+    Data,
+};
+
+/** Trace-file name of @p cls ("ctrl" / "data"). */
+const char *trafficClassName(TrafficClass cls);
+
+/** Inverse of trafficClassName(); fatal on unknown names. */
+TrafficClass trafficClassFromName(const std::string &name);
+
+/** Queue discipline of the shared bounded packet queue. */
+enum class QdiscKind {
+    /** Serve in global arrival order; overflow drops the arrival. */
+    Fifo,
+    /**
+     * Serve every queued control packet before any data packet
+     * (arrival order within each class); overflow drops the
+     * arrival.
+     */
+    StrictPriority,
+    /**
+     * Serve in global arrival order, but overflow evicts the
+     * oldest queued packet to admit the arrival (fresh packets
+     * beat stale ones under congestion).
+     */
+    DropHead,
+};
+
+/** Config-file name ("fifo" / "priority" / "drop_head"). */
+const char *qdiscKindName(QdiscKind kind);
+
+/** Inverse of qdiscKindName(); fatal on unknown names. */
+QdiscKind qdiscKindFromName(const std::string &name);
+
 /** Declarative traffic-model parameters (per user). */
 struct TrafficSpec {
-    /** Arrival process. */
+    /** Arrival process of the data class. */
     TrafficKind kind = TrafficKind::FullBuffer;
     /**
      * Mean frame arrivals per slot: the Poisson rate ("poisson"),
@@ -61,15 +109,38 @@ struct TrafficSpec {
     double onSlots = 32.0;
     /** Mean OFF dwell in slots (geometric; "onoff" only). */
     double offSlots = 96.0;
-    /** Frame queue capacity; arrivals beyond it are dropped. */
+    /** Shared packet-queue capacity across both classes. */
     int queueLimit = 64;
+    /** Queue discipline of the shared bounded queue. */
+    QdiscKind qdisc = QdiscKind::Fifo;
+    /**
+     * Mean control-class Poisson arrivals per slot; 0 disables the
+     * control plane (the default, preserving pre-class behavior
+     * bit for bit).
+     */
+    double controlRate = 0.0;
 };
 
 /**
- * One user's arrival process plus bounded FIFO frame queue. The
- * queue stores arrival slots so the scheduler's grant can account
- * head-of-line queueing delay. Drive it once per slot with tick(),
- * in slot order.
+ * One queued or dequeued packet: its arrival slot (so the grant can
+ * account head-of-line delay), its per-user sequence number
+ * (assigned in arrival order, control before data within a slot)
+ * and its class.
+ */
+struct Packet {
+    /** Arrival slot. */
+    std::uint64_t arrival = 0;
+    /** Per-user packet sequence number (arrival order). */
+    std::uint64_t seq = 0;
+    /** Traffic class. */
+    TrafficClass cls = TrafficClass::Data;
+};
+
+/**
+ * One user's arrival processes plus the shared bounded packet
+ * queue. Drive it once per slot with tick(), in slot order; pop()
+ * dequeues under the configured discipline. When a PacketTrace is
+ * bound, enqueues and queue drops are recorded as they happen.
  */
 class TrafficSource
 {
@@ -82,44 +153,102 @@ class TrafficSource
     const TrafficSpec &spec() const { return spec_; }
 
     /**
-     * Advance to slot @p t: evolve the ON/OFF state, draw this
-     * slot's arrivals and enqueue them (dropping overflow). Must be
-     * called once per slot with increasing @p t.
+     * Record enqueue/drop events into @p trace (null detaches).
+     * @param shard Trace recording lane (the caller's cell/user).
+     * @param cell  Serving cell stamped on events.
+     * @param user  Global user id stamped on events.
      */
-    void tick(std::uint64_t t);
-
-    /** True if a frame is ready to send. */
-    bool
-    backlogged() const
+    void
+    bindTrace(PacketTrace *trace, int shard, int cell, int user)
     {
-        return spec_.kind == TrafficKind::FullBuffer || depth_ > 0;
+        trace_ = trace;
+        traceShard_ = shard;
+        traceCell_ = cell;
+        traceUser_ = user;
     }
 
     /**
-     * Dequeue the head-of-line frame and return its arrival slot
-     * (@p now for "full_buffer", whose frames materialize at
-     * service). Only valid when backlogged().
+     * Advance to slot @p t: draw this slot's control arrivals, then
+     * evolve the ON/OFF state and draw the data arrivals, enqueuing
+     * under the configured discipline. Must be called once per slot
+     * with increasing @p t.
      */
-    std::uint64_t pop(std::uint64_t now);
+    void tick(std::uint64_t t);
 
-    /** Frames currently queued (always 0 for "full_buffer"). */
-    int depth() const { return depth_; }
+    /** True if a packet is ready to send. */
+    bool
+    backlogged() const
+    {
+        return spec_.kind == TrafficKind::FullBuffer ||
+               ctrl_.depth + data_.depth > 0;
+    }
 
-    /** Total frames arrived so far (0 for "full_buffer"). */
+    /**
+     * Dequeue the next packet under the configured discipline
+     * ("full_buffer" synthesizes a data packet arriving at @p now
+     * when the queue is empty). Only valid when backlogged().
+     */
+    Packet pop(std::uint64_t now);
+
+    /** Packets currently queued across both classes. */
+    int depth() const { return ctrl_.depth + data_.depth; }
+
+    /** Control packets currently queued. */
+    int ctrlDepth() const { return ctrl_.depth; }
+
+    /** True if a control packet is waiting (the urgency flag). */
+    bool controlBacklogged() const { return ctrl_.depth > 0; }
+
+    /** Total packets arrived so far (both classes). */
     std::uint64_t arrivals() const { return arrivals_; }
 
-    /** Arrivals dropped on a full queue. */
+    /** Packets dropped on a full queue (either flavor). */
     std::uint64_t drops() const { return drops_; }
 
     /** True if the ON/OFF chain is currently ON. */
     bool on() const { return on_; }
 
   private:
-    /** Poisson(@p mean) count from this slot's sub-stream. */
+    /** One class's ring of queued packets (arrival order). */
+    struct Ring {
+        int head = 0;
+        int depth = 0;
+        std::vector<Packet> slots;
+
+        const Packet &
+        front() const
+        {
+            return slots[static_cast<size_t>(head)];
+        }
+
+        Packet
+        popFront()
+        {
+            Packet p = slots[static_cast<size_t>(head)];
+            head = (head + 1) % static_cast<int>(slots.size());
+            --depth;
+            return p;
+        }
+    };
+
+    /** Poisson(@p mean) count from @p slot_stream. */
+    static int poissonFrom(const CounterRng &slot_stream,
+                           double mean);
+
+    /** Poisson(@p mean) count from slot @p t's data sub-stream. */
     int poissonAt(std::uint64_t t, double mean) const;
 
-    void push(std::uint64_t arrival_slot);
+    void push(TrafficClass cls, std::uint64_t arrival_slot);
+    void evictOldest(std::uint64_t now);
+    void traceDrop(const Packet &p, std::uint64_t now,
+                   bool head_evicted);
 
+    // Member order is deliberate: the engines call tick() and
+    // backlogged() for every user every slot, and with 10k+ sources
+    // scanned per slot the idle path must stay within the first two
+    // cache lines -- spec_/rng_/transitions_/on_ plus the ring
+    // head/depth words. Arrival-only state (counters, the control
+    // stream, the ring payloads, trace plumbing) sits behind them.
     TrafficSpec spec_;
     CounterRng rng_;
     /**
@@ -128,12 +257,24 @@ class TrafficSource
      * rng_.fork(t) (a single fork keyed by the raw slot index).
      */
     CounterRng transitions_;
-    std::vector<std::uint64_t> queue_; // ring of arrival slots
-    int head_ = 0;
-    int depth_ = 0;
     bool on_ = false;
+    Ring ctrl_; // control class (controlRate > 0 only)
+    Ring data_; // data class (non-full-buffer kinds only)
     std::uint64_t arrivals_ = 0;
     std::uint64_t drops_ = 0;
+    /** Next per-user packet sequence number (arrival order). */
+    std::uint64_t pktSeq_ = 0;
+    /**
+     * Control-arrival stream root: the same double-fork family as
+     * transitions_ with a distinct second key, forked once more per
+     * slot for the control Poisson draws -- disjoint from both the
+     * data sub-streams and the dwell draws.
+     */
+    CounterRng ctrlRng_;
+    PacketTrace *trace_ = nullptr;
+    int traceShard_ = 0;
+    int traceCell_ = 0;
+    int traceUser_ = 0;
 };
 
 } // namespace mac

@@ -2,8 +2,9 @@
  * @file
  * Pieces shared by the two multi-cell engine implementations
  * (multicell_sim.cc, multicell_soa.cc) that must stay textually
- * identical between them: statistics recording and the scalar
- * interference fade. Internal to the sim module.
+ * identical between them: statistics recording, packet-trace
+ * plumbing and the scalar interference fade. Internal to the sim
+ * module (the single-cell engine reuses the trace plumbing too).
  */
 
 #ifndef WILIS_SIM_MULTICELL_DETAIL_HH
@@ -11,9 +12,12 @@
 
 #include <cmath>
 #include <cstdint>
+#include <vector>
 
 #include "common/random.hh"
 #include "mac/arq.hh"
+#include "mac/packet_trace.hh"
+#include "mac/traffic.hh"
 #include "sim/network_sim.hh"
 
 namespace wilis {
@@ -38,12 +42,120 @@ interferenceFade(const CounterRng &stream, std::uint64_t counter)
     return -std::log(u);
 }
 
-/** Record one ARQ delivery into the user's statistics. */
+/**
+ * Identity of the queued packet an in-flight ARQ sequence number
+ * carries: the traffic queue's packet id, its arrival slot and its
+ * class -- what Grant/Tx/Ack/Expire trace events are stamped with.
+ */
+struct PktRef {
+    /** Per-user packet sequence number. */
+    std::uint64_t pkt = 0;
+    /** Arrival slot (end-to-end latency baseline). */
+    std::uint64_t arrival = 0;
+    /** Traffic class. */
+    mac::TrafficClass cls = mac::TrafficClass::Data;
+};
+
+/**
+ * One user's packet-trace recording context: a null trace disables
+ * every hook (the untraced hot path pays a single branch), and the
+ * ring maps in-window ARQ sequence numbers back to packet
+ * identities (an ARQ seq S is delivered before seq S + window can
+ * pop, so window-sized storage suffices).
+ */
+struct TraceCtx {
+    /** Destination trace; null = recording disabled. */
+    mac::PacketTrace *trace = nullptr;
+    /** Recording shard (the owning cell or user lane). */
+    int shard = 0;
+    /** Serving cell stamped on events. */
+    int cell = 0;
+    /** Global user id stamped on events. */
+    int user = 0;
+    /** ARQ seq -> packet identity, indexed by seq % window. */
+    std::vector<PktRef> ring;
+
+    /** Attach to @p t and size the seq ring for @p window. */
+    void
+    bind(mac::PacketTrace *t, int shard_, int cell_, int user_,
+         int window)
+    {
+        trace = t;
+        shard = shard_;
+        cell = cell_;
+        user = user_;
+        ring.assign(static_cast<size_t>(window), PktRef{});
+    }
+
+    /** The identity slot of ARQ sequence number @p seq. */
+    PktRef &
+    ref(std::uint64_t seq)
+    {
+        return ring[static_cast<size_t>(
+            seq % static_cast<std::uint64_t>(ring.size()))];
+    }
+};
+
+/** Bind ARQ seq @p seq to the popped packet @p p (trace only). */
+inline void
+notePop(TraceCtx &tc, std::uint64_t seq, const mac::Packet &p)
+{
+    if (!tc.trace)
+        return;
+    tc.ref(seq) = PktRef{p.seq, p.arrival, p.cls};
+}
+
+/** Record a scheduler grant of ARQ seq @p seq at slot @p t. */
+inline void
+recordGrant(TraceCtx &tc, std::uint64_t t, std::uint64_t seq,
+            int attempts, std::int64_t first_wait)
+{
+    if (!tc.trace)
+        return;
+    const PktRef &r = tc.ref(seq);
+    tc.trace->record(
+        tc.shard,
+        mac::PacketTrace::Entry{t, tc.cell, tc.user, r.cls, r.pkt,
+                                mac::PacketEvent::Grant, attempts,
+                                first_wait});
+}
+
+/** Record the transmission outcome of ARQ seq @p seq at @p t. */
+inline void
+recordTx(TraceCtx &tc, std::uint64_t t, std::uint64_t seq, bool ok,
+         int rate)
+{
+    if (!tc.trace)
+        return;
+    const PktRef &r = tc.ref(seq);
+    tc.trace->record(
+        tc.shard,
+        mac::PacketTrace::Entry{t, tc.cell, tc.user, r.cls, r.pkt,
+                                mac::PacketEvent::Tx, ok ? 1 : 0,
+                                rate});
+}
+
+/**
+ * Record one ARQ delivery into the user's statistics, emitting the
+ * trace's Ack/Expire event when @p tc has a bound trace (@p now is
+ * the delivery slot).
+ */
 inline void
 recordDelivery(UserStats &st, const mac::Arq::Delivery &d,
-               size_t payload_bits)
+               size_t payload_bits, std::uint64_t now, TraceCtx &tc)
 {
     st.attemptsHist.add(static_cast<double>(d.attempts));
+    if (tc.trace) {
+        const PktRef &r = tc.ref(d.seq);
+        tc.trace->record(
+            tc.shard,
+            mac::PacketTrace::Entry{
+                now, tc.cell, tc.user, r.cls, r.pkt,
+                d.dropped ? mac::PacketEvent::Expire
+                          : mac::PacketEvent::Ack,
+                d.attempts,
+                static_cast<std::int64_t>(now - r.arrival)});
+    }
     if (d.dropped) {
         ++st.dropped;
         return;

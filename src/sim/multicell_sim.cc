@@ -24,7 +24,10 @@ namespace sim {
 namespace {
 
 using detail::interferenceFade;
+using detail::notePop;
 using detail::recordDelivery;
+using detail::recordGrant;
+using detail::recordTx;
 
 /** One user's per-run state, owned by its serving cell. */
 struct McUser {
@@ -95,6 +98,7 @@ struct McUser {
     std::uint64_t payloadSeed;
     std::uint64_t awgnSeed;
     UserStats stats;
+    detail::TraceCtx tctx;
 
     double h2 = 0.0;
     std::uint64_t h2_slot = 0;
@@ -106,6 +110,7 @@ struct McCell {
     std::vector<int> users; // global ids, increasing
     std::unique_ptr<mac::CellScheduler> sched;
     std::vector<std::uint8_t> eligible;
+    std::vector<std::uint8_t> urgent; // queued control traffic
     std::vector<double> instRate;
     std::vector<mac::Arq::Delivery> deliveries;
 
@@ -142,6 +147,18 @@ runMulticellPerUser(
     for (int u = 0; u < num_users; ++u)
         users.emplace_back(spec, topo, u, table);
 
+    // The packet trace records per-cell (one shard per cell, each
+    // written only by the cell's owning worker).
+    std::shared_ptr<mac::PacketTrace> trace;
+    if (spec.trace) {
+        trace = std::make_shared<mac::PacketTrace>(cells);
+        for (McUser &u : users) {
+            u.tctx.bind(trace.get(), u.cell, u.cell, u.id,
+                        u.arq->windowSize());
+            u.traffic.bindTrace(trace.get(), u.cell, u.cell, u.id);
+        }
+    }
+
     std::vector<McCell> cell_state(static_cast<size_t>(cells));
     for (int c = 0; c < cells; ++c) {
         McCell &cs = cell_state[static_cast<size_t>(c)];
@@ -149,10 +166,19 @@ runMulticellPerUser(
         cs.sched = std::make_unique<mac::CellScheduler>(
             spec.scheduler, static_cast<int>(cs.users.size()));
         cs.eligible.resize(cs.users.size());
+        cs.urgent.assign(cs.users.size(), 0);
         cs.instRate.assign(cs.users.size(), 0.0);
         cs.deliveries.reserve(
             static_cast<size_t>(spec.arqWindow) + 1);
     }
+    // Fixed-contention airtime: a cell whose last grant saw k > 1
+    // contenders is busy (no grants) until this slot.
+    std::vector<std::uint64_t> busy_until(
+        static_cast<size_t>(cells), 0);
+    const bool class_aware =
+        spec.traffic.qdisc == mac::QdiscKind::StrictPriority;
+    const bool fixed_contention =
+        spec.scheduler.contention == mac::ContentionMode::Fixed;
 
     // The cross-cell coupling: which cells transmit this slot.
     // Written by each cell's phase 1 (own index only), read by
@@ -164,6 +190,10 @@ runMulticellPerUser(
     // ---- phase 1: deliver ACKs, draw traffic, schedule ----------
     auto phase_schedule = [&](std::uint64_t ci, std::uint64_t t) {
         McCell &cs = cell_state[static_cast<size_t>(ci)];
+        // Under fixed contention the medium may still be occupied
+        // by the previous grant's contention charge: per-user
+        // processes advance, but no grant is issued.
+        const bool busy = t < busy_until[static_cast<size_t>(ci)];
         for (size_t i = 0; i < cs.users.size(); ++i) {
             McUser &u = users[static_cast<size_t>(cs.users[i])];
             // tick() is a no-op for a quiescent ARQ (no matured
@@ -173,18 +203,23 @@ runMulticellPerUser(
                 cs.deliveries.clear();
                 u.arq->tick(t, cs.deliveries);
                 for (const auto &d : cs.deliveries)
-                    recordDelivery(u.stats, d, payload_bits);
+                    recordDelivery(u.stats, d, payload_bits, t,
+                                   u.tctx);
             }
             u.traffic.tick(t);
             const bool can_send =
                 u.arq->hasResend() ||
                 (u.traffic.backlogged() && u.arq->windowHasRoom());
             cs.eligible[i] = can_send ? 1 : 0;
+            if (class_aware)
+                cs.urgent[i] =
+                    u.traffic.controlBacklogged() ? 1 : 0;
             // Proportional fair ranks by the noise-limited
             // instantaneous rate (interference is unknown until
             // every cell has scheduled); only eligible users pay
-            // for the fading evaluation.
-            if (can_send &&
+            // for the fading evaluation, and a busy cell skips it
+            // entirely (no grant to rank for).
+            if (can_send && !busy &&
                 spec.scheduler.kind ==
                     mac::SchedulerKind::ProportionalFair) {
                 const double h2 =
@@ -194,7 +229,23 @@ runMulticellPerUser(
             }
         }
 
-        const int pick = cs.sched->pick(cs.eligible, cs.instRate);
+        if (busy) {
+            // The contention charge consumes the slot: everyone
+            // with traffic stalls, the scheduler's clock advances.
+            cs.grantedUser = -1;
+            active[static_cast<size_t>(ci)] = 0;
+            cs.sched->update(-1, 0.0);
+            for (size_t i = 0; i < cs.users.size(); ++i) {
+                if (cs.eligible[i])
+                    ++users[static_cast<size_t>(cs.users[i])]
+                          .stats.stalledSlots;
+            }
+            return;
+        }
+
+        const int pick = cs.sched->pick(
+            cs.eligible, cs.instRate,
+            class_aware ? &cs.urgent : nullptr);
         if (pick < 0) {
             cs.grantedUser = -1;
             active[static_cast<size_t>(ci)] = 0;
@@ -212,12 +263,19 @@ runMulticellPerUser(
         std::uint64_t seq = 0;
         const bool sending = u.arq->nextToSend(t, seq, allow_new);
         wilis_assert(sending, "scheduler granted an idle user");
+        std::int64_t first_wait = 0;
         if (u.arq->nextSeq() != prev_next) {
             // A never-transmitted frame leaves the traffic queue.
-            const std::uint64_t arrival = u.traffic.pop(t);
+            const mac::Packet p = u.traffic.pop(t);
             u.stats.queueWaitSlots.add(
-                static_cast<double>(t - arrival));
+                static_cast<double>(t - p.arrival));
+            u.stats.queueWaitHist.add(
+                static_cast<double>(t - p.arrival));
+            notePop(u.tctx, seq, p);
+            first_wait = static_cast<std::int64_t>(t - p.arrival);
         }
+        recordGrant(u.tctx, t, seq, u.arq->attemptsOf(seq),
+                    first_wait);
         cs.grantedUser = u.id;
         cs.grantedSeq = seq;
         active[static_cast<size_t>(ci)] = 1;
@@ -225,11 +283,20 @@ runMulticellPerUser(
         // so the slot can close here.
         cs.sched->update(pick, static_cast<double>(payload_bits));
         // Contention accounting: eligible but passed over.
+        int contenders = 0;
         for (size_t i = 0; i < cs.users.size(); ++i) {
-            if (cs.eligible[i] && static_cast<int>(i) != pick)
+            if (!cs.eligible[i])
+                continue;
+            ++contenders;
+            if (static_cast<int>(i) != pick)
                 ++users[static_cast<size_t>(cs.users[i])]
                       .stats.stalledSlots;
         }
+        // Fixed 1/k sharing: a grant contested by k eligible users
+        // occupies the medium for k slots in total.
+        if (fixed_contention && contenders > 1)
+            busy_until[static_cast<size_t>(ci)] =
+                t + static_cast<std::uint64_t>(contenders);
     };
 
     // ---- phase 2: SINR over the active set, transmit ------------
@@ -302,6 +369,8 @@ runMulticellPerUser(
             ++u.stats.analyticFrames;
         u.stats.rateHist.add(static_cast<double>(rate));
         u.stats.sinrDb.add(sinr_db);
+        recordTx(u.tctx, t, cs.grantedSeq, fr.ok,
+                 static_cast<int>(rate));
         u.softrate.onFeedback(fr.pber);
         u.arq->onSendResult(cs.grantedSeq, fr.ok);
     };
@@ -345,11 +414,25 @@ runMulticellPerUser(
             tail.clear();
             u.arq->tick(t, tail);
             for (const auto &d : tail)
-                recordDelivery(u.stats, d, payload_bits);
+                recordDelivery(u.stats, d, payload_bits, t, u.tctx);
         }
         u.stats.retransmissions = u.arq->retransmissions();
         u.stats.arrivals = u.traffic.arrivals();
         u.stats.queueDrops = u.traffic.drops();
+    }
+
+    // End-to-end latency (arrival -> in-order delivery) is derived
+    // from the finalized trace's Ack events, so it exists exactly
+    // when the trace does.
+    if (trace) {
+        trace->finalize();
+        for (const auto &e : trace->entries()) {
+            if (e.event == mac::PacketEvent::Ack)
+                users[static_cast<size_t>(e.user)]
+                    .stats.e2eLatencyHist.add(
+                        static_cast<double>(e.arg1));
+        }
+        res.trace = trace;
     }
 
     res.users.resize(static_cast<size_t>(num_users));

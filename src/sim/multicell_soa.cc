@@ -49,7 +49,10 @@
 namespace wilis {
 namespace sim {
 
+using detail::notePop;
 using detail::recordDelivery;
+using detail::recordGrant;
+using detail::recordTx;
 
 /** See the declaration in multicell_sim.hh. */
 struct McSoaCache {
@@ -259,6 +262,20 @@ runMulticellSoa(
         stats[i].servingCell = cache.serving[i];
         stats[i].meanSnrDb = cache.meanSnr[i];
     }
+    // The packet trace records per-cell (one shard per cell, each
+    // written only by the cell's owning worker).
+    std::vector<detail::TraceCtx> tctx(nu);
+    std::shared_ptr<mac::PacketTrace> trace;
+    if (spec.trace) {
+        trace = std::make_shared<mac::PacketTrace>(cells);
+        for (size_t i = 0; i < nu; ++i) {
+            const int cell = static_cast<int>(cache.serving[i]);
+            const int id = cache.order[i];
+            tctx[i].bind(trace.get(), cell, cell, id,
+                         arqs[i].windowSize());
+            traffic[i].bindTrace(trace.get(), cell, cell, id);
+        }
+    }
     // Serving-link |h|^2 memo (per user, per slot), matching
     // McUser::fadingPower().
     std::vector<double> h2val(nu, 0.0);
@@ -292,6 +309,8 @@ runMulticellSoa(
     scheds.reserve(static_cast<size_t>(cells));
     std::vector<std::vector<std::uint8_t>> eligible(
         static_cast<size_t>(cells));
+    std::vector<std::vector<std::uint8_t>> urgent(
+        static_cast<size_t>(cells));
     std::vector<std::vector<double>> inst_rate(
         static_cast<size_t>(cells));
     std::vector<std::vector<mac::Arq::Delivery>> deliveries(
@@ -301,6 +320,7 @@ runMulticellSoa(
                           cache.cellBegin[static_cast<size_t>(c)];
         scheds.emplace_back(spec.scheduler, static_cast<int>(cn));
         eligible[static_cast<size_t>(c)].resize(cn);
+        urgent[static_cast<size_t>(c)].assign(cn, 0);
         inst_rate[static_cast<size_t>(c)].assign(cn, 0.0);
         deliveries[static_cast<size_t>(c)].reserve(
             static_cast<size_t>(spec.arqWindow) + 1);
@@ -309,6 +329,14 @@ runMulticellSoa(
     std::vector<std::uint64_t> granted_seq(
         static_cast<size_t>(cells), 0);
     std::vector<std::uint8_t> active(static_cast<size_t>(cells), 0);
+    // Fixed-contention airtime: a cell whose last grant saw k > 1
+    // contenders is busy (no grants) until this slot.
+    std::vector<std::uint64_t> busy_until(
+        static_cast<size_t>(cells), 0);
+    const bool class_aware =
+        spec.traffic.qdisc == mac::QdiscKind::StrictPriority;
+    const bool fixed_contention =
+        spec.scheduler.contention == mac::ContentionMode::Fixed;
 
     WorkerPhyPool phy_pool;
     const bool pf = spec.scheduler.kind ==
@@ -322,16 +350,23 @@ runMulticellSoa(
             cache.cellBegin[static_cast<size_t>(c) + 1];
         std::vector<std::uint8_t> &elig =
             eligible[static_cast<size_t>(c)];
+        std::vector<std::uint8_t> &urg =
+            urgent[static_cast<size_t>(c)];
         std::vector<double> &inst =
             inst_rate[static_cast<size_t>(c)];
         std::vector<mac::Arq::Delivery> &del =
             deliveries[static_cast<size_t>(c)];
+        // Under fixed contention the medium may still be occupied
+        // by the previous grant's contention charge: per-user
+        // processes advance, but no grant is issued.
+        const bool busy = t < busy_until[static_cast<size_t>(c)];
         for (std::uint32_t i = lo; i < hi; ++i) {
             if (!arqs[i].quiescentAt(t)) {
                 del.clear();
                 arqs[i].tick(t, del);
                 for (const auto &d : del)
-                    recordDelivery(stats[i], d, payload_bits);
+                    recordDelivery(stats[i], d, payload_bits, t,
+                                   tctx[i]);
             }
             traffic[i].tick(t);
             const bool can_send =
@@ -339,7 +374,10 @@ runMulticellSoa(
                 (traffic[i].backlogged() &&
                  arqs[i].windowHasRoom());
             elig[i - lo] = can_send ? 1 : 0;
-            if (can_send && pf) {
+            if (class_aware)
+                urg[i - lo] =
+                    traffic[i].controlBacklogged() ? 1 : 0;
+            if (can_send && !busy && pf) {
                 const double h2 =
                     fadingPower(static_cast<int>(i), t);
                 inst[i - lo] =
@@ -347,8 +385,21 @@ runMulticellSoa(
             }
         }
 
+        if (busy) {
+            // The contention charge consumes the slot: everyone
+            // with traffic stalls, the scheduler's clock advances.
+            granted_soa[static_cast<size_t>(c)] = -1;
+            active[static_cast<size_t>(c)] = 0;
+            scheds[static_cast<size_t>(c)].update(-1, 0.0);
+            for (std::uint32_t i = lo; i < hi; ++i) {
+                if (elig[i - lo])
+                    ++stats[i].stalledSlots;
+            }
+            return;
+        }
+
         const int pick = scheds[static_cast<size_t>(c)].pick(
-            elig, inst);
+            elig, inst, class_aware ? &urg : nullptr);
         if (pick < 0) {
             granted_soa[static_cast<size_t>(c)] = -1;
             active[static_cast<size_t>(c)] = 0;
@@ -363,21 +414,36 @@ runMulticellSoa(
         std::uint64_t seq = 0;
         const bool sending = arqs[g].nextToSend(t, seq, allow_new);
         wilis_assert(sending, "scheduler granted an idle user");
+        std::int64_t first_wait = 0;
         if (arqs[g].nextSeq() != prev_next) {
-            const std::uint64_t arrival = traffic[g].pop(t);
+            const mac::Packet p = traffic[g].pop(t);
             stats[g].queueWaitSlots.add(
-                static_cast<double>(t - arrival));
+                static_cast<double>(t - p.arrival));
+            stats[g].queueWaitHist.add(
+                static_cast<double>(t - p.arrival));
+            notePop(tctx[g], seq, p);
+            first_wait = static_cast<std::int64_t>(t - p.arrival);
         }
+        recordGrant(tctx[g], t, seq, arqs[g].attemptsOf(seq),
+                    first_wait);
         granted_soa[static_cast<size_t>(c)] = static_cast<int>(g);
         granted_seq[static_cast<size_t>(c)] = seq;
         active[static_cast<size_t>(c)] = 1;
         scheds[static_cast<size_t>(c)].update(
             pick, static_cast<double>(payload_bits));
+        int contenders = 0;
         for (std::uint32_t i = lo; i < hi; ++i) {
-            if (elig[i - lo] &&
-                static_cast<int>(i - lo) != pick)
+            if (!elig[i - lo])
+                continue;
+            ++contenders;
+            if (static_cast<int>(i - lo) != pick)
                 ++stats[i].stalledSlots;
         }
+        // Fixed 1/k sharing: a grant contested by k eligible users
+        // occupies the medium for k slots in total.
+        if (fixed_contention && contenders > 1)
+            busy_until[static_cast<size_t>(c)] =
+                t + static_cast<std::uint64_t>(contenders);
     };
 
     // ---- phase 2: batched SINR + draws over the active set -----
@@ -475,6 +541,8 @@ runMulticellSoa(
                 ++st.fullPhyFrames;
                 st.rateHist.add(static_cast<double>(rate));
                 st.sinrDb.add(sinr_db);
+                recordTx(tctx[g], t, seq, ok,
+                         static_cast<int>(rate));
                 softrate[g].onFeedback(pber);
                 arqs[g].onSendResult(seq, ok);
             }
@@ -494,6 +562,9 @@ runMulticellSoa(
             ++st.analyticFrames;
             st.rateHist.add(static_cast<double>(sc.rates[j]));
             st.sinrDb.add(sc.sinr_db[j]);
+            recordTx(tctx[g], t,
+                     granted_seq[static_cast<size_t>(sc.cell[j])],
+                     sc.ok[j] != 0, static_cast<int>(sc.rates[j]));
             softrate[g].onFeedback(sc.pber[j]);
             arqs[g].onSendResult(
                 granted_seq[static_cast<size_t>(sc.cell[j])],
@@ -535,11 +606,25 @@ runMulticellSoa(
             tail.clear();
             arqs[i].tick(t, tail);
             for (const auto &d : tail)
-                recordDelivery(stats[i], d, payload_bits);
+                recordDelivery(stats[i], d, payload_bits, t,
+                               tctx[i]);
         }
         stats[i].retransmissions = arqs[i].retransmissions();
         stats[i].arrivals = traffic[i].arrivals();
         stats[i].queueDrops = traffic[i].drops();
+    }
+
+    if (trace) {
+        trace->finalize();
+        // End-to-end latency (arrival -> in-order delivery) from
+        // the Ack events, in canonical trace order.
+        for (const mac::PacketTrace::Entry &e : trace->entries()) {
+            if (e.event == mac::PacketEvent::Ack)
+                stats[static_cast<size_t>(
+                          cache.soaOf[static_cast<size_t>(e.user)])]
+                    .e2eLatencyHist.add(static_cast<double>(e.arg1));
+        }
+        res.trace = trace;
     }
 
     res.users.resize(nu);

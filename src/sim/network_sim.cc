@@ -17,6 +17,7 @@
 #include "phy/ofdm_rx.hh"
 #include "phy/ofdm_tx.hh"
 #include "sim/link_fidelity.hh"
+#include "sim/multicell_detail.hh"
 #include "sim/multicell_sim.hh"
 #include "sim/worker_phy.hh"
 #include "softphy/softphy.hh"
@@ -44,6 +45,8 @@ UserStats::merge(const UserStats &other)
     latencyHist.merge(other.latencyHist);
     attemptsHist.merge(other.attemptsHist);
     rateHist.merge(other.rateHist);
+    queueWaitHist.merge(other.queueWaitHist);
+    e2eLatencyHist.merge(other.e2eLatencyHist);
 }
 
 namespace {
@@ -331,6 +334,13 @@ NetworkSim::run(std::uint64_t slots, int threads)
     const size_t payload_bits = spec_.link.payloadBits;
     const bool bernoulli = spec_.arrivalModel == "bernoulli";
 
+    // One trace shard per user: each worker records into its own
+    // lane, finalize() sorts into the canonical order, so the trace
+    // is bit-identical for any thread count.
+    std::shared_ptr<mac::PacketTrace> trace;
+    if (spec_.trace)
+        trace = std::make_shared<mac::PacketTrace>(spec_.numUsers);
+
     // One work item = one user's whole timeline: links are
     // independent, so lockstep rounds and per-user runs produce the
     // same trajectories, and the latter shards with no per-slot
@@ -395,26 +405,22 @@ NetworkSim::run(std::uint64_t slots, int threads)
         st.user = static_cast<int>(u);
         st.snrOffsetDb = seeds.snrOffsetDb;
 
+        // Single-cell links have no upper-stack queue: a frame's
+        // "arrival" is its first grant slot, and the ARQ sequence
+        // number doubles as the packet id.
+        detail::TraceCtx tctx;
+        if (trace)
+            tctx.bind(trace.get(), static_cast<int>(u), 0,
+                      static_cast<int>(u), arq.windowSize());
+
         std::vector<mac::Arq::Delivery> deliveries;
         deliveries.reserve(static_cast<size_t>(arq.windowSize()) + 1);
-
-        auto record = [&](const mac::Arq::Delivery &d) {
-            st.attemptsHist.add(static_cast<double>(d.attempts));
-            if (d.dropped) {
-                ++st.dropped;
-                return;
-            }
-            ++st.delivered;
-            st.goodputBits += payload_bits;
-            st.latencySlots.add(static_cast<double>(d.latencySlots));
-            st.latencyHist.add(static_cast<double>(d.latencySlots));
-        };
 
         for (std::uint64_t t = 0; t < slots; ++t) {
             deliveries.clear();
             arq.tick(t, deliveries);
             for (const auto &d : deliveries)
-                record(d);
+                detail::recordDelivery(st, d, payload_bits, t, tctx);
 
             // Traffic model: under "bernoulli" the user only holds
             // the (shared, slotted) medium in its arrival slots;
@@ -428,6 +434,12 @@ NetworkSim::run(std::uint64_t slots, int threads)
                 ++st.stalledSlots;
                 continue;
             }
+            if (arq.attemptsOf(seq) == 1)
+                detail::notePop(
+                    tctx, seq,
+                    mac::Packet{t, seq, mac::TrafficClass::Data});
+            detail::recordGrant(tctx, t, seq, arq.attemptsOf(seq),
+                                0);
 
             const phy::RateIndex rate = softrate.currentRate();
             const LinkFrameResult res = link->transmit(rate, seq, t);
@@ -439,6 +451,8 @@ NetworkSim::run(std::uint64_t slots, int threads)
             else
                 ++st.analyticFrames;
             st.rateHist.add(static_cast<double>(rate));
+            detail::recordTx(tctx, t, seq, res.ok,
+                             static_cast<int>(rate));
 
             softrate.onFeedback(res.pber);
             arq.onSendResult(seq, res.ok);
@@ -451,7 +465,7 @@ NetworkSim::run(std::uint64_t slots, int threads)
             deliveries.clear();
             arq.tick(t, deliveries);
             for (const auto &d : deliveries)
-                record(d);
+                detail::recordDelivery(st, d, payload_bits, t, tctx);
         }
 
         st.retransmissions = arq.retransmissions();
@@ -471,6 +485,18 @@ NetworkSim::run(std::uint64_t slots, int threads)
         ThreadPool pool(n);
         pool.parallelFor(
             static_cast<std::uint64_t>(spec_.numUsers), run_user);
+    }
+
+    if (trace) {
+        trace->finalize();
+        // End-to-end latency from the Ack events, in canonical
+        // trace order.
+        for (const mac::PacketTrace::Entry &e : trace->entries()) {
+            if (e.event == mac::PacketEvent::Ack)
+                res.users[static_cast<size_t>(e.user)]
+                    .e2eLatencyHist.add(static_cast<double>(e.arg1));
+        }
+        res.trace = trace;
     }
 
     // Aggregate in user order: the merge sequence is fixed, so the

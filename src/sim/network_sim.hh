@@ -35,6 +35,11 @@
 #include "softphy/calibration_table.hh"
 
 namespace wilis {
+
+namespace mac {
+class PacketTrace; // mac/packet_trace.hh
+}
+
 namespace sim {
 
 struct McSoaCache; // sim/multicell_sim.hh
@@ -49,6 +54,8 @@ struct UserStats {
     static constexpr int kLatencyBins = 64;
     /** Retransmission histogram range in attempts (1-wide bins). */
     static constexpr int kAttemptBins = 16;
+    /** Queue-wait / end-to-end histogram bin count (2-slot bins). */
+    static constexpr int kWaitBins = 128;
 
     /** User index (-1 for the aggregate). */
     int user = -1;
@@ -98,6 +105,14 @@ struct UserStats {
     Histogram attemptsHist{kAttemptBins, 1.0};
     /** Transmissions per rate index. */
     Histogram rateHist{phy::kNumRates, 1.0};
+    /** Queue-wait distribution, arrival -> first transmission. */
+    Histogram queueWaitHist{kWaitBins, 2.0};
+    /**
+     * End-to-end latency distribution (arrival -> in-order
+     * delivery), derived from the packet event trace; filled only
+     * when NetworkSpec::trace is on.
+     */
+    Histogram e2eLatencyHist{kWaitBins, 2.0};
 
     /** Fraction of transmissions decoded clean. */
     double
@@ -132,6 +147,11 @@ struct NetworkResult {
     std::vector<UserStats> users;
     /** Exact merge of all users (user == -1). */
     UserStats aggregate;
+    /**
+     * The finalized per-packet event trace (see mac::PacketTrace);
+     * null unless the spec's trace flag was set.
+     */
+    std::shared_ptr<const mac::PacketTrace> trace;
 
     /** Cell goodput in Mb/s. */
     double

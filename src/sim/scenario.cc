@@ -388,6 +388,8 @@ NetworkSpec::applyConfig(const li::Config &cfg)
         "on_slots",       "off_slots",
         "queue_limit",    "scheduler",
         "pf_horizon",     "engine",
+        "qdisc",          "control_rate",
+        "contention",     "trace",
         // link-template shorthands
         "rate",           "snr_db",
         "payload_bits",   "decoder",
@@ -464,11 +466,25 @@ NetworkSpec::applyConfig(const li::Config &cfg)
     traffic.queueLimit = static_cast<int>(
         cfg.getInt("queue_limit", traffic.queueLimit));
 
+    if (cfg.has("qdisc"))
+        traffic.qdisc =
+            mac::qdiscKindFromName(cfg.getString("qdisc"));
+    traffic.controlRate =
+        cfg.getDouble("control_rate", traffic.controlRate);
+    wilis_assert(traffic.controlRate >= 0.0,
+                 "control_rate must be >= 0, got %g",
+                 traffic.controlRate);
+
     if (cfg.has("scheduler"))
         scheduler.kind = mac::schedulerKindFromName(
             cfg.getString("scheduler"));
     scheduler.pfHorizonSlots =
         cfg.getDouble("pf_horizon", scheduler.pfHorizonSlots);
+    if (cfg.has("contention"))
+        scheduler.contention = mac::contentionModeFromName(
+            cfg.getString("contention"));
+
+    trace = cfg.getBool("trace", trace);
 
     engine = cfg.getString("engine", engine);
     wilis_assert(engine == "auto" || engine == "soa" ||
@@ -517,7 +533,8 @@ NetworkSpec::applyConfig(const li::Config &cfg)
               "ref_snr_db", "ref_distance_m", "pathloss_exp",
               "shadow_sigma_db", "traffic", "traffic_load",
               "on_slots", "off_slots", "queue_limit", "scheduler",
-              "pf_horizon", "engine"}) {
+              "pf_horizon", "engine", "qdisc", "control_rate",
+              "contention"}) {
             if (cfg.has(key))
                 wilis_fatal("multi-cell key '%s' has no effect "
                             "without a cell grid; add cells=RxC "
@@ -604,7 +621,13 @@ NetworkSpec::toConfig() const
         cfg.set("pf_horizon",
                 strprintf("%g", scheduler.pfHorizonSlots));
         cfg.set("engine", engine);
+        cfg.set("qdisc", mac::qdiscKindName(traffic.qdisc));
+        cfg.set("control_rate",
+                strprintf("%g", traffic.controlRate));
+        cfg.set("contention",
+                mac::contentionModeName(scheduler.contention));
     }
+    cfg.set("trace", trace ? "true" : "false");
     const li::Config link_cfg = link.toConfig();
     for (const auto &kv : link_cfg.entries())
         cfg.set("link." + kv.first, kv.second);

@@ -249,6 +249,15 @@ struct NetworkSpec {
     mac::CellScheduler::Config scheduler;
 
     /**
+     * Record the per-packet event trace (mac::PacketTrace) into
+     * NetworkResult::trace. Off by default: recording costs memory
+     * proportional to the event count and a store per MAC event.
+     * The trace contents are bit-identical for any thread count and
+     * either multi-cell engine.
+     */
+    bool trace = false;
+
+    /**
      * Multi-cell execution engine: "soa" runs the batched
      * structure-of-arrays slot loop (the default resolution of
      * "auto"), "peruser" the original per-user object walk kept as
@@ -273,7 +282,10 @@ struct NetworkSpec {
      * ref_distance_m, pathloss_exp, shadow_sigma_db, traffic
      * (full_buffer|poisson|onoff), traffic_load, on_slots,
      * off_slots, queue_limit, scheduler
-     * (round_robin|proportional_fair), pf_horizon;
+     * (round_robin|proportional_fair), pf_horizon, qdisc
+     * (fifo|priority|drop_head), control_rate, contention
+     * (none|fixed); the common key trace (bool) records the
+     * per-packet event trace;
      * "link.<k>" keys pass <k> through to the link template, and
      * the common shorthands rate, snr_db, payload_bits, decoder and
      * kernel_backend are forwarded to it directly. Any other key is

@@ -173,6 +173,52 @@ TEST(NetworkSpecStrict, RejectsMalformedValues)
     EXPECT_DEATH(NetworkSpec::fromConfig(
                      li::Config::fromString("arrival=sometimes")),
                  "unknown arrival model 'sometimes'");
+    // The upper-stack keys are validated the same way: an unknown
+    // value dies naming the valid set.
+    EXPECT_DEATH(NetworkSpec::fromConfig(
+                     li::Config::fromString("cells=3x3,qdisc=weird")),
+                 "unknown queue discipline 'weird' "
+                 "\\(fifo\\|priority\\|drop_head\\)");
+    EXPECT_DEATH(NetworkSpec::fromConfig(li::Config::fromString(
+                     "cells=3x3,contention=csma")),
+                 "unknown contention mode 'csma' \\(none\\|fixed\\)");
+    EXPECT_DEATH(NetworkSpec::fromConfig(li::Config::fromString(
+                     "cells=3x3,control_rate=-0.5")),
+                 "control_rate must be >= 0");
+}
+
+TEST(NetworkSpecStrict, UpperStackKeysAreMulticellOnly)
+{
+    // qdisc/control_rate/contention configure the multi-cell
+    // traffic queues and scheduler; without a grid they would
+    // silently do nothing.
+    EXPECT_DEATH(NetworkSpec::fromConfig(
+                     li::Config::fromString("qdisc=priority")),
+                 "multi-cell key 'qdisc' has no effect without a "
+                 "cell grid");
+    EXPECT_DEATH(NetworkSpec::fromConfig(
+                     li::Config::fromString("control_rate=0.1")),
+                 "multi-cell key 'control_rate' has no effect");
+    EXPECT_DEATH(NetworkSpec::fromConfig(
+                     li::Config::fromString("contention=fixed")),
+                 "multi-cell key 'contention' has no effect");
+    // trace is a common key: both engines record it.
+    EXPECT_TRUE(NetworkSpec::fromConfig(
+                    li::Config::fromString("trace=true"))
+                    .trace);
+    NetworkSpec grid = NetworkSpec::fromConfig(li::Config::fromString(
+        "cells=2x2,qdisc=drop_head,control_rate=0.25,"
+        "contention=fixed,trace=true"));
+    EXPECT_EQ(grid.traffic.qdisc, mac::QdiscKind::DropHead);
+    EXPECT_DOUBLE_EQ(grid.traffic.controlRate, 0.25);
+    EXPECT_EQ(grid.scheduler.contention, mac::ContentionMode::Fixed);
+    EXPECT_TRUE(grid.trace);
+    // ...and the new keys round-trip like everything else.
+    NetworkSpec back = NetworkSpec::fromConfig(grid.toConfig());
+    EXPECT_EQ(back.traffic.qdisc, mac::QdiscKind::DropHead);
+    EXPECT_DOUBLE_EQ(back.traffic.controlRate, 0.25);
+    EXPECT_EQ(back.scheduler.contention, mac::ContentionMode::Fixed);
+    EXPECT_TRUE(back.trace);
 }
 
 TEST(ScenarioSpec, FluentHelpersDoNotMutateOriginal)

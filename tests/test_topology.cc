@@ -200,7 +200,8 @@ TEST(Traffic, FullBufferIsAlwaysBackloggedAndQueueless)
         src.tick(t);
         EXPECT_TRUE(src.backlogged());
         EXPECT_EQ(src.depth(), 0);
-        EXPECT_EQ(src.pop(t), t) << "frames materialize at service";
+        EXPECT_EQ(src.pop(t).arrival, t)
+            << "frames materialize at service";
     }
     EXPECT_EQ(src.arrivals(), 0u);
     EXPECT_EQ(src.drops(), 0u);
@@ -264,7 +265,7 @@ TEST(Traffic, QueueIsFifoWithArrivalStamps)
     for (std::uint64_t t = 0; t < 200; ++t) {
         src.tick(t);
         if (src.backlogged()) {
-            const std::uint64_t arrival = src.pop(t);
+            const std::uint64_t arrival = src.pop(t).arrival;
             EXPECT_LE(arrival, t);
             if (!first) {
                 EXPECT_GE(arrival, last) << "FIFO order";
