@@ -11,6 +11,11 @@
  *    10k+-user deployment on the calibrated analytic rung. The
  *    bench fails below 1M user-slots/sec (user-slots = users x
  *    simulated slots, the timeline coverage per wall-clock second).
+ *  - urban-mobile mobility -- the waypoint-mobility preset with A3
+ *    handover and session churn: throughput of the mobile
+ *    deployment plus the deterministic handover / ping-pong
+ *    counters (exact at a fixed WILIS_BENCH_SCALE, so any drift is
+ *    a behavior change rather than noise).
  *  - scheduler A/B -- round_robin vs proportional_fair on the same
  *    deployment: cell goodput plus Jain's fairness index over
  *    per-user goodput.
@@ -214,6 +219,57 @@ main(int argc, char **argv)
         if (e2e.total() == 0) {
             std::fprintf(stderr, "FAIL: traced run delivered no "
                                  "packets\n");
+            ++failures;
+        }
+    }
+
+    // ---- urban-mobile: mobility, handover and churn --------------
+    bench::banner("urban-mobile mobility: handover + churn");
+    {
+        const std::uint64_t slots = bench::scaled(2000, 500);
+        sim::NetworkSim sim(sim::networkPreset("urban-mobile"));
+        const double uslots = userSlotsPerSec(sim, slots, 4);
+        const sim::NetworkResult res = sim.run(slots, 4);
+        const sim::UserStats &agg = res.aggregate;
+        report.metric("uslots_urban_mobile", uslots,
+                      "user-slots/s");
+        // Session-dynamics counters are pure functions of
+        // (seed, user, slot): at a fixed WILIS_BENCH_SCALE they are
+        // exact across machines and thread counts, so the
+        // regression gate holds them to their baseline values.
+        report.metric("handovers_urban_mobile",
+                      static_cast<double>(agg.handovers), "count");
+        report.metric("pingpongs_urban_mobile",
+                      static_cast<double>(agg.pingPongs), "count",
+                      false);
+        std::printf("%-7d users  %-14.0f user-slots/sec  "
+                    "%llu handovers (%llu ping-pong)  "
+                    "%llu joins  %llu leaves\n",
+                    res.spec.numUsers, uslots,
+                    static_cast<unsigned long long>(agg.handovers),
+                    static_cast<unsigned long long>(agg.pingPongs),
+                    static_cast<unsigned long long>(agg.joins),
+                    static_cast<unsigned long long>(agg.leaves));
+        // A mobile run that never hands over means the A3 decision
+        // path is dead -- fail loudly rather than record a zero.
+        if (agg.handovers == 0) {
+            std::fprintf(stderr, "FAIL: urban-mobile run completed "
+                                 "no handovers\n");
+            ++failures;
+        }
+        // The regression checker skips zero-baseline metrics, so
+        // the ping-pong budget is gated here: hysteresis + TTT are
+        // tuned to keep bounce-backs under 10% of handovers, and a
+        // damping regression should fail the bench, not hide in a
+        // skipped comparison.
+        if (agg.pingPongs * 10 > agg.handovers) {
+            std::fprintf(stderr,
+                         "FAIL: %llu of %llu urban-mobile handovers "
+                         "are ping-pongs (budget: 10%%)\n",
+                         static_cast<unsigned long long>(
+                             agg.pingPongs),
+                         static_cast<unsigned long long>(
+                             agg.handovers));
             ++failures;
         }
     }

@@ -16,10 +16,12 @@
  *      ./build/network_sim "users=8,snr_db=18,arq=stopwait" 100
  *      ./build/network_sim grid-3x3,engine=peruser 200 2
  *      ./build/network_sim grid-3x3 200 4 --trace trace.txt
+ *      ./build/network_sim urban-mobile 2000 4    # mobility + churn
  *
  * --trace FILE records the per-packet event trace (enqueue / grant
- * / tx / ack / drop / expire) and saves it to FILE; the trace is
- * bit-identical for any thread count and either multi-cell engine.
+ * / tx / ack / drop / expire, plus ho / join / leave session events
+ * on mobile runs) and saves it to FILE; the trace is bit-identical
+ * for any thread count and either multi-cell engine.
  */
 
 #include <algorithm>
@@ -210,6 +212,18 @@ main(int argc, char **argv)
                     agg.queueWaitSlots.mean(), agg.sinrDb.mean(),
                     static_cast<unsigned long long>(
                         agg.stalledSlots));
+    // Session dynamics only exist when the spec asks for them, and
+    // static runs must print byte-identical output to earlier PRs.
+    if (spec.multicell() && spec.mobility.enabled())
+        std::printf("mobility: %llu handovers (%llu ping-pong), "
+                    "%llu joins, %llu leaves, pre/post-HO goodput "
+                    "%.3f/%.3f Mb/s\n",
+                    static_cast<unsigned long long>(agg.handovers),
+                    static_cast<unsigned long long>(agg.pingPongs),
+                    static_cast<unsigned long long>(agg.joins),
+                    static_cast<unsigned long long>(agg.leaves),
+                    agg.preHoGoodputMbps(spec.frameIntervalUs),
+                    agg.postHoGoodputMbps(spec.frameIntervalUs));
     if (agg.analyticFrames)
         std::printf("\nfidelity mix: %llu full-PHY + %llu analytic "
                     "frame slots (%.1f%% bit-exact)\n",

@@ -54,8 +54,7 @@ PathlossModel::shadowingDb(int user, int cell) const
 double
 PathlossModel::linkSnrDb(double distance_m, int user, int cell) const
 {
-    return spec_.refSnrDb - pathlossDb(distance_m) +
-           shadowingDb(user, cell);
+    return linkSnrDbAt(distance_m, shadowingDb(user, cell));
 }
 
 PathlossSpec

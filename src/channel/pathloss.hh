@@ -85,6 +85,20 @@ class PathlossModel
      */
     double linkSnrDb(double distance_m, int user, int cell) const;
 
+    /**
+     * linkSnrDb() with a caller-cached shadowing term: the
+     * position-dependent form the mobility layer re-evaluates
+     * every gain epoch (shadowing is static per link, so callers
+     * that move users precompute it once and vary only the
+     * distance). Bitwise identical to linkSnrDb() when
+     * @p shadow_db == shadowingDb(user, cell).
+     */
+    double
+    linkSnrDbAt(double distance_m, double shadow_db) const
+    {
+        return spec_.refSnrDb - pathlossDb(distance_m) + shadow_db;
+    }
+
     /** Parse a spec from config keys (see sim::NetworkSpec docs). */
     static PathlossSpec specFromConfig(const li::Config &cfg,
                                        const PathlossSpec &defaults);

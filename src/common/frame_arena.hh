@@ -40,9 +40,13 @@ class FrameArena
      */
     explicit FrameArena(size_t initial_bytes = kDefaultBytes);
 
+    /** Arenas are move-only: views into a copy would be ambiguous. */
     FrameArena(const FrameArena &) = delete;
+    /** Arenas are move-only: views into a copy would be ambiguous. */
     FrameArena &operator=(const FrameArena &) = delete;
+    /** Moving transfers the blocks; outstanding views stay valid. */
     FrameArena(FrameArena &&) = default;
+    /** Moving transfers the blocks; outstanding views stay valid. */
     FrameArena &operator=(FrameArena &&) = default;
 
     /**
@@ -94,6 +98,7 @@ class FrameArena
      */
     std::uint64_t blockAllocations() const { return block_allocs; }
 
+    /** Default first-block capacity (64 KiB). */
     static constexpr size_t kDefaultBytes = 1 << 16;
 
   private:
@@ -122,8 +127,10 @@ class FrameArena
  * SoftPHY annotations, trace sinks) without another signature churn.
  */
 struct FrameContext {
+    /** Bind the context to the arena owning this frame's buffers. */
     explicit FrameContext(FrameArena &arena_) : arena(arena_) {}
 
+    /** The arena every intermediate buffer is carved from. */
     FrameArena &arena;
 };
 

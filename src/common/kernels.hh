@@ -40,7 +40,14 @@ namespace wilis {
 namespace kernels {
 
 /** Kernel backend identifiers, in increasing vector width. */
-enum class Backend { Scalar = 0, Sse42 = 1, Avx2 = 2 };
+enum class Backend {
+    /** Portable scalar reference (the semantic ground truth). */
+    Scalar = 0,
+    /** SSE4.2, 128-bit lanes. */
+    Sse42 = 1,
+    /** AVX2, 256-bit lanes. */
+    Avx2 = 2,
+};
 
 /** Registry name of a backend ("scalar", "sse4.2", "avx2"). */
 const char *backendName(Backend b);
@@ -73,28 +80,37 @@ struct KernelPolicy {
 struct TrellisView {
     /** Number of states (a multiple of the widest vector width). */
     int nStates;
-    /** Predecessor state of arrival state s via choice 0 / 1. */
+    /** Predecessor state of arrival state s via choice 0. */
     const std::int32_t *pred0;
+    /** Predecessor state of arrival state s via choice 1. */
     const std::int32_t *pred1;
-    /** Branch-metric index (0..3) of the reverse transition 0 / 1. */
+    /** Branch-metric index (0..3) of reverse transition choice 0. */
     const std::int32_t *revOut0;
+    /** Branch-metric index (0..3) of reverse transition choice 1. */
     const std::int32_t *revOut1;
-    /** Forward next state for input 0 / 1. */
+    /** Forward next state for input 0. */
     const std::int32_t *next0;
+    /** Forward next state for input 1. */
     const std::int32_t *next1;
-    /** Branch-metric index (0..3) of the forward transition 0 / 1. */
+    /** Branch-metric index (0..3) of the forward transition for 0. */
     const std::int32_t *fwdOut0;
+    /** Branch-metric index (0..3) of the forward transition for 1. */
     const std::int32_t *fwdOut1;
-    /** i16 copies of revOut0/revOut1 for the narrow ACS prototype. */
+    /** i16 copy of revOut0 for the narrow ACS prototype. */
     const std::int16_t *revOut0_16;
+    /** i16 copy of revOut1 for the narrow ACS prototype. */
     const std::int16_t *revOut1_16;
 };
 
 /** Modulation kind for the batched demapper (matches phy::Modulation). */
 enum : int {
+    /** BPSK, 1 bit per subcarrier. */
     kDemapBpsk = 0,
+    /** QPSK, 2 bits per subcarrier. */
     kDemapQpsk = 1,
+    /** QAM-16, 4 bits per subcarrier. */
     kDemapQam16 = 2,
+    /** QAM-64, 6 bits per subcarrier. */
     kDemapQam64 = 3,
 };
 

@@ -47,7 +47,9 @@ class LockstepTeam
                           : 0)
     {}
 
+    /** Teams are tied to their barrier state: not copyable. */
     LockstepTeam(const LockstepTeam &) = delete;
+    /** Teams are tied to their barrier state: not copyable. */
     LockstepTeam &operator=(const LockstepTeam &) = delete;
 
     /** Number of workers, the calling thread included. */

@@ -18,11 +18,15 @@ std::string strprintf(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
 namespace detail {
+/** Backend of wilis_panic(): print and abort(). */
 [[noreturn]] void panicImpl(const char *file, int line,
                             const std::string &msg);
+/** Backend of wilis_fatal(): print and exit(1). */
 [[noreturn]] void fatalImpl(const char *file, int line,
                             const std::string &msg);
+/** Backend of wilis_warn(). */
 void warnImpl(const std::string &msg);
+/** Backend of wilis_inform(). */
 void informImpl(const std::string &msg);
 } // namespace detail
 

@@ -28,6 +28,7 @@ namespace wilis {
 class SplitMix64
 {
   public:
+    /** Seed the sequential stream. */
     explicit SplitMix64(std::uint64_t seed) : state(seed) {}
 
     /** Next raw 64-bit value. */
@@ -69,6 +70,7 @@ class SplitMix64
 class CounterRng
 {
   public:
+    /** Bind the generator to its stream key. */
     explicit CounterRng(std::uint64_t key_) : key(key_) {}
 
     /** Raw 64-bit output for a given counter value. */
@@ -128,6 +130,7 @@ fillDeterministicBits(std::span<std::uint8_t> out,
 class GaussianSource
 {
   public:
+    /** Seed the sequential (next()) stream. */
     explicit GaussianSource(std::uint64_t seed)
         : rng(seed), spare(0.0), haveSpare(false)
     {}

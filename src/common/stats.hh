@@ -243,7 +243,9 @@ class Histogram
 
 /** Bit-error bookkeeping for a stream comparison. */
 struct ErrorStats {
+    /** Bits compared. */
     std::uint64_t bits = 0;
+    /** Bits that differed. */
     std::uint64_t errors = 0;
 
     /** Observed bit-error rate. */
@@ -255,6 +257,7 @@ struct ErrorStats {
                     : 0.0;
     }
 
+    /** Accumulate another comparison's counts. */
     void
     merge(const ErrorStats &other)
     {

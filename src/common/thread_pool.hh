@@ -24,9 +24,12 @@ class ThreadPool
   public:
     /** @param num_threads Worker count; 0 = hardware concurrency. */
     explicit ThreadPool(int num_threads = 0);
+    /** Drains and joins every worker. */
     ~ThreadPool();
 
+    /** Pools own their threads: not copyable. */
     ThreadPool(const ThreadPool &) = delete;
+    /** Pools own their threads: not copyable. */
     ThreadPool &operator=(const ThreadPool &) = delete;
 
     /** Number of workers. */

@@ -36,16 +36,21 @@ using SoftBit = std::int32_t;
 /** A stream of quantized soft values. */
 using SoftVec = std::vector<SoftBit>;
 
-/**
- * Non-owning views used by the zero-copy frame pipeline: the arena
- * (common/frame_arena.hh) owns the storage, the PHY/channel/decode
- * blocks read and write through these spans.
- */
+// Non-owning views used by the zero-copy frame pipeline: the arena
+// (common/frame_arena.hh) owns the storage, the PHY/channel/decode
+// blocks read and write through these spans.
+
+/** Read-only view of a bit stream. */
 using BitView = std::span<const Bit>;
+/** Mutable view of a bit stream. */
 using BitSpan = std::span<Bit>;
+/** Read-only view of a sample stream. */
 using SampleView = std::span<const Sample>;
+/** Mutable view of a sample stream (channels impair in place). */
 using SampleSpan = std::span<Sample>;
+/** Read-only view of a soft-value stream. */
 using SoftView = std::span<const SoftBit>;
+/** Mutable view of a soft-value stream. */
 using SoftSpan = std::span<SoftBit>;
 
 /**

@@ -35,6 +35,7 @@ namespace decode {
 class SoftDecoder
 {
   public:
+    /** Virtual destructor for registry-owned instances. */
     virtual ~SoftDecoder() = default;
 
     /** Implementation name (matches the registry key). */

@@ -48,12 +48,18 @@ struct TrellisTables {
      * the shift-register butterfly layout the vector ACS relies on.
      */
     struct Flat {
+        /** Predecessor state per arrival state, choice 0 / 1. */
         std::int32_t pred0[kStates], pred1[kStates];
+        /** Reverse-transition output index, choice 0 / 1. */
         std::int32_t revOut0[kStates], revOut1[kStates];
+        /** Forward next state, input 0 / 1. */
         std::int32_t next0[kStates], next1[kStates];
+        /** Forward-transition output index, input 0 / 1. */
         std::int32_t fwdOut0[kStates], fwdOut1[kStates];
+        /** i16 copies of revOut0/revOut1 for the narrow ACS. */
         std::int16_t revOut0_16[kStates], revOut1_16[kStates];
     };
+    /** The flat arrays kernels::TrellisView points into. */
     Flat flat;
 
     /** The process-wide tables. */

@@ -337,6 +337,33 @@ class Arq
         ++pending_count;
     }
 
+    /**
+     * Abort every in-flight frame at slot @p now -- the session
+     * teardown of the churn model. Pending acknowledgements are
+     * discarded; frames already received clean still deliver in
+     * order (their payloads made it), while frames awaiting an
+     * acknowledgement or a retransmission fail as dropped.
+     * Deliveries append to @p out exactly like tick(), so packet
+     * accounting stays conserved across a departure. Afterwards
+     * the window is empty (quiescent at any slot) and sequence
+     * numbers continue monotonically, so the same instance serves
+     * the user's next session without seq reuse.
+     */
+    void
+    abortAll(std::uint64_t now, std::vector<Delivery> &out)
+    {
+        pending_head = 0;
+        pending_count = 0;
+        resend_count = 0;
+        for (std::uint64_t s = deliver_next; s < next_new; ++s) {
+            Slot &slot = slotFor(s);
+            if (slot.state == State::AwaitingAck ||
+                slot.state == State::NeedsResend)
+                slot.state = State::Failed;
+        }
+        drainDeliverable(now, out);
+    }
+
   private:
     enum class State : std::uint8_t {
         Unused,       // no frame occupies this window slot

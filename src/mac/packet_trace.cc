@@ -55,6 +55,12 @@ packetEventName(PacketEvent ev)
         return "ack";
       case PacketEvent::Expire:
         return "expire";
+      case PacketEvent::Handover:
+        return "ho";
+      case PacketEvent::Join:
+        return "join";
+      case PacketEvent::Leave:
+        return "leave";
     }
     return "?";
 }
@@ -74,8 +80,14 @@ packetEventFromName(const std::string &name)
         return PacketEvent::Ack;
     if (name == "expire")
         return PacketEvent::Expire;
+    if (name == "ho")
+        return PacketEvent::Handover;
+    if (name == "join")
+        return PacketEvent::Join;
+    if (name == "leave")
+        return PacketEvent::Leave;
     wilis_fatal("unknown packet event '%s' "
-                "(enq|qdrop|grant|tx|ack|expire)",
+                "(enq|qdrop|grant|tx|ack|expire|ho|join|leave)",
                 name.c_str());
 }
 

@@ -42,9 +42,10 @@ enum class PacketEvent : std::uint8_t {
     /** Entered its traffic queue (arg0 = queue depth after). */
     Enqueue,
     /**
-     * Dropped from a full queue (arg0 = 0 for a tail-dropped
-     * arrival, 1 for a head-of-line eviction under drop_head;
-     * arg1 = the dropped packet's age in slots).
+     * Dropped from its traffic queue (arg0 = 0 for a tail-dropped
+     * arrival on a full queue, 1 for a head-of-line eviction under
+     * drop_head, 2 for a churn-departure flush; arg1 = the dropped
+     * packet's age in slots).
      */
     QueueDrop,
     /**
@@ -65,6 +66,25 @@ enum class PacketEvent : std::uint8_t {
      * (arg0 = attempts consumed, arg1 = slots since arrival).
      */
     Expire,
+    /**
+     * Serving-cell handover (a per-user session event, not a
+     * packet event: seq = 0, class = data). The entry's cell is
+     * the *new* serving cell; arg0 = the old cell, arg1 = 1 when
+     * the mobility layer classified it as a ping-pong.
+     */
+    Handover,
+    /**
+     * Churn session start (seq = 0, class = data; the entry's cell
+     * is the cell joined). arg0 = the pre-departure serving cell,
+     * arg1 = 0.
+     */
+    Join,
+    /**
+     * Churn session end (seq = 0, class = data; the entry's cell
+     * is the cell left). arg0 = queued packets flushed, arg1 =
+     * in-flight ARQ frames aborted by the departure.
+     */
+    Leave,
 };
 
 /** Trace-file name of @p ev ("enq", "qdrop", "grant", ...). */

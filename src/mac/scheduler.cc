@@ -136,6 +136,38 @@ CellScheduler::update(int granted, double served_bits)
                            served_bits);
 }
 
+void
+CellScheduler::insertUser(int pos, double avg_rate)
+{
+    wilis_assert(pos >= 0 && pos <= num_users_,
+                 "insert position %d outside [0, %d]", pos,
+                 num_users_);
+    ++num_users_;
+    // The cursor names a local index; an insertion below it shifts
+    // the user it pointed at up by one. Inserting *at* the cursor
+    // leaves it alone: the newcomer inherits the next turn, a pure
+    // function of (pos, cursor) in both engines.
+    if (pos < cursor_)
+        ++cursor_;
+    if (cfg_.kind == SchedulerKind::ProportionalFair)
+        avg_.insert(avg_.begin() + pos, avg_rate);
+}
+
+void
+CellScheduler::removeUser(int pos)
+{
+    wilis_assert(pos >= 0 && pos < num_users_,
+                 "remove position %d outside [0, %d)", pos,
+                 num_users_);
+    --num_users_;
+    if (pos < cursor_)
+        --cursor_;
+    if (cursor_ >= num_users_)
+        cursor_ = 0;
+    if (cfg_.kind == SchedulerKind::ProportionalFair)
+        avg_.erase(avg_.begin() + pos);
+}
+
 double
 CellScheduler::averageRate(int local_user) const
 {

@@ -141,15 +141,14 @@ TrafficSource::poissonAt(std::uint64_t t, double mean) const
 
 void
 TrafficSource::traceDrop(const Packet &p, std::uint64_t now,
-                         bool head_evicted)
+                         std::int64_t reason)
 {
     if (!trace_)
         return;
     trace_->record(
         traceShard_,
         PacketTrace::Entry{now, traceCell_, traceUser_, p.cls,
-                           p.seq, PacketEvent::QueueDrop,
-                           head_evicted ? 1 : 0,
+                           p.seq, PacketEvent::QueueDrop, reason,
                            static_cast<std::int64_t>(now -
                                                      p.arrival)});
 }
@@ -167,7 +166,22 @@ TrafficSource::evictOldest(std::uint64_t now)
                                                            : data_);
     const Packet victim = r.popFront();
     ++drops_;
-    traceDrop(victim, now, true);
+    traceDrop(victim, now, 1);
+}
+
+int
+TrafficSource::flush(std::uint64_t now)
+{
+    int flushed = 0;
+    for (Ring *r : {&ctrl_, &data_}) {
+        while (r->depth > 0) {
+            const Packet p = r->popFront();
+            ++drops_;
+            ++flushed;
+            traceDrop(p, now, 2);
+        }
+    }
+    return flushed;
 }
 
 void
@@ -181,7 +195,7 @@ TrafficSource::push(TrafficClass cls, std::uint64_t arrival_slot)
         } else {
             // fifo/priority drop the arrival (tail drop).
             ++drops_;
-            traceDrop(p, arrival_slot, false);
+            traceDrop(p, arrival_slot, 0);
             return;
         }
     }

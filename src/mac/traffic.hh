@@ -190,6 +190,18 @@ class TrafficSource
      */
     Packet pop(std::uint64_t now);
 
+    /**
+     * Flush every queued packet at slot @p now -- the session-
+     * departure teardown of the churn model. Each flushed packet
+     * records a QueueDrop with arg0 = 2 (churn flush) and counts in
+     * drops(), so per-packet trace accounting stays conserved
+     * across a departure. Sequence numbers keep incrementing from
+     * where they left off, so a rejoining session never reuses a
+     * seq.
+     * @return the number of packets flushed.
+     */
+    int flush(std::uint64_t now);
+
     /** Packets currently queued across both classes. */
     int depth() const { return ctrl_.depth + data_.depth; }
 
@@ -240,8 +252,9 @@ class TrafficSource
 
     void push(TrafficClass cls, std::uint64_t arrival_slot);
     void evictOldest(std::uint64_t now);
+    /** @p reason is the QueueDrop arg0 code (see PacketEvent). */
     void traceDrop(const Packet &p, std::uint64_t now,
-                   bool head_evicted);
+                   std::int64_t reason);
 
     // Member order is deliberate: the engines call tick() and
     // backlogged() for every user every slot, and with 10k+ sources

@@ -34,6 +34,7 @@ class ConvCode
     /** Tail bits appended to terminate the trellis. */
     static constexpr int kTailBits = kConstraint - 1;
 
+    /** Build the per-state transition tables once. */
     ConvCode();
 
     /**

@@ -52,6 +52,7 @@ class Demapper
     /** Construct with default quantization parameters. */
     explicit Demapper(Modulation mod_);
 
+    /** Construct with explicit quantization parameters. */
     Demapper(Modulation mod_, const Config &cfg_);
 
     /** Modulation handled. */

@@ -25,6 +25,7 @@ namespace phy {
 class Mapper
 {
   public:
+    /** Build the mapper for one modulation. */
     explicit Mapper(Modulation mod_);
 
     /** Modulation handled. */

@@ -15,10 +15,26 @@ namespace wilis {
 namespace phy {
 
 /** Subcarrier modulation schemes of 802.11a/g. */
-enum class Modulation { BPSK, QPSK, QAM16, QAM64 };
+enum class Modulation {
+    /** 1 bit per subcarrier. */
+    BPSK,
+    /** 2 bits per subcarrier. */
+    QPSK,
+    /** 4 bits per subcarrier. */
+    QAM16,
+    /** 6 bits per subcarrier. */
+    QAM64,
+};
 
 /** Convolutional code rates of 802.11a/g (mother code 1/2). */
-enum class CodeRate { R12, R23, R34 };
+enum class CodeRate {
+    /** Rate 1/2 (unpunctured). */
+    R12,
+    /** Rate 2/3. */
+    R23,
+    /** Rate 3/4. */
+    R34,
+};
 
 /** Number of coded bits carried per subcarrier (N_BPSC). */
 int bitsPerSubcarrier(Modulation m);
@@ -41,7 +57,9 @@ double modulationLlrScale(Modulation m);
 
 /** One entry of the 802.11a/g rate table. */
 struct RateParams {
+    /** Subcarrier modulation. */
     Modulation modulation;
+    /** Convolutional code rate. */
     CodeRate codeRate;
     /** Line rate in Mb/s (6..54). */
     double lineRateMbps;

@@ -52,7 +52,9 @@ struct RxResult {
  * until the arena is reset. payload[i] == soft[i].bit.
  */
 struct RxFrame {
+    /** Decoded, descrambled payload bits (arena view). */
     BitSpan payload;
+    /** Per-payload-bit decisions with LLR hints (arena view). */
     std::span<SoftDecision> soft;
 
     /** Bit errors against a reference payload. */
@@ -91,6 +93,7 @@ class OfdmReceiver
     /** Construct with the default configuration (BCJR decoder). */
     explicit OfdmReceiver(RateIndex rate_idx);
 
+    /** Construct with an explicit configuration. */
     OfdmReceiver(RateIndex rate_idx, const Config &cfg);
 
     /** Rate parameters in use. */

@@ -32,9 +32,13 @@ class OfdmTransmitter
   public:
     /** Intermediate stages exposed for tests. */
     struct Debug {
+        /** Payload after scrambling. */
         BitVec scrambled;
+        /** Scrambled bits after rate-1/2 encoding. */
         BitVec coded;
+        /** Coded bits after puncturing. */
         BitVec punctured;
+        /** Punctured bits after interleaving. */
         BitVec interleaved;
     };
 

@@ -23,10 +23,12 @@ namespace phy {
 
 /** Decoded contents of a SIGNAL field. */
 struct SignalField {
+    /** Data rate index of the payload. */
     RateIndex rate = 0;
     /** PSDU length in bytes (1..4095). */
     int lengthBytes = 0;
 
+    /** Field-wise equality. */
     bool
     operator==(const SignalField &o) const
     {
@@ -69,6 +71,7 @@ class Signal
 class PlcpTransmitter
 {
   public:
+    /** @param scrambler_seed Initial DATA scrambler state. */
     explicit PlcpTransmitter(std::uint8_t scrambler_seed = 0x5D);
 
     /**
@@ -90,6 +93,7 @@ class PlcpTransmitter
 struct PlcpRxResult {
     /** Header parsed successfully (parity + rate pattern valid). */
     bool headerOk = false;
+    /** The decoded SIGNAL field. */
     SignalField header;
     /** Decoded payload (empty if headerOk is false). */
     BitVec payload;

@@ -19,6 +19,7 @@ namespace phy {
 class Puncturer
 {
   public:
+    /** Build the puncturer for one code rate. */
     explicit Puncturer(CodeRate rate_) : rate(rate_) {}
 
     /** Code rate handled. */

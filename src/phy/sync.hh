@@ -44,7 +44,9 @@ class Synchronizer
         int plateauLen = 64;
     };
 
+    /** Construct with default detector parameters. */
     Synchronizer() : Synchronizer(Config()) {}
+    /** Construct with explicit detector parameters. */
     explicit Synchronizer(const Config &cfg_) : cfg(cfg_) {}
 
     /**

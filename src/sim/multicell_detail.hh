@@ -18,6 +18,7 @@
 #include "mac/arq.hh"
 #include "mac/packet_trace.hh"
 #include "mac/traffic.hh"
+#include "sim/mobility.hh"
 #include "sim/network_sim.hh"
 
 namespace wilis {
@@ -87,6 +88,19 @@ struct TraceCtx {
         ring.assign(static_cast<size_t>(window), PktRef{});
     }
 
+    /**
+     * Re-point the recording lane and stamped cell after a
+     * serving-cell handover, *preserving* the seq ring -- in-flight
+     * ARQ sequence numbers keep their packet identities across the
+     * migration (bind() would wipe them).
+     */
+    void
+    rebind(int shard_, int cell_)
+    {
+        shard = shard_;
+        cell = cell_;
+    }
+
     /** The identity slot of ARQ sequence number @p seq. */
     PktRef &
     ref(std::uint64_t seq)
@@ -138,11 +152,15 @@ recordTx(TraceCtx &tc, std::uint64_t t, std::uint64_t seq, bool ok,
 /**
  * Record one ARQ delivery into the user's statistics, emitting the
  * trace's Ack/Expire event when @p tc has a bound trace (@p now is
- * the delivery slot).
+ * the delivery slot). @p post_ho routes a successful delivery's
+ * payload into the post-first-handover goodput accumulator instead
+ * of the pre-handover one (mobility runs only; the totals always
+ * land in goodputBits).
  */
 inline void
 recordDelivery(UserStats &st, const mac::Arq::Delivery &d,
-               size_t payload_bits, std::uint64_t now, TraceCtx &tc)
+               size_t payload_bits, std::uint64_t now, TraceCtx &tc,
+               bool post_ho = false)
 {
     st.attemptsHist.add(static_cast<double>(d.attempts));
     if (tc.trace) {
@@ -162,8 +180,52 @@ recordDelivery(UserStats &st, const mac::Arq::Delivery &d,
     }
     ++st.delivered;
     st.goodputBits += payload_bits;
+    if (post_ho)
+        st.goodputBitsPostHo += payload_bits;
+    else
+        st.goodputBitsPreHo += payload_bits;
     st.latencySlots.add(static_cast<double>(d.latencySlots));
     st.latencyHist.add(static_cast<double>(d.latencySlots));
+}
+
+/**
+ * Record one mobility session event (handover / join / leave) into
+ * @p trace. Session events are stamped seq = 0, class = data; the
+ * shard is the event's *entry* cell (new cell for a handover or
+ * join, the departed cell for a leave), matching the trace-format
+ * spec. @p flushed / @p aborted fill the Leave arguments and are
+ * ignored by the other kinds. No-op when @p trace is null.
+ */
+inline void
+recordMobilityEvent(mac::PacketTrace *trace, std::uint64_t t,
+                    const MobilityRuntime::Event &ev, int flushed,
+                    int aborted)
+{
+    if (!trace)
+        return;
+    mac::PacketTrace::Entry e{t,
+                              ev.toCell,
+                              ev.user,
+                              mac::TrafficClass::Data,
+                              0,
+                              mac::PacketEvent::Handover,
+                              ev.fromCell,
+                              ev.pingPong ? 1 : 0};
+    switch (ev.kind) {
+      case MobilityRuntime::Event::Kind::Handover:
+        break;
+      case MobilityRuntime::Event::Kind::Join:
+        e.event = mac::PacketEvent::Join;
+        e.arg1 = 0;
+        break;
+      case MobilityRuntime::Event::Kind::Leave:
+        e.event = mac::PacketEvent::Leave;
+        e.cell = ev.fromCell;
+        e.arg0 = flushed;
+        e.arg1 = aborted;
+        break;
+    }
+    trace->record(e.cell, e);
 }
 
 } // namespace detail

@@ -15,6 +15,7 @@
 #include "mac/softrate.hh"
 #include "mac/traffic.hh"
 #include "sim/link_fidelity.hh"
+#include "sim/mobility.hh"
 #include "sim/multicell_detail.hh"
 #include "sim/worker_phy.hh"
 
@@ -27,6 +28,7 @@ using detail::interferenceFade;
 using detail::notePop;
 using detail::recordDelivery;
 using detail::recordGrant;
+using detail::recordMobilityEvent;
 using detail::recordTx;
 
 /** One user's per-run state, owned by its serving cell. */
@@ -159,6 +161,22 @@ runMulticellPerUser(
         }
     }
 
+    // Mobility / handover / churn: one shared decision engine,
+    // driven single-threaded between barriers, so the per-user and
+    // SoA engines see identical epochs by construction. Null for
+    // static runs, which therefore stay bit-identical to the
+    // pre-mobility engine.
+    std::unique_ptr<MobilityRuntime> mob;
+    if (spec.mobility.enabled())
+        mob = std::make_unique<MobilityRuntime>(
+            spec.mobility, topo, spec.seed, spec.frameIntervalUs);
+    // Post-first-handover flag routing delivered payload into the
+    // before/after-handover goodput split.
+    auto post_ho = [&](int uid) {
+        return mob &&
+               mob->handovers(uid) > 0;
+    };
+
     std::vector<McCell> cell_state(static_cast<size_t>(cells));
     for (int c = 0; c < cells; ++c) {
         McCell &cs = cell_state[static_cast<size_t>(c)];
@@ -204,7 +222,7 @@ runMulticellPerUser(
                 u.arq->tick(t, cs.deliveries);
                 for (const auto &d : cs.deliveries)
                     recordDelivery(u.stats, d, payload_bits, t,
-                                   u.tctx);
+                                   u.tctx, post_ho(u.id));
             }
             u.traffic.tick(t);
             const bool can_send =
@@ -309,12 +327,15 @@ runMulticellPerUser(
 
         const double h2 = u.fadingPower(t, spec.frameIntervalUs);
         const double sig = u.servGainLin * h2;
+        // Under mobility the live matrix row replaces the static
+        // topology gains (identical at epoch 0 by construction).
+        const double *grow = mob ? mob->gainRow(u.id) : nullptr;
         double interference = 0.0;
         for (int c2 = 0; c2 < cells; ++c2) {
             if (c2 == serv || !active[static_cast<size_t>(c2)])
                 continue;
             interference +=
-                topo.linkGainLin(u.id, c2) *
+                (grow ? grow[c2] : topo.linkGainLin(u.id, c2)) *
                 interferenceFade(
                     u.interfStream,
                     t * static_cast<std::uint64_t>(cells) +
@@ -375,6 +396,100 @@ runMulticellPerUser(
         u.arq->onSendResult(cs.grantedSeq, fr.ok);
     };
 
+    // ---- mobility epochs: apply membership events ---------------
+    // Runs single-threaded on worker 0 with the team held at a
+    // barrier, so it may touch any cell's state.
+    const bool pf =
+        spec.scheduler.kind == mac::SchedulerKind::ProportionalFair;
+    auto member_pos = [](const McCell &cs, int uid) {
+        return static_cast<int>(
+            std::lower_bound(cs.users.begin(), cs.users.end(), uid) -
+            cs.users.begin());
+    };
+    auto resize_cell = [](McCell &cs) {
+        cs.eligible.resize(cs.users.size());
+        cs.urgent.assign(cs.users.size(), 0);
+        cs.instRate.assign(cs.users.size(), 0.0);
+    };
+    auto remove_member = [&](int c, int uid, double *pf_carry) {
+        McCell &cs = cell_state[static_cast<size_t>(c)];
+        const int pos = member_pos(cs, uid);
+        if (pf_carry)
+            *pf_carry = cs.sched->averageRate(pos);
+        cs.sched->removeUser(pos);
+        cs.users.erase(cs.users.begin() + pos);
+        resize_cell(cs);
+    };
+    auto insert_member = [&](int c, int uid, double pf_carry) {
+        McCell &cs = cell_state[static_cast<size_t>(c)];
+        const int pos = member_pos(cs, uid);
+        cs.sched->insertUser(pos, pf_carry);
+        cs.users.insert(cs.users.begin() + pos, uid);
+        resize_cell(cs);
+    };
+    std::vector<MobilityRuntime::Event> mob_events;
+    std::vector<mac::Arq::Delivery> mob_deliv;
+    auto apply_mobility = [&](std::uint64_t t) {
+        mob_events.clear();
+        mob->epoch(t, mob_events);
+        for (const MobilityRuntime::Event &ev : mob_events) {
+            McUser &u = users[static_cast<size_t>(ev.user)];
+            int flushed = 0;
+            int aborted = 0;
+            switch (ev.kind) {
+              case MobilityRuntime::Event::Kind::Leave: {
+                // Teardown records into the pre-departure shard:
+                // queued packets flush (qdrop reason 2), in-flight
+                // ARQ frames abort (already-acked heads still
+                // deliver in order).
+                remove_member(ev.fromCell, ev.user, nullptr);
+                flushed = u.traffic.flush(t);
+                mob_deliv.clear();
+                u.arq->abortAll(t, mob_deliv);
+                for (const auto &d : mob_deliv) {
+                    recordDelivery(u.stats, d, payload_bits, t,
+                                   u.tctx, post_ho(u.id));
+                    if (d.dropped)
+                        ++aborted;
+                }
+                break;
+              }
+              case MobilityRuntime::Event::Kind::Join: {
+                insert_member(ev.toCell, ev.user, 0.0);
+                u.cell = ev.toCell;
+                u.tctx.rebind(ev.toCell, ev.toCell);
+                if (trace)
+                    u.traffic.bindTrace(trace.get(), ev.toCell,
+                                        ev.toCell, u.id);
+                break;
+              }
+              case MobilityRuntime::Event::Kind::Handover: {
+                // Queue, ARQ window and rate-control state migrate
+                // untouched; the PF throughput average carries so
+                // the target cell does not treat the user as
+                // starved.
+                double carry = 0.0;
+                remove_member(ev.fromCell, ev.user,
+                              pf ? &carry : nullptr);
+                insert_member(ev.toCell, ev.user, carry);
+                u.cell = ev.toCell;
+                u.tctx.rebind(ev.toCell, ev.toCell);
+                if (trace)
+                    u.traffic.bindTrace(trace.get(), ev.toCell,
+                                        ev.toCell, u.id);
+                break;
+              }
+            }
+            recordMobilityEvent(trace.get(), t, ev, flushed,
+                                aborted);
+        }
+        // The epoch rewrote the live gain rows: refresh every
+        // user's serving-link gain (cheap, and also what keeps the
+        // PF metric and SINR on the moved positions).
+        for (McUser &uu : users)
+            uu.servGainLin = mob->servingGainLin(uu.id);
+    };
+
     int n = threads > 0
                 ? threads
                 : static_cast<int>(std::max(
@@ -390,10 +505,20 @@ runMulticellPerUser(
     // handshakes (the grid-3x3 thread-scaling regression).
     LockstepTeam team(n);
     const int chunk = (cells + n - 1) / n;
+    const std::uint64_t epoch_slots = mob ? mob->epochSlots() : 1;
     team.run([&](int w) {
         const int c_lo = std::min(cells, w * chunk);
         const int c_hi = std::min(cells, c_lo + chunk);
         for (std::uint64_t t = 0; t < slots; ++t) {
+            if (mob && t % epoch_slots == 0) {
+                // The previous slot's trailing barrier (or run()
+                // entry at t = 0) already synced the team, so
+                // worker 0 may mutate any cell's state here; one
+                // barrier releases the others afterwards.
+                if (w == 0)
+                    apply_mobility(t);
+                team.barrier();
+            }
             for (int c = c_lo; c < c_hi; ++c)
                 phase_schedule(static_cast<std::uint64_t>(c), t);
             team.barrier();
@@ -414,11 +539,30 @@ runMulticellPerUser(
             tail.clear();
             u.arq->tick(t, tail);
             for (const auto &d : tail)
-                recordDelivery(u.stats, d, payload_bits, t, u.tctx);
+                recordDelivery(u.stats, d, payload_bits, t, u.tctx,
+                               post_ho(u.id));
         }
         u.stats.retransmissions = u.arq->retransmissions();
         u.stats.arrivals = u.traffic.arrivals();
         u.stats.queueDrops = u.traffic.drops();
+    }
+
+    // Mobility outcome statistics (the final serving cell replaces
+    // the drop-time association; the first-handover slot splits the
+    // run into the before/after throughput windows).
+    for (McUser &u : users) {
+        if (mob) {
+            u.stats.servingCell = mob->servingCell(u.id);
+            u.stats.handovers = mob->handovers(u.id);
+            u.stats.pingPongs = mob->pingPongs(u.id);
+            u.stats.joins = mob->joins(u.id);
+            u.stats.leaves = mob->leaves(u.id);
+            u.stats.preHoSlots =
+                std::min(mob->firstHandoverSlot(u.id), slots);
+        } else {
+            u.stats.preHoSlots = slots;
+        }
+        u.stats.postHoSlots = slots - u.stats.preHoSlots;
     }
 
     // End-to-end latency (arrival -> in-order delivery) is derived

@@ -42,6 +42,7 @@
 #include "mac/softrate.hh"
 #include "mac/traffic.hh"
 #include "sim/link_fidelity.hh"
+#include "sim/mobility.hh"
 #include "sim/multicell_detail.hh"
 #include "sim/multicell_sim.hh"
 #include "sim/worker_phy.hh"
@@ -52,6 +53,7 @@ namespace sim {
 using detail::notePop;
 using detail::recordDelivery;
 using detail::recordGrant;
+using detail::recordMobilityEvent;
 using detail::recordTx;
 
 /** See the declaration in multicell_sim.hh. */
@@ -276,6 +278,43 @@ runMulticellSoa(
             traffic[i].bindTrace(trace.get(), cell, cell, id);
         }
     }
+    // Mobility / handover / churn: the same shared decision engine
+    // the per-user engine drives, so both apply identical epochs.
+    // The cache stays immutable (it is shared across runs); all
+    // membership-dependent state below is run-local.
+    std::unique_ptr<MobilityRuntime> mob;
+    if (spec.mobility.enabled())
+        mob = std::make_unique<MobilityRuntime>(
+            spec.mobility, topo, spec.seed, spec.frameIntervalUs);
+    auto post_ho = [&](std::uint32_t i) {
+        return mob &&
+               mob->handovers(cache.order[static_cast<size_t>(i)]) >
+                   0;
+    };
+    // Run-local serving gains and gain-row pointers: start as the
+    // cache's static values, move with the epochs under mobility
+    // (the fader, payload, traffic and draw streams are serving-
+    // cell-independent by construction, so they stay cached).
+    std::vector<double> serv_gain(cache.servGain);
+    std::vector<const double *> rows(cache.gainRows);
+    if (mob) {
+        for (size_t i = 0; i < nu; ++i)
+            rows[i] = mob->gainRow(cache.order[i]);
+    }
+    // Run-local cell membership: SoA indices ordered by global user
+    // id (identical to the per-user engine's per-cell user lists,
+    // which is what keeps scheduler local indices bit-exact across
+    // engines). Static runs never mutate it, so it is exactly the
+    // cache's cell-major blocks.
+    std::vector<std::vector<std::uint32_t>> members(
+        static_cast<size_t>(cells));
+    for (int c = 0; c < cells; ++c) {
+        for (std::uint32_t i =
+                 cache.cellBegin[static_cast<size_t>(c)];
+             i < cache.cellBegin[static_cast<size_t>(c) + 1]; ++i)
+            members[static_cast<size_t>(c)].push_back(i);
+    }
+
     // Serving-link |h|^2 memo (per user, per slot), matching
     // McUser::fadingPower().
     std::vector<double> h2val(nu, 0.0);
@@ -344,10 +383,8 @@ runMulticellSoa(
 
     // ---- phase 1: deliver ACKs, draw traffic, schedule ---------
     auto phase_schedule = [&](int c, std::uint64_t t) {
-        const std::uint32_t lo =
-            cache.cellBegin[static_cast<size_t>(c)];
-        const std::uint32_t hi =
-            cache.cellBegin[static_cast<size_t>(c) + 1];
+        const std::vector<std::uint32_t> &mem =
+            members[static_cast<size_t>(c)];
         std::vector<std::uint8_t> &elig =
             eligible[static_cast<size_t>(c)];
         std::vector<std::uint8_t> &urg =
@@ -360,28 +397,29 @@ runMulticellSoa(
         // by the previous grant's contention charge: per-user
         // processes advance, but no grant is issued.
         const bool busy = t < busy_until[static_cast<size_t>(c)];
-        for (std::uint32_t i = lo; i < hi; ++i) {
+        for (size_t m = 0; m < mem.size(); ++m) {
+            const std::uint32_t i = mem[m];
             if (!arqs[i].quiescentAt(t)) {
                 del.clear();
                 arqs[i].tick(t, del);
                 for (const auto &d : del)
                     recordDelivery(stats[i], d, payload_bits, t,
-                                   tctx[i]);
+                                   tctx[i], post_ho(i));
             }
             traffic[i].tick(t);
             const bool can_send =
                 arqs[i].hasResend() ||
                 (traffic[i].backlogged() &&
                  arqs[i].windowHasRoom());
-            elig[i - lo] = can_send ? 1 : 0;
+            elig[m] = can_send ? 1 : 0;
             if (class_aware)
-                urg[i - lo] =
+                urg[m] =
                     traffic[i].controlBacklogged() ? 1 : 0;
             if (can_send && !busy && pf) {
                 const double h2 =
                     fadingPower(static_cast<int>(i), t);
-                inst[i - lo] =
-                    std::log2(1.0 + cache.servGain[i] * h2);
+                inst[m] =
+                    std::log2(1.0 + serv_gain[i] * h2);
             }
         }
 
@@ -391,9 +429,9 @@ runMulticellSoa(
             granted_soa[static_cast<size_t>(c)] = -1;
             active[static_cast<size_t>(c)] = 0;
             scheds[static_cast<size_t>(c)].update(-1, 0.0);
-            for (std::uint32_t i = lo; i < hi; ++i) {
-                if (elig[i - lo])
-                    ++stats[i].stalledSlots;
+            for (size_t m = 0; m < mem.size(); ++m) {
+                if (elig[m])
+                    ++stats[mem[m]].stalledSlots;
             }
             return;
         }
@@ -406,8 +444,7 @@ runMulticellSoa(
             scheds[static_cast<size_t>(c)].update(-1, 0.0);
             return;
         }
-        const std::uint32_t g =
-            lo + static_cast<std::uint32_t>(pick);
+        const std::uint32_t g = mem[static_cast<size_t>(pick)];
         const bool allow_new =
             traffic[g].backlogged() && arqs[g].windowHasRoom();
         const std::uint64_t prev_next = arqs[g].nextSeq();
@@ -432,12 +469,12 @@ runMulticellSoa(
         scheds[static_cast<size_t>(c)].update(
             pick, static_cast<double>(payload_bits));
         int contenders = 0;
-        for (std::uint32_t i = lo; i < hi; ++i) {
-            if (!elig[i - lo])
+        for (size_t m = 0; m < mem.size(); ++m) {
+            if (!elig[m])
                 continue;
             ++contenders;
-            if (static_cast<int>(i - lo) != pick)
-                ++stats[i].stalledSlots;
+            if (static_cast<int>(m) != pick)
+                ++stats[mem[m]].stalledSlots;
         }
         // Fixed 1/k sharing: a grant contested by k eligible users
         // occupies the medium for k slots in total.
@@ -479,12 +516,12 @@ runMulticellSoa(
             sc.gi[k] = g;
             sc.cell[k] = c;
             sc.serving[k] = static_cast<std::int32_t>(c);
-            sc.rows[k] = cache.gainRows[gs];
+            sc.rows[k] = rows[gs];
             sc.fade_keys[k] = cache.interfKey[gs];
             sc.draw_keys[k] = cache.drawKey[gs];
             sc.rates[k] = static_cast<std::int32_t>(
                 softrate[gs].currentRate());
-            sc.sig[k] = cache.servGain[gs] * fadingPower(g, t);
+            sc.sig[k] = serv_gain[gs] * fadingPower(g, t);
             ++k;
         }
         if (k == 0)
@@ -572,6 +609,110 @@ runMulticellSoa(
         }
     };
 
+    // ---- mobility epochs: apply membership events ---------------
+    // Runs single-threaded on worker 0 with the team held at a
+    // barrier; mirrors the per-user engine's application exactly
+    // (same event list, same sorted-membership positions, same
+    // scheduler ops), which is what keeps the engines bit-exact
+    // under mobility.
+    auto member_pos = [&](const std::vector<std::uint32_t> &mem,
+                          int uid) {
+        return static_cast<int>(
+            std::lower_bound(mem.begin(), mem.end(), uid,
+                             [&](std::uint32_t a, int b) {
+                                 return cache.order[static_cast<
+                                            size_t>(a)] < b;
+                             }) -
+            mem.begin());
+    };
+    auto resize_cell = [&](int c) {
+        const size_t cn = members[static_cast<size_t>(c)].size();
+        eligible[static_cast<size_t>(c)].resize(cn);
+        urgent[static_cast<size_t>(c)].assign(cn, 0);
+        inst_rate[static_cast<size_t>(c)].assign(cn, 0.0);
+    };
+    auto remove_member = [&](int c, int uid, double *pf_carry) {
+        std::vector<std::uint32_t> &mem =
+            members[static_cast<size_t>(c)];
+        const int pos = member_pos(mem, uid);
+        if (pf_carry)
+            *pf_carry =
+                scheds[static_cast<size_t>(c)].averageRate(pos);
+        scheds[static_cast<size_t>(c)].removeUser(pos);
+        mem.erase(mem.begin() + pos);
+        resize_cell(c);
+    };
+    auto insert_member = [&](int c, int uid, double pf_carry) {
+        std::vector<std::uint32_t> &mem =
+            members[static_cast<size_t>(c)];
+        const int pos = member_pos(mem, uid);
+        scheds[static_cast<size_t>(c)].insertUser(pos, pf_carry);
+        mem.insert(mem.begin() + pos,
+                   static_cast<std::uint32_t>(
+                       cache.soaOf[static_cast<size_t>(uid)]));
+        resize_cell(c);
+    };
+    std::vector<MobilityRuntime::Event> mob_events;
+    std::vector<mac::Arq::Delivery> mob_deliv;
+    auto apply_mobility = [&](std::uint64_t t) {
+        mob_events.clear();
+        mob->epoch(t, mob_events);
+        for (const MobilityRuntime::Event &ev : mob_events) {
+            const std::uint32_t i = static_cast<std::uint32_t>(
+                cache.soaOf[static_cast<size_t>(ev.user)]);
+            int flushed = 0;
+            int aborted = 0;
+            switch (ev.kind) {
+              case MobilityRuntime::Event::Kind::Leave: {
+                // Teardown records into the pre-departure shard:
+                // queued packets flush (qdrop reason 2), in-flight
+                // ARQ frames abort (already-acked heads still
+                // deliver in order).
+                remove_member(ev.fromCell, ev.user, nullptr);
+                flushed = traffic[i].flush(t);
+                mob_deliv.clear();
+                arqs[i].abortAll(t, mob_deliv);
+                for (const auto &d : mob_deliv) {
+                    recordDelivery(stats[i], d, payload_bits, t,
+                                   tctx[i], post_ho(i));
+                    if (d.dropped)
+                        ++aborted;
+                }
+                break;
+              }
+              case MobilityRuntime::Event::Kind::Join: {
+                insert_member(ev.toCell, ev.user, 0.0);
+                tctx[i].rebind(ev.toCell, ev.toCell);
+                if (trace)
+                    traffic[i].bindTrace(trace.get(), ev.toCell,
+                                         ev.toCell, ev.user);
+                break;
+              }
+              case MobilityRuntime::Event::Kind::Handover: {
+                // Queue, ARQ window and rate-control state migrate
+                // untouched; the PF throughput average carries so
+                // the target cell does not treat the user as
+                // starved.
+                double carry = 0.0;
+                remove_member(ev.fromCell, ev.user,
+                              pf ? &carry : nullptr);
+                insert_member(ev.toCell, ev.user, carry);
+                tctx[i].rebind(ev.toCell, ev.toCell);
+                if (trace)
+                    traffic[i].bindTrace(trace.get(), ev.toCell,
+                                         ev.toCell, ev.user);
+                break;
+              }
+            }
+            recordMobilityEvent(trace.get(), t, ev, flushed,
+                                aborted);
+        }
+        // The epoch rewrote the live gain rows: refresh every
+        // user's serving-link gain.
+        for (size_t i2 = 0; i2 < nu; ++i2)
+            serv_gain[i2] = mob->servingGainLin(cache.order[i2]);
+    };
+
     int n = threads > 0
                 ? threads
                 : static_cast<int>(std::max(
@@ -580,11 +721,21 @@ runMulticellSoa(
 
     LockstepTeam team(n);
     const int chunk = (cells + n - 1) / n;
+    const std::uint64_t epoch_slots = mob ? mob->epochSlots() : 1;
     team.run([&](int w) {
         const int c_lo = std::min(cells, w * chunk);
         const int c_hi = std::min(cells, c_lo + chunk);
         Scratch sc(static_cast<size_t>(c_hi - c_lo));
         for (std::uint64_t t = 0; t < slots; ++t) {
+            if (mob && t % epoch_slots == 0) {
+                // The previous slot's trailing barrier (or run()
+                // entry at t = 0) already synced the team, so
+                // worker 0 may mutate any cell's state here; one
+                // barrier releases the others afterwards.
+                if (w == 0)
+                    apply_mobility(t);
+                team.barrier();
+            }
             for (int c = c_lo; c < c_hi; ++c)
                 phase_schedule(c, t);
             team.barrier();
@@ -607,11 +758,33 @@ runMulticellSoa(
             arqs[i].tick(t, tail);
             for (const auto &d : tail)
                 recordDelivery(stats[i], d, payload_bits, t,
-                               tctx[i]);
+                               tctx[i],
+                               post_ho(static_cast<std::uint32_t>(
+                                   i)));
         }
         stats[i].retransmissions = arqs[i].retransmissions();
         stats[i].arrivals = traffic[i].arrivals();
         stats[i].queueDrops = traffic[i].drops();
+    }
+
+    // Mobility outcome statistics (the final serving cell replaces
+    // the drop-time association; the first-handover slot splits the
+    // run into the before/after throughput windows).
+    for (int id = 0; id < num_users; ++id) {
+        UserStats &st = stats[static_cast<size_t>(
+            cache.soaOf[static_cast<size_t>(id)])];
+        if (mob) {
+            st.servingCell = mob->servingCell(id);
+            st.handovers = mob->handovers(id);
+            st.pingPongs = mob->pingPongs(id);
+            st.joins = mob->joins(id);
+            st.leaves = mob->leaves(id);
+            st.preHoSlots =
+                std::min(mob->firstHandoverSlot(id), slots);
+        } else {
+            st.preHoSlots = slots;
+        }
+        st.postHoSlots = slots - st.preHoSlots;
     }
 
     if (trace) {

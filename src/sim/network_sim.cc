@@ -39,6 +39,14 @@ UserStats::merge(const UserStats &other)
     analyticFrames += other.analyticFrames;
     arrivals += other.arrivals;
     queueDrops += other.queueDrops;
+    handovers += other.handovers;
+    pingPongs += other.pingPongs;
+    joins += other.joins;
+    leaves += other.leaves;
+    goodputBitsPreHo += other.goodputBitsPreHo;
+    goodputBitsPostHo += other.goodputBitsPostHo;
+    preHoSlots += other.preHoSlots;
+    postHoSlots += other.postHoSlots;
     latencySlots.merge(other.latencySlots);
     queueWaitSlots.merge(other.queueWaitSlots);
     sinrDb.merge(other.sinrDb);
@@ -469,6 +477,9 @@ NetworkSim::run(std::uint64_t slots, int threads)
         }
 
         st.retransmissions = arq.retransmissions();
+        // No mobility on the single-cell timeline: the whole run is
+        // "before the first handover".
+        st.preHoSlots = slots;
         res.users[static_cast<size_t>(u)] = st;
         phy_pool.release(std::move(phy));
     };

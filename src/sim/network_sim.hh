@@ -93,6 +93,26 @@ struct UserStats {
     /** Arrivals dropped on a full traffic queue. */
     std::uint64_t queueDrops = 0;
 
+    /** Serving-cell handovers completed (mobility runs only). */
+    std::uint64_t handovers = 0;
+    /**
+     * Handovers that bounced straight back to the previous serving
+     * cell within the mobility layer's ping-pong window.
+     */
+    std::uint64_t pingPongs = 0;
+    /** Churn session starts (re-entries after a departure). */
+    std::uint64_t joins = 0;
+    /** Churn session ends (departures with queue/ARQ teardown). */
+    std::uint64_t leaves = 0;
+    /** Payload bits delivered before the user's first handover. */
+    std::uint64_t goodputBitsPreHo = 0;
+    /** Payload bits delivered after the user's first handover. */
+    std::uint64_t goodputBitsPostHo = 0;
+    /** Slots before the first handover (the run length if none). */
+    std::uint64_t preHoSlots = 0;
+    /** Slots from the first handover to the horizon (0 if none). */
+    std::uint64_t postHoSlots = 0;
+
     /** Delivery latency in slots (first transmission -> delivery). */
     RunningStats latencySlots;
     /** Head-of-line wait from arrival to first transmission. */
@@ -129,6 +149,28 @@ struct UserStats {
     {
         double us = static_cast<double>(slots) * frame_interval_us;
         return us > 0.0 ? static_cast<double>(goodputBits) / us : 0.0;
+    }
+
+    /** Goodput before the first handover in Mb/s (0 if no slots). */
+    double
+    preHoGoodputMbps(double frame_interval_us) const
+    {
+        double us = static_cast<double>(preHoSlots) *
+                    frame_interval_us;
+        return us > 0.0
+                   ? static_cast<double>(goodputBitsPreHo) / us
+                   : 0.0;
+    }
+
+    /** Goodput after the first handover in Mb/s (0 if no slots). */
+    double
+    postHoGoodputMbps(double frame_interval_us) const
+    {
+        double us = static_cast<double>(postHoSlots) *
+                    frame_interval_us;
+        return us > 0.0
+                   ? static_cast<double>(goodputBitsPostHo) / us
+                   : 0.0;
     }
 
     /** Merge another user's statistics into this accumulator. */

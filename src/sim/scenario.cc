@@ -50,7 +50,96 @@ rejectUnknownKeys(const li::Config &cfg, const char *spec_name,
     }
 }
 
+/**
+ * The single source of truth for each spec's accepted key set:
+ * applyConfig() validates against it and the public
+ * scenarioSpecKeys() / networkSpecKeys() accessors expose it (the
+ * docs/SCENARIOS.md cross-check test walks those), so the parser,
+ * the validation and the reference cannot drift apart. Entries
+ * ending in '.' are pass-through prefix families.
+ */
+const char *const kScenarioKeys[] = {
+    "name",          "rate",         "channel",
+    "payload_bits",  "payload_seed", "decoder",
+    "soft_width",    "csi_weight",   "scrambler_seed",
+    "baseband_mhz",  "decoder_mhz",  "host_mhz",
+    "kernel_backend", "snr_db",      "seed",
+    "channel.",      "decoder.",
+};
+
+const char *const kNetworkKeys[] = {
+    "name",           "users",
+    "arrival",        "arrival_prob",
+    "doppler_hz",     "snr_spread_db",
+    "frame_interval_us", "arq",
+    "arq_window",     "arq_max_attempts",
+    "ack_delay",      "pber_lo",
+    "pber_hi",        "net_seed",
+    "fidelity",       "fidelity_warmup",
+    "fidelity_refresh_period", "fidelity_refresh_slots",
+    "calibration_file",
+    // multi-cell: topology + propagation
+    "cells",          "cell_spacing_m",
+    "cell_radius_m",  "min_distance_m",
+    "ref_snr_db",     "ref_distance_m",
+    "pathloss_exp",   "shadow_sigma_db",
+    // multi-cell: traffic + scheduling
+    "traffic",        "traffic_load",
+    "on_slots",       "off_slots",
+    "queue_limit",    "scheduler",
+    "pf_horizon",     "engine",
+    "qdisc",          "control_rate",
+    "contention",     "trace",
+    // multi-cell: mobility + churn
+    "mobility",       "speed_mps",
+    "handover_hyst_db", "handover_ttt_slots",
+    "churn_rate",
+    // link-template shorthands
+    "rate",           "snr_db",
+    "payload_bits",   "decoder",
+    "kernel_backend", "link.",
+};
+
+/** A key table split into exact names and prefix families, in the
+    shape rejectUnknownKeys() consumes. */
+struct KeyTable {
+    std::set<std::string> known;
+    std::vector<std::string> prefixes;
+    KeyTable(const char *const *begin, const char *const *end)
+    {
+        for (const char *const *k = begin; k != end; ++k) {
+            const std::string key(*k);
+            if (!key.empty() && key.back() == '.')
+                prefixes.push_back(key);
+            else
+                known.insert(key);
+        }
+    }
+};
+
+std::vector<std::string>
+sortedKeys(const char *const *begin, const char *const *end)
+{
+    std::vector<std::string> keys(begin, end);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
 } // namespace
+
+std::vector<std::string>
+scenarioSpecKeys()
+{
+    return sortedKeys(std::begin(kScenarioKeys),
+                      std::end(kScenarioKeys));
+}
+
+std::vector<std::string>
+networkSpecKeys()
+{
+    return sortedKeys(std::begin(kNetworkKeys),
+                      std::end(kNetworkKeys));
+}
 
 ScenarioSpec
 ScenarioSpec::withRate(phy::RateIndex r) const
@@ -146,15 +235,10 @@ ScenarioSpec::fromTestbench(const TestbenchConfig &cfg,
 void
 ScenarioSpec::applyConfig(const li::Config &cfg)
 {
-    static const std::set<std::string> known = {
-        "name",          "rate",        "channel",
-        "payload_bits",  "payload_seed", "decoder",
-        "soft_width",    "csi_weight",  "scrambler_seed",
-        "baseband_mhz",  "decoder_mhz", "host_mhz",
-        "kernel_backend", "snr_db",     "seed",
-    };
-    rejectUnknownKeys(cfg, "ScenarioSpec", known,
-                      {"channel.", "decoder."});
+    static const KeyTable keys(std::begin(kScenarioKeys),
+                               std::end(kScenarioKeys));
+    rejectUnknownKeys(cfg, "ScenarioSpec", keys.known,
+                      keys.prefixes);
 
     name = cfg.getString("name", name);
     rate = static_cast<phy::RateIndex>(cfg.getInt("rate", rate));
@@ -367,35 +451,10 @@ scenarioPresetNames()
 void
 NetworkSpec::applyConfig(const li::Config &cfg)
 {
-    static const std::set<std::string> known = {
-        "name",           "users",
-        "arrival",        "arrival_prob",
-        "doppler_hz",     "snr_spread_db",
-        "frame_interval_us", "arq",
-        "arq_window",     "arq_max_attempts",
-        "ack_delay",      "pber_lo",
-        "pber_hi",        "net_seed",
-        "fidelity",       "fidelity_warmup",
-        "fidelity_refresh_period", "fidelity_refresh_slots",
-        "calibration_file",
-        // multi-cell: topology + propagation
-        "cells",          "cell_spacing_m",
-        "cell_radius_m",  "min_distance_m",
-        "ref_snr_db",     "ref_distance_m",
-        "pathloss_exp",   "shadow_sigma_db",
-        // multi-cell: traffic + scheduling
-        "traffic",        "traffic_load",
-        "on_slots",       "off_slots",
-        "queue_limit",    "scheduler",
-        "pf_horizon",     "engine",
-        "qdisc",          "control_rate",
-        "contention",     "trace",
-        // link-template shorthands
-        "rate",           "snr_db",
-        "payload_bits",   "decoder",
-        "kernel_backend",
-    };
-    rejectUnknownKeys(cfg, "NetworkSpec", known, {"link."});
+    static const KeyTable keys(std::begin(kNetworkKeys),
+                               std::end(kNetworkKeys));
+    rejectUnknownKeys(cfg, "NetworkSpec", keys.known,
+                      keys.prefixes);
 
     name = cfg.getString("name", name);
     numUsers =
@@ -484,6 +543,28 @@ NetworkSpec::applyConfig(const li::Config &cfg)
         scheduler.contention = mac::contentionModeFromName(
             cfg.getString("contention"));
 
+    if (cfg.has("mobility"))
+        mobility.model =
+            mobilityModelFromName(cfg.getString("mobility"));
+    mobility.speedMps =
+        cfg.getDouble("speed_mps", mobility.speedMps);
+    wilis_assert(mobility.speedMps > 0.0,
+                 "speed_mps must be > 0, got %g",
+                 mobility.speedMps);
+    mobility.handoverHystDb =
+        cfg.getDouble("handover_hyst_db", mobility.handoverHystDb);
+    wilis_assert(mobility.handoverHystDb >= 0.0,
+                 "handover_hyst_db must be >= 0, got %g",
+                 mobility.handoverHystDb);
+    mobility.handoverTttSlots = cfg.getUint64(
+        "handover_ttt_slots", mobility.handoverTttSlots);
+    mobility.churnRate =
+        cfg.getDouble("churn_rate", mobility.churnRate);
+    wilis_assert(mobility.churnRate >= 0.0 &&
+                     mobility.churnRate < 1.0,
+                 "churn_rate must be in [0,1), got %g",
+                 mobility.churnRate);
+
     trace = cfg.getBool("trace", trace);
 
     engine = cfg.getString("engine", engine);
@@ -534,7 +615,9 @@ NetworkSpec::applyConfig(const li::Config &cfg)
               "shadow_sigma_db", "traffic", "traffic_load",
               "on_slots", "off_slots", "queue_limit", "scheduler",
               "pf_horizon", "engine", "qdisc", "control_rate",
-              "contention"}) {
+              "contention", "mobility", "speed_mps",
+              "handover_hyst_db", "handover_ttt_slots",
+              "churn_rate"}) {
             if (cfg.has(key))
                 wilis_fatal("multi-cell key '%s' has no effect "
                             "without a cell grid; add cells=RxC "
@@ -626,6 +709,16 @@ NetworkSpec::toConfig() const
                 strprintf("%g", traffic.controlRate));
         cfg.set("contention",
                 mac::contentionModeName(scheduler.contention));
+        cfg.set("mobility", mobilityModelName(mobility.model));
+        cfg.set("speed_mps", strprintf("%g", mobility.speedMps));
+        cfg.set("handover_hyst_db",
+                strprintf("%g", mobility.handoverHystDb));
+        cfg.set("handover_ttt_slots",
+                strprintf("%llu",
+                          static_cast<unsigned long long>(
+                              mobility.handoverTttSlots)));
+        cfg.set("churn_rate",
+                strprintf("%g", mobility.churnRate));
     }
     cfg.set("trace", trace ? "true" : "false");
     const li::Config link_cfg = link.toConfig();
@@ -762,6 +855,43 @@ networkRegistry()
             s.scheduler.kind = mac::SchedulerKind::ProportionalFair;
             s.fidelity.mode = FidelityMode::Analytic;
             s.calibrationFile = "data/network_calibration.txt";
+            return s;
+        });
+        r.add("urban-mobile", [] {
+            // The mobility showcase: vehicular users random-
+            // waypointing across a tight 4x4 grid with RSRP
+            // handover and session churn. The cells are small and
+            // the users fast (30 m/s over 150 m spacing) so a few
+            // thousand 2 ms slots cover enough ground for real
+            // handover activity; hysteresis 2 dB with ~one-epoch
+            // time-to-trigger keeps ping-pong visible but bounded.
+            NetworkSpec s = baseCell();
+            s.name = "urban-mobile";
+            s.numUsers = 96;
+            s.topology.rows = 4;
+            s.topology.cols = 4;
+            s.topology.cellSpacingM = 150.0;
+            s.topology.cellRadiusM = 75.0;
+            s.topology.minDistanceM = 5.0;
+            // Small cells need less mast power; 47 dB ref SNR puts
+            // the near/far link-budget window exactly on the
+            // committed calibration table's [-10, 28] dB span
+            // (edge mean ~16 dB, so handover still trades real
+            // throughput).
+            s.topology.pathloss.refSnrDb = 47.0;
+            s.dopplerHz = 60.0; // vehicular fading
+            s.traffic.kind = mac::TrafficKind::Poisson;
+            s.traffic.load = 0.15;
+            s.scheduler.kind = mac::SchedulerKind::RoundRobin;
+            s.fidelity.mode = FidelityMode::Analytic;
+            s.calibrationFile = "data/network_calibration.txt";
+            s.mobility.model = MobilityModel::Waypoint;
+            s.mobility.speedMps = 30.0;
+            s.mobility.handoverHystDb = 2.0;
+            s.mobility.handoverTttSlots = 100;
+            // Mean dwell 1/rate = 2000 slots: about one session
+            // transition per user over a standard smoke run.
+            s.mobility.churnRate = 0.0005;
             return s;
         });
         return r;

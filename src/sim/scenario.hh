@@ -35,6 +35,7 @@
 #include "mac/traffic.hh"
 #include "phy/ofdm_rx.hh"
 #include "sim/link_fidelity.hh"
+#include "sim/mobility.hh"
 #include "sim/topology.hh"
 
 namespace wilis {
@@ -150,6 +151,15 @@ bool hasScenarioPreset(const std::string &name);
 std::vector<std::string> scenarioPresetNames();
 
 /**
+ * Every exact key ScenarioSpec::applyConfig() accepts, sorted
+ * (prefixed families like "channel.<k>" / "decoder.<k>" appear as
+ * the literal prefix "channel." / "decoder."). The authoritative
+ * list docs/SCENARIOS.md is cross-checked against, so the reference
+ * cannot silently drift from the parser.
+ */
+std::vector<std::string> scenarioSpecKeys();
+
+/**
  * Declarative description of a multi-user cell simulation: N
  * independent links sharing one slotted timeline, each built from
  * the embedded per-link ScenarioSpec template plus per-user derived
@@ -249,6 +259,14 @@ struct NetworkSpec {
     mac::CellScheduler::Config scheduler;
 
     /**
+     * User mobility, handover and session churn (multi-cell engine;
+     * see sim::MobilityRuntime). The default -- no trajectory model
+     * and zero churn -- keeps every multi-cell run bit-identical to
+     * the static simulator.
+     */
+    MobilitySpec mobility;
+
+    /**
      * Record the per-packet event trace (mac::PacketTrace) into
      * NetworkResult::trace. Off by default: recording costs memory
      * proportional to the event count and a store per MAC event.
@@ -284,8 +302,9 @@ struct NetworkSpec {
      * off_slots, queue_limit, scheduler
      * (round_robin|proportional_fair), pf_horizon, qdisc
      * (fifo|priority|drop_head), control_rate, contention
-     * (none|fixed); the common key trace (bool) records the
-     * per-packet event trace;
+     * (none|fixed), mobility (none|line|orbit|waypoint), speed_mps,
+     * handover_hyst_db, handover_ttt_slots, churn_rate; the common
+     * key trace (bool) records the per-packet event trace;
      * "link.<k>" keys pass <k> through to the link template, and
      * the common shorthands rate, snr_db, payload_bits, decoder and
      * kernel_backend are forwarded to it directly. Any other key is
@@ -312,6 +331,13 @@ bool hasNetworkPreset(const std::string &name);
 
 /** Sorted names of all registered network presets. */
 std::vector<std::string> networkPresetNames();
+
+/**
+ * Every exact key NetworkSpec::applyConfig() accepts, sorted (the
+ * "link.<k>" pass-through family appears as the literal prefix
+ * "link."). Same docs cross-check contract as scenarioSpecKeys().
+ */
+std::vector<std::string> networkSpecKeys();
 
 } // namespace sim
 } // namespace wilis

@@ -65,15 +65,10 @@ Topology::Topology(const TopologySpec &spec, int num_users,
         usr.servingDistanceM = r;
 
         for (int c = 0; c < cells; ++c) {
-            const Position bs = cellCenter(c);
-            const double dx = usr.pos.x - bs.x;
-            const double dy = usr.pos.y - bs.y;
-            const double d = std::sqrt(dx * dx + dy * dy);
-            const double snr_db = pathloss_.linkSnrDb(d, u, c);
             gains_[static_cast<size_t>(u) *
                        static_cast<size_t>(cells) +
                    static_cast<size_t>(c)] =
-                std::pow(10.0, snr_db / 10.0);
+                linkGainLinAt(usr.pos, u, c);
         }
     }
 }
@@ -101,6 +96,16 @@ Topology::cellUsers(int c) const
     wilis_assert(c >= 0 && c < numCells(), "cell %d out of %d", c,
                  numCells());
     return cell_users_[static_cast<size_t>(c)];
+}
+
+double
+Topology::linkGainLinAt(const Position &pos, int u, int c) const
+{
+    const Position bs = cellCenter(c);
+    const double dx = pos.x - bs.x;
+    const double dy = pos.y - bs.y;
+    const double d = std::sqrt(dx * dx + dy * dy);
+    return std::pow(10.0, pathloss_.linkSnrDb(d, u, c) / 10.0);
 }
 
 double

@@ -78,6 +78,17 @@ class Topology
     /** The geometry in use. */
     const TopologySpec &spec() const { return spec_; }
 
+    /**
+     * The realized propagation model (the position-dependent link
+     * query: pathloss at any distance plus the static per-link
+     * shadowing draw). sim::MobilityRuntime re-evaluates moving
+     * users' link budgets through it.
+     */
+    const channel::PathlossModel &pathloss() const
+    {
+        return pathloss_;
+    }
+
     /** Number of cells. */
     int numCells() const { return spec_.numCells(); }
     /** Number of users. */
@@ -112,6 +123,17 @@ class Topology
     {
         return linkSnrDb(u, servingCell(u));
     }
+
+    /**
+     * Link budget of user @p u's stream from cell @p c evaluated at
+     * an arbitrary position, in linear SNR units: the
+     * position-dependent form of the matrix query (pathloss at the
+     * distance from @p pos to the cell, plus user @p u's static
+     * shadowing draw toward @p c). linkGainLinAt(userPosition(u),
+     * u, c) reproduces linkGainLin(u, c) bitwise; the mobility
+     * layer evaluates it along trajectories.
+     */
+    double linkGainLinAt(const Position &pos, int u, int c) const;
 
     /** The same link budget in linear SNR units (10^(dB/10)). */
     double linkGainLin(int u, int c) const

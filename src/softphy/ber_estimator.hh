@@ -33,6 +33,7 @@ class BerTable
     /** Table resolution (the paper uses a small ROM). */
     static constexpr int kEntries = 256;
 
+    /** All-zero table; use fromScale() for a real one. */
     BerTable();
 
     /**
@@ -74,6 +75,7 @@ class BerTable
 class BerEstimator
 {
   public:
+    /** Empty estimator; install tables before lookups. */
     BerEstimator() = default;
 
     /** Install the table for @p mod. */

@@ -78,11 +78,17 @@ struct CalibrationCell {
  * must outlive it.
  */
 struct FlatCalibration {
+    /** CalibrationCell::per() per cell. */
     std::vector<double> per;
+    /** ln(CalibrationCell::pberOkGeo()) per cell. */
     std::vector<double> logPberOk;
+    /** ln(CalibrationCell::pberBadGeo()) per cell. */
     std::vector<double> logPberBad;
+    /** SNR bins per rate row. */
     int numBins = 0;
+    /** Lower edge of SNR bin 0 in dB. */
     double snrLoDb = 0.0;
+    /** SNR bin width in dB. */
     double snrStepDb = 1.0;
 
     /** Non-owning kernel view of this flattened table. */

@@ -45,6 +45,16 @@ expectSameStats(const UserStats &a, const UserStats &b, int user)
     EXPECT_EQ(a.analyticFrames, b.analyticFrames)
         << "user " << user;
     EXPECT_EQ(a.servingCell, b.servingCell) << "user " << user;
+    EXPECT_EQ(a.handovers, b.handovers) << "user " << user;
+    EXPECT_EQ(a.pingPongs, b.pingPongs) << "user " << user;
+    EXPECT_EQ(a.joins, b.joins) << "user " << user;
+    EXPECT_EQ(a.leaves, b.leaves) << "user " << user;
+    EXPECT_EQ(a.goodputBitsPreHo, b.goodputBitsPreHo)
+        << "user " << user;
+    EXPECT_EQ(a.goodputBitsPostHo, b.goodputBitsPostHo)
+        << "user " << user;
+    EXPECT_EQ(a.preHoSlots, b.preHoSlots) << "user " << user;
+    EXPECT_EQ(a.postHoSlots, b.postHoSlots) << "user " << user;
     EXPECT_DOUBLE_EQ(a.meanSnrDb, b.meanSnrDb) << "user " << user;
     // Per-user statistics accumulate sequentially inside one cell's
     // work item, so even the floating-point moments are
@@ -139,8 +149,13 @@ TEST(MulticellSpec, TopologyTrafficSchedulerKeysRoundTrip)
 
 TEST(MulticellSpec, PresetsAreRegisteredAndMulticell)
 {
-    for (const char *name : {"grid-3x3", "dense-urban-10k"})
+    for (const char *name :
+         {"grid-3x3", "dense-urban-10k", "urban-mobile"})
         EXPECT_TRUE(hasNetworkPreset(name)) << name;
+    NetworkSpec mobile = networkPreset("urban-mobile");
+    EXPECT_TRUE(mobile.multicell());
+    EXPECT_TRUE(mobile.mobility.enabled());
+    EXPECT_EQ(mobile.mobility.model, MobilityModel::Waypoint);
     NetworkSpec grid = networkPreset("grid-3x3");
     EXPECT_EQ(grid.topology.numCells(), 9);
     EXPECT_EQ(grid.numUsers, 36);

@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <set>
+#include <string>
+
 #include "sim/scenario.hh"
 #include "sim/sweep.hh"
 #include "sim/testbench.hh"
@@ -219,6 +223,101 @@ TEST(NetworkSpecStrict, UpperStackKeysAreMulticellOnly)
     EXPECT_DOUBLE_EQ(back.traffic.controlRate, 0.25);
     EXPECT_EQ(back.scheduler.contention, mac::ContentionMode::Fixed);
     EXPECT_TRUE(back.trace);
+}
+
+TEST(NetworkSpecStrict, MobilityKeysRoundTripAndValidate)
+{
+    NetworkSpec grid = NetworkSpec::fromConfig(li::Config::fromString(
+        "cells=2x2,mobility=waypoint,speed_mps=25,"
+        "handover_hyst_db=4.5,handover_ttt_slots=96,"
+        "churn_rate=0.001"));
+    EXPECT_EQ(grid.mobility.model, MobilityModel::Waypoint);
+    EXPECT_DOUBLE_EQ(grid.mobility.speedMps, 25.0);
+    EXPECT_DOUBLE_EQ(grid.mobility.handoverHystDb, 4.5);
+    EXPECT_EQ(grid.mobility.handoverTttSlots, 96u);
+    EXPECT_DOUBLE_EQ(grid.mobility.churnRate, 0.001);
+    NetworkSpec back = NetworkSpec::fromConfig(grid.toConfig());
+    EXPECT_EQ(back.mobility.model, MobilityModel::Waypoint);
+    EXPECT_DOUBLE_EQ(back.mobility.speedMps, 25.0);
+    EXPECT_DOUBLE_EQ(back.mobility.handoverHystDb, 4.5);
+    EXPECT_EQ(back.mobility.handoverTttSlots, 96u);
+    EXPECT_DOUBLE_EQ(back.mobility.churnRate, 0.001);
+    // The static default round-trips as "none" and keeps the
+    // mobility layer disabled.
+    EXPECT_FALSE(back.mobility.enabled() &&
+                 back.mobility.model == MobilityModel::None);
+    EXPECT_EQ(NetworkSpec::fromConfig(
+                  li::Config::fromString("cells=2x2"))
+                  .mobility.model,
+              MobilityModel::None);
+
+    // Mobility only drives the multi-cell engine.
+    EXPECT_DEATH(NetworkSpec::fromConfig(
+                     li::Config::fromString("mobility=waypoint")),
+                 "multi-cell key 'mobility' has no effect without "
+                 "a cell grid");
+    EXPECT_DEATH(NetworkSpec::fromConfig(
+                     li::Config::fromString("churn_rate=0.01")),
+                 "multi-cell key 'churn_rate' has no effect");
+    EXPECT_DEATH(NetworkSpec::fromConfig(
+                     li::Config::fromString("speed_mps=10")),
+                 "multi-cell key 'speed_mps' has no effect");
+    // Malformed values die naming the constraint.
+    EXPECT_DEATH(NetworkSpec::fromConfig(li::Config::fromString(
+                     "cells=2x2,mobility=teleport")),
+                 "unknown mobility model 'teleport' "
+                 "\\(none\\|line\\|orbit\\|waypoint\\)");
+    EXPECT_DEATH(NetworkSpec::fromConfig(li::Config::fromString(
+                     "cells=2x2,churn_rate=1.5")),
+                 "churn_rate must be in \\[0,1\\)");
+    EXPECT_DEATH(NetworkSpec::fromConfig(li::Config::fromString(
+                     "cells=2x2,speed_mps=0")),
+                 "speed_mps must be > 0");
+    EXPECT_DEATH(NetworkSpec::fromConfig(li::Config::fromString(
+                     "cells=2x2,handover_hyst_db=-1")),
+                 "handover_hyst_db must be >= 0");
+    // Misspellings stay fatal like every other key.
+    EXPECT_DEATH(NetworkSpec::fromConfig(li::Config::fromString(
+                     "cells=2x2,mobillity=line")),
+                 "unknown NetworkSpec key 'mobillity'");
+}
+
+TEST(ScenarioDocs, ScenariosDocCoversExactlyTheAcceptedKeys)
+{
+    // docs/SCENARIOS.md documents every accepted config key in
+    // "## ... keys" tables whose first column is the backticked key
+    // name; this walk keeps the reference and the parser in
+    // lockstep -- adding a key to one without the other fails here.
+    std::ifstream in(std::string(WILIS_SOURCE_DIR) +
+                     "/docs/SCENARIOS.md");
+    ASSERT_TRUE(in.good()) << "docs/SCENARIOS.md missing";
+    std::set<std::string> documented;
+    bool in_key_section = false;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind("## ", 0) == 0)
+            in_key_section =
+                line.find("keys") != std::string::npos;
+        if (!in_key_section || line.rfind("| `", 0) != 0)
+            continue;
+        const size_t end = line.find('`', 3);
+        ASSERT_NE(end, std::string::npos) << line;
+        documented.insert(line.substr(3, end - 3));
+    }
+    std::set<std::string> accepted;
+    for (const std::string &k : scenarioSpecKeys())
+        accepted.insert(k);
+    for (const std::string &k : networkSpecKeys())
+        accepted.insert(k);
+    EXPECT_GE(accepted.size(), 40u);
+    for (const std::string &k : accepted)
+        EXPECT_TRUE(documented.count(k))
+            << "key '" << k
+            << "' is accepted but undocumented in SCENARIOS.md";
+    for (const std::string &k : documented)
+        EXPECT_TRUE(accepted.count(k))
+            << "key '" << k
+            << "' is documented but not accepted by any spec";
 }
 
 TEST(ScenarioSpec, FluentHelpersDoNotMutateOriginal)
