@@ -56,6 +56,14 @@ widestSupported()
     return Backend::Scalar;
 }
 
+/**
+ * The dispatch pointer. Every synchronizing access is an explicit
+ * atomic op (TSan-clean by construction): release stores in
+ * setBackend()/the init CAS pair with the acquire loads in
+ * activeTable(), and the pointed-to Ops tables are immutable
+ * function-local statics, so a reader can never observe a
+ * half-published table.
+ */
 std::atomic<const Ops *> g_active{nullptr};
 
 /**

@@ -21,6 +21,17 @@
  * asserted by decode/trellis_kernels.cc:
  *   pred0[s] = 2*(s % (n/2)),  pred1[s] = pred0[s] + 1,
  *   next0[s] = s / 2,          next1[s] = n/2 + s / 2.
+ *
+ * libm policy: kernel bodies may call at most one transcendental
+ * per lane and only from the whitelist on the next line, which the
+ * determinism linter (tools/wilis_lint.py, CI lint job) parses and
+ * enforces -- every listed function is required to be IEEE-exact or
+ * used identically in the scalar tail and the vector lane, so the
+ * backends cannot drift. Extending the whitelist is a policy
+ * change: update this directive AND the bit-exactness argument in
+ * docs/ARCHITECTURE.md together.
+ *
+ * wilis-lint: kernel-libm-whitelist: exp floor log log10 nearbyint sqrt
  */
 
 #ifndef WILIS_COMMON_KERNELS_IMPL_HH

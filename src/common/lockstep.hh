@@ -17,7 +17,24 @@
  * workers, the calling thread acting as worker 0; inside the body,
  * barrier() separates phases. Every worker must reach every
  * barrier() the same number of times, and a team must not be
- * re-entered while a run() is in flight.
+ * re-entered while a run() is in flight (asserted in run()).
+ *
+ * Memory-ordering contract (this is what makes the barrier visible
+ * to ThreadSanitizer without suppressions -- every synchronizing
+ * access is an explicit std::atomic operation, never a plain read
+ * polled in a loop):
+ *
+ *  - every arriver performs an acq_rel fetch_add on arrived_, so
+ *    arrivers form a release/acquire chain through the counter and
+ *    all pre-barrier writes happen-before the last arriver;
+ *  - the last arriver resets arrived_ (relaxed: nobody reads it
+ *    until after the generation bump orders the reset) and then
+ *    release-increments generation_;
+ *  - waiters spin on an acquire load of generation_, so the last
+ *    arriver's accumulated history happens-before every waiter's
+ *    return. Transitively, any pre-barrier write by any worker
+ *    happens-before any post-barrier read by any worker, which is
+ *    exactly the phase-separation the engines rely on.
  */
 
 #ifndef WILIS_COMMON_LOCKSTEP_HH
@@ -28,6 +45,8 @@
 #include <functional>
 #include <thread>
 #include <vector>
+
+#include "common/logging.hh"
 
 namespace wilis {
 
@@ -64,8 +83,16 @@ class LockstepTeam
     void
     run(const std::function<void(int)> &body)
     {
+        // Overlapping runs would share arrived_/generation_ and
+        // deadlock or tear the barrier; catching the misuse here
+        // turns a heisenbug into a deterministic panic.
+        wilis_assert(!in_run_.exchange(true,
+                                       std::memory_order_acq_rel),
+                     "LockstepTeam::run() re-entered while a run "
+                     "is in flight");
         if (n_ == 1) {
             body(0);
+            in_run_.store(false, std::memory_order_release);
             return;
         }
         std::vector<std::thread> extras;
@@ -75,6 +102,7 @@ class LockstepTeam
         body(0);
         for (std::thread &t : extras)
             t.join();
+        in_run_.store(false, std::memory_order_release);
     }
 
     /**
@@ -108,7 +136,11 @@ class LockstepTeam
 
     int n_;
     int spin_iters_;
+    /** True while a run() is in flight (re-entry guard). */
+    std::atomic<bool> in_run_{false};
+    /** Workers arrived at the current barrier (acq_rel chain). */
     alignas(64) std::atomic<int> arrived_{0};
+    /** Barrier phase number; release-bumped by the last arriver. */
     alignas(64) std::atomic<std::uint64_t> generation_{0};
 };
 

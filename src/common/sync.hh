@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Annotated synchronization primitives.
+ *
+ * libstdc++'s std::mutex carries no thread-safety-analysis
+ * attributes, so clang's -Wthread-safety cannot see where it is
+ * acquired and every WILIS_GUARDED_BY member would be flagged even
+ * in correct code. These thin wrappers put the attributes on the
+ * lock operations themselves (zero-cost: the analysis is purely
+ * static and the inline bodies compile to the std calls), which is
+ * what lets the guarded structures in thread_pool.hh and
+ * worker_phy.hh be machine-checked.
+ *
+ * The scoped lock mirrors the relockable MutexLocker from the clang
+ * TSA documentation: unlock()/lock() members let a critical section
+ * be suspended mid-scope (the thread-pool worker loop drops the
+ * lock around each chunk), with the destructor releasing whatever
+ * is still held.
+ *
+ * ConditionVariable wraps std::condition_variable_any so it can
+ * wait on the annotated Mutex directly. Waits are written as
+ * explicit while-loops at the call sites rather than predicate
+ * lambdas: the analysis checks a lambda body as a separate function
+ * that does not inherit the caller's capability set, so a predicate
+ * touching guarded members would need its own annotations -- an
+ * explicit loop keeps the guarded reads inside the annotated
+ * function where the analysis can prove them.
+ */
+
+#ifndef WILIS_COMMON_SYNC_HH
+#define WILIS_COMMON_SYNC_HH
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hh"
+
+namespace wilis {
+
+/** std::mutex with thread-safety-analysis attributes. */
+class WILIS_CAPABILITY("mutex") Mutex
+{
+  public:
+    /** An unlocked mutex. */
+    Mutex() = default;
+    /** The capability is identity: not copyable. */
+    Mutex(const Mutex &) = delete;
+    /** The capability is identity: not copyable. */
+    Mutex &operator=(const Mutex &) = delete;
+
+    /** Blocks until the mutex is acquired. */
+    void
+    lock() WILIS_ACQUIRE()
+    {
+        m_.lock();
+    }
+
+    /** Releases the mutex. */
+    void
+    unlock() WILIS_RELEASE()
+    {
+        m_.unlock();
+    }
+
+    /** Acquires the mutex if free; true on success. */
+    bool
+    try_lock() WILIS_TRY_ACQUIRE(true)
+    {
+        return m_.try_lock();
+    }
+
+  private:
+    std::mutex m_;
+};
+
+/**
+ * Relockable scoped lock over Mutex. Construction acquires;
+ * destruction releases unless unlock() already did. unlock()/lock()
+ * suspend and resume the critical section (both sides visible to
+ * the analysis), so a loop body can run unlocked without giving up
+ * RAII cleanup on early return.
+ */
+class WILIS_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    /** Acquires @p m for the lifetime of the scope. */
+    explicit MutexLock(Mutex &m) WILIS_ACQUIRE(m) : mu_(m)
+    {
+        mu_.lock();
+    }
+
+    /** Releases the mutex if this scope still holds it. */
+    ~MutexLock() WILIS_RELEASE()
+    {
+        if (held_)
+            mu_.unlock();
+    }
+
+    /** Scoped locks pin one acquisition: not copyable. */
+    MutexLock(const MutexLock &) = delete;
+    /** Scoped locks pin one acquisition: not copyable. */
+    MutexLock &operator=(const MutexLock &) = delete;
+
+    /** Suspends the critical section. */
+    void
+    unlock() WILIS_RELEASE()
+    {
+        held_ = false;
+        mu_.unlock();
+    }
+
+    /** Resumes the critical section. */
+    void
+    lock() WILIS_ACQUIRE()
+    {
+        mu_.lock();
+        held_ = true;
+    }
+
+  private:
+    Mutex &mu_;
+    bool held_ = true;
+};
+
+/**
+ * Condition variable waiting on the annotated Mutex. Spurious
+ * wakeups pass through exactly as with the std type: callers
+ * re-check their condition in a while-loop around wait().
+ */
+class ConditionVariable
+{
+  public:
+    /** Wakes one waiter. */
+    void
+    notify_one() noexcept
+    {
+        cv_.notify_one();
+    }
+
+    /** Wakes every waiter. */
+    void
+    notify_all() noexcept
+    {
+        cv_.notify_all();
+    }
+
+    /**
+     * Atomically releases @p m and blocks; @p m is re-acquired
+     * before returning. The analysis sees the capability as held
+     * across the call (the release/re-acquire pair is internal to
+     * the wait), which matches how guarded state may be used on
+     * either side of it.
+     */
+    void
+    wait(Mutex &m) WILIS_REQUIRES(m)
+    {
+        cv_.wait(m);
+    }
+
+  private:
+    std::condition_variable_any cv_;
+};
+
+} // namespace wilis
+
+#endif // WILIS_COMMON_SYNC_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Clang thread-safety-analysis annotation macros.
+ *
+ * The determinism contract of every engine in this repo -- identical
+ * output at any worker-thread count -- rests on a small set of
+ * locking and ownership rules (which mutex guards which member,
+ * which functions may only run with a capability held). These
+ * macros state those rules in the type system so clang's
+ * -Wthread-safety analysis proves them at compile time; the CI
+ * clang leg builds with -Werror=thread-safety, turning a forgotten
+ * lock into a build break instead of a smoke-test flake.
+ *
+ * On compilers without the capability attributes (gcc, pre-TSA
+ * clang) every macro expands to nothing, so annotated headers stay
+ * portable. Semantics follow the clang documentation
+ * (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); the
+ * annotated wrapper types that make std::mutex visible to the
+ * analysis live in common/sync.hh.
+ */
+
+#ifndef WILIS_COMMON_THREAD_ANNOTATIONS_HH
+#define WILIS_COMMON_THREAD_ANNOTATIONS_HH
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+/** Expands @p x as a TSA attribute under clang, else to nothing. */
+#define WILIS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef WILIS_THREAD_ANNOTATION
+/** Expands @p x as a TSA attribute under clang, else to nothing. */
+#define WILIS_THREAD_ANNOTATION(x) // no-op outside clang TSA
+#endif
+
+/** Marks a class as a lockable capability named @p x in reports. */
+#define WILIS_CAPABILITY(x) WILIS_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII class whose lifetime holds a capability. */
+#define WILIS_SCOPED_CAPABILITY \
+    WILIS_THREAD_ANNOTATION(scoped_lockable)
+
+/** Member readable/writable only while holding @p x. */
+#define WILIS_GUARDED_BY(x) WILIS_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose pointee is guarded by @p x. */
+#define WILIS_PT_GUARDED_BY(x) \
+    WILIS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function callable only with the given capabilities held. */
+#define WILIS_REQUIRES(...) \
+    WILIS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function that acquires the given capabilities (held on return). */
+#define WILIS_ACQUIRE(...) \
+    WILIS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function that releases the given capabilities. */
+#define WILIS_RELEASE(...) \
+    WILIS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function that acquires the capability when returning @p ret. */
+#define WILIS_TRY_ACQUIRE(ret, ...) \
+    WILIS_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/** Function that must NOT be called with the capabilities held. */
+#define WILIS_EXCLUDES(...) \
+    WILIS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Assertion that the calling context holds the capability. */
+#define WILIS_ASSERT_CAPABILITY(x) \
+    WILIS_THREAD_ANNOTATION(assert_capability(x))
+
+/** Function returning a reference to the capability @p x. */
+#define WILIS_RETURN_CAPABILITY(x) \
+    WILIS_THREAD_ANNOTATION(lock_returned(x))
+
+/**
+ * Escape hatch: disables the analysis for one function. Every use
+ * must carry a comment justifying why the analysis cannot see the
+ * synchronization (see the suppression policy in
+ * docs/ARCHITECTURE.md, "Static determinism guarantees").
+ */
+#define WILIS_NO_THREAD_SAFETY_ANALYSIS \
+    WILIS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // WILIS_COMMON_THREAD_ANNOTATIONS_HH

@@ -18,7 +18,7 @@ ThreadPool::ThreadPool(int num_threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lk(mtx);
+        MutexLock lk(mtx);
         shutdown = true;
     }
     cv_work.notify_all();
@@ -30,12 +30,14 @@ void
 ThreadPool::workerLoop()
 {
     std::uint64_t seen_generation = 0;
+    MutexLock lk(mtx);
     for (;;) {
-        std::unique_lock<std::mutex> lk(mtx);
-        cv_work.wait(lk, [&] {
-            return shutdown ||
-                   (job != nullptr && generation != seen_generation);
-        });
+        // Explicit while-loop instead of a predicate lambda: the
+        // thread-safety analysis checks a lambda as a separate
+        // function, so guarded reads stay in this annotated body.
+        while (!shutdown &&
+               !(job != nullptr && generation != seen_generation))
+            cv_work.wait(mtx);
         if (shutdown)
             return;
         seen_generation = generation;
@@ -57,7 +59,7 @@ ThreadPool::parallelFor(std::uint64_t num_chunks,
 {
     if (num_chunks == 0)
         return;
-    std::unique_lock<std::mutex> lk(mtx);
+    MutexLock lk(mtx);
     job = &fn;
     next_chunk = 0;
     total_chunks = num_chunks;
@@ -73,7 +75,8 @@ ThreadPool::parallelFor(std::uint64_t num_chunks,
         lk.lock();
         ++done_chunks;
     }
-    cv_done.wait(lk, [&] { return done_chunks == total_chunks; });
+    while (done_chunks != total_chunks)
+        cv_done.wait(mtx);
     job = nullptr;
 }
 

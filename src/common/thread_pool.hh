@@ -4,17 +4,23 @@
  * multi-threaded because AWGN noise generation alone saturates a quad
  * core (section 3); AwgnChannel and the BER sweep harness share this
  * pool implementation.
+ *
+ * All queue state is guarded by one mutex and annotated for clang's
+ * thread-safety analysis, so a member access outside the lock is a
+ * compile error on the -Werror=thread-safety CI leg, not a latent
+ * race.
  */
 
 #ifndef WILIS_COMMON_THREAD_POOL_HH
 #define WILIS_COMMON_THREAD_POOL_HH
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.hh"
+#include "common/thread_annotations.hh"
 
 namespace wilis {
 
@@ -47,15 +53,22 @@ class ThreadPool
     void workerLoop();
 
     std::vector<std::thread> workers;
-    std::mutex mtx;
-    std::condition_variable cv_work;
-    std::condition_variable cv_done;
-    const std::function<void(std::uint64_t)> *job = nullptr;
-    std::uint64_t next_chunk = 0;
-    std::uint64_t total_chunks = 0;
-    std::uint64_t done_chunks = 0;
-    std::uint64_t generation = 0;
-    bool shutdown = false;
+    Mutex mtx;
+    ConditionVariable cv_work;
+    ConditionVariable cv_done;
+    /** Live job, non-null only while a parallelFor is in flight. */
+    const std::function<void(std::uint64_t)> *job
+        WILIS_GUARDED_BY(mtx) = nullptr;
+    /** Next chunk index to hand out. */
+    std::uint64_t next_chunk WILIS_GUARDED_BY(mtx) = 0;
+    /** Chunk count of the live job. */
+    std::uint64_t total_chunks WILIS_GUARDED_BY(mtx) = 0;
+    /** Chunks completed so far (completion condition). */
+    std::uint64_t done_chunks WILIS_GUARDED_BY(mtx) = 0;
+    /** Bumped per job so sleeping workers recognize new work. */
+    std::uint64_t generation WILIS_GUARDED_BY(mtx) = 0;
+    /** Set once by the destructor to drain the pool. */
+    bool shutdown WILIS_GUARDED_BY(mtx) = false;
 };
 
 } // namespace wilis

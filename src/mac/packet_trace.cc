@@ -100,6 +100,11 @@ PacketTrace::PacketTrace(int shards)
 void
 PacketTrace::record(int shard, const Entry &e)
 {
+    // Shard ownership (one recording worker per shard, finalize only
+    // after the team joins) is barrier-phase discipline: no lock to
+    // annotate, so it is checked dynamically -- these panics catch
+    // lifecycle misuse, the CI TSan leg catches two workers sharing
+    // a shard index.
     wilis_assert(!finalized_,
                  "record() into a finalized packet trace");
     wilis_assert(shard >= 0 &&

@@ -97,6 +97,14 @@ PacketEvent packetEventFromName(const std::string &name);
  * The per-packet event log. Thread contract: record() calls must be
  * partitioned by shard (each shard written by exactly one thread at
  * a time); finalize() and everything after it are single-threaded.
+ *
+ * The contract is ownership-based, not lock-based, so it is outside
+ * what the clang thread-safety analysis can express; it is checked
+ * dynamically instead: the CI TSan leg runs every threaded suite
+ * over this class (shard-partitioned recording from all workers,
+ * finalize on the joining thread), record()/finalize() misuse
+ * panics via the assertions in packet_trace.cc, and the byte-exact
+ * trace smokes pin the result against re-sharding.
  */
 class PacketTrace
 {

@@ -120,7 +120,12 @@ measureChannelThroughputMsps(const std::string &channel_name,
     auto chan = channel::makeChannel(channel_name, channel_cfg);
     SampleVec buf(1 << 15, Sample(1.0, 0.0));
 
-    using clock = std::chrono::steady_clock;
+    // Wall-clock measurement is this helper's entire job: it only
+    // feeds bench/abl_channel_threads' throughput report, never a
+    // simulation decision, so the determinism ban does not apply.
+    using clock =
+        std::chrono::steady_clock; // wilis-lint: allow(banned-call)
+
     auto start = clock::now();
     std::uint64_t samples = 0;
     std::uint64_t packet = 0;

@@ -281,6 +281,12 @@ MobilityRuntime::epoch(std::uint64_t t, std::vector<Event> &out)
                  "%llu-slot epoch",
                  static_cast<unsigned long long>(t),
                  static_cast<unsigned long long>(epochSlots_));
+    wilis_assert(lastEpochT_ == UINT64_MAX || t > lastEpochT_,
+                 "epoch at slot %llu replays or reorders the last "
+                 "epoch at slot %llu",
+                 static_cast<unsigned long long>(t),
+                 static_cast<unsigned long long>(lastEpochT_));
+    lastEpochT_ = t;
 
     // Positions have not moved at t = 0: the constructor's copy of
     // the deployment matrix *is* the epoch-0 state.

@@ -115,6 +115,16 @@ struct MobilitySpec {
  * Between epochs the runtime is read-only: gainRow() /
  * servingGainLin() replace the static Topology matrix wherever the
  * engines fold interference or rate estimates.
+ *
+ * Publication contract: epoch() mutates the gain matrix and every
+ * decision chain with no internal locking, so the caller must hold
+ * all other workers at a LockstepTeam barrier for the duration of
+ * the call; the barrier's release/acquire protocol then publishes
+ * the new epoch state to every worker (and the pre-epoch reads back
+ * to worker 0). This write-parked / read-shared pattern is
+ * barrier-phase ownership -- enforced dynamically by the CI TSan
+ * leg, not expressible to the lock-based static analysis (see
+ * docs/ARCHITECTURE.md, "Static determinism guarantees").
  */
 class MobilityRuntime
 {
@@ -298,6 +308,12 @@ class MobilityRuntime
     // Churn chains: the next session-toggle slot and dwell index.
     std::vector<std::uint64_t> nextToggle_;
     std::vector<std::uint64_t> toggleIdx_;
+
+    // Last slot epoch() ran at (UINT64_MAX = never): enforces the
+    // strictly-increasing call contract, so a scheduling bug that
+    // replayed or reordered epochs panics instead of silently
+    // re-advancing the churn chains.
+    std::uint64_t lastEpochT_ = UINT64_MAX;
 
     std::vector<std::uint64_t> handovers_;
     std::vector<std::uint64_t> pingPongs_;

@@ -5,6 +5,18 @@
  * identical between them: statistics recording, packet-trace
  * plumbing and the scalar interference fade. Internal to the sim
  * module (the single-cell engine reuses the trace plumbing too).
+ *
+ * Concurrency discipline for everything in this header: all state
+ * (TraceCtx, per-user stats, the seq ring) is *barrier-phase
+ * owned*, never locked -- between two LockstepTeam::barrier()
+ * calls each structure is touched by exactly one worker (the
+ * serving cell's owner, or worker 0 inside a mobility epoch with
+ * the team parked at the barrier). That ownership is invisible to
+ * lock-based static analysis, so it is enforced dynamically: the
+ * CI TSan leg runs the threaded suites at 8 workers, where any
+ * phase-ownership violation is a hard data-race report (the
+ * barrier itself is pure release/acquire atomics, see
+ * common/lockstep.hh, so TSan needs no suppressions).
  */
 
 #ifndef WILIS_SIM_MULTICELL_DETAIL_HH

@@ -502,7 +502,10 @@ runMulticellPerUser(
     // compute identical results) and the two phases are separated
     // by barriers -- two per slot, where the old per-slot
     // ThreadPool::parallelFor pair cost four condition-variable
-    // handshakes (the grid-3x3 thread-scaling regression).
+    // handshakes (the grid-3x3 thread-scaling regression). This
+    // barrier-phase ownership is lock-free by design and therefore
+    // invisible to -Wthread-safety; the CI TSan leg is what holds
+    // it (docs/ARCHITECTURE.md, "Static determinism guarantees").
     LockstepTeam team(n);
     const int chunk = (cells + n - 1) / n;
     const std::uint64_t epoch_slots = mob ? mob->epochSlots() : 1;

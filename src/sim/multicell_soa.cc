@@ -719,6 +719,11 @@ runMulticellSoa(
                       1u, std::thread::hardware_concurrency()));
     n = std::min(n, cells);
 
+    // Same barrier-phase ownership as the per-user engine: the SoA
+    // lanes have one writer per phase and publication rides the
+    // barrier's release/acquire edges, so there is no lock for the
+    // static analysis to check -- the CI TSan leg enforces this
+    // (docs/ARCHITECTURE.md, "Static determinism guarantees").
     LockstepTeam team(n);
     const int chunk = (cells + n - 1) / n;
     const std::uint64_t epoch_slots = mob ? mob->epochSlots() : 1;

@@ -17,10 +17,11 @@
 
 #include <array>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/frame_arena.hh"
+#include "common/sync.hh"
+#include "common/thread_annotations.hh"
 #include "phy/ofdm_rx.hh"
 #include "phy/ofdm_tx.hh"
 
@@ -67,7 +68,7 @@ class WorkerPhyPool
     std::unique_ptr<WorkerPhy>
     acquire()
     {
-        std::lock_guard<std::mutex> lock(mtx);
+        MutexLock lock(mtx);
         if (!free_.empty()) {
             auto w = std::move(free_.back());
             free_.pop_back();
@@ -80,13 +81,15 @@ class WorkerPhyPool
     void
     release(std::unique_ptr<WorkerPhy> w)
     {
-        std::lock_guard<std::mutex> lock(mtx);
+        MutexLock lock(mtx);
         free_.push_back(std::move(w));
     }
 
   private:
-    std::mutex mtx;
-    std::vector<std::unique_ptr<WorkerPhy>> free_;
+    Mutex mtx;
+    /** Idle contexts; a leased context is owned by its work item. */
+    std::vector<std::unique_ptr<WorkerPhy>> free_
+        WILIS_GUARDED_BY(mtx);
 };
 
 } // namespace sim

@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <memory>
@@ -300,13 +301,18 @@ TEST(CalibrationTable, MatchesIndependentFullPhyMeasurements)
         scen.payloadBits = build.payloadBits;
         scen.payloadSeed = 0xFACADE;
 
-        std::uint64_t bad = 0;
+        // Two sweep workers share this accumulator, and the
+        // sweepFrames contract allows only worker-indexed state in
+        // the callback -- an atomic keeps the count exact (the CI
+        // TSan leg caught the original plain uint64_t here).
+        std::atomic<std::uint64_t> bad{0};
         sweepFrames(scen, packets, 2,
                     [&](int, const FrameResult &res, std::uint64_t) {
-                        bad += res.ok ? 0 : 1;
+                        if (!res.ok)
+                            bad.fetch_add(1, std::memory_order_relaxed);
                     });
-        const double measured =
-            static_cast<double>(bad) / static_cast<double>(packets);
+        const double measured = static_cast<double>(bad.load()) /
+                                static_cast<double>(packets);
         const double predicted = table->per(probe.rate, probe.snrDb);
         // ~4 sigma of the two binomial estimates plus interpolation
         // slack across the 2 dB bins.

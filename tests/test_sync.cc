@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Semantics of the annotated synchronization layer (common/sync.hh)
+ * and the LockstepTeam barrier protocol (common/lockstep.hh): the
+ * primitives every engine's determinism contract stands on. These
+ * run under the CI TSan leg (threaded label), so the assertions
+ * here double as race detectors over the primitives themselves.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/lockstep.hh"
+#include "common/sync.hh"
+#include "common/thread_pool.hh"
+
+using namespace wilis;
+
+TEST(SyncMutex, ExclusionUnderContention)
+{
+    Mutex mu;
+    std::int64_t counter = 0;
+    constexpr int kThreads = 8;
+    constexpr int kIters = 20000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&] {
+            for (int k = 0; k < kIters; ++k) {
+                MutexLock lk(mu);
+                ++counter;
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(counter, static_cast<std::int64_t>(kThreads) * kIters);
+}
+
+TEST(SyncMutex, ScopedUnlockRelockSuspendsTheCriticalSection)
+{
+    Mutex mu;
+    int guarded = 0;
+    MutexLock lk(mu);
+    guarded = 1;
+    lk.unlock();
+    // While suspended another thread must be able to take the lock.
+    std::thread other([&] {
+        MutexLock inner(mu);
+        guarded = 2;
+    });
+    other.join();
+    lk.lock();
+    EXPECT_EQ(guarded, 2);
+    guarded = 3;
+    // Destructor releases the resumed lock (no deadlock below).
+    lk.unlock();
+    MutexLock again(mu);
+    EXPECT_EQ(guarded, 3);
+}
+
+TEST(SyncMutex, TryLockReportsContention)
+{
+    Mutex mu;
+    ASSERT_TRUE(mu.try_lock());
+    std::thread other([&] { EXPECT_FALSE(mu.try_lock()); });
+    other.join();
+    mu.unlock();
+    ASSERT_TRUE(mu.try_lock());
+    mu.unlock();
+}
+
+TEST(SyncConditionVariable, HandsOffThroughThePredicateLoop)
+{
+    Mutex mu;
+    ConditionVariable cv;
+    int stage = 0;
+    std::thread consumer([&] {
+        MutexLock lk(mu);
+        while (stage != 1)
+            cv.wait(mu);
+        stage = 2;
+        cv.notify_all();
+    });
+    {
+        MutexLock lk(mu);
+        stage = 1;
+        cv.notify_all();
+        while (stage != 2)
+            cv.wait(mu);
+    }
+    consumer.join();
+    EXPECT_EQ(stage, 2);
+}
+
+TEST(Lockstep, BarrierSeparatesPhasesAcrossGenerations)
+{
+    constexpr int kWorkers = 8;
+    constexpr int kGenerations = 500;
+    LockstepTeam team(kWorkers);
+    ASSERT_EQ(team.size(), kWorkers);
+
+    // Phase A: each worker writes its own slot. Phase B: every
+    // worker sums all slots. If the barrier's release/acquire
+    // protocol leaked a generation, some worker would read a stale
+    // slot and the per-generation sum check would fail (and TSan
+    // would flag the unsynchronized write/read pair).
+    std::vector<std::int64_t> slots(kWorkers, 0);
+    std::vector<std::int64_t> sums(kWorkers, 0);
+    std::atomic<int> mismatches{0};
+    team.run([&](int w) {
+        for (int g = 1; g <= kGenerations; ++g) {
+            slots[static_cast<size_t>(w)] = g * (w + 1);
+            team.barrier();
+            std::int64_t sum = 0;
+            for (int i = 0; i < kWorkers; ++i)
+                sum += slots[static_cast<size_t>(i)];
+            sums[static_cast<size_t>(w)] = sum;
+            team.barrier();
+            const std::int64_t expect =
+                static_cast<std::int64_t>(g) * kWorkers *
+                (kWorkers + 1) / 2;
+            if (sum != expect)
+                mismatches.fetch_add(1,
+                                     std::memory_order_relaxed);
+        }
+    });
+    EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(Lockstep, TeamIsReusableAcrossRuns)
+{
+    LockstepTeam team(4);
+    for (int round = 0; round < 3; ++round) {
+        std::atomic<int> visits{0};
+        team.run([&](int) {
+            visits.fetch_add(1, std::memory_order_relaxed);
+            team.barrier();
+            visits.fetch_add(1, std::memory_order_relaxed);
+        });
+        EXPECT_EQ(visits.load(), 8) << "round " << round;
+    }
+}
+
+TEST(Lockstep, SingleWorkerDegeneratesToInlineCall)
+{
+    LockstepTeam team(1);
+    int calls = 0;
+    team.run([&](int w) {
+        EXPECT_EQ(w, 0);
+        team.barrier(); // must be a no-op, not a hang
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(SyncThreadPool, ParallelForUnderConditionChurn)
+{
+    // Many small jobs back to back stress the worker wake/join
+    // handshake that the annotated explicit-loop waits rewrote.
+    ThreadPool pool(4);
+    for (int job = 0; job < 50; ++job) {
+        std::atomic<std::uint64_t> sum{0};
+        const std::uint64_t chunks = 64;
+        pool.parallelFor(chunks, [&](std::uint64_t c) {
+            sum.fetch_add(c + 1, std::memory_order_relaxed);
+        });
+        EXPECT_EQ(sum.load(), chunks * (chunks + 1) / 2);
+    }
+}
