@@ -41,7 +41,8 @@ main()
         cfg.rx.decoderCfg =
             li::Config::fromString(strprintf("block_len=%d", n));
         cfg.channelCfg = li::Config::fromString("snr_db=3,seed=88");
-        ErrorStats s = sim::measureBer(cfg, 1704, packets, 0);
+        ErrorStats s = sim::measureBer(
+            sim::ScenarioSpec::fromTestbench(cfg, 1704), packets, 0);
         rows.push_back({n, s.ber()});
         if (n == 64)
             ber64 = s.ber();

@@ -35,7 +35,8 @@ main()
         cfg.rx.decoder = "bcjr";
         cfg.rx.demapper.softWidth = w;
         cfg.channelCfg = li::Config::fromString("snr_db=3,seed=55");
-        ErrorStats s = sim::measureBer(cfg, 1704, packets, 0);
+        ErrorStats s = sim::measureBer(
+            sim::ScenarioSpec::fromTestbench(cfg, 1704), packets, 0);
 
         // Calibrate at this width: scale shrinks as the hint range
         // grows, keeping scale x range (the true-LLR span) stable.

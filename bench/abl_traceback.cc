@@ -32,7 +32,8 @@ main()
         cfg.rx.decoderCfg = li::Config::fromString(
             strprintf("traceback_l=%d,traceback_k=%d", w, w));
         cfg.channelCfg = li::Config::fromString("snr_db=3,seed=88");
-        ErrorStats s = sim::measureBer(cfg, 1704, packets, 0);
+        ErrorStats s = sim::measureBer(
+            sim::ScenarioSpec::fromTestbench(cfg, 1704), packets, 0);
 
         synth::DecoderAreaParams p;
         p.window = w;

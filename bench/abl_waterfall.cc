@@ -34,7 +34,9 @@ main()
             cfg.rx.decoder = "bcjr";
             cfg.channelCfg = li::Config::fromString(
                 strprintf("snr_db=%f,seed=77", snr));
-            ErrorStats s = sim::measureBer(cfg, 1000, packets, 0);
+            ErrorStats s = sim::measureBer(
+                sim::ScenarioSpec::fromTestbench(cfg, 1000),
+                packets, 0);
             row.push_back(s.errors ? strprintf("%.1e", s.ber())
                                    : std::string("-"));
         }
@@ -54,7 +56,9 @@ main()
             cfg.rx.decoder = dec;
             cfg.channelCfg = li::Config::fromString(
                 strprintf("snr_db=%f,seed=78", snr));
-            ErrorStats s = sim::measureBer(cfg, 1000, packets, 0);
+            ErrorStats s = sim::measureBer(
+                sim::ScenarioSpec::fromTestbench(cfg, 1000),
+                packets, 0);
             row.push_back(s.errors ? strprintf("%.1e", s.ber())
                                    : std::string("-"));
         }

@@ -20,6 +20,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/json.hh"
+
 namespace wilis {
 namespace bench {
 
@@ -127,31 +129,37 @@ class JsonReport
     bool
     write(const std::string &path) const
     {
+        // Emission rides the shared deterministic writer
+        // (common/json.hh) -- the same stable-key-order backend the
+        // campaign RunReport uses, so every machine-readable report
+        // in the tree serializes one way.
+        json::JsonWriter w;
+        w.beginObject();
+        w.key("bench").value(bench);
+        w.key("meta").beginObject();
+        for (const auto &m : metas)
+            w.key(m.first).value(m.second);
+        w.endObject();
+        w.key("metrics").beginArray();
+        for (const Metric &m : metrics) {
+            w.beginObject();
+            w.key("name").value(m.name);
+            w.key("value").valueDouble(m.value, "%.6g");
+            w.key("unit").value(m.unit);
+            w.key("higher_is_better").valueBool(m.higherIsBetter);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+
         std::FILE *f = std::fopen(path.c_str(), "w");
         if (!f) {
             std::fprintf(stderr, "cannot write JSON report to %s\n",
                          path.c_str());
             return false;
         }
-        std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"meta\": {",
-                     escape(bench).c_str());
-        for (size_t i = 0; i < metas.size(); ++i) {
-            std::fprintf(f, "%s\n    \"%s\": \"%s\"",
-                         i ? "," : "", escape(metas[i].first).c_str(),
-                         escape(metas[i].second).c_str());
-        }
-        std::fprintf(f, "\n  },\n  \"metrics\": [");
-        for (size_t i = 0; i < metrics.size(); ++i) {
-            const Metric &m = metrics[i];
-            std::fprintf(f,
-                         "%s\n    {\"name\": \"%s\", \"value\": %.6g,"
-                         " \"unit\": \"%s\","
-                         " \"higher_is_better\": %s}",
-                         i ? "," : "", escape(m.name).c_str(),
-                         m.value, escape(m.unit).c_str(),
-                         m.higherIsBetter ? "true" : "false");
-        }
-        std::fprintf(f, "\n  ]\n}\n");
+        const std::string &text = w.str();
+        std::fwrite(text.data(), 1, text.size(), f);
         std::fclose(f);
         std::printf("wrote JSON report: %s\n", path.c_str());
         return true;
@@ -171,18 +179,6 @@ class JsonReport
         double value;
         bool higherIsBetter;
     };
-
-    static std::string
-    escape(const std::string &s)
-    {
-        std::string out;
-        for (char c : s) {
-            if (c == '"' || c == '\\')
-                out += '\\';
-            out += c;
-        }
-        return out;
-    }
 
     std::string bench;
     std::vector<std::pair<std::string, std::string>> metas;

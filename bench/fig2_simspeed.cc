@@ -57,7 +57,8 @@ measureHostSimSpeed(phy::RateIndex rate, std::uint64_t bits,
     const size_t payload = 1704;
     std::uint64_t packets = bits / payload + 1;
     Stopwatch sw;
-    ErrorStats s = sim::measureBer(cfg, payload, packets, 0);
+    ErrorStats s = sim::measureBer(
+        sim::ScenarioSpec::fromTestbench(cfg, payload), packets, 0);
     return static_cast<double>(s.bits) / sw.seconds() / 1e6;
 }
 

@@ -71,9 +71,10 @@ main()
         cfg.rx = spec.rx;
         cfg.channelCfg = li::Config::fromString(
             strprintf("snr_db=%f,seed=606", snr));
-        sim::sweepPackets(
-            cfg, 1704, packets_per_snr, 0,
-            [&](int, const sim::PacketResult &res, std::uint64_t) {
+        sim::sweepFrames(
+            sim::ScenarioSpec::fromTestbench(cfg, 1704),
+            packets_per_snr, 0,
+            [&](int, const sim::FrameResult &res, std::uint64_t) {
                 double predicted = est.packetBer(
                     phy::Modulation::QAM16, res.rx.soft);
                 double actual =

@@ -33,6 +33,7 @@
 
 #include "mac/packet_trace.hh"
 #include "phy/modulation.hh"
+#include "sim/campaign.hh"
 #include "sim/network_sim.hh"
 
 using namespace wilis;
@@ -87,20 +88,9 @@ main(int argc, char **argv)
                        : 120;
     int threads = pos.size() > 2 ? std::atoi(pos[2].c_str()) : 0;
 
-    // A preset name, a bare config string, or a preset with k=v
-    // overrides appended ("grid-3x3,engine=peruser").
-    sim::NetworkSpec spec;
-    const size_t comma = what.find(',');
-    const std::string head = what.substr(0, comma);
-    if (sim::hasNetworkPreset(head)) {
-        spec = sim::networkPreset(head);
-        if (comma != std::string::npos)
-            spec.applyConfig(
-                li::Config::fromString(what.substr(comma + 1)));
-    } else {
-        spec = sim::NetworkSpec::fromConfig(
-            li::Config::fromString(what));
-    }
+    // A preset name (with optional k=v overrides), a bare config
+    // string, or a config file -- the shared spec-argument parser.
+    sim::NetworkSpec spec = sim::parseNetworkSpecArg(what);
 
     if (spec.multicell())
         std::printf("network: %s — %dx%d cells, %d users, %s "
@@ -125,11 +115,15 @@ main(int argc, char **argv)
                     spec.snrSpreadDb,
                     sim::fidelityModeName(spec.fidelity.mode));
 
-    if (!trace_file.empty())
-        spec.trace = true;
-
-    sim::NetworkSim sim(spec);
-    sim::NetworkResult res = sim.run(slots, threads);
+    // One run through the unified campaign entry point (which turns
+    // the trace on when a trace file is requested).
+    sim::RunRequest req;
+    req.spec = spec;
+    req.slots = slots;
+    req.threads = threads;
+    req.traceFile = trace_file;
+    sim::NetworkResult res = sim::runNetworkRun(req);
+    spec = res.spec;
 
     if (!trace_file.empty()) {
         res.trace->save(trace_file);

@@ -44,7 +44,8 @@ main(int argc, char **argv)
         cfg.rx.decoder = name;
         cfg.channelCfg = li::Config::fromString(
             "snr_db=" + std::to_string(snr_db) + ",seed=5");
-        ErrorStats s = sim::measureBer(cfg, 1704, 60, 0);
+        ErrorStats s = sim::measureBer(
+            sim::ScenarioSpec::fromTestbench(cfg, 1704), 60, 0);
 
         auto dec = decode::makeDecoder(name);
         synth::DecoderAreaParams p;
@@ -67,7 +68,8 @@ main(int argc, char **argv)
         cfg.channel = name;
         cfg.channelCfg = li::Config::fromString(
             "snr_db=" + std::to_string(snr_db) + ",seed=5");
-        ErrorStats s = sim::measureBer(cfg, 1704, 60, 0);
+        ErrorStats s = sim::measureBer(
+            sim::ScenarioSpec::fromTestbench(cfg, 1704), 60, 0);
         std::printf("  %-10s BER %.3e\n", name.c_str(), s.ber());
     }
     return 0;

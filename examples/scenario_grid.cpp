@@ -1,22 +1,49 @@
 /**
  * @file
  * Scenario-grid sweep demo: a 24-cell grid (3 rates x 2 channels x
- * 2 SNRs x 2 payloads) sharded across the worker pool, with every
- * cell running on the zero-copy frame pipeline. The grid is then
- * re-run at a different thread count to demonstrate the determinism
- * contract: cell results are a pure function of (grid seed, cell
- * index, packet index), never of the sharding.
+ * 2 SNRs x 2 payloads) run through the campaign layer's grid entry
+ * point, with every cell on the zero-copy frame pipeline. The grid
+ * is then re-run single-threaded and split across two in-process
+ * shards, and all three merged campaign reports are compared byte
+ * for byte -- the determinism contract: cell results are a pure
+ * function of (grid seed, cell index, packet index), never of the
+ * sharding, whether that sharding is threads or processes.
  *
  * Usage: ./build/scenario_grid [packets-per-cell] [threads]
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "common/table.hh"
+#include "sim/campaign.hh"
 #include "sim/scenario_grid.hh"
 
 using namespace wilis;
+
+namespace {
+
+/** Run the grid split @p shards ways and merge the shard reports. */
+sim::RunReport
+runSharded(const sim::ScenarioGrid &grid, std::uint64_t packets,
+           int threads, int shards)
+{
+    std::vector<sim::RunReport> parts;
+    for (int i = 0; i < shards; ++i) {
+        sim::GridRunRequest req;
+        req.grid = grid;
+        req.packetsPerCell = packets;
+        req.threads = threads;
+        req.shardIndex = i;
+        req.shardCount = shards;
+        parts.push_back(sim::runGridShard(req));
+    }
+    return sim::mergeReports(parts);
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -39,32 +66,36 @@ main(int argc, char **argv)
                 grid.cellCount(),
                 static_cast<unsigned long long>(packets), threads);
 
-    sim::GridSweepOptions opt;
-    opt.packetsPerCell = packets;
-    opt.threads = threads;
-    std::vector<sim::CellResult> cells = sim::sweepGrid(grid, opt);
+    const sim::RunReport report =
+        runSharded(grid, packets, threads, 1);
 
     Table t({"cell", "scenario", "BER", "PER"});
-    for (const auto &c : cells) {
-        t.addRow({strprintf("%zu", c.cellIndex),
-                  c.spec.label(),
-                  strprintf("%.3e", c.bits.ber()),
-                  strprintf("%.3f", c.per())});
+    for (const auto &u : report.units) {
+        const double ber =
+            u.bits ? static_cast<double>(u.bitErrors) /
+                         static_cast<double>(u.bits)
+                   : 0.0;
+        const double per =
+            u.packets ? static_cast<double>(u.packetErrors) /
+                            static_cast<double>(u.packets)
+                      : 0.0;
+        t.addRow({strprintf("%d", u.unit), u.name,
+                  strprintf("%.3e", ber), strprintf("%.3f", per)});
     }
     t.print();
 
-    // Replay the same grid single-threaded and compare: the sharding
-    // must not leak into the physics.
-    sim::GridSweepOptions serial = opt;
-    serial.threads = 1;
-    std::vector<sim::CellResult> replay = sim::sweepGrid(grid, serial);
-    bool identical = replay.size() == cells.size();
-    for (size_t i = 0; identical && i < cells.size(); ++i) {
-        identical = cells[i].bits.bits == replay[i].bits.bits &&
-                    cells[i].bits.errors == replay[i].bits.errors &&
-                    cells[i].packetErrors == replay[i].packetErrors;
-    }
+    // Replay single-threaded and as a two-shard campaign: neither
+    // the thread count nor the process split may leak into the
+    // physics, so all merged reports must be byte-identical.
+    const std::string baseline = report.toJsonText();
+    const bool thread_inv =
+        runSharded(grid, packets, 1, 1).toJsonText() == baseline;
+    const bool shard_inv =
+        runSharded(grid, packets, threads, 2).toJsonText() ==
+        baseline;
     std::printf("\ndeterministic across thread counts: %s\n",
-                identical ? "yes" : "NO");
-    return identical ? 0 : 1;
+                thread_inv ? "yes" : "NO");
+    std::printf("deterministic across shard counts: %s\n",
+                shard_inv ? "yes" : "NO");
+    return thread_inv && shard_inv ? 0 : 1;
 }

@@ -3,39 +3,42 @@
  * Config-file-driven simulation runner -- the AWB-style plug-n-play
  * workflow (WiLIS section 2) as a command-line tool: describe an
  * experiment in a key=value file, run it, get a report. No source
- * changes to swap any implementation. Experiments are resolved to a
- * sim::ScenarioSpec, the same description the testbench, the LI
- * pipeline and the grid sweeps consume.
+ * changes to swap any implementation. It is also the campaign
+ * layer's worker binary: wilis_campaign spawns one
+ * `wilis_cli --network ... --shard i/N` process per shard and merges
+ * their reports (sim/campaign.hh).
  *
- * Usage:
+ * Link-experiment mode (the historical interface):
  *   ./build/wilis_cli experiment.cfg
  *   ./build/wilis_cli "rate=4,decoder=sova,snr_db=9,packets=200"
- *   ./build/wilis_cli rayleigh-fading          (a scenario preset)
+ *   ./build/wilis_cli rayleigh-fading,snr_db=10   (preset + tweaks)
  *
- * Recognized keys (all optional):
- *   preset      scenario preset name to start from
- *   rate        0..7 rate index               [default 2]
- *   decoder     viterbi|sova|bcjr|bcjr-logmap [bcjr]
- *   channel     awgn|rayleigh|multipath       [awgn]
- *   snr_db      channel SNR                   [8]
- *   doppler_hz  fading Doppler                [20]
- *   num_taps    multipath taps                [4]
- *   soft_width  demapper quantization bits    [6]
- *   block_len   BCJR window                   [64]
- *   traceback_l / traceback_k  SOVA windows   [64]
- *   payload_bits packet size                  [1704]
- *   packets     packets to simulate           [100]
+ * The argument is resolved by sim::parseScenarioSpecArg() -- a
+ * config file, an inline key=value list, or a scenario preset with
+ * optional overrides -- after the CLI peels off its own keys:
+ *   packets     packets to simulate           [default 100]
  *   threads     worker threads (0=all)        [0]
- *   seed        channel seed                  [1]
- *   channel.<k> / decoder.<k>  passed through verbatim
+ *   doppler_hz / num_taps                     (channel shorthands)
+ *   block_len / traceback_l / traceback_k    (decoder shorthands)
+ * Every other key is owned by the spec parser (rate, decoder,
+ * channel, snr_db, payload_bits, channel.<k>, decoder.<k>, ...).
+ *
+ * Campaign-shard mode:
+ *   ./build/wilis_cli --network <spec-arg> [--slots N] [--threads N]
+ *                     [--shard I/N] [--report FILE] [--trace FILE]
+ * runs this shard's replications of a NetworkSpec campaign through
+ * sim::runCampaignShard() and (with --report) writes the shard's
+ * RunReport JSON for the campaign driver to merge.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "decode/soft_decoder.hh"
+#include "sim/campaign.hh"
 #include "sim/scenario.hh"
 #include "sim/sweep.hh"
 #include "synth/area.hh"
@@ -44,31 +47,58 @@ using namespace wilis;
 
 namespace {
 
-bool
-looksLikeInlineConfig(const std::string &arg)
+/** Keys the CLI consumes itself, peeled before the spec parser. */
+const char *const kCliKeys[] = {
+    "packets",     "threads",     "doppler_hz", "num_taps",
+    "block_len",   "traceback_l", "traceback_k",
+};
+
+/**
+ * Resolve a link-experiment argument the same way
+ * sim::parseScenarioSpecArg() classifies it -- inline config,
+ * config file, or "preset[,k=v,...]" -- into one flat config (the
+ * preset head becomes a preset= entry), so the CLI-only keys can be
+ * peeled off before the spec parser validates the rest.
+ */
+li::Config
+resolveArgConfig(const std::string &arg)
 {
-    return arg.find('=') != std::string::npos;
+    const size_t comma = arg.find(',');
+    const std::string head = arg.substr(0, comma);
+    if (head.find('=') == std::string::npos) {
+        if (comma == std::string::npos &&
+            !sim::hasScenarioPreset(head))
+            return li::Config::fromFile(arg);
+        li::Config cfg =
+            comma == std::string::npos
+                ? li::Config()
+                : li::Config::fromString(arg.substr(comma + 1));
+        cfg.set("preset", head);
+        return cfg;
+    }
+    return li::Config::fromString(arg);
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runLinkExperiment(int argc, char **argv)
 {
-    li::Config cfg;
-    sim::ScenarioSpec spec;
-    spec.rate = 2;
-    spec.payloadBits = 1704;
-    spec.channelCfg = li::Config::fromString("snr_db=8,seed=1");
+    sim::ScenarioSpec defaults;
+    defaults.rate = 2;
+    defaults.payloadBits = 1704;
+    defaults.channelCfg = li::Config::fromString("snr_db=8,seed=1");
+
+    sim::ScenarioSpec spec = defaults;
+    li::Config cli; // the CLI-only keys (packets, shorthands)
     if (argc > 1) {
-        std::string arg = argv[1];
-        if (looksLikeInlineConfig(arg)) {
-            cfg = li::Config::fromString(arg);
-        } else if (sim::hasScenarioPreset(arg)) {
-            spec = sim::scenarioPreset(arg);
-        } else {
-            cfg = li::Config::fromFile(arg);
+        li::Config raw = resolveArgConfig(argv[1]);
+        li::Config rest;
+        for (const auto &kv : raw.entries()) {
+            bool mine = false;
+            for (const char *key : kCliKeys)
+                mine = mine || kv.first == key;
+            (mine ? cli : rest).set(kv.first, kv.second);
         }
+        spec = sim::parseScenarioSpecArg(rest.toString(), defaults);
     } else {
         std::fprintf(stderr,
                      "usage: %s <config-file | key=value,... | "
@@ -77,28 +107,21 @@ main(int argc, char **argv)
                      argv[0]);
     }
 
-    if (cfg.has("preset"))
-        spec = sim::scenarioPreset(cfg.getString("preset"));
-
-    // The spec parser handles the shared key set (rate, decoder,
-    // channel, snr_db, payload_bits, csi_weight, channel.<k>,
-    // decoder.<k>, ...); only the CLI's historical shorthand keys
-    // need forwarding by hand. Keys absent from the config keep the
-    // preset's values (sir_db, delay_spread... survive).
-    spec.applyConfig(cfg);
+    // The CLI's historical shorthand keys forward into the spec's
+    // sub-configs by hand; everything else went through the parser.
     for (const char *key : {"doppler_hz", "num_taps"}) {
-        if (cfg.has(key))
-            spec.channelCfg.set(key, cfg.getString(key));
+        if (cli.has(key))
+            spec.channelCfg.set(key, cli.getString(key));
     }
     for (const char *key :
          {"block_len", "traceback_l", "traceback_k"}) {
-        if (cfg.has(key))
-            spec.rx.decoderCfg.set(key, cfg.getString(key));
+        if (cli.has(key))
+            spec.rx.decoderCfg.set(key, cli.getString(key));
     }
 
     const std::uint64_t packets =
-        static_cast<std::uint64_t>(cfg.getInt("packets", 100));
-    const int threads = static_cast<int>(cfg.getInt("threads", 0));
+        static_cast<std::uint64_t>(cli.getInt("packets", 100));
+    const int threads = static_cast<int>(cli.getInt("threads", 0));
 
     std::printf("WiLIS experiment: %s, %s decoder, %s channel @ %.1f "
                 "dB, %llu packets x %zu bits\n\n",
@@ -156,7 +179,9 @@ main(int argc, char **argv)
                                          60.0))});
     synth::DecoderAreaParams ap;
     ap.softWidth = spec.rx.demapper.softWidth;
-    ap.window = static_cast<int>(cfg.getInt("block_len", 64));
+    ap.window = static_cast<int>(
+        cli.getInt("block_len", spec.rx.decoderCfg.getInt(
+                                    "block_len", 64)));
     std::string area_name = spec.rx.decoder == "bcjr-logmap"
                                 ? "bcjr"
                                 : spec.rx.decoder;
@@ -165,4 +190,77 @@ main(int argc, char **argv)
                         synth::decoderTotal(area_name, ap).luts)});
     t.print();
     return 0;
+}
+
+int
+runCampaignShardMode(int argc, char **argv)
+{
+    sim::RunRequest req;
+    std::string spec_arg;
+    bool have_spec = false;
+    for (int a = 1; a < argc; ++a) {
+        const std::string flag = argv[a];
+        const auto next = [&]() -> std::string {
+            if (a + 1 >= argc)
+                wilis_fatal("%s needs an argument", flag.c_str());
+            return argv[++a];
+        };
+        if (flag == "--network") {
+            spec_arg = next();
+            have_spec = true;
+        } else if (flag == "--slots") {
+            req.slots = static_cast<std::uint64_t>(
+                std::strtoull(next().c_str(), nullptr, 10));
+        } else if (flag == "--threads") {
+            req.threads =
+                static_cast<int>(std::atoi(next().c_str()));
+        } else if (flag == "--shard") {
+            const std::string v = next();
+            const size_t slash = v.find('/');
+            if (slash == std::string::npos)
+                wilis_fatal("--shard wants I/N, got '%s'", v.c_str());
+            req.shardIndex =
+                std::atoi(v.substr(0, slash).c_str());
+            req.shardCount =
+                std::atoi(v.substr(slash + 1).c_str());
+        } else if (flag == "--report") {
+            req.reportFile = next();
+        } else if (flag == "--trace") {
+            req.traceFile = next();
+        } else {
+            wilis_fatal("unknown campaign flag '%s'", flag.c_str());
+        }
+    }
+    if (!have_spec)
+        wilis_fatal("--network <spec-arg> is required");
+    req.spec = sim::parseNetworkSpecArg(spec_arg);
+
+    const sim::RunReport rep = sim::runCampaignShard(req);
+    std::uint64_t delivered = 0;
+    std::uint64_t goodput_bits = 0;
+    for (const auto &u : rep.units) {
+        delivered += u.stats.delivered;
+        goodput_bits += u.stats.goodputBits;
+    }
+    std::printf("campaign shard %d/%d: %zu/%d units, %llu slots, "
+                "%llu frames delivered, %llu payload bits\n",
+                req.shardIndex, req.shardCount, rep.units.size(),
+                rep.unitsTotal,
+                static_cast<unsigned long long>(rep.slots),
+                static_cast<unsigned long long>(delivered),
+                static_cast<unsigned long long>(goodput_bits));
+    if (!req.reportFile.empty())
+        std::printf("report -> %s\n", req.reportFile.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (int a = 1; a < argc; ++a)
+        if (std::string(argv[a]) == "--network")
+            return runCampaignShardMode(argc, argv);
+    return runLinkExperiment(argc, argv);
 }

@@ -61,6 +61,27 @@ Histogram::merge(const Histogram &other)
     total_ += other.total_;
 }
 
+void
+Histogram::restore(const std::vector<std::uint64_t> &bin_counts,
+                   std::uint64_t total)
+{
+    wilis_assert(bin_counts.empty() ||
+                     bin_counts.size() ==
+                         static_cast<size_t>(nbins_),
+                 "restoring %zu bin counts into a %d-bin histogram",
+                 bin_counts.size(), nbins_);
+    std::uint64_t sum = 0;
+    for (std::uint64_t c : bin_counts)
+        sum += c;
+    wilis_assert(sum == total,
+                 "restored histogram counts sum to %llu, total says "
+                 "%llu",
+                 static_cast<unsigned long long>(sum),
+                 static_cast<unsigned long long>(total));
+    counts = bin_counts;
+    total_ = total;
+}
+
 ErrorStats
 countErrors(const std::vector<std::uint8_t> &ref,
             const std::vector<std::uint8_t> &got)

@@ -82,6 +82,39 @@ class RunningStats
     /** Sample standard deviation. */
     double stddev() const { return std::sqrt(variance()); }
 
+    /**
+     * Raw accumulator state, exposed for lossless transport: the
+     * snapshot layer stores the four fields by bit pattern and the
+     * campaign report serializes them with "%.17g", so a shipped
+     * accumulator merges bit-equal to one that never left the
+     * process.
+     */
+    struct State {
+        /** Samples seen. */
+        std::uint64_t n;
+        /** Anchor (the first sample). */
+        double offset;
+        /** Sum of (x - offset). */
+        double sum;
+        /** Sum of (x - offset)^2. */
+        double sum_sq;
+    };
+
+    /** Export the raw state. */
+    State state() const { return {n, offset, sum, sum_sq}; }
+
+    /** Rebuild an accumulator from transported raw state. */
+    static RunningStats
+    fromState(const State &s)
+    {
+        RunningStats r;
+        r.n = s.n;
+        r.offset = s.offset;
+        r.sum = s.sum;
+        r.sum_sq = s.sum_sq;
+        return r;
+    }
+
     /** Merge another accumulator into this one. */
     void
     merge(const RunningStats &other)
@@ -232,6 +265,15 @@ class Histogram
 
     /** Merge counts from a histogram with identical binning. */
     void merge(const Histogram &other);
+
+    /**
+     * Replace the contents with transported counts (snapshot resume
+     * and campaign report merge). @p bin_counts must either be empty
+     * (a histogram that never saw a sample) or have exactly
+     * numBins() entries summing to @p total.
+     */
+    void restore(const std::vector<std::uint64_t> &bin_counts,
+                 std::uint64_t total);
 
   private:
     std::vector<std::uint64_t> counts; // empty until first sample

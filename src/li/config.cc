@@ -71,6 +71,20 @@ Config::fromFile(const std::string &path)
     return cfg;
 }
 
+std::string
+Config::toString() const
+{
+    std::string out;
+    for (const auto &e : kv) {
+        if (!out.empty())
+            out += ',';
+        out += e.first;
+        out += '=';
+        out += e.second;
+    }
+    return out;
+}
+
 void
 Config::set(const std::string &key, const std::string &value)
 {

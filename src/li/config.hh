@@ -60,6 +60,14 @@ class Config
         return kv;
     }
 
+    /**
+     * Canonical "k=v,k2=v2" form: entries in sorted key order, so
+     * two configs with equal entries stringify identically and the
+     * result parses back via fromString(). Values containing commas
+     * would not round-trip; no spec key emits one.
+     */
+    std::string toString() const;
+
   private:
     std::map<std::string, std::string> kv;
 };

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 
 namespace wilis {
 namespace mac {
@@ -362,6 +363,71 @@ class Arq
                 slot.state = State::Failed;
         }
         drainDeliverable(now, out);
+    }
+
+    /**
+     * Serialize the mutable state (checkpoint/resume). The window
+     * and the pending-ack ring are written in canonical order --
+     * window slots by index, pending acknowledgements oldest first
+     * -- so two engines holding equal logical state write equal
+     * bytes. The Config is not stored; it is re-derived from the
+     * spec on resume.
+     */
+    void
+    saveState(SnapshotWriter &w) const
+    {
+        w.marker(0x00515241); // "ARQ"
+        for (const Slot &slot : win) {
+            w.u8(static_cast<std::uint8_t>(slot.state));
+            w.u64(slot.firstTx);
+            w.u64(slot.sentAt);
+            w.i64(slot.attempts);
+        }
+        w.u64(pending_count);
+        for (size_t i = 0; i < pending_count; ++i) {
+            const PendingAck &ack =
+                pending[(pending_head + i) % pending.size()];
+            w.u64(ack.seq);
+            w.u64(ack.dueSlot);
+            w.u8(ack.ok ? 1 : 0);
+        }
+        w.i64(resend_count);
+        w.u64(next_new);
+        w.u64(deliver_next);
+        w.u64(retrans);
+    }
+
+    /** Restore state written by saveState() (same Config). */
+    void
+    loadState(SnapshotReader &r)
+    {
+        r.marker(0x00515241);
+        for (Slot &slot : win) {
+            const std::uint8_t s = r.u8();
+            wilis_assert(
+                s <= static_cast<std::uint8_t>(State::Failed),
+                "snapshot ARQ slot state %u out of range", s);
+            slot.state = static_cast<State>(s);
+            slot.firstTx = r.u64();
+            slot.sentAt = r.u64();
+            slot.attempts = static_cast<int>(r.i64());
+        }
+        const std::uint64_t n = r.u64();
+        wilis_assert(n <= pending.size(),
+                     "snapshot ARQ pending count %llu > window %zu",
+                     static_cast<unsigned long long>(n),
+                     pending.size());
+        pending_head = 0;
+        pending_count = static_cast<size_t>(n);
+        for (size_t i = 0; i < pending_count; ++i) {
+            pending[i].seq = r.u64();
+            pending[i].dueSlot = r.u64();
+            pending[i].ok = r.u8() != 0;
+        }
+        resend_count = static_cast<int>(r.i64());
+        next_new = r.u64();
+        deliver_next = r.u64();
+        retrans = r.u64();
     }
 
   private:

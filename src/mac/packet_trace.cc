@@ -251,5 +251,58 @@ PacketTrace::diff(const PacketTrace &a, const PacketTrace &b)
     return std::string();
 }
 
+void
+PacketTrace::saveState(SnapshotWriter &w) const
+{
+    wilis_assert(!finalized_,
+                 "saveState() on a finalized packet trace");
+    w.marker(0x43415254); // "TRAC"
+    w.u64(shards_.size());
+    for (const std::vector<Entry> &shard : shards_) {
+        w.u64(shard.size());
+        for (const Entry &e : shard) {
+            w.u64(e.slot);
+            w.i64(e.cell);
+            w.i64(e.user);
+            w.u8(static_cast<std::uint8_t>(e.cls));
+            w.u64(e.seq);
+            w.u8(static_cast<std::uint8_t>(e.event));
+            w.i64(e.arg0);
+            w.i64(e.arg1);
+        }
+    }
+}
+
+void
+PacketTrace::loadState(SnapshotReader &r)
+{
+    wilis_assert(!finalized_,
+                 "loadState() on a finalized packet trace");
+    r.marker(0x43415254);
+    const std::uint64_t shards = r.u64();
+    wilis_assert(shards == shards_.size(),
+                 "snapshot trace has %llu shards, this trace has "
+                 "%zu",
+                 static_cast<unsigned long long>(shards),
+                 shards_.size());
+    for (std::vector<Entry> &shard : shards_) {
+        shard.clear();
+        const std::uint64_t n = r.u64();
+        shard.reserve(static_cast<size_t>(n));
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Entry e;
+            e.slot = r.u64();
+            e.cell = static_cast<std::int32_t>(r.i64());
+            e.user = static_cast<std::int32_t>(r.i64());
+            e.cls = static_cast<TrafficClass>(r.u8());
+            e.seq = r.u64();
+            e.event = static_cast<PacketEvent>(r.u8());
+            e.arg0 = r.i64();
+            e.arg1 = r.i64();
+            shard.push_back(e);
+        }
+    }
+}
+
 } // namespace mac
 } // namespace wilis

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "common/snapshot.hh"
 #include "mac/traffic.hh"
 
 namespace wilis {
@@ -171,6 +172,17 @@ class PacketTrace
      */
     static std::string diff(const PacketTrace &a,
                             const PacketTrace &b);
+
+    /**
+     * Serialize the pre-finalize per-shard buffers (checkpoint
+     * only; fatal on a finalized trace). Shards are written in
+     * index order, which is the engines' cell order -- canonical
+     * across engines and thread counts.
+     */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restore state written by saveState() (same shard count). */
+    void loadState(SnapshotReader &r);
 
   private:
     std::vector<std::vector<Entry>> shards_;

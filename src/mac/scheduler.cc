@@ -168,6 +168,30 @@ CellScheduler::removeUser(int pos)
         avg_.erase(avg_.begin() + pos);
 }
 
+void
+CellScheduler::saveState(SnapshotWriter &w) const
+{
+    w.marker(0x44454853); // "SHED"
+    w.i64(cursor_);
+    w.u64(avg_.size());
+    for (double a : avg_)
+        w.f64(a);
+}
+
+void
+CellScheduler::loadState(SnapshotReader &r)
+{
+    r.marker(0x44454853);
+    cursor_ = static_cast<int>(r.i64());
+    const std::uint64_t n = r.u64();
+    wilis_assert(n == avg_.size(),
+                 "snapshot PF average count %llu != %zu users the "
+                 "scheduler was rebuilt with",
+                 static_cast<unsigned long long>(n), avg_.size());
+    for (double &a : avg_)
+        a = r.f64();
+}
+
 double
 CellScheduler::averageRate(int local_user) const
 {

@@ -26,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "common/snapshot.hh"
+
 namespace wilis {
 namespace mac {
 
@@ -141,6 +143,18 @@ class CellScheduler
      * indices down (cursor adjustment mirrors insertUser()).
      */
     void removeUser(int pos);
+
+    /**
+     * Serialize the mutable state: the round-robin cursor and the
+     * PF throughput averages, in local-index order. The instance
+     * must be constructed for the same user count before
+     * loadState() (the engines rebuild cell membership from the
+     * snapshot first).
+     */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restore state written by saveState(). */
+    void loadState(SnapshotReader &r);
 
   private:
     Config cfg_;

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "common/snapshot.hh"
 #include "phy/modulation.hh"
 
 namespace wilis {
@@ -64,6 +65,20 @@ class SoftRateMac
 
     /** Reset to the initial rate. */
     void reset() { current = cfg.initialRate; }
+
+    /** Serialize the mutable state (the current rate index). */
+    void
+    saveState(SnapshotWriter &w) const
+    {
+        w.i64(static_cast<std::int64_t>(current));
+    }
+
+    /** Restore state written by saveState() (same Config). */
+    void
+    loadState(SnapshotReader &r)
+    {
+        current = static_cast<phy::RateIndex>(r.i64());
+    }
 
   private:
     Config cfg;

@@ -254,6 +254,68 @@ TrafficSource::tick(std::uint64_t t)
     }
 }
 
+namespace {
+
+void
+saveRing(SnapshotWriter &w, int depth, int head,
+         const std::vector<Packet> &slots)
+{
+    w.u64(static_cast<std::uint64_t>(depth));
+    for (int i = 0; i < depth; ++i) {
+        const Packet &p =
+            slots[static_cast<size_t>((head + i) %
+                                      static_cast<int>(
+                                          slots.size()))];
+        w.u64(p.arrival);
+        w.u64(p.seq);
+        w.u8(static_cast<std::uint8_t>(p.cls));
+    }
+}
+
+void
+loadRing(SnapshotReader &r, int &depth, int &head,
+         std::vector<Packet> &slots)
+{
+    const std::uint64_t n = r.u64();
+    wilis_assert(n <= slots.size(),
+                 "snapshot queue depth %llu > ring capacity %zu",
+                 static_cast<unsigned long long>(n), slots.size());
+    head = 0;
+    depth = static_cast<int>(n);
+    for (int i = 0; i < depth; ++i) {
+        Packet &p = slots[static_cast<size_t>(i)];
+        p.arrival = r.u64();
+        p.seq = r.u64();
+        p.cls = static_cast<TrafficClass>(r.u8());
+    }
+}
+
+} // namespace
+
+void
+TrafficSource::saveState(SnapshotWriter &w) const
+{
+    w.marker(0x46464152); // "RAFF"
+    w.u8(on_ ? 1 : 0);
+    saveRing(w, ctrl_.depth, ctrl_.head, ctrl_.slots);
+    saveRing(w, data_.depth, data_.head, data_.slots);
+    w.u64(arrivals_);
+    w.u64(drops_);
+    w.u64(pktSeq_);
+}
+
+void
+TrafficSource::loadState(SnapshotReader &r)
+{
+    r.marker(0x46464152);
+    on_ = r.u8() != 0;
+    loadRing(r, ctrl_.depth, ctrl_.head, ctrl_.slots);
+    loadRing(r, data_.depth, data_.head, data_.slots);
+    arrivals_ = r.u64();
+    drops_ = r.u64();
+    pktSeq_ = r.u64();
+}
+
 Packet
 TrafficSource::pop(std::uint64_t now)
 {

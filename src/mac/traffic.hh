@@ -36,6 +36,7 @@
 
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "common/snapshot.hh"
 
 namespace wilis {
 namespace mac {
@@ -219,6 +220,20 @@ class TrafficSource
 
     /** True if the ON/OFF chain is currently ON. */
     bool on() const { return on_; }
+
+    /**
+     * Serialize the mutable state: the ON/OFF phase, both packet
+     * rings (queued packets oldest first) and the arrival/drop/seq
+     * counters. The RNG streams are counter-based -- pure functions
+     * of (seed, slot) -- so no generator state is stored; resume at
+     * slot t redraws exactly the arrivals an uninterrupted run
+     * would. Trace bindings are not stored: the engine re-binds
+     * after loadState().
+     */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restore state written by saveState() (same spec and seed). */
+    void loadState(SnapshotReader &r);
 
   private:
     /** One class's ring of queued packets (arrival order). */

@@ -377,5 +377,61 @@ MobilityRuntime::epoch(std::uint64_t t, std::vector<Event> &out)
     }
 }
 
+void
+MobilityRuntime::saveState(SnapshotWriter &w) const
+{
+    w.marker(0x4C49424D); // "MBIL"
+    w.u64(gains_.size());
+    for (double g : gains_)
+        w.f64(g);
+    for (int u = 0; u < users_; ++u) {
+        const size_t ui = static_cast<size_t>(u);
+        w.i64(serving_[ui]);
+        w.u8(active_[ui]);
+        w.i64(hoCand_[ui]);
+        w.u64(hoSince_[ui]);
+        w.i64(prevCell_[ui]);
+        w.u64(lastHoSlot_[ui]);
+        w.u64(nextToggle_[ui]);
+        w.u64(toggleIdx_[ui]);
+        w.u64(handovers_[ui]);
+        w.u64(pingPongs_[ui]);
+        w.u64(joins_[ui]);
+        w.u64(leaves_[ui]);
+        w.u64(firstHoSlot_[ui]);
+    }
+    w.u64(lastEpochT_);
+}
+
+void
+MobilityRuntime::loadState(SnapshotReader &r)
+{
+    r.marker(0x4C49424D);
+    const std::uint64_t n = r.u64();
+    wilis_assert(n == gains_.size(),
+                 "snapshot gain matrix has %llu entries, this "
+                 "deployment needs %zu",
+                 static_cast<unsigned long long>(n), gains_.size());
+    for (double &g : gains_)
+        g = r.f64();
+    for (int u = 0; u < users_; ++u) {
+        const size_t ui = static_cast<size_t>(u);
+        serving_[ui] = static_cast<int>(r.i64());
+        active_[ui] = r.u8();
+        hoCand_[ui] = static_cast<int>(r.i64());
+        hoSince_[ui] = r.u64();
+        prevCell_[ui] = static_cast<int>(r.i64());
+        lastHoSlot_[ui] = r.u64();
+        nextToggle_[ui] = r.u64();
+        toggleIdx_[ui] = r.u64();
+        handovers_[ui] = r.u64();
+        pingPongs_[ui] = r.u64();
+        joins_[ui] = r.u64();
+        leaves_[ui] = r.u64();
+        firstHoSlot_[ui] = r.u64();
+    }
+    lastEpochT_ = r.u64();
+}
+
 } // namespace sim
 } // namespace wilis

@@ -46,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "common/snapshot.hh"
 #include "sim/topology.hh"
 
 namespace wilis {
@@ -265,6 +266,18 @@ class MobilityRuntime
     {
         return firstHoSlot_[static_cast<size_t>(u)];
     }
+
+    /**
+     * Serialize the mutable state: the live gain matrix, serving /
+     * active membership, handover and churn decision chains, event
+     * counters and the last-epoch guard. The static shadowing draws
+     * are re-derived by the constructor on resume (a pure function
+     * of the spec), and trajectories carry no state at all.
+     */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restore state written by saveState() (same spec and topo). */
+    void loadState(SnapshotReader &r);
 
   private:
     /** Reflect @p p into [lo, hi] by triangle-wave folding. */

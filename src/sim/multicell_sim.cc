@@ -121,6 +121,98 @@ struct McCell {
     std::uint64_t grantedSeq = 0;
 };
 
+/**
+ * Adapter mapping this engine's per-user object layout onto the
+ * canonical checkpoint byte order (detail::saveMcCheckpoint() /
+ * detail::loadMcCheckpoint() in multicell_detail.hh). sync()
+ * derives the user -> member-cell map; call it before a save.
+ */
+struct PuCheckpoint {
+    std::vector<McUser> *users;
+    std::vector<McCell> *cells;
+    std::vector<std::uint64_t> *busy;
+    const mac::CellScheduler::Config *schedCfg;
+    MobilityRuntime *mobp;
+    mac::PacketTrace *tracep;
+    std::vector<int> cellOf; // user id -> member cell, -1 = none
+
+    void
+    sync()
+    {
+        cellOf.assign(users->size(), -1);
+        for (size_t c = 0; c < cells->size(); ++c)
+            for (int id : (*cells)[c].users)
+                cellOf[static_cast<size_t>(id)] =
+                    static_cast<int>(c);
+    }
+
+    McUser &
+    at(int id)
+    {
+        return (*users)[static_cast<size_t>(id)];
+    }
+
+    int numUsers() const { return static_cast<int>(users->size()); }
+    int numCells() const { return static_cast<int>(cells->size()); }
+    MobilityRuntime *mob() const { return mobp; }
+    mac::PacketTrace *trace() const { return tracep; }
+    int memberCellOf(int id) { return cellOf[static_cast<size_t>(id)]; }
+    double servGainOf(int id) { return at(id).servGainLin; }
+    mac::SoftRateMac &softrateOf(int id) { return at(id).softrate; }
+    mac::Arq &arqOf(int id) { return *at(id).arq; }
+    mac::TrafficSource &trafficOf(int id) { return at(id).traffic; }
+    detail::TraceCtx &tctxOf(int id) { return at(id).tctx; }
+    UserStats &statsOf(int id) { return at(id).stats; }
+
+    std::vector<int>
+    memberIdsOf(int c)
+    {
+        return (*cells)[static_cast<size_t>(c)].users;
+    }
+
+    mac::CellScheduler &
+    schedOf(int c)
+    {
+        return *(*cells)[static_cast<size_t>(c)].sched;
+    }
+
+    std::uint64_t
+    busyUntilOf(int c)
+    {
+        return (*busy)[static_cast<size_t>(c)];
+    }
+
+    void
+    setMemberCell(int id, int c)
+    {
+        if (cellOf.size() != users->size())
+            cellOf.assign(users->size(), -1);
+        cellOf[static_cast<size_t>(id)] = c;
+        if (c >= 0)
+            at(id).cell = c;
+    }
+
+    void setServGain(int id, double g) { at(id).servGainLin = g; }
+
+    void
+    resetCell(int c, const std::vector<int> &ids)
+    {
+        McCell &cs = (*cells)[static_cast<size_t>(c)];
+        cs.users = ids;
+        cs.sched = std::make_unique<mac::CellScheduler>(
+            *schedCfg, static_cast<int>(ids.size()));
+        cs.eligible.resize(cs.users.size());
+        cs.urgent.assign(cs.users.size(), 0);
+        cs.instRate.assign(cs.users.size(), 0.0);
+    }
+
+    void
+    setBusyUntil(int c, std::uint64_t v)
+    {
+        (*busy)[static_cast<size_t>(c)] = v;
+    }
+};
+
 } // namespace
 
 NetworkResult
@@ -490,6 +582,47 @@ runMulticellPerUser(
             uu.servGainLin = mob->servingGainLin(uu.id);
     };
 
+    // ---- checkpoint/resume --------------------------------------
+    // The adapter maps this engine onto the canonical snapshot
+    // order; a fresh one is built per use (sync() re-derives the
+    // membership map).
+    auto make_ckpt = [&]() {
+        PuCheckpoint a;
+        a.users = &users;
+        a.cells = &cell_state;
+        a.busy = &busy_until;
+        a.schedCfg = &spec.scheduler;
+        a.mobp = mob.get();
+        a.tracep = trace.get();
+        a.sync();
+        return a;
+    };
+    std::uint64_t start_slot = 0;
+    if (spec.checkpoint.enabled() && spec.checkpoint.resume) {
+        PuCheckpoint a = make_ckpt();
+        start_slot = detail::loadMcCheckpoint(spec, a);
+        wilis_assert(start_slot <= slots,
+                     "checkpoint '%s' is at slot %llu, past the "
+                     "%llu-slot horizon",
+                     spec.checkpoint.file.c_str(),
+                     static_cast<unsigned long long>(start_slot),
+                     static_cast<unsigned long long>(slots));
+        // Re-point the traffic sources' trace lanes at the restored
+        // serving cells (the trace contexts restore their own lane;
+        // a churned-out user keeps its initial binding, which is
+        // dormant until the next join rebinds it).
+        if (trace) {
+            for (McUser &u : users)
+                if (a.cellOf[static_cast<size_t>(u.id)] >= 0)
+                    u.traffic.bindTrace(
+                        trace.get(),
+                        a.cellOf[static_cast<size_t>(u.id)],
+                        a.cellOf[static_cast<size_t>(u.id)], u.id);
+        }
+    }
+    const std::uint64_t ckpt_every =
+        spec.checkpoint.enabled() ? spec.checkpoint.everySlots : 0;
+
     int n = threads > 0
                 ? threads
                 : static_cast<int>(std::max(
@@ -512,7 +645,19 @@ runMulticellPerUser(
     team.run([&](int w) {
         const int c_lo = std::min(cells, w * chunk);
         const int c_hi = std::min(cells, c_lo + chunk);
-        for (std::uint64_t t = 0; t < slots; ++t) {
+        for (std::uint64_t t = start_slot; t < slots; ++t) {
+            if (ckpt_every != 0 && t > start_slot &&
+                t % ckpt_every == 0) {
+                // Every worker evaluates the same condition, so the
+                // whole team is parked at this barrier while worker
+                // 0 serializes -- the snapshot sees the state after
+                // slot t - 1, before slot t's mobility epoch.
+                if (w == 0) {
+                    PuCheckpoint a = make_ckpt();
+                    detail::saveMcCheckpoint(spec, a, t);
+                }
+                team.barrier();
+            }
             if (mob && t % epoch_slots == 0) {
                 // The previous slot's trailing barrier (or run()
                 // entry at t = 0) already synced the team, so

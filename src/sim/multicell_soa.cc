@@ -185,6 +185,123 @@ buildCache(const NetworkSpec &spec, const Topology &topo,
     return cache;
 }
 
+/**
+ * Adapter mapping this engine's SoA layout onto the canonical
+ * checkpoint byte order (detail::saveMcCheckpoint() /
+ * detail::loadMcCheckpoint() in multicell_detail.hh): accessors
+ * translate global user ids to SoA indices, so the serialized
+ * stream is byte-identical to the per-user engine's. sync()
+ * derives the user -> member-cell map; call it before a save.
+ */
+struct SoaCheckpoint {
+    const McSoaCache *cache;
+    std::vector<mac::Arq> *arqs;
+    std::vector<mac::TrafficSource> *traffic;
+    std::vector<mac::SoftRateMac> *softrate;
+    std::vector<UserStats> *stats;
+    std::vector<detail::TraceCtx> *tctx;
+    std::vector<double> *servGain;
+    std::vector<std::vector<std::uint32_t>> *members;
+    std::vector<mac::CellScheduler> *scheds;
+    std::vector<std::vector<std::uint8_t>> *eligible;
+    std::vector<std::vector<std::uint8_t>> *urgent;
+    std::vector<std::vector<double>> *instRate;
+    std::vector<std::uint64_t> *busy;
+    const mac::CellScheduler::Config *schedCfg;
+    MobilityRuntime *mobp;
+    mac::PacketTrace *tracep;
+    std::vector<int> cellOf; // user id -> member cell, -1 = none
+
+    size_t
+    soa(int id) const
+    {
+        return static_cast<size_t>(
+            cache->soaOf[static_cast<size_t>(id)]);
+    }
+
+    void
+    sync()
+    {
+        cellOf.assign(cache->order.size(), -1);
+        for (size_t c = 0; c < members->size(); ++c)
+            for (std::uint32_t i : (*members)[c])
+                cellOf[static_cast<size_t>(
+                    cache->order[static_cast<size_t>(i)])] =
+                    static_cast<int>(c);
+    }
+
+    int numUsers() const { return static_cast<int>(cache->order.size()); }
+    int numCells() const { return static_cast<int>(members->size()); }
+    MobilityRuntime *mob() const { return mobp; }
+    mac::PacketTrace *trace() const { return tracep; }
+    int memberCellOf(int id) { return cellOf[static_cast<size_t>(id)]; }
+    double servGainOf(int id) { return (*servGain)[soa(id)]; }
+    mac::SoftRateMac &softrateOf(int id) { return (*softrate)[soa(id)]; }
+    mac::Arq &arqOf(int id) { return (*arqs)[soa(id)]; }
+    mac::TrafficSource &trafficOf(int id) { return (*traffic)[soa(id)]; }
+    detail::TraceCtx &tctxOf(int id) { return (*tctx)[soa(id)]; }
+    UserStats &statsOf(int id) { return (*stats)[soa(id)]; }
+
+    std::vector<int>
+    memberIdsOf(int c)
+    {
+        std::vector<int> ids;
+        ids.reserve((*members)[static_cast<size_t>(c)].size());
+        for (std::uint32_t i : (*members)[static_cast<size_t>(c)])
+            ids.push_back(
+                cache->order[static_cast<size_t>(i)]);
+        return ids;
+    }
+
+    mac::CellScheduler &
+    schedOf(int c)
+    {
+        return (*scheds)[static_cast<size_t>(c)];
+    }
+
+    std::uint64_t
+    busyUntilOf(int c)
+    {
+        return (*busy)[static_cast<size_t>(c)];
+    }
+
+    void
+    setMemberCell(int id, int c)
+    {
+        if (cellOf.size() != cache->order.size())
+            cellOf.assign(cache->order.size(), -1);
+        cellOf[static_cast<size_t>(id)] = c;
+    }
+
+    void
+    setServGain(int id, double g)
+    {
+        (*servGain)[soa(id)] = g;
+    }
+
+    void
+    resetCell(int c, const std::vector<int> &ids)
+    {
+        std::vector<std::uint32_t> &mem =
+            (*members)[static_cast<size_t>(c)];
+        mem.clear();
+        for (int id : ids)
+            mem.push_back(static_cast<std::uint32_t>(
+                cache->soaOf[static_cast<size_t>(id)]));
+        (*scheds)[static_cast<size_t>(c)] = mac::CellScheduler(
+            *schedCfg, static_cast<int>(ids.size()));
+        (*eligible)[static_cast<size_t>(c)].resize(mem.size());
+        (*urgent)[static_cast<size_t>(c)].assign(mem.size(), 0);
+        (*instRate)[static_cast<size_t>(c)].assign(mem.size(), 0.0);
+    }
+
+    void
+    setBusyUntil(int c, std::uint64_t v)
+    {
+        (*busy)[static_cast<size_t>(c)] = v;
+    }
+};
+
 } // namespace
 
 NetworkResult
@@ -713,6 +830,57 @@ runMulticellSoa(
             serv_gain[i2] = mob->servingGainLin(cache.order[i2]);
     };
 
+    // ---- checkpoint/resume --------------------------------------
+    // The adapter maps this engine onto the canonical snapshot
+    // order; a fresh one is built per use (sync() re-derives the
+    // membership map).
+    auto make_ckpt = [&]() {
+        SoaCheckpoint a;
+        a.cache = &cache;
+        a.arqs = &arqs;
+        a.traffic = &traffic;
+        a.softrate = &softrate;
+        a.stats = &stats;
+        a.tctx = &tctx;
+        a.servGain = &serv_gain;
+        a.members = &members;
+        a.scheds = &scheds;
+        a.eligible = &eligible;
+        a.urgent = &urgent;
+        a.instRate = &inst_rate;
+        a.busy = &busy_until;
+        a.schedCfg = &spec.scheduler;
+        a.mobp = mob.get();
+        a.tracep = trace.get();
+        a.sync();
+        return a;
+    };
+    std::uint64_t start_slot = 0;
+    if (spec.checkpoint.enabled() && spec.checkpoint.resume) {
+        SoaCheckpoint a = make_ckpt();
+        start_slot = detail::loadMcCheckpoint(spec, a);
+        wilis_assert(start_slot <= slots,
+                     "checkpoint '%s' is at slot %llu, past the "
+                     "%llu-slot horizon",
+                     spec.checkpoint.file.c_str(),
+                     static_cast<unsigned long long>(start_slot),
+                     static_cast<unsigned long long>(slots));
+        // Re-point the traffic sources' trace lanes at the restored
+        // serving cells (the trace contexts restore their own lane;
+        // a churned-out user keeps its initial binding, which is
+        // dormant until the next join rebinds it).
+        if (trace) {
+            for (int id = 0; id < num_users; ++id) {
+                const int c = a.cellOf[static_cast<size_t>(id)];
+                if (c >= 0)
+                    traffic[a.soa(id)].bindTrace(trace.get(), c, c,
+                                                 id);
+            }
+        }
+    }
+    const std::uint64_t ckpt_every =
+        spec.checkpoint.enabled() ? spec.checkpoint.everySlots : 0;
+
     int n = threads > 0
                 ? threads
                 : static_cast<int>(std::max(
@@ -731,7 +899,19 @@ runMulticellSoa(
         const int c_lo = std::min(cells, w * chunk);
         const int c_hi = std::min(cells, c_lo + chunk);
         Scratch sc(static_cast<size_t>(c_hi - c_lo));
-        for (std::uint64_t t = 0; t < slots; ++t) {
+        for (std::uint64_t t = start_slot; t < slots; ++t) {
+            if (ckpt_every != 0 && t > start_slot &&
+                t % ckpt_every == 0) {
+                // Every worker evaluates the same condition, so the
+                // whole team is parked at this barrier while worker
+                // 0 serializes -- the snapshot sees the state after
+                // slot t - 1, before slot t's mobility epoch.
+                if (w == 0) {
+                    SoaCheckpoint a = make_ckpt();
+                    detail::saveMcCheckpoint(spec, a, t);
+                }
+                team.barrier();
+            }
             if (mob && t % epoch_slots == 0) {
                 // The previous slot's trailing barrier (or run()
                 // entry at t = 0) already synced the team, so

@@ -77,7 +77,10 @@ const char *const kNetworkKeys[] = {
     "pber_hi",        "net_seed",
     "fidelity",       "fidelity_warmup",
     "fidelity_refresh_period", "fidelity_refresh_slots",
-    "calibration_file",
+    "calibration_file", "reps",
+    // multi-cell: checkpoint/resume
+    "checkpoint_file", "checkpoint_every",
+    "checkpoint_resume",
     // multi-cell: topology + propagation
     "cells",          "cell_spacing_m",
     "cell_radius_m",  "min_distance_m",
@@ -491,6 +494,20 @@ NetworkSpec::applyConfig(const li::Config &cfg)
                                           fidelity.refreshSlots);
     calibrationFile =
         cfg.getString("calibration_file", calibrationFile);
+    reps = static_cast<int>(cfg.getInt("reps", reps));
+    wilis_assert(reps >= 1, "reps must be >= 1, got %d", reps);
+
+    checkpoint.file =
+        cfg.getString("checkpoint_file", checkpoint.file);
+    checkpoint.everySlots =
+        cfg.getUint64("checkpoint_every", checkpoint.everySlots);
+    checkpoint.resume =
+        cfg.getBool("checkpoint_resume", checkpoint.resume);
+    wilis_assert(checkpoint.enabled() ||
+                     (checkpoint.everySlots == 0 &&
+                      !checkpoint.resume),
+                 "checkpoint_every/checkpoint_resume need "
+                 "checkpoint_file");
 
     if (cfg.has("cells")) {
         const std::string grid = cfg.getString("cells");
@@ -617,7 +634,8 @@ NetworkSpec::applyConfig(const li::Config &cfg)
               "pf_horizon", "engine", "qdisc", "control_rate",
               "contention", "mobility", "speed_mps",
               "handover_hyst_db", "handover_ttt_slots",
-              "churn_rate"}) {
+              "churn_rate", "checkpoint_file", "checkpoint_every",
+              "checkpoint_resume"}) {
             if (cfg.has(key))
                 wilis_fatal("multi-cell key '%s' has no effect "
                             "without a cell grid; add cells=RxC "
@@ -673,6 +691,7 @@ NetworkSpec::toConfig() const
                                   fidelity.refreshSlots)));
     if (!calibrationFile.empty())
         cfg.set("calibration_file", calibrationFile);
+    cfg.set("reps", strprintf("%d", reps));
     // The multi-cell keys are rejected by applyConfig() on
     // single-cell specs (and vice versa for the single-cell knobs
     // above), so each engine's spec round-trips with exactly its
@@ -719,12 +738,45 @@ NetworkSpec::toConfig() const
                               mobility.handoverTttSlots)));
         cfg.set("churn_rate",
                 strprintf("%g", mobility.churnRate));
+        if (checkpoint.enabled()) {
+            cfg.set("checkpoint_file", checkpoint.file);
+            if (checkpoint.everySlots)
+                cfg.set("checkpoint_every",
+                        strprintf("%llu",
+                                  static_cast<unsigned long long>(
+                                      checkpoint.everySlots)));
+            if (checkpoint.resume)
+                cfg.set("checkpoint_resume", "true");
+        }
     }
     cfg.set("trace", trace ? "true" : "false");
     const li::Config link_cfg = link.toConfig();
     for (const auto &kv : link_cfg.entries())
         cfg.set("link." + kv.first, kv.second);
     return cfg;
+}
+
+std::string
+NetworkSpec::fingerprint() const
+{
+    // The canonical sorted key=value rendering of toConfig(), minus
+    // the keys that do not shape the slot-by-slot dynamics (see the
+    // header). li::Config::entries() iterates a sorted map, so the
+    // string is independent of how the spec was built.
+    std::string out;
+    const li::Config cfg = toConfig();
+    for (const auto &kv : cfg.entries()) {
+        const std::string &key = kv.first;
+        if (key == "engine" || key == "reps" ||
+            key.rfind("checkpoint_", 0) == 0)
+            continue;
+        if (!out.empty())
+            out += ',';
+        out += key;
+        out += '=';
+        out += kv.second;
+    }
+    return out;
 }
 
 namespace {
@@ -924,6 +976,72 @@ std::vector<std::string>
 networkPresetNames()
 {
     return networkRegistry().names();
+}
+
+// ------------------------------------------------ spec arguments
+
+namespace {
+
+/**
+ * The shared grammar of parseScenarioSpecArg() /
+ * parseNetworkSpecArg(); Spec supplies applyConfig() and the two
+ * preset hooks.
+ */
+template <typename Spec>
+Spec
+parseSpecArgImpl(const std::string &arg, const Spec &defaults,
+                 bool (*has_preset)(const std::string &),
+                 Spec (*make_preset)(const std::string &))
+{
+    // Apply @p cfg on top of the defaults, honoring its preset=
+    // base if named (config files and inline strings share this).
+    const auto apply = [&](const li::Config &cfg) {
+        Spec s = defaults;
+        if (cfg.has("preset")) {
+            s = make_preset(cfg.getString("preset"));
+            li::Config rest;
+            for (const auto &kv : cfg.entries())
+                if (kv.first != "preset")
+                    rest.set(kv.first, kv.second);
+            s.applyConfig(rest);
+        } else {
+            s.applyConfig(cfg);
+        }
+        return s;
+    };
+
+    const size_t comma = arg.find(',');
+    const std::string head = arg.substr(0, comma);
+    if (head.find('=') == std::string::npos) {
+        if (comma == std::string::npos && !has_preset(head))
+            return apply(li::Config::fromFile(head));
+        // A preset head (fatal with the known names if unknown),
+        // optionally with k=v overrides appended.
+        Spec s = make_preset(head);
+        if (comma != std::string::npos)
+            s.applyConfig(
+                li::Config::fromString(arg.substr(comma + 1)));
+        return s;
+    }
+    return apply(li::Config::fromString(arg));
+}
+
+} // namespace
+
+ScenarioSpec
+parseScenarioSpecArg(const std::string &arg,
+                     const ScenarioSpec &defaults)
+{
+    return parseSpecArgImpl(arg, defaults, hasScenarioPreset,
+                            scenarioPreset);
+}
+
+NetworkSpec
+parseNetworkSpecArg(const std::string &arg,
+                    const NetworkSpec &defaults)
+{
+    return parseSpecArgImpl(arg, defaults, hasNetworkPreset,
+                            networkPreset);
 }
 
 } // namespace sim

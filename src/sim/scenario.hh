@@ -3,7 +3,7 @@
  * The unified scenario description consumed by every execution style
  * in WiLIS: the batched functional testbench (sim::Testbench), the
  * cycle-counted latency-insensitive pipeline (sim::LiTransceiver) and
- * the parallel sweep harness (sim::sweepPackets / sim::sweepGrid).
+ * the parallel sweep harness (sim::sweepFrames / sim::sweepGrid).
  *
  * A ScenarioSpec is one declarative value naming the 802.11a/g rate,
  * the receiver configuration (decoder slot, demapper quantization),
@@ -160,6 +160,29 @@ std::vector<std::string> scenarioPresetNames();
 std::vector<std::string> scenarioSpecKeys();
 
 /**
+ * Checkpoint/resume policy of a multi-cell run (see
+ * src/sim/campaign.hh and common/snapshot.hh). Snapshots capture
+ * the full mutable simulation state at a slot boundary; resuming
+ * from one continues the run bit-identically to an uninterrupted
+ * execution, for any thread count and either multi-cell engine.
+ */
+struct CheckpointSpec {
+    /** Snapshot file path; empty disables checkpointing. */
+    std::string file;
+    /**
+     * Save a snapshot every this many slots (at slot boundaries
+     * past the start slot). 0 writes no periodic snapshots --
+     * useful for a pure resume run.
+     */
+    std::uint64_t everySlots = 0;
+    /** Resume from `file` (which must exist) instead of slot 0. */
+    bool resume = false;
+
+    /** True when any checkpoint behavior is requested. */
+    bool enabled() const { return !file.empty(); }
+};
+
+/**
  * Declarative description of a multi-user cell simulation: N
  * independent links sharing one slotted timeline, each built from
  * the embedded per-link ScenarioSpec template plus per-user derived
@@ -226,6 +249,14 @@ struct NetworkSpec {
     std::uint64_t seed = 0xCE11;
 
     /**
+     * Independent replications of this spec a campaign runs (see
+     * sim::runCampaignShard): rep 0 uses `seed` itself, rep r > 0 a
+     * seed forked deterministically from it. 1 -- the default --
+     * is a plain single run everywhere outside the campaign layer.
+     */
+    int reps = 1;
+
+    /**
      * Per-link fidelity ladder (see sim::LinkFidelity): "full" runs
      * the bit-exact PHY every slot, "analytic" draws frame outcomes
      * from a calibrated softphy::CalibrationTable, "auto" mixes the
@@ -276,6 +307,13 @@ struct NetworkSpec {
     bool trace = false;
 
     /**
+     * Snapshot checkpoint/resume of the run state (multi-cell
+     * engine only; keys checkpoint_file / checkpoint_every /
+     * checkpoint_resume). Disabled by default.
+     */
+    CheckpointSpec checkpoint;
+
+    /**
      * Multi-cell execution engine: "soa" runs the batched
      * structure-of-arrays slot loop (the default resolution of
      * "auto"), "peruser" the original per-user object walk kept as
@@ -317,6 +355,17 @@ struct NetworkSpec {
 
     /** Serialize to the fromConfig() key set (round-trips). */
     li::Config toConfig() const;
+
+    /**
+     * Canonical description of everything that shapes the run's
+     * slot-by-slot dynamics, used to match a snapshot to the spec
+     * resuming it (common/snapshot.hh). Excludes the engine choice
+     * (both engines are bit-identical by contract, so a snapshot
+     * written under one resumes under the other), the checkpoint
+     * policy itself (a resume run may change where or how often it
+     * saves) and the campaign rep count.
+     */
+    std::string fingerprint() const;
 };
 
 /** Register a network preset (same contract as scenario presets). */
@@ -338,6 +387,26 @@ std::vector<std::string> networkPresetNames();
  * "link."). Same docs cross-check contract as scenarioSpecKeys().
  */
 std::vector<std::string> networkSpecKeys();
+
+/**
+ * Resolve a command-line scenario argument -- the one spec-argument
+ * grammar every CLI shares (wilis_cli, scenario tooling):
+ *  - a preset name                      ("rayleigh-fading")
+ *  - a preset with overrides appended   ("rayleigh-fading,snr_db=12")
+ *  - an inline config string            ("rate=4,decoder=sova"),
+ *    which may name its base via the preset= key
+ *  - a config file path (no '=' anywhere, not a preset name)
+ * Starts from @p defaults; fatal on unknown presets, unreadable
+ * files and unknown keys, exactly like applyConfig().
+ */
+ScenarioSpec parseScenarioSpecArg(const std::string &arg,
+                                  const ScenarioSpec &defaults =
+                                      ScenarioSpec());
+
+/** The NetworkSpec twin of parseScenarioSpecArg(). */
+NetworkSpec parseNetworkSpecArg(const std::string &arg,
+                                const NetworkSpec &defaults =
+                                    NetworkSpec());
 
 } // namespace sim
 } // namespace wilis

@@ -65,16 +65,26 @@ ScenarioGrid::cell(size_t index) const
 std::vector<CellResult>
 sweepGrid(const ScenarioGrid &grid, const GridSweepOptions &opt)
 {
-    const size_t n_cells = grid.cellCount();
-    std::vector<CellResult> results(n_cells);
+    wilis_assert(opt.shardCount >= 1 && opt.shardIndex >= 0 &&
+                     opt.shardIndex < opt.shardCount,
+                 "grid shard %d/%d out of range", opt.shardIndex,
+                 opt.shardCount);
+    // This process's round-robin share of the cell indices (all of
+    // them for the default 1-shard options).
+    std::vector<size_t> owned;
+    for (size_t c = static_cast<size_t>(opt.shardIndex);
+         c < grid.cellCount();
+         c += static_cast<size_t>(opt.shardCount))
+        owned.push_back(c);
+    std::vector<CellResult> results(owned.size());
 
     // Shard by cell: each worker claims whole cells from the pool's
     // dynamic queue and owns a private Testbench (arena included)
     // while it runs one. Writes go to the worker's own results slot,
     // so no synchronization beyond the pool's queue is needed.
     auto run_cell = [&](std::uint64_t c) {
-        const size_t idx = static_cast<size_t>(c);
-        CellResult &res = results[idx];
+        const size_t idx = owned[static_cast<size_t>(c)];
+        CellResult &res = results[static_cast<size_t>(c)];
         res.cellIndex = idx;
         res.spec = grid.cell(idx);
 
@@ -90,12 +100,12 @@ sweepGrid(const ScenarioGrid &grid, const GridSweepOptions &opt)
             opt.onCell(res);
     };
 
-    if (opt.threads == 1 || n_cells <= 1) {
-        for (size_t c = 0; c < n_cells; ++c)
+    if (opt.threads == 1 || owned.size() <= 1) {
+        for (size_t c = 0; c < owned.size(); ++c)
             run_cell(c);
     } else {
         ThreadPool pool(opt.threads);
-        pool.parallelFor(n_cells, run_cell);
+        pool.parallelFor(owned.size(), run_cell);
     }
     return results;
 }

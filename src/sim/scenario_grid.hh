@@ -86,6 +86,16 @@ struct GridSweepOptions {
     /** Worker threads (0 = hardware concurrency). */
     int threads = 0;
     /**
+     * Process-level sharding: only cells with
+     * index % shardCount == shardIndex run (round-robin, the
+     * campaign layer's unit assignment). Each cell is a pure
+     * function of (grid seed, cell index), so disjoint shards
+     * compose into exactly the unsharded result.
+     */
+    int shardIndex = 0;
+    /** Total shards (1 = run everything). */
+    int shardCount = 1;
+    /**
      * Optional progress hook, called after each finished cell from
      * worker threads (must be thread-safe). Cells finish out of
      * order; the returned vector is always in cell order.
@@ -94,10 +104,10 @@ struct GridSweepOptions {
 };
 
 /**
- * Run every cell of @p grid for opt.packetsPerCell packets and
- * return per-cell aggregates in cell order. Cells are sharded
- * dynamically across the pool; results are independent of the
- * thread count.
+ * Run this shard's cells of @p grid for opt.packetsPerCell packets
+ * and return their aggregates in cell order (all cells with the
+ * default 1-shard options). Cells are sharded dynamically across
+ * the pool; results are independent of the thread count.
  */
 std::vector<CellResult> sweepGrid(const ScenarioGrid &grid,
                                   const GridSweepOptions &opt);

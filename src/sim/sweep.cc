@@ -51,20 +51,6 @@ sweepFrames(
         th.join();
 }
 
-void
-sweepPackets(
-    const TestbenchConfig &cfg, size_t payload_bits,
-    std::uint64_t num_packets, int threads,
-    const std::function<void(int, const PacketResult &, std::uint64_t)>
-        &per_packet)
-{
-    ScenarioSpec spec = ScenarioSpec::fromTestbench(cfg, payload_bits);
-    sweepFrames(spec, num_packets, threads,
-                [&](int tid, const FrameResult &res, std::uint64_t p) {
-                    per_packet(tid, res.toPacketResult(), p);
-                });
-}
-
 ErrorStats
 measureBer(const ScenarioSpec &spec, std::uint64_t num_packets,
            int threads)
@@ -84,6 +70,9 @@ measureBer(const ScenarioSpec &spec, std::uint64_t num_packets,
     return total;
 }
 
+// Defining the deprecated shim must not trip -Werror builds.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 ErrorStats
 measureBer(const TestbenchConfig &cfg, size_t payload_bits,
            std::uint64_t num_packets, int threads)
@@ -91,6 +80,7 @@ measureBer(const TestbenchConfig &cfg, size_t payload_bits,
     return measureBer(ScenarioSpec::fromTestbench(cfg, payload_bits),
                       num_packets, threads);
 }
+#pragma GCC diagnostic pop
 
 } // namespace sim
 } // namespace wilis

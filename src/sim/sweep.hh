@@ -50,21 +50,18 @@ void sweepFrames(
     const std::function<void(int worker, const FrameResult &,
                              std::uint64_t packet_index)> &per_frame);
 
-/**
- * Legacy copying sweep over a TestbenchConfig; per_packet receives
- * an owning PacketResult. New code should prefer sweepFrames().
- */
-void sweepPackets(
-    const TestbenchConfig &cfg, size_t payload_bits,
-    std::uint64_t num_packets, int threads,
-    const std::function<void(int thread, const PacketResult &,
-                             std::uint64_t packet_index)> &per_packet);
-
 /** Aggregate payload BER over a packet sweep (allocation-free). */
 ErrorStats measureBer(const ScenarioSpec &spec,
                       std::uint64_t num_packets, int threads = 0);
 
-/** Legacy form of measureBer() over a TestbenchConfig. */
+/**
+ * Legacy form of measureBer() over a TestbenchConfig. Deprecated:
+ * lift the config with ScenarioSpec::fromTestbench() and call the
+ * spec overload (the copying sweepPackets() sweep is gone entirely
+ * -- use sweepFrames()).
+ */
+[[deprecated("use measureBer(ScenarioSpec::fromTestbench(cfg, "
+             "payload_bits), ...)")]]
 ErrorStats measureBer(const TestbenchConfig &cfg, size_t payload_bits,
                       std::uint64_t num_packets, int threads = 0);
 

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Campaign-layer tests: one RunRequest -> RunReport path behind
+ * every frontend. The properties pinned here are the API contract:
+ * shard reports merge into a report byte-identical to the unsharded
+ * run (for any shard and thread count), the JSON round-trips through
+ * save/load byte-exactly, the spec-argument parser accepts the same
+ * preset / inline-config / file grammar everywhere, and malformed
+ * campaigns (bad presets, overlapping shards, mixed configs) die
+ * loudly instead of merging garbage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/campaign.hh"
+#include "sim/scenario.hh"
+#include "sim/scenario_grid.hh"
+
+using namespace wilis;
+using namespace wilis::sim;
+
+namespace {
+
+std::string
+calibrationPath()
+{
+    return std::string(WILIS_SOURCE_DIR) +
+           "/data/network_calibration.txt";
+}
+
+/** A small replicated multi-cell campaign (4 reps of grid-3x3). */
+RunRequest
+campaignRequest(int shard_index, int shard_count, int threads)
+{
+    RunRequest req;
+    req.spec = networkPreset("grid-3x3");
+    req.spec.calibrationFile = calibrationPath();
+    req.spec.reps = 4;
+    req.slots = 40;
+    req.threads = threads;
+    req.shardIndex = shard_index;
+    req.shardCount = shard_count;
+    return req;
+}
+
+/** Run the campaign split @p shards ways and merge the reports. */
+RunReport
+runShardedCampaign(int shards, int threads)
+{
+    std::vector<RunReport> parts;
+    for (int i = 0; i < shards; ++i)
+        parts.push_back(
+            runCampaignShard(campaignRequest(i, shards, threads)));
+    return mergeReports(parts);
+}
+
+/** The scenario_grid demo grid, shrunk for test time. */
+ScenarioGrid
+demoGrid()
+{
+    ScenarioGrid grid;
+    grid.base = scenarioPreset("awgn-mid");
+    grid.rates = {0, 2};
+    grid.channels = {"awgn", "rayleigh"};
+    grid.snrsDb = {8.0};
+    grid.payloads = {256};
+    grid.seed = 0xC0FFEE;
+    return grid;
+}
+
+RunReport
+runShardedGrid(int shards, int threads)
+{
+    std::vector<RunReport> parts;
+    for (int i = 0; i < shards; ++i) {
+        GridRunRequest req;
+        req.grid = demoGrid();
+        req.packetsPerCell = 30;
+        req.threads = threads;
+        req.shardIndex = i;
+        req.shardCount = shards;
+        parts.push_back(runGridShard(req));
+    }
+    return mergeReports(parts);
+}
+
+} // namespace
+
+// ---------------------------------------------- spec-arg parsing
+
+TEST(ParseSpecArg, AcceptsPresetHeadWithOverrideTail)
+{
+    const NetworkSpec plain = networkPreset("grid-3x3");
+    const NetworkSpec parsed =
+        parseNetworkSpecArg("grid-3x3,net_seed=77,users=12");
+    EXPECT_EQ(parsed.seed, 77u);
+    EXPECT_EQ(parsed.numUsers, 12);
+    EXPECT_EQ(parsed.topology.rows, plain.topology.rows);
+    EXPECT_EQ(parsed.topology.cols, plain.topology.cols);
+
+    const ScenarioSpec link = parseScenarioSpecArg("awgn-mid");
+    EXPECT_EQ(link.toConfig().toString(),
+              scenarioPreset("awgn-mid").toConfig().toString());
+}
+
+TEST(ParseSpecArg, AcceptsInlineConfigAndPresetKey)
+{
+    // A head containing '=' is an inline config applied over the
+    // caller's defaults...
+    NetworkSpec defaults = networkPreset("grid-3x3");
+    const NetworkSpec inl =
+        parseNetworkSpecArg("users=20,reps=3", defaults);
+    EXPECT_EQ(inl.numUsers, 20);
+    EXPECT_EQ(inl.reps, 3);
+    EXPECT_EQ(inl.topology.rows, defaults.topology.rows);
+
+    // ...and an embedded preset= key rebases onto that preset first.
+    const NetworkSpec rebased =
+        parseNetworkSpecArg("preset=grid-3x3,users=20");
+    EXPECT_EQ(rebased.numUsers, 20);
+    EXPECT_EQ(rebased.topology.cols,
+              networkPreset("grid-3x3").topology.cols);
+}
+
+TEST(ParseSpecArg, RoundTripsThroughCanonicalString)
+{
+    NetworkSpec spec = networkPreset("grid-3x3");
+    spec.reps = 4;
+    const std::string canonical = spec.toConfig().toString();
+    const NetworkSpec reparsed = parseNetworkSpecArg(canonical);
+    EXPECT_EQ(reparsed.toConfig().toString(), canonical);
+}
+
+TEST(ParseSpecArgDeath, RejectsBadPresetsAndUnknownKeys)
+{
+    EXPECT_DEATH(parseNetworkSpecArg("no-such-preset"), "preset");
+    EXPECT_DEATH(parseNetworkSpecArg("grid-3x3,bogus_key=1"),
+                 "unknown");
+    EXPECT_DEATH(parseScenarioSpecArg("awgn-mid,users=4"),
+                 "unknown");
+    // CLI-only keys are not spec keys; the CLI peels them before
+    // this parser ever sees the config.
+    EXPECT_DEATH(parseScenarioSpecArg("awgn-mid,packets=100"),
+                 "unknown");
+}
+
+// -------------------------------------------------- shard merging
+
+TEST(Campaign, ShardAndThreadCountsAreInvisible)
+{
+    const RunReport baseline = runShardedCampaign(1, 2);
+    EXPECT_EQ(baseline.kind, "network");
+    EXPECT_EQ(baseline.unitsTotal, 4);
+    ASSERT_EQ(baseline.units.size(), 4u);
+    // Rep 0 runs the master seed; later reps fork off it.
+    EXPECT_EQ(baseline.units[0].seed, networkPreset("grid-3x3").seed);
+    EXPECT_NE(baseline.units[1].seed, baseline.units[0].seed);
+
+    const std::string text = baseline.toJsonText();
+    EXPECT_EQ(runShardedCampaign(4, 2).toJsonText(), text);
+    EXPECT_EQ(runShardedCampaign(3, 1).toJsonText(), text);
+}
+
+TEST(Campaign, GridShardingIsInvisible)
+{
+    const std::string text = runShardedGrid(1, 2).toJsonText();
+    EXPECT_EQ(runShardedGrid(3, 2).toJsonText(), text);
+    EXPECT_EQ(runShardedGrid(2, 1).toJsonText(), text);
+}
+
+TEST(Campaign, MergedAggregateMatchesManualMerge)
+{
+    const RunReport merged = runShardedCampaign(2, 2);
+    ASSERT_TRUE(merged.merged);
+    UserStats manual;
+    for (const UnitReport &u : merged.units)
+        manual.merge(u.stats);
+    EXPECT_EQ(merged.aggregate.stats.delivered, manual.delivered);
+    EXPECT_EQ(merged.aggregate.stats.goodputBits, manual.goodputBits);
+    EXPECT_EQ(merged.aggregate.unit, -1);
+}
+
+TEST(Campaign, ReportSaveLoadRoundTripsByteExactly)
+{
+    const RunReport merged = runShardedCampaign(2, 2);
+    const std::string path =
+        ::testing::TempDir() + "wilis_campaign_report.json";
+    merged.save(path);
+    const RunReport loaded = RunReport::load(path);
+    std::remove(path.c_str());
+    EXPECT_TRUE(loaded.merged);
+    EXPECT_EQ(loaded.toJsonText(), merged.toJsonText());
+
+    // Unmerged shard reports round-trip too (what wilis_campaign
+    // collects from its workers before merging).
+    const RunReport shard = runCampaignShard(campaignRequest(1, 4, 1));
+    const RunReport reparsed =
+        RunReport::fromJsonText(shard.toJsonText(), "test");
+    EXPECT_FALSE(reparsed.merged);
+    EXPECT_EQ(reparsed.toJsonText(), shard.toJsonText());
+}
+
+// ----------------------------------------------------- validation
+
+TEST(CampaignDeath, MergeRejectsMalformedShardSets)
+{
+    const RunReport a = runCampaignShard(campaignRequest(0, 2, 1));
+    const RunReport b = runCampaignShard(campaignRequest(1, 2, 1));
+
+    EXPECT_DEATH(mergeReports({}), "");
+    // Overlap: the same units reported twice.
+    EXPECT_DEATH(mergeReports({a, a}), "two shards");
+    // Gap: shard 1 of 2 missing.
+    EXPECT_DEATH(mergeReports({a}), "no shard reported");
+    // Mixed campaigns: configs differ.
+    RunReport other = b;
+    other.config += ",x";
+    EXPECT_DEATH(mergeReports({a, other}), "different campaigns");
+    // Merging a merged report is a programming error.
+    const RunReport merged = mergeReports({a, b});
+    EXPECT_DEATH(mergeReports({merged}), "already-merged");
+}
+
+TEST(CampaignDeath, ShardRunRejectsInvalidRequests)
+{
+    // Tracing a replicated campaign would interleave trace files.
+    RunRequest traced = campaignRequest(0, 1, 1);
+    traced.traceFile = ::testing::TempDir() + "wilis_campaign.trace";
+    EXPECT_DEATH(runCampaignShard(traced), "reps=1");
+
+    // Checkpointing is a single-process, single-rep feature.
+    RunRequest ckpt = campaignRequest(0, 2, 1);
+    ckpt.spec.checkpoint.file =
+        ::testing::TempDir() + "wilis_campaign.snap";
+    ckpt.spec.checkpoint.everySlots = 10;
+    EXPECT_DEATH(runCampaignShard(ckpt), "single shard");
+
+    // Shard index out of range.
+    EXPECT_DEATH(runCampaignShard(campaignRequest(3, 2, 1)), "");
+}

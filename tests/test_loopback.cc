@@ -103,7 +103,7 @@ TEST(Loopback, ModerateSnrDecodesWithLowBer)
     cfg.rate = 2;
     cfg.rx.decoder = "bcjr";
     cfg.channelCfg = li::Config::fromString("snr_db=7,seed=5");
-    ErrorStats s = measureBer(cfg, 1000, 40, 2);
+    ErrorStats s = measureBer(ScenarioSpec::fromTestbench(cfg, 1000), 40, 2);
     EXPECT_EQ(s.bits, 40000u);
     EXPECT_LT(s.ber(), 1e-3);
 }
@@ -114,7 +114,7 @@ TEST(Loopback, LowSnrProducesErrors)
     cfg.rate = 7; // QAM64 3/4 is fragile
     cfg.rx.decoder = "viterbi";
     cfg.channelCfg = li::Config::fromString("snr_db=5,seed=5");
-    ErrorStats s = measureBer(cfg, 1000, 10, 2);
+    ErrorStats s = measureBer(ScenarioSpec::fromTestbench(cfg, 1000), 10, 2);
     EXPECT_GT(s.ber(), 1e-2);
 }
 
@@ -124,8 +124,8 @@ TEST(Loopback, SweepIsThreadCountInvariant)
     cfg.rate = 4;
     cfg.rx.decoder = "sova";
     cfg.channelCfg = li::Config::fromString("snr_db=9,seed=11");
-    ErrorStats a = measureBer(cfg, 800, 16, 1);
-    ErrorStats b = measureBer(cfg, 800, 16, 4);
+    ErrorStats a = measureBer(ScenarioSpec::fromTestbench(cfg, 800), 16, 1);
+    ErrorStats b = measureBer(ScenarioSpec::fromTestbench(cfg, 800), 16, 4);
     EXPECT_EQ(a.bits, b.bits);
     EXPECT_EQ(a.errors, b.errors);
 }

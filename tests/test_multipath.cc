@@ -111,7 +111,8 @@ TEST(Multipath, ModerateSnrDecodes)
     cfg.channel = "multipath";
     cfg.channelCfg = li::Config::fromString(
         "snr_db=14,num_taps=4,delay_spread=3,seed=13");
-    ErrorStats s = sim::measureBer(cfg, 1000, 30, 2);
+    ErrorStats s = sim::measureBer(
+        sim::ScenarioSpec::fromTestbench(cfg, 1000), 30, 2);
     EXPECT_LT(s.ber(), 0.05);
     // And it is harder than flat fading at the same mean SNR only in
     // uncoded terms; with interleaving + coding it decodes.
@@ -132,8 +133,10 @@ TEST(Multipath, CsiWeightingHelpsOnSelectiveChannels)
     sim::TestbenchConfig weighted = plain;
     weighted.rx.applyCsiWeight = true;
 
-    ErrorStats zf = sim::measureBer(plain, 1000, 40, 2);
-    ErrorStats mf = sim::measureBer(weighted, 1000, 40, 2);
+    ErrorStats zf = sim::measureBer(
+        sim::ScenarioSpec::fromTestbench(plain, 1000), 40, 2);
+    ErrorStats mf = sim::measureBer(
+        sim::ScenarioSpec::fromTestbench(weighted, 1000), 40, 2);
     ASSERT_GT(zf.errors, 50u) << "need a lossy operating point";
     EXPECT_LT(mf.ber(), 0.5 * zf.ber());
 
@@ -144,8 +147,10 @@ TEST(Multipath, CsiWeightingHelpsOnSelectiveChannels)
     awgn.channelCfg = li::Config::fromString("snr_db=4,seed=8");
     sim::TestbenchConfig awgn_w = awgn;
     awgn_w.rx.applyCsiWeight = true;
-    ErrorStats a = sim::measureBer(awgn, 1000, 20, 2);
-    ErrorStats b = sim::measureBer(awgn_w, 1000, 20, 2);
+    ErrorStats a = sim::measureBer(
+        sim::ScenarioSpec::fromTestbench(awgn, 1000), 20, 2);
+    ErrorStats b = sim::measureBer(
+        sim::ScenarioSpec::fromTestbench(awgn_w, 1000), 20, 2);
     EXPECT_EQ(a.errors, b.errors);
 }
 

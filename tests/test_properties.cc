@@ -210,7 +210,8 @@ TEST_P(BerMonotoneInSnr, WaterfallDecreases)
         cfg.rx.decoder = GetParam();
         cfg.channelCfg = li::Config::fromString(
             "snr_db=" + std::to_string(snr) + ",seed=31");
-        ErrorStats s = sim::measureBer(cfg, 1000, 25, 2);
+        ErrorStats s = sim::measureBer(
+            sim::ScenarioSpec::fromTestbench(cfg, 1000), 25, 2);
         EXPECT_LE(s.ber(), prev * 1.05 + 1e-6)
             << GetParam() << " at " << snr << " dB";
         prev = s.ber();
@@ -253,7 +254,10 @@ TEST(Interference, StrongerInterferenceRaisesBer)
         cfg.channelCfg = li::Config::fromString(
             "snr_db=4,sir_db=" + std::to_string(sir) +
             ",interferer_bin=10,seed=3");
-        return sim::measureBer(cfg, 1000, 30, 2).ber();
+        return sim::measureBer(
+                   sim::ScenarioSpec::fromTestbench(cfg, 1000), 30,
+                   2)
+            .ber();
     };
     double weak = ber_at(25.0);
     double strong = ber_at(-6.0);
